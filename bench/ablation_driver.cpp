@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: host notification mode — periodic polling vs device
+ * interrupts.
+ *
+ * §2.1: "The messaging driver handles packet-receive by periodic
+ * polling. The IXP can be programmed to interrupt the host at a
+ * user-defined frequency." This bench quantifies the trade the
+ * driver's operator makes: polling burns Dom0 CPU proportional to
+ * the poll rate but bounds latency by the interval; interrupts track
+ * traffic with low latency at a per-event cost, bounded by the
+ * coalescing window.
+ *
+ * Workload: the Fig. 7 bursty-stream scenario, whose buffer dynamics
+ * are sensitive to how promptly the host drains the descriptor ring.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row
+{
+    const char *label;
+    corm::platform::DriverParams driver;
+};
+
+} // namespace
+
+int
+main()
+{
+    corm::bench::banner("Ablation: messaging-driver mode",
+                        "periodic polling vs coalesced interrupts "
+                        "(bursty-stream workload)");
+
+    using corm::platform::DriverMode;
+    using corm::sim::msec;
+    using corm::sim::usec;
+
+    Row rows[5];
+    rows[0].label = "poll @ 100 us";
+    rows[0].driver.pollInterval = 100 * usec;
+    rows[1].label = "poll @ 500 us (default)";
+    rows[1].driver.pollInterval = 500 * usec;
+    rows[2].label = "poll @ 2 ms";
+    rows[2].driver.pollInterval = 2 * msec;
+    rows[3].label = "interrupt, 50 us coalesce";
+    rows[3].driver.mode = DriverMode::interrupt;
+    rows[3].driver.interruptCoalesce = 50 * usec;
+    rows[4].label = "interrupt, 1 ms coalesce";
+    rows[4].driver.mode = DriverMode::interrupt;
+    rows[4].driver.interruptCoalesce = 1 * msec;
+
+    std::printf("%-28s | %8s %9s %9s | %9s %10s\n", "driver mode",
+                "fps", "buf KB", "drops", "polls/s", "intr/s");
+    for (const auto &row : rows) {
+        corm::platform::TriggerScenarioConfig cfg;
+        cfg.testbed.driver = row.driver;
+        cfg.trigger = true;
+        cfg.measure = 60 * corm::sim::sec;
+        const auto r = corm::platform::runTriggerScenario(cfg);
+        const double secs = corm::sim::toSeconds(cfg.warmup
+                                                 + cfg.measure);
+        std::printf("%-28s | %8.1f %9.0f %9llu | %9.0f %10.0f\n",
+                    row.label, r.fps1, r.bufferPeakBytes / 1024.0,
+                    static_cast<unsigned long long>(r.ixpQueueDrops),
+                    static_cast<double>(r.driverPolls) / secs,
+                    static_cast<double>(r.driverInterrupts) / secs);
+    }
+
+    std::printf("\nReading: over-aggressive polling burns Dom0 CPU "
+                "that the decoding guests needed (fps drops at\n"
+                "100 us polls); coalesced interrupts match the best "
+                "polling configuration at a fraction of the\n"
+                "notification rate — the 'user-defined frequency' "
+                "knob §2.1 describes is a real trade-off.\n");
+    return 0;
+}

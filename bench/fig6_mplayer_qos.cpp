@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 6: MPlayer video-stream quality of service under the
+ * stream-property coordination scheme (§3.2, scheme 1).
+ *
+ * Three configurations, as in the paper:
+ *   256-256  — default weights: neither domain meets its frame rate;
+ *   384-512  — weights raised after high bit-rate detection: both
+ *              meet their required frame rates;
+ *   384-640  — Domain-2 raised further, plus extra IXP dequeue
+ *              threads for its receive queue: Domain-2 improves
+ *              while Domain-1 is reduced toward (but not below) its
+ *              20 fps floor.
+ *
+ * Domain-1 plays a 20 fps / 300 kbps stream, Domain-2 a 25 fps /
+ * 1 Mbps stream (both over RTSP/UDP through the IXP).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Figure 6",
+                        "MPlayer video-stream QoS (frames/sec)");
+
+    struct Config
+    {
+        const char *label;
+        double w1, w2, bonus2;
+    };
+    const Config configs[] = {
+        {"256-256", 256, 256, 0},
+        {"384-512", 384, 512, 0},
+        {"384-640", 384, 640, 2},
+    };
+
+    std::printf("%-10s | %9s %9s | %6s %6s | %7s %7s %7s\n", "Weights",
+                "Dom1 fps", "Dom2 fps", "late1", "late2", "cpu1",
+                "cpu2", "dom0");
+    std::printf("  (Dom1 requires 20 fps, Dom2 requires 25 fps)\n");
+    for (const auto &c : configs) {
+        corm::platform::MplayerQosConfig cfg;
+        cfg.weight1 = c.w1;
+        cfg.weight2 = c.w2;
+        cfg.ixpThreadBonus2 = c.bonus2;
+        const auto r = corm::platform::runMplayerQos(cfg);
+        std::printf("%-10s | %7.1f%s %7.1f%s | %6llu %6llu | %6.0f%% "
+                    "%6.0f%% %6.0f%%\n",
+                    c.label, r.fps1, r.fps1 >= 19.95 ? "*" : " ",
+                    r.fps2, r.fps2 >= 24.95 ? "*" : " ",
+                    static_cast<unsigned long long>(r.late1),
+                    static_cast<unsigned long long>(r.late2), r.cpu1Pct,
+                    r.cpu2Pct, r.dom0Pct);
+    }
+    std::printf("  (* = meets its required frame rate)\n");
+    std::printf("\nPaper shape: default weights miss both floors; "
+                "tuned weights translate stream-level properties\n"
+                "into CPU allocations and both domains meet their "
+                "frame rates; further raising Domain-2 keeps\n"
+                "Domain-1 at its floor. Paper values: (15/18-ish), "
+                "(22, 25.7), (~20, higher).\n");
+    return 0;
+}

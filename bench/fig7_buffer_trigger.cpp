@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 7: tuning credit adjustments using IXP buffer monitoring —
+ * the system-level Trigger scheme (§3.2, scheme 2).
+ *
+ * A bursty UDP stream (no flow control) periodically fills the
+ * per-VM packet buffer in IXP DRAM; when occupancy crosses the
+ * 128 KiB threshold the IXP fires a Trigger and the host boosts the
+ * dequeuing guest's run-queue position. The figure shows the guest's
+ * CPU-utilisation spikes lining up with buffer-occupancy peaks.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+/** Sample a time series at a fixed step for compact printing. */
+double
+seriesAt(const corm::sim::TimeSeries &s, corm::sim::Tick t)
+{
+    double last = 0.0;
+    for (const auto &p : s.data()) {
+        if (p.when > t)
+            break;
+        last = p.value;
+    }
+    return last;
+}
+
+} // namespace
+
+int
+main()
+{
+    corm::bench::banner("Figure 7",
+                        "IXP buffer occupancy vs boosted-domain CPU "
+                        "(trigger threshold 128 KiB)");
+
+    corm::platform::TriggerScenarioConfig nocoord;
+    nocoord.trigger = false;
+    nocoord.measure = 60 * corm::sim::sec;
+    const auto base = corm::platform::runTriggerScenario(nocoord);
+
+    corm::platform::TriggerScenarioConfig coord;
+    coord.trigger = true;
+    coord.measure = 60 * corm::sim::sec;
+    const auto trig = corm::platform::runTriggerScenario(coord);
+
+    std::printf("%8s | %12s %12s | %12s %12s\n", "t (s)",
+                "buf KB", "cpu1 %", "buf KB", "cpu1 %");
+    std::printf("%8s | %25s | %25s\n", "", "-------- no-coord",
+                "--- coord-trigger");
+
+    const corm::sim::Tick start = base.bufferSeries.data().empty()
+        ? 0
+        : base.bufferSeries.data().front().when;
+    for (int i = 0; i <= 28; ++i) {
+        const corm::sim::Tick t =
+            start + static_cast<corm::sim::Tick>(i) * 2 * corm::sim::sec;
+        std::printf("%8.0f | %12.0f %12.0f | %12.0f %12.0f\n",
+                    corm::sim::toSeconds(t - start),
+                    seriesAt(base.bufferSeries, t) / 1024.0,
+                    seriesAt(base.cpu1Series, t),
+                    seriesAt(trig.bufferSeries, t) / 1024.0,
+                    seriesAt(trig.cpu1Series, t));
+    }
+
+    std::printf("\nSummary: no-coord fps=%.1f peak-buffer=%.0f KB "
+                "drops=%llu | coord-trigger fps=%.1f peak-buffer="
+                "%.0f KB drops=%llu triggers=%llu boosts=%llu\n",
+                base.fps1, base.bufferPeakBytes / 1024.0,
+                static_cast<unsigned long long>(base.ixpQueueDrops),
+                trig.fps1, trig.bufferPeakBytes / 1024.0,
+                static_cast<unsigned long long>(trig.ixpQueueDrops),
+                static_cast<unsigned long long>(trig.triggersSent),
+                static_cast<unsigned long long>(trig.boosts));
+    std::printf("Paper shape: CPU-utilisation spikes for the boosted "
+                "domain whenever the 128 KiB buffer threshold is\n"
+                "crossed; frame rate improves ~10%% (24.0 -> 26.6 "
+                "fps on the paper's testbed) and buffers drain "
+                "faster.\n");
+    return 0;
+}

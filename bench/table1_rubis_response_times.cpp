@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 1: RUBiS average request response times, base vs
+ * coord-ixp-dom0, with the paper's reported values alongside for
+ * shape comparison.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Table 1",
+                        "RUBiS average request response times (ms)");
+
+    const auto base = corm::bench::runRubis(false);
+    const auto coord = corm::bench::runRubis(true);
+
+    std::printf("%-26s | %9s %9s %7s | %9s %9s\n", "Request Type",
+                "base", "coord", "change", "paper.b", "paper.c");
+    int improved = 0, rows = 0;
+    for (std::size_t i = 0; i < base.types.size(); ++i) {
+        const auto &b = base.types[i];
+        const auto &c = coord.types[i];
+        if (b.count == 0 || c.count == 0)
+            continue;
+        const double chg = b.meanMs > 0.0
+            ? 100.0 * (c.meanMs - b.meanMs) / b.meanMs
+            : 0.0;
+        ++rows;
+        if (chg < 0.0)
+            ++improved;
+        std::printf("%-26s | %9.0f %9.0f %+6.0f%% | %9.0f %9.0f\n",
+                    b.name.c_str(), b.meanMs, c.meanMs, chg,
+                    corm::bench::paperTable1[i].baseMs,
+                    corm::bench::paperTable1[i].coordMs);
+    }
+    std::printf("\nCoordination reduced the average response time for "
+                "%d of %d request types.\n",
+                improved, rows);
+    std::printf("Paper shape: coordination reduces every type's "
+                "average (by over 60%% for PutBid-class types on the\n"
+                "real testbed; our CPU-only substrate reproduces the "
+                "direction with smaller magnitudes -- see "
+                "EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 2: RUBiS throughput, sessions completed, average session
+ * time, and platform efficiency (throughput over mean CPU
+ * utilisation), base vs coord-ixp-dom0.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Table 2", "RUBiS throughput results");
+
+    const auto base = corm::bench::runRubis(false);
+    const auto coord = corm::bench::runRubis(true);
+
+    std::printf("%-24s %12s %16s %10s %10s\n", "", "base",
+                "coord-ixp-dom0", "paper.b", "paper.c");
+    std::printf("%-24s %9.1f /s %13.1f /s %7.0f /s %7.0f /s\n",
+                "Throughput", base.throughputRps, coord.throughputRps,
+                68.0, 95.0);
+    std::printf("%-24s %12llu %16llu %10.0f %10.0f\n",
+                "Sessions completed",
+                static_cast<unsigned long long>(base.sessionsCompleted),
+                static_cast<unsigned long long>(coord.sessionsCompleted),
+                6.0, 11.0);
+    std::printf("%-24s %10.1f s %14.1f s %8.0f s %8.0f s\n",
+                "Avg session time", base.avgSessionSec,
+                coord.avgSessionSec, 103.0, 73.0);
+    std::printf("%-24s %12.2f %16.2f %10.2f %10.2f\n",
+                "Platform efficiency", base.platformEfficiency,
+                coord.platformEfficiency, 51.28, 58.20);
+    std::printf("\nTune messages: %llu sent by the IXP policy, %llu "
+                "applied by the x86 island.\n",
+                static_cast<unsigned long long>(coord.tunesSent),
+                static_cast<unsigned long long>(coord.tunesApplied));
+    std::printf("Paper shape: coordination raises throughput and "
+                "platform efficiency, completes more sessions, and\n"
+                "shortens the average session.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 3: trigger interference. The boosted network-streaming
+ * domain gains frame rate while an uninvolved domain playing from
+ * local disk (no IXP resources at all) pays a small penalty — still
+ * a net gain in platform efficiency.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    corm::bench::banner("Table 3", "MPlayer trigger interference");
+
+    corm::platform::TriggerScenarioConfig base_cfg;
+    base_cfg.trigger = false;
+    const auto base = corm::platform::runTriggerScenario(base_cfg);
+
+    corm::platform::TriggerScenarioConfig trig_cfg;
+    trig_cfg.trigger = true;
+    const auto trig = corm::platform::runTriggerScenario(trig_cfg);
+
+    auto pct = [](double b, double w) {
+        return b > 0.0 ? 100.0 * (w - b) / b : 0.0;
+    };
+
+    std::printf("%-22s %12s %12s %9s | %9s\n", "Guest Domain",
+                "base fps", "w/ coord", "% change", "paper");
+    std::printf("%-22s %12.1f %12.1f %+8.2f%% | %+8.2f%%\n",
+                "Domain-1 (network)", base.fps1, trig.fps1,
+                pct(base.fps1, trig.fps1), +9.77);
+    std::printf("%-22s %12.1f %12.1f %+8.2f%% | %+8.2f%%\n",
+                "Domain-2 (local disk)", base.fps2, trig.fps2,
+                pct(base.fps2, trig.fps2), -6.25);
+
+    std::printf("\nTriggers fired: %llu; boosts applied: %llu; IXP "
+                "queue drops: %llu -> %llu.\n",
+                static_cast<unsigned long long>(trig.triggersSent),
+                static_cast<unsigned long long>(trig.boosts),
+                static_cast<unsigned long long>(base.ixpQueueDrops),
+                static_cast<unsigned long long>(trig.ixpQueueDrops));
+    std::printf("Paper shape: the boosted domain gains ~10%%, the "
+                "uninvolved domain degrades modestly; the paper "
+                "expects\nthis overhead to shrink on more tightly "
+                "coupled manycores (see ablation_scalability).\n");
+    return 0;
+}

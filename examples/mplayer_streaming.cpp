@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Example: streaming video QoS driven by the automated
+ * stream-property policy (§3.2, scheme 1).
+ *
+ * Two MPlayer guests decode RTSP/UDP streams delivered through the
+ * IXP. Instead of the static weight settings of the Fig. 6 bench,
+ * this example attaches the StreamQosTunePolicy: when the IXP's
+ * classifier reads a session's bit-/frame-rate from the RTSP setup,
+ * the policy tunes the hosting VM's weight automatically.
+ */
+
+#include <cstdio>
+
+#include "platform/scenarios.hpp"
+
+int
+main()
+{
+    using namespace corm;
+
+    std::printf("Domain-1: 20 fps / 300 kbps; Domain-2: 25 fps / "
+                "1 Mbps; Dom0 busy with device emulation.\n\n");
+    std::printf("%-28s | %9s %9s | %10s %10s\n", "configuration",
+                "Dom1 fps", "Dom2 fps", "w1 (end)", "w2 (end)");
+
+    for (const bool auto_coord : {false, true}) {
+        platform::MplayerQosConfig cfg;
+        cfg.autoCoordination = auto_coord;
+        // Stream-property thresholds: both streams qualify as
+        // "high rate" (>= 20 fps); the 1 Mbps stream earns a larger
+        // increase through the per-Mbps bonus.
+        cfg.autoCfg.highFps = 19.0;
+        cfg.autoCfg.highBitrateBps = 250e3;
+        cfg.autoCfg.increaseDelta = +128.0;
+        cfg.autoCfg.perMbpsBonus = +256.0;
+        cfg.measure = 45 * sim::sec;
+        const auto r = platform::runMplayerQos(cfg);
+        std::printf("%-28s | %7.1f%s %7.1f%s | %10.0f %10.0f\n",
+                    auto_coord ? "stream-qos policy (auto)"
+                               : "default weights (256/256)",
+                    r.fps1, r.fps1 >= 19.95 ? "*" : " ", r.fps2,
+                    r.fps2 >= 24.95 ? "*" : " ", r.weight1End,
+                    r.weight2End);
+    }
+    std::printf("  (* = meets its required frame rate)\n");
+    std::printf("\nThe policy translated stream-level properties into "
+                "CPU allocations without manual tuning — the\n"
+                "automated version of the paper's Fig. 6 experiment "
+                "(see bench/fig6_mplayer_qos for the manual one).\n");
+    return 0;
+}

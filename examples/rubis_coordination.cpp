@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Example: the RUBiS multi-tier web workload with and without the
+ * request-type coordination scheme (§3.1 of the paper).
+ *
+ * An eBay-like auction site runs as three VMs (web, application,
+ * database). Client requests enter through the IXP, whose deep
+ * packet inspection classifies each request type; with coordination
+ * enabled, the IXP sends per-request weight Tunes so the tiers a
+ * request is about to use have CPU when the work arrives.
+ */
+
+#include <cstdio>
+
+#include "platform/scenarios.hpp"
+
+int
+main()
+{
+    using namespace corm;
+
+    for (const bool coordination : {false, true}) {
+        platform::RubisScenarioConfig cfg;
+        cfg.coordination = coordination;
+        cfg.warmup = 10 * sim::sec;
+        cfg.measure = 45 * sim::sec;
+        const auto r = platform::runRubisScenario(cfg);
+
+        std::printf("\n--- %s ---\n",
+                    coordination ? "coord-ixp-dom0" : "base");
+        std::printf("throughput       %7.1f req/s\n", r.throughputRps);
+        std::printf("mean response    %7.0f ms (min %0.f ms)\n",
+                    r.meanResponseMs, r.minResponseMs);
+        std::printf("sessions         %7llu completed, avg %.1f s\n",
+                    static_cast<unsigned long long>(
+                        r.sessionsCompleted),
+                    r.avgSessionSec);
+        std::printf("efficiency       %7.2f req/s per busy core\n",
+                    r.platformEfficiency);
+        std::printf("tier CPU         web %.0f%%  app %.0f%%  db "
+                    "%.0f%%  (dom0 %.0f%%)\n",
+                    r.webCpuPct, r.appCpuPct, r.dbCpuPct, r.dom0CpuPct);
+        std::printf("db lock waits    mean %.0f ms, max %.0f ms\n",
+                    r.dbLockWaitMeanMs, r.dbLockWaitMaxMs);
+        if (coordination) {
+            std::printf("tunes            %llu sent; weights settled "
+                        "web=%.0f app=%.0f db=%.0f\n",
+                        static_cast<unsigned long long>(r.tunesSent),
+                        r.webWeight, r.appWeight, r.dbWeight);
+        }
+    }
+    std::printf("\nThe full paper-scale comparisons live in the bench/"
+                " binaries (fig2, fig4, table1, table2, fig5).\n");
+    return 0;
+}

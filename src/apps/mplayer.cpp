@@ -1,0 +1,170 @@
+/**
+ * @file
+ * MPlayer workload model implementation.
+ */
+
+#include "apps/mplayer.hpp"
+
+#include <algorithm>
+
+namespace corm::apps::mplayer {
+
+using corm::net::AppTag;
+using corm::net::FiveTuple;
+using corm::net::PacketPtr;
+using corm::net::Proto;
+using corm::sim::sec;
+using corm::sim::Tick;
+using corm::xen::JobKind;
+
+//
+// StreamingServer
+//
+
+StreamingServer::StreamingServer(corm::sim::Simulator &simulator,
+                                 corm::ixp::IxpIsland &ixp_,
+                                 corm::net::IpAddr client_ip,
+                                 corm::net::PacketFactory &factory,
+                                 Params params)
+    : sim(simulator), ixp(ixp_), clientIp(client_ip), packets(factory),
+      cfg(params)
+{
+    frameBytes = static_cast<std::uint32_t>(std::max(
+        1.0, cfg.stream.bitrateBps / 8.0 / cfg.stream.fps));
+}
+
+void
+StreamingServer::start()
+{
+    running = true;
+    sendSetup();
+
+    // Startup prebuffer: ship the first prebufferSec of content as a
+    // burst (streaming servers front-load the playout buffer), then
+    // settle into the configured pacing.
+    const int preframes = static_cast<int>(
+        cfg.stream.prebufferSec * cfg.stream.fps);
+    for (int i = 0; i < preframes; ++i)
+        ixp.injectFromWire(makeFramePacket());
+
+    if (cfg.pacing == Pacing::smooth) {
+        sim.schedule(
+            static_cast<Tick>(static_cast<double>(sec) / cfg.stream.fps),
+            [this] { sendFrame(); });
+    } else {
+        sim.schedule(
+            static_cast<Tick>(cfg.burstSec * static_cast<double>(sec)),
+            [this] { sendBurst(); });
+    }
+}
+
+void
+StreamingServer::stop()
+{
+    running = false;
+}
+
+void
+StreamingServer::sendSetup()
+{
+    FiveTuple flow;
+    flow.src = cfg.serverIp;
+    flow.dst = clientIp;
+    flow.sport = 554; // RTSP
+    flow.dport = cfg.rtpPort;
+    flow.proto = Proto::tcp;
+    AppTag tag;
+    tag.kind = AppTag::Kind::rtspSetup;
+    tag.value = cfg.stream.streamId;
+    PacketPtr setup = packets.make(flow, 512, tag, sim.now());
+    // The SDP-equivalent metadata the DPI classifier extracts.
+    auto info = std::make_shared<coord::StreamInfo>();
+    info->bitrateBps = cfg.stream.bitrateBps;
+    info->fps = cfg.stream.fps;
+    setup->context = std::move(info);
+    ixp.injectFromWire(std::move(setup));
+}
+
+corm::net::PacketPtr
+StreamingServer::makeFramePacket()
+{
+    FiveTuple flow;
+    flow.src = cfg.serverIp;
+    flow.dst = clientIp;
+    flow.sport = 554;
+    flow.dport = cfg.rtpPort;
+    flow.proto = Proto::udp;
+    AppTag tag;
+    tag.kind = AppTag::Kind::mediaData;
+    tag.value = cfg.stream.streamId;
+    PacketPtr p = packets.make(flow, frameBytes, tag, sim.now());
+    sent.add();
+    return p;
+}
+
+void
+StreamingServer::sendFrame()
+{
+    if (!running)
+        return;
+    ixp.injectFromWire(makeFramePacket());
+    sim.schedule(
+        static_cast<Tick>(static_cast<double>(sec) / cfg.stream.fps),
+        [this] { sendFrame(); });
+}
+
+void
+StreamingServer::sendBurst()
+{
+    if (!running)
+        return;
+    // A burstSec chunk of content arrives back to back: UDP bulk
+    // transfer with no flow control (§3.2, system-buffer use case).
+    const int frames =
+        static_cast<int>(cfg.burstSec * cfg.stream.fps);
+    for (int i = 0; i < frames; ++i)
+        ixp.injectFromWire(makeFramePacket());
+    sim.schedule(
+        static_cast<Tick>(cfg.burstSec * static_cast<double>(sec)),
+        [this] { sendBurst(); });
+}
+
+//
+// MplayerClient
+//
+
+MplayerClient::MplayerClient(corm::sim::Simulator &simulator,
+                             corm::xen::GuestVif &vif_, DecodeParams params)
+    : sim(simulator), vif(vif_), cfg(params)
+{
+    vif.setReceiveHandler(
+        [this](PacketPtr p) { onFrame(std::move(p)); });
+}
+
+void
+MplayerClient::onFrame(PacketPtr pkt)
+{
+    if (pkt->tag.kind == AppTag::Kind::rtspSetup)
+        return; // session control, nothing to decode
+
+    const Tick arrived = sim.now();
+    const Tick deadline = arrived + cfg.lateDeadline;
+    const Tick cost = cfg.baseCostPerFrame
+        + cfg.costPerKib * (pkt->bytes / 1024);
+
+    // -benchmark mode: decode as soon as the VCPU gets to it. A
+    // frame whose turn comes after its playout deadline is skipped
+    // (costing only a trivial parse) to stay synchronised.
+    vif.domain().submit(
+        corm::sim::usec * 50, JobKind::user,
+        [this, deadline, cost] {
+            if (sim.now() > deadline) {
+                late.add();
+                return;
+            }
+            vif.domain().submit(cost, JobKind::user,
+                                [this] { decoded.add(); });
+        });
+}
+
+} // namespace corm::apps::mplayer

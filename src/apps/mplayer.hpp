@@ -1,0 +1,228 @@
+/**
+ * @file
+ * MPlayer workload model: streaming video decode in guest VMs
+ * (§3.2 of the paper).
+ *
+ * A StreamingServer stands in for the paper's external Darwin
+ * QuickTime server: it opens an RTSP session (whose setup packet
+ * carries the SDP-equivalent bit-/frame-rate metadata the IXP's
+ * classifier reads) and then ships frames over UDP through the IXP
+ * path, either smoothly paced or in bulk bursts (the no-flow-control
+ * UDP case that grows the IXP buffers in Fig. 7).
+ *
+ * An MplayerClient inside a guest decodes frames in MPlayer's
+ * -benchmark mode — as fast as the VCPU allows, video output
+ * disabled — and reports decoded frames/sec, the paper's
+ * application-level QoS metric. Frames that sit longer than the
+ * playout buffer allows are dropped as late, which is what makes
+ * CPU starvation visible as a frame-rate loss. A DiskPlayer variant
+ * plays from local disk (no network involvement) for the Table 3
+ * interference experiment.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "coord/policy.hpp"
+#include "ixp/island.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "xen/sched.hpp"
+#include "xen/vif.hpp"
+
+namespace corm::apps::mplayer {
+
+/** Static description of one video stream. */
+struct StreamSpec
+{
+    double fps = 25.0;
+    double bitrateBps = 1.0e6;
+    /** Seconds of content pre-buffered in a startup burst. */
+    double prebufferSec = 2.0;
+    std::uint32_t streamId = 1;
+};
+
+/** How the server paces the stream onto the wire. */
+enum class Pacing
+{
+    smooth, ///< one frame every 1/fps
+    bursty, ///< periodic bulk bursts (UDP with no flow control)
+};
+
+/**
+ * External streaming server: emits the RTSP session setup followed
+ * by media frames into the IXP's wire interface.
+ */
+class StreamingServer
+{
+  public:
+    struct Params
+    {
+        StreamSpec stream;
+        Pacing pacing = Pacing::smooth;
+        /** For bursty pacing: content seconds shipped per burst. */
+        double burstSec = 8.0;
+        corm::net::IpAddr serverIp{10, 0, 9, 2};
+        std::uint16_t rtpPort = 5004;
+    };
+
+    /**
+     * @param simulator Event engine.
+     * @param ixp Wire ingress.
+     * @param client_ip Destination guest address.
+     * @param factory Packet factory of the testbed.
+     */
+    StreamingServer(corm::sim::Simulator &simulator,
+                    corm::ixp::IxpIsland &ixp, corm::net::IpAddr client_ip,
+                    corm::net::PacketFactory &factory, Params params);
+
+    /** Open the session and start streaming. */
+    void start();
+
+    /** Stop emitting frames. */
+    void stop();
+
+    /** Frames put on the wire so far. */
+    std::uint64_t framesSent() const { return sent.value(); }
+
+  private:
+    void sendSetup();
+    void sendFrame();
+    void sendBurst();
+    corm::net::PacketPtr makeFramePacket();
+
+    corm::sim::Simulator &sim;
+    corm::ixp::IxpIsland &ixp;
+    corm::net::IpAddr clientIp;
+    corm::net::PacketFactory &packets;
+    Params cfg;
+    std::uint32_t frameBytes;
+    bool running = false;
+    corm::sim::Counter sent;
+};
+
+/** Decode cost and playout parameters of the client. */
+struct DecodeParams
+{
+    /** Fixed decode cost per frame. */
+    corm::sim::Tick baseCostPerFrame = 20 * corm::sim::msec;
+    /** Additional decode cost per KiB of frame data. */
+    corm::sim::Tick costPerKib = 2 * corm::sim::msec;
+    /**
+     * Playout-buffer depth: a frame not decoded within this long of
+     * its arrival is dropped as late (the player stays synchronised
+     * by skipping).
+     */
+    corm::sim::Tick lateDeadline = 700 * corm::sim::msec;
+};
+
+/**
+ * MPlayer in -benchmark mode inside a guest VM: decodes every frame
+ * the ViF delivers, as fast as the VCPU allows.
+ */
+class MplayerClient
+{
+  public:
+    /**
+     * @param simulator Event engine.
+     * @param vif The guest's virtual interface (handler installed).
+     * @param params Decode cost model.
+     */
+    MplayerClient(corm::sim::Simulator &simulator, corm::xen::GuestVif &vif,
+                  DecodeParams params);
+
+    /** Frames decoded since the last reset. */
+    std::uint64_t framesDecoded() const { return decoded.value(); }
+
+    /** Frames dropped late since the last reset. */
+    std::uint64_t framesDroppedLate() const { return late.value(); }
+
+    /** Decoded frames/sec over @p elapsed. */
+    double
+    fps(corm::sim::Tick elapsed) const
+    {
+        return decoded.ratePerSecond(elapsed);
+    }
+
+    /** Zero the frame counters (end of warm-up). */
+    void
+    resetStats()
+    {
+        decoded.reset();
+        late.reset();
+    }
+
+  private:
+    void onFrame(corm::net::PacketPtr pkt);
+
+    corm::sim::Simulator &sim;
+    corm::xen::GuestVif &vif;
+    DecodeParams cfg;
+    corm::sim::Counter decoded;
+    corm::sim::Counter late;
+};
+
+/**
+ * MPlayer playing a local file: no network path at all, pure decode
+ * load — the uninvolved bystander of the Table 3 trigger-interference
+ * experiment.
+ */
+class DiskPlayer
+{
+  public:
+    /**
+     * @param guest Domain doing the decoding.
+     * @param per_frame Decode cost of one frame.
+     */
+    DiskPlayer(corm::xen::Domain &guest, corm::sim::Tick per_frame)
+        : dom(guest), cost(per_frame)
+    {}
+
+    /** Begin decoding frames back to back. */
+    void
+    start()
+    {
+        running = true;
+        pump();
+    }
+
+    /** Stop after the in-flight frame. */
+    void stop() { running = false; }
+
+    /** Frames decoded since the last reset. */
+    std::uint64_t framesDecoded() const { return decoded.value(); }
+
+    /** Decoded frames/sec over @p elapsed. */
+    double
+    fps(corm::sim::Tick elapsed) const
+    {
+        return decoded.ratePerSecond(elapsed);
+    }
+
+    /** Zero the frame counter (end of warm-up). */
+    void resetStats() { decoded.reset(); }
+
+  private:
+    void
+    pump()
+    {
+        if (!running)
+            return;
+        dom.submit(cost, corm::xen::JobKind::user, [this] {
+            decoded.add();
+            pump();
+        });
+    }
+
+    corm::xen::Domain &dom;
+    corm::sim::Tick cost;
+    bool running = false;
+    corm::sim::Counter decoded;
+};
+
+} // namespace corm::apps::mplayer

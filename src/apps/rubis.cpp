@@ -1,0 +1,540 @@
+/**
+ * @file
+ * RUBiS workload model implementation.
+ */
+
+#include "apps/rubis.hpp"
+
+#include <cassert>
+
+namespace corm::apps::rubis {
+
+using corm::net::AppTag;
+using corm::net::FiveTuple;
+using corm::net::PacketPtr;
+using corm::net::Proto;
+using corm::sim::msec;
+using corm::sim::Tick;
+using corm::xen::JobKind;
+
+namespace {
+
+constexpr Tick
+ms(double v)
+{
+    return corm::sim::fromMillis(v);
+}
+
+/**
+ * Build the static request catalogue. Per-tier CPU demands and
+ * interaction sequences follow the paper's offline profiles:
+ * browsing requests are web/app-bound with no database stage, while
+ * bid/sell/comment requests walk app ↔ db and put most of their
+ * demand on the database and the servlet-running application server.
+ */
+std::vector<RequestSpec>
+buildCatalog()
+{
+    using T = Tier;
+    std::vector<RequestSpec> c;
+    // Tier demand scales, calibrated so the three tiers contend at
+    // comparable intensity under the bid/browse/sell mix (web and db
+    // are heavier per visit than the raw stage numbers suggest:
+    // static-content serving and disk-bound query execution).
+    static constexpr double tier_scale[3] = {1.30, 1.00, 2.20};
+    auto add = [&c](RequestType t, const char *n, bool w,
+                    std::uint32_t req, std::uint32_t resp,
+                    std::uint32_t hop, std::vector<TierStage> stages) {
+        for (TierStage &s : stages) {
+            s.cpuMean = static_cast<corm::sim::Tick>(
+                static_cast<double>(s.cpuMean)
+                * tier_scale[static_cast<std::size_t>(s.tier)]);
+        }
+        c.push_back({t, n, w, req, resp, hop, std::move(stages)});
+    };
+
+    add(RequestType::registerUser, "Register", true, 400, 4096, 1024,
+        {{T::web, ms(1.5)}, {T::app, ms(3)}, {T::db, ms(5)},
+         {T::app, ms(2)}, {T::web, ms(1.5)}});
+    add(RequestType::browse, "Browse", false, 300, 12288, 1024,
+        {{T::web, ms(2.5)}, {T::app, ms(2)}, {T::web, ms(1.5)}});
+    add(RequestType::browseCategories, "BrowseCategories", false, 300,
+        16384, 2048,
+        {{T::web, ms(2)}, {T::app, ms(6)}, {T::web, ms(2)}});
+    // Searches and item views serve from the application tier's
+    // query cache — the paper's browsing profile shows "practically
+    // no database server processing" for the read-only mix.
+    add(RequestType::searchItemsInCategory, "SearchItemsInCategory",
+        false, 350, 14336, 2048,
+        {{T::web, ms(2)}, {T::app, ms(6.5)}, {T::web, ms(1.5)}});
+    add(RequestType::browseRegions, "BrowseRegions", false, 300, 14336,
+        2048, {{T::web, ms(2)}, {T::app, ms(5)}, {T::web, ms(2)}});
+    add(RequestType::browseCategoriesInRegion,
+        "BrowseCategoriesInRegion", false, 350, 12288, 2048,
+        {{T::web, ms(2)}, {T::app, ms(4.5)}, {T::web, ms(1.5)}});
+    add(RequestType::searchItemsInRegion, "SearchItemsInRegion", false,
+        350, 10240, 1536,
+        {{T::web, ms(1.5)}, {T::app, ms(4.5)}, {T::web, ms(1)}});
+    add(RequestType::viewItem, "ViewItem", false, 300, 18432, 2048,
+        {{T::web, ms(2.5)}, {T::app, ms(10)}, {T::web, ms(2)}});
+    add(RequestType::buyNow, "BuyNow", true, 350, 6144, 1024,
+        {{T::web, ms(1.5)}, {T::app, ms(2.5)}, {T::db, ms(2)},
+         {T::app, ms(1.5)}, {T::web, ms(1)}});
+    add(RequestType::putBidAuth, "PutBidAuth", true, 400, 6144, 1024,
+        {{T::web, ms(1.5)}, {T::app, ms(3.5)}, {T::db, ms(3.5)},
+         {T::app, ms(2)}, {T::web, ms(1.5)}});
+    add(RequestType::putBid, "PutBid", true, 400, 8192, 1536,
+        {{T::web, ms(2)}, {T::app, ms(5)}, {T::db, ms(4.5)},
+         {T::app, ms(2.5)}, {T::web, ms(1.5)}});
+    add(RequestType::storeBid, "StoreBid", true, 450, 5120, 1536,
+        {{T::web, ms(2)}, {T::app, ms(6)}, {T::db, ms(10)},
+         {T::app, ms(3)}, {T::web, ms(1.5)}});
+    add(RequestType::putComment, "PutComment", true, 500, 5120, 1536,
+        {{T::web, ms(2)}, {T::app, ms(7)}, {T::db, ms(13)},
+         {T::app, ms(3)}, {T::web, ms(1.5)}});
+    add(RequestType::sell, "Sell", true, 400, 6144, 1024,
+        {{T::web, ms(1.5)}, {T::app, ms(3.5)}, {T::db, ms(2.5)},
+         {T::app, ms(1.5)}, {T::web, ms(1)}});
+    add(RequestType::sellItemForm, "SellItemForm", false, 300, 5120,
+        1024, {{T::web, ms(1.5)}, {T::app, ms(2)}, {T::web, ms(1)}});
+    add(RequestType::aboutMe, "AboutMe(authForm)", true, 400, 9216,
+        1536,
+        {{T::web, ms(2)}, {T::app, ms(4.5)}, {T::db, ms(4)},
+         {T::app, ms(2)}, {T::web, ms(1.5)}});
+    return c;
+}
+
+} // namespace
+
+const std::vector<RequestSpec> &
+requestCatalog()
+{
+    static const std::vector<RequestSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+corm::sim::DiscreteDist
+clusterDistribution(Cluster c)
+{
+    // Request-type frequencies within each behaviour cluster, loosely
+    // following the standard RUBiS transition tables.
+    std::vector<double> w(numRequestTypes, 0.0);
+    auto set = [&w](RequestType t, double v) {
+        w[static_cast<std::size_t>(t)] = v;
+    };
+    switch (c) {
+      case Cluster::browse:
+        set(RequestType::browse, 12);
+        set(RequestType::browseCategories, 14);
+        set(RequestType::searchItemsInCategory, 18);
+        set(RequestType::browseRegions, 8);
+        set(RequestType::browseCategoriesInRegion, 8);
+        set(RequestType::searchItemsInRegion, 10);
+        set(RequestType::viewItem, 26);
+        set(RequestType::sellItemForm, 4);
+        break;
+      case Cluster::bid:
+        set(RequestType::viewItem, 18);
+        set(RequestType::buyNow, 8);
+        set(RequestType::putBidAuth, 16);
+        set(RequestType::putBid, 20);
+        set(RequestType::storeBid, 18);
+        set(RequestType::putComment, 12);
+        set(RequestType::aboutMe, 8);
+        break;
+      case Cluster::sell:
+        set(RequestType::registerUser, 12);
+        set(RequestType::sellItemForm, 28);
+        set(RequestType::sell, 40);
+        set(RequestType::aboutMe, 10);
+        set(RequestType::browse, 10);
+        break;
+    }
+    return corm::sim::DiscreteDist(std::move(w));
+}
+
+corm::sim::DiscreteDist
+clusterTransitions(Cluster from, Mix mix)
+{
+    if (mix == Mix::browsing) {
+        // Read-only mix: sessions never leave the browse cluster.
+        return corm::sim::DiscreteDist({1.0, 0.0, 0.0});
+    }
+    switch (from) {
+      case Cluster::browse:
+        return corm::sim::DiscreteDist({0.93, 0.055, 0.015});
+      case Cluster::bid:
+        return corm::sim::DiscreteDist({0.08, 0.90, 0.02});
+      case Cluster::sell:
+        return corm::sim::DiscreteDist({0.17, 0.03, 0.80});
+    }
+    return corm::sim::DiscreteDist({1.0, 0.0, 0.0});
+}
+
+//
+// RubisServer
+//
+
+RubisServer::RubisServer(corm::sim::Simulator &simulator,
+                         corm::xen::GuestVif &web_vif,
+                         corm::xen::GuestVif &app_vif,
+                         corm::xen::GuestVif &db_vif,
+                         corm::xen::XenBridge &bridge_,
+                         corm::net::PacketFactory &factory, Params params)
+    : sim(simulator), webVif(web_vif), appVif(app_vif), dbVif(db_vif),
+      bridge(bridge_), packets(factory), cfg(params), rng(params.seed)
+{
+    webVif.setReceiveHandler(
+        [this](PacketPtr p) { onTierPacket(Tier::web, std::move(p)); });
+    appVif.setReceiveHandler(
+        [this](PacketPtr p) { onTierPacket(Tier::app, std::move(p)); });
+    dbVif.setReceiveHandler(
+        [this](PacketPtr p) { onTierPacket(Tier::db, std::move(p)); });
+}
+
+corm::xen::GuestVif &
+RubisServer::vifFor(Tier tier)
+{
+    switch (tier) {
+      case Tier::web: return webVif;
+      case Tier::app: return appVif;
+      case Tier::db: return dbVif;
+    }
+    return webVif;
+}
+
+corm::xen::Domain &
+RubisServer::domainFor(Tier tier)
+{
+    return vifFor(tier).domain();
+}
+
+Tick
+RubisServer::jitter(Tick mean)
+{
+    if (cfg.jitterCv <= 0.0)
+        return mean;
+    return rng.normalTicks(
+        mean, static_cast<Tick>(static_cast<double>(mean) * cfg.jitterCv));
+}
+
+void
+RubisServer::onTierPacket(Tier tier, PacketPtr pkt)
+{
+    auto ctx = std::static_pointer_cast<RequestCtx>(pkt->context);
+    if (!ctx || ctx->stage >= ctx->spec->stages.size())
+        return;
+    assert(ctx->spec->stages[ctx->stage].tier == tier);
+    (void)tier;
+    runStage(std::move(ctx));
+}
+
+void
+RubisServer::runStage(std::shared_ptr<RequestCtx> ctx)
+{
+    const TierStage &stage = ctx->spec->stages[ctx->stage];
+    if (ctx->stage < maxStages)
+        ctx->stageStart[ctx->stage] = sim.now();
+
+    // Write transactions serialise in the database tier: acquire the
+    // transaction lock before burning db CPU.
+    if (stage.tier == Tier::db && ctx->spec->write) {
+        if (dbLocked) {
+            dbLockQueue.emplace_back(std::move(ctx), sim.now());
+            return;
+        }
+        dbLocked = true;
+        lockWaitMs.record(0.0);
+    }
+    execStage(std::move(ctx));
+}
+
+void
+RubisServer::execStage(std::shared_ptr<RequestCtx> ctx)
+{
+    const TierStage &stage = ctx->spec->stages[ctx->stage];
+    domainFor(stage.tier)
+        .submit(jitter(stage.cpuMean), JobKind::user,
+                [this, c = std::move(ctx)]() mutable { advance(c); });
+}
+
+void
+RubisServer::advance(std::shared_ptr<RequestCtx> ctx)
+{
+    const Tier here = ctx->spec->stages[ctx->stage].tier;
+    if (ctx->stage < maxStages)
+        ctx->stageEnd[ctx->stage] = sim.now();
+
+    // Leaving the database stage of a write transaction releases the
+    // lock and admits the next queued transaction.
+    if (here == Tier::db && ctx->spec->write) {
+        if (dbLockQueue.empty()) {
+            dbLocked = false;
+        } else {
+            auto [next, queued_at] = std::move(dbLockQueue.front());
+            dbLockQueue.pop_front();
+            lockWaitMs.record(corm::sim::toMillis(sim.now() - queued_at));
+            execStage(std::move(next));
+        }
+    }
+    ++ctx->stage;
+
+    if (ctx->stage >= ctx->spec->stages.size()) {
+        // Final stage always executes on the web tier: respond.
+        respond(std::move(ctx));
+        return;
+    }
+
+    const Tier next = ctx->spec->stages[ctx->stage].tier;
+    if (next == here) {
+        runStage(std::move(ctx));
+        return;
+    }
+
+    // Inter-tier hop through the bridge. A downstream hop (toward the
+    // database) leaves the caller blocked on I/O; the matching
+    // upstream hop releases it.
+    if (static_cast<int>(next) > static_cast<int>(here))
+        domainFor(here).ioBegin();
+    else
+        domainFor(next).ioEnd();
+
+    FiveTuple flow;
+    flow.src = vifFor(here).ip();
+    flow.dst = vifFor(next).ip();
+    flow.sport = 8000;
+    flow.dport = static_cast<std::uint16_t>(3306 + ctx->stage);
+    flow.proto = Proto::tcp;
+    PacketPtr hop = packets.make(flow, ctx->spec->interTierBytes,
+                                 AppTag{}, sim.now());
+    hop->context = ctx;
+    vifFor(here).transmit(std::move(hop), [this](PacketPtr p) {
+        bridge.relayFromGuest(std::move(p));
+    });
+}
+
+void
+RubisServer::respond(std::shared_ptr<RequestCtx> ctx)
+{
+    served.add();
+    ctx->respondedAt = sim.now();
+    FiveTuple flow;
+    flow.src = webVif.ip();
+    flow.dst = ctx->clientIp;
+    flow.sport = 80;
+    flow.dport = static_cast<std::uint16_t>(
+        20000 + ctx->sessionId % 1000);
+    flow.proto = Proto::tcp;
+    AppTag tag;
+    tag.kind = AppTag::Kind::httpResponse;
+    tag.value = static_cast<std::uint32_t>(ctx->spec->type);
+    PacketPtr resp =
+        packets.make(flow, ctx->spec->responseBytes, tag, sim.now());
+    resp->context = std::move(ctx);
+    webVif.transmit(std::move(resp), [this](PacketPtr p) {
+        bridge.relayFromGuest(std::move(p));
+    });
+}
+
+//
+// RubisClient
+//
+
+RubisClient::RubisClient(corm::sim::Simulator &simulator,
+                         corm::ixp::IxpIsland &ixp_,
+                         corm::net::IpAddr web_ip,
+                         corm::net::PacketFactory &factory, Params params)
+    : sim(simulator), ixp(ixp_), webIp(web_ip), packets(factory),
+      cfg(params), rng(params.seed), perType(numRequestTypes)
+{
+    for (int c = 0; c < 3; ++c) {
+        clusterDist[c] = clusterDistribution(static_cast<Cluster>(c));
+        transDist[c] =
+            clusterTransitions(static_cast<Cluster>(c), cfg.mix);
+    }
+}
+
+void
+RubisClient::start()
+{
+    slots.resize(static_cast<std::size_t>(cfg.concurrentSessions));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        // Stagger session starts across one think time to avoid a
+        // synchronised thundering herd at t=0.
+        sim.schedule(rng.exponentialTicks(cfg.thinkTimeMean),
+                     [this, i] { startSession(i); });
+    }
+}
+
+void
+RubisClient::startSession(std::size_t slot)
+{
+    Session &s = slots[slot];
+    s.id = nextSessionId++;
+    s.startedAt = sim.now();
+    s.port = static_cast<std::uint16_t>(cfg.basePort + slot);
+    s.cluster = Cluster::browse; // sessions start by browsing
+    // Geometric session length with the configured mean, at least 1.
+    s.remaining = 1;
+    while (rng.uniform() > 1.0 / cfg.sessionLengthMean
+           && s.remaining < 10000) {
+        ++s.remaining;
+    }
+    issueRequest(slot);
+}
+
+void
+RubisClient::issueRequest(std::size_t slot)
+{
+    Session &s = slots[slot];
+    // One step of the session Markov chain: maybe move to another
+    // behaviour cluster, then draw this request's type within it.
+    s.cluster = static_cast<Cluster>(
+        transDist[static_cast<int>(s.cluster)].sample(rng));
+    const auto type_idx =
+        clusterDist[static_cast<int>(s.cluster)].sample(rng);
+    const RequestSpec &spec = requestCatalog()[type_idx];
+
+    auto ctx = std::make_shared<RequestCtx>();
+    ctx->spec = &spec;
+    ctx->stage = 0;
+    ctx->sentAt = sim.now();
+    ctx->sessionId = s.id;
+    ctx->clientIp = cfg.clientIp;
+    ctx->onResponse = [this, slot](const RequestCtx &c) {
+        onResponse(slot, c);
+    };
+
+    FiveTuple flow;
+    flow.src = cfg.clientIp;
+    flow.dst = webIp;
+    flow.sport = s.port;
+    flow.dport = 80;
+    flow.proto = Proto::tcp;
+    AppTag tag;
+    tag.kind = AppTag::Kind::httpRequest;
+    tag.value = static_cast<std::uint32_t>(spec.type);
+    PacketPtr req = packets.make(flow, spec.requestBytes, tag, sim.now());
+    req->context = ctx;
+    ixp.injectFromWire(std::move(req));
+}
+
+void
+RubisClient::onWirePacket(const PacketPtr &pkt)
+{
+    auto ctx = std::static_pointer_cast<RequestCtx>(pkt->context);
+    if (ctx && ctx->onResponse)
+        ctx->onResponse(*ctx);
+}
+
+void
+RubisClient::onResponse(std::size_t slot, const RequestCtx &ctx)
+{
+    const double rt_ms = corm::sim::toMillis(sim.now() - ctx.sentAt);
+    perType[static_cast<std::size_t>(ctx.spec->type)]
+        .responseMs.record(rt_ms);
+    allMs.record(rt_ms);
+    completed.add();
+
+    // E2Eprof-style breakdown from the trace marks. Tier time
+    // includes run-queue waits and (for writes at the database) lock
+    // waits — the components coordination actually changes.
+    const std::size_t nstages =
+        std::min(ctx.spec->stages.size(), maxStages);
+    if (nstages > 0 && ctx.stageStart[0] >= ctx.sentAt
+        && ctx.respondedAt != 0) {
+        trace.ingressMs.record(
+            corm::sim::toMillis(ctx.stageStart[0] - ctx.sentAt));
+        double tier_ms[3] = {0.0, 0.0, 0.0};
+        double hops_ms = 0.0;
+        for (std::size_t k = 0; k < nstages; ++k) {
+            if (ctx.stageEnd[k] < ctx.stageStart[k])
+                continue;
+            tier_ms[static_cast<std::size_t>(
+                ctx.spec->stages[k].tier)] +=
+                corm::sim::toMillis(ctx.stageEnd[k]
+                                    - ctx.stageStart[k]);
+            if (k + 1 < nstages && ctx.stageStart[k + 1] != 0) {
+                hops_ms += corm::sim::toMillis(ctx.stageStart[k + 1]
+                                               - ctx.stageEnd[k]);
+            }
+        }
+        for (int t = 0; t < 3; ++t)
+            trace.tierMs[t].record(tier_ms[t]);
+        trace.hopsMs.record(hops_ms);
+        trace.egressMs.record(
+            corm::sim::toMillis(sim.now() - ctx.respondedAt));
+    }
+
+    Session &s = slots[slot];
+    if (ctx.sessionId != s.id)
+        return; // stale response from a pre-reset session
+    if (--s.remaining <= 0) {
+        sessions.add();
+        sessionDur.record(corm::sim::toSeconds(sim.now() - s.startedAt));
+        sim.schedule(rng.exponentialTicks(cfg.thinkTimeMean),
+                     [this, slot] { startSession(slot); });
+        return;
+    }
+    sim.schedule(rng.exponentialTicks(cfg.thinkTimeMean),
+                 [this, slot] { issueRequest(slot); });
+}
+
+void
+RubisClient::resetStats()
+{
+    for (auto &t : perType)
+        t.responseMs.reset();
+    allMs.reset();
+    trace.ingressMs.reset();
+    for (auto &t : trace.tierMs)
+        t.reset();
+    trace.hopsMs.reset();
+    trace.egressMs.reset();
+    sessionDur.reset();
+    completed.reset();
+    sessions.reset();
+    // Restart session-duration accounting from now so a session
+    // spanning the warm-up boundary doesn't pollute the stats.
+    for (auto &s : slots)
+        s.startedAt = sim.now();
+}
+
+//
+// Coordination table
+//
+
+void
+installRubisAdjustments(coord::RequestTypeTunePolicy &policy,
+                        const coord::EntityRef &web,
+                        const coord::EntityRef &app,
+                        const coord::EntityRef &db, double delta,
+                        AdjustmentGains gains)
+{
+    for (const RequestSpec &spec : requestCatalog()) {
+        coord::RequestTypeTunePolicy::Adjustments adj;
+        if (spec.write) {
+            adj.emplace_back(db, delta * gains.writeDb);
+            adj.emplace_back(app, delta * gains.writeApp);
+            adj.emplace_back(web, delta * gains.writeWeb);
+        } else {
+            adj.emplace_back(web, delta * gains.readWeb);
+            adj.emplace_back(app, delta * gains.readApp);
+            // The offline profile knows which read types query the
+            // database; only db-free browsing votes its weight down.
+            bool touches_db = false;
+            for (const auto &st : spec.stages) {
+                if (st.tier == Tier::db)
+                    touches_db = true;
+            }
+            adj.emplace_back(db, delta
+                                     * (touches_db
+                                            ? gains.readDbWhenUsed
+                                            : gains.readDb));
+        }
+        policy.setAdjustments(static_cast<std::uint32_t>(spec.type),
+                              std::move(adj));
+    }
+}
+
+} // namespace corm::apps::rubis

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * RUBiS workload model: the eBay-like multi-tier auction benchmark
+ * the paper deploys across three Xen VMs (§3.1).
+ *
+ * The model encodes the offline profiles the paper's coordination
+ * relies on: each of the ~16 basic request types has a per-tier CPU
+ * demand and an inter-tier interaction sequence. Browsing (read-only)
+ * requests exercise web ↔ application server interactions with
+ * practically no database work; bid/browse/sell (read–write) requests
+ * generate heavy application ↔ database interactions and servlet CPU
+ * on the application server — consistent with Magpie (Barham et al.)
+ * and Stewart et al., the prior work the paper cites for this
+ * request-type → resource-usage relationship.
+ *
+ * Client sessions follow probabilistic transitions between request
+ * types, emulating multiple concurrent user browsing sessions, with
+ * two standard mixes: browsing (read) and bid/browse/sell
+ * (read–write).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coord/policy.hpp"
+#include "ixp/island.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "xen/sched.hpp"
+#include "xen/vif.hpp"
+
+namespace corm::apps::rubis {
+
+/** The RUBiS tiers, each deployed in its own VM. */
+enum class Tier : std::uint8_t { web = 0, app = 1, db = 2 };
+
+/** The basic request types (Table 1 of the paper). */
+enum class RequestType : std::uint32_t
+{
+    registerUser = 0,
+    browse,
+    browseCategories,
+    searchItemsInCategory,
+    browseRegions,
+    browseCategoriesInRegion,
+    searchItemsInRegion,
+    viewItem,
+    buyNow,
+    putBidAuth,
+    putBid,
+    storeBid,
+    putComment,
+    sell,
+    sellItemForm,
+    aboutMe,
+    numTypes
+};
+
+/** Number of request types. */
+inline constexpr std::size_t numRequestTypes =
+    static_cast<std::size_t>(RequestType::numTypes);
+
+/** One step of a request's tier interaction sequence. */
+struct TierStage
+{
+    Tier tier;
+    corm::sim::Tick cpuMean; ///< CPU demand at this tier
+};
+
+/** Static profile of one request type (from offline profiling). */
+struct RequestSpec
+{
+    RequestType type;
+    const char *name;
+    bool write; ///< touches the database read–write path
+    std::uint32_t requestBytes;  ///< client → web payload
+    std::uint32_t responseBytes; ///< web → client payload
+    std::uint32_t interTierBytes; ///< payload of each tier-to-tier hop
+    std::vector<TierStage> stages; ///< in execution order; ends at web
+};
+
+/** The full catalogue, indexed by RequestType ordinal. */
+const std::vector<RequestSpec> &requestCatalog();
+
+/** Workload mixes from the standard RUBiS client. */
+enum class Mix { browsing, bidBrowseSell };
+
+/**
+ * Session behaviour clusters. A user session dwells in a cluster for
+ * a sticky run of requests (browse around for a while, then walk a
+ * bid sequence, occasionally sell) — the "probabilistic transitions
+ * emulating multiple user browsing sessions" of §3.1. The cluster
+ * runs are what make the aggregate request mix fluctuate at the
+ * seconds timescale, which is exactly the signal the per-request
+ * coordination tracks (and what a single static weight setting
+ * cannot).
+ */
+enum class Cluster : std::uint8_t { browse = 0, bid = 1, sell = 2 };
+
+/** Per-cluster request-type sampling distribution. */
+corm::sim::DiscreteDist clusterDistribution(Cluster c);
+
+/**
+ * Cluster transition distribution: row @p from of the session Markov
+ * chain (self-transitions make runs sticky). The browsing mix pins
+ * every session to the browse cluster.
+ */
+corm::sim::DiscreteDist clusterTransitions(Cluster from, Mix mix);
+
+/** Maximum stages any request profile may have. */
+inline constexpr std::size_t maxStages = 8;
+
+/**
+ * In-flight request state, carried in packet context across the
+ * tiers and back to the client. The per-stage timestamps implement
+ * E2Eprof-style end-to-end tracing (the paper's §4 application-
+ * monitoring discussion): the client can attribute response time to
+ * ingress, per-tier service+queueing, inter-tier hops and egress.
+ */
+struct RequestCtx
+{
+    const RequestSpec *spec = nullptr;
+    std::size_t stage = 0;
+    corm::sim::Tick sentAt = 0;   ///< client send time
+    std::uint32_t sessionId = 0;
+    corm::net::IpAddr clientIp;
+    std::function<void(const RequestCtx &)> onResponse;
+
+    // Trace marks (E2Eprof-style breakdown).
+    corm::sim::Tick stageStart[maxStages] = {};
+    corm::sim::Tick stageEnd[maxStages] = {};
+    corm::sim::Tick respondedAt = 0;
+};
+
+/**
+ * Aggregated end-to-end latency breakdown across requests, all in
+ * milliseconds: where response time is actually spent.
+ */
+struct LatencyBreakdown
+{
+    corm::sim::Summary ingressMs;  ///< wire → first web-tier stage
+    corm::sim::Summary tierMs[3];  ///< per-tier service incl. queueing
+    corm::sim::Summary hopsMs;     ///< inter-tier bridge hops, summed
+    corm::sim::Summary egressMs;   ///< web respond → client wire
+};
+
+/**
+ * The server side: three single-VCPU guest domains (web, application,
+ * database) wired through the Xen bridge. Receives classified
+ * requests on the web tier's ViF, walks each request through its
+ * tier-stage sequence (inter-tier hops are bridge packets, and the
+ * upstream tier accounts iowait while it waits), and transmits the
+ * response toward the client.
+ */
+class RubisServer
+{
+  public:
+    struct Params
+    {
+        /** Coefficient of variation of per-stage CPU jitter. */
+        double jitterCv = 0.25;
+        /** Seed for the jitter stream. */
+        std::uint64_t seed = 0xb0b15;
+    };
+
+    /**
+     * @param simulator Event engine.
+     * @param web_vif / app_vif / db_vif Tier ViFs (already bridged).
+     * @param bridge The host bridge relaying inter-tier packets.
+     * @param factory Packet factory of the testbed.
+     */
+    RubisServer(corm::sim::Simulator &simulator, corm::xen::GuestVif &web_vif,
+                corm::xen::GuestVif &app_vif, corm::xen::GuestVif &db_vif,
+                corm::xen::XenBridge &bridge,
+                corm::net::PacketFactory &factory, Params params);
+
+    /** Requests fully served so far. */
+    std::uint64_t requestsServed() const { return served.value(); }
+
+    /** Time write transactions spent waiting for the db lock (ms). */
+    const corm::sim::Summary &dbLockWaitMs() const { return lockWaitMs; }
+
+  private:
+    void onTierPacket(Tier tier, corm::net::PacketPtr pkt);
+    void runStage(std::shared_ptr<RequestCtx> ctx);
+    void execStage(std::shared_ptr<RequestCtx> ctx);
+    void advance(std::shared_ptr<RequestCtx> ctx);
+    void respond(std::shared_ptr<RequestCtx> ctx);
+    corm::xen::GuestVif &vifFor(Tier tier);
+    corm::xen::Domain &domainFor(Tier tier);
+    corm::sim::Tick jitter(corm::sim::Tick mean);
+
+    corm::sim::Simulator &sim;
+    corm::xen::GuestVif &webVif;
+    corm::xen::GuestVif &appVif;
+    corm::xen::GuestVif &dbVif;
+    corm::xen::XenBridge &bridge;
+    corm::net::PacketFactory &packets;
+    Params cfg;
+    corm::sim::Rng rng;
+    corm::sim::Counter served;
+
+    /**
+     * Write-transaction serialisation in the database tier (InnoDB
+     * row-lock / log-flush behaviour): one write transaction holds
+     * the lock for the duration of its db CPU stage. Because the
+     * lock-hold time stretches with the db VM's scheduling delays, a
+     * CPU-starved database turns write bursts into lock convoys —
+     * the nonlinearity behind the paper's seconds-long base response
+     * times for StoreBid/PutComment and their collapse under
+     * coordination.
+     */
+    bool dbLocked = false;
+    std::deque<std::pair<std::shared_ptr<RequestCtx>, corm::sim::Tick>>
+        dbLockQueue;
+    corm::sim::Summary lockWaitMs;
+};
+
+/** Per-request-type response-time statistics, in milliseconds. */
+struct TypeStats
+{
+    corm::sim::Summary responseMs;
+};
+
+/**
+ * The client side: N concurrent user sessions driving requests into
+ * the platform through the IXP's wire interface, with exponential
+ * think times and geometric session lengths. Collects the paper's
+ * client-observed metrics: per-type response times (Figs. 2 and 4,
+ * Table 1), request throughput, completed sessions, and session
+ * durations (Table 2).
+ */
+class RubisClient
+{
+  public:
+    struct Params
+    {
+        int concurrentSessions = 24;
+        corm::sim::Tick thinkTimeMean = 350 * corm::sim::msec;
+        /** Mean requests per session (geometric). */
+        double sessionLengthMean = 30.0;
+        Mix mix = Mix::bidBrowseSell;
+        std::uint64_t seed = 0xc11e47;
+        corm::net::IpAddr clientIp{10, 0, 9, 1};
+        std::uint16_t basePort = 20000;
+    };
+
+    /**
+     * @param simulator Event engine.
+     * @param ixp Ingress point (the programmable NIC fronting the host).
+     * @param web_ip Destination of all client requests.
+     * @param factory Packet factory of the testbed.
+     */
+    RubisClient(corm::sim::Simulator &simulator, corm::ixp::IxpIsland &ixp,
+                corm::net::IpAddr web_ip, corm::net::PacketFactory &factory,
+                Params params);
+
+    /** Launch the configured number of concurrent sessions. */
+    void start();
+
+    /** Deliver a response packet that reached the client's wire. */
+    void onWirePacket(const corm::net::PacketPtr &pkt);
+
+    /** Zero all collected statistics (end of warm-up). */
+    void resetStats();
+
+    /** Per-type response-time stats (ms). */
+    const TypeStats &typeStats(RequestType t) const
+    {
+        return perType[static_cast<std::size_t>(t)];
+    }
+
+    /** Completed requests since the last reset. */
+    std::uint64_t completedRequests() const { return completed.value(); }
+
+    /** Completed sessions since the last reset. */
+    std::uint64_t completedSessions() const { return sessions.value(); }
+
+    /** Session-duration stats (seconds) since the last reset. */
+    const corm::sim::Summary &sessionSeconds() const { return sessionDur; }
+
+    /** All-type response-time stats (ms) since the last reset. */
+    const corm::sim::Summary &allResponsesMs() const { return allMs; }
+
+    /** End-to-end latency breakdown since the last reset. */
+    const LatencyBreakdown &breakdown() const { return trace; }
+
+  private:
+    struct Session
+    {
+        std::uint32_t id;
+        int remaining;
+        corm::sim::Tick startedAt;
+        std::uint16_t port;
+        Cluster cluster;
+    };
+
+    void startSession(std::size_t slot);
+    void issueRequest(std::size_t slot);
+    void onResponse(std::size_t slot, const RequestCtx &ctx);
+
+    corm::sim::Simulator &sim;
+    corm::ixp::IxpIsland &ixp;
+    corm::net::IpAddr webIp;
+    corm::net::PacketFactory &packets;
+    Params cfg;
+    corm::sim::Rng rng;
+    corm::sim::DiscreteDist clusterDist[3];
+    corm::sim::DiscreteDist transDist[3];
+    std::vector<Session> slots;
+    std::vector<TypeStats> perType;
+    corm::sim::Summary allMs;
+    LatencyBreakdown trace;
+    corm::sim::Summary sessionDur;
+    corm::sim::Counter completed;
+    corm::sim::Counter sessions;
+    std::uint32_t nextSessionId = 1;
+};
+
+/**
+ * Gains of the coordination table, in multiples of the base delta.
+ * Browsing requests raise the web tier and lower the database; write
+ * requests raise the database and lower the web tier; the
+ * application server — whose demand is high for both paths — is
+ * raised by both (§3.1). The write-side gains are larger than the
+ * read-side ones because writes are the rarer class in the
+ * bid/browse/sell mix: balancing f_read·readGain ≈ f_write·writeGain
+ * keeps each weight tracking the request waves instead of saturating
+ * at a clamp bound.
+ */
+struct AdjustmentGains
+{
+    double readWeb = +1.0;
+    double readApp = +1.5;
+    /** Read types with no database stage push the database down... */
+    double readDb = -0.5;
+    /** ...but read types that do query the database (searches,
+     *  ViewItem) must not starve it. */
+    double readDbWhenUsed = +0.5;
+    double writeDb = +4.0;
+    double writeApp = +2.0;
+    double writeWeb = -1.5;
+};
+
+/**
+ * Build the paper's §3.1 coordination table for the request-type Tune
+ * policy.
+ *
+ * @param web / app / db Coordination entity refs of the tier VMs.
+ * @param delta Base weight step per classified request.
+ * @param gains Per-class gain multipliers (see AdjustmentGains).
+ */
+void installRubisAdjustments(coord::RequestTypeTunePolicy &policy,
+                             const coord::EntityRef &web,
+                             const coord::EntityRef &app,
+                             const coord::EntityRef &db,
+                             double delta = 32.0,
+                             AdjustmentGains gains = AdjustmentGains{});
+
+} // namespace corm::apps::rubis

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The island-to-island coordination channel.
+ *
+ * In the prototype (§2.3) part of the IXP's PCI configuration space
+ * is set up as a message channel between the IXP and the x86 host;
+ * this class models that channel as a pair of fixed-latency mailboxes
+ * and dispatches decoded messages to the destination island's
+ * ResourceIsland interface.
+ *
+ * The channel supports failure injection (message loss, extra delay)
+ * so tests can verify that coordination degrades gracefully — a lost
+ * Tune may only cost performance, never correctness.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "coord/island.hpp"
+#include "coord/message.hpp"
+#include "interconnect/msgring.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::coord {
+
+/** Per-direction, per-type channel statistics. */
+struct ChannelStats
+{
+    corm::sim::Counter sent;
+    corm::sim::Counter delivered;
+    corm::sim::Counter dropped;
+    corm::sim::Counter tunes;
+    corm::sim::Counter triggers;
+    corm::sim::Counter registrations;
+    /** Send-to-apply latency (microseconds). */
+    corm::sim::Summary deliveryLatencyUs;
+};
+
+/**
+ * Point-to-point coordination channel between two islands. Each
+ * endpoint may send(); messages are delivered to the *other* island's
+ * ResourceIsland interface after the channel latency.
+ */
+class CoordChannel
+{
+  public:
+    /**
+     * @param simulator Event engine.
+     * @param side_a First endpoint (e.g. the IXP island).
+     * @param side_b Second endpoint (e.g. the x86 island).
+     * @param one_way_latency Mailbox latency per direction.
+     * @param channel_name For stats and logs.
+     */
+    CoordChannel(corm::sim::Simulator &simulator, ResourceIsland &side_a,
+                 ResourceIsland &side_b,
+                 corm::sim::Tick one_way_latency,
+                 std::string channel_name = "coord.pci")
+        : sim(simulator), a(side_a), b(side_b),
+          aToB(simulator, one_way_latency, channel_name + ".a2b"),
+          bToA(simulator, one_way_latency, channel_name + ".b2a"),
+          name_(std::move(channel_name)), lossRng(0x10551055ULL)
+    {
+        aToB.setReceiver([this](std::uint64_t w0, std::uint64_t w1) {
+            deliver(b, CoordMessage::decode(w0, w1));
+        });
+        bToA.setReceiver([this](std::uint64_t w0, std::uint64_t w1) {
+            deliver(a, CoordMessage::decode(w0, w1));
+        });
+    }
+
+    /**
+     * Send a message. Routing uses msg.dst: it must equal one of the
+     * two endpoint island ids; messages to the sender's own island
+     * are delivered immediately (no channel traversal).
+     */
+    void
+    send(CoordMessage msg)
+    {
+        stats_.sent.add();
+        if (lossProb > 0.0 && lossRng.chance(lossProb)) {
+            stats_.dropped.add();
+            return;
+        }
+        if (msg.dst == b.id()) {
+            rememberSend(msg);
+            aToB.send(msg.encodeWord0(), msg.encodeWord1());
+        } else if (msg.dst == a.id()) {
+            rememberSend(msg);
+            bToA.send(msg.encodeWord0(), msg.encodeWord1());
+        } else {
+            // Unknown destination: count as dropped. A production
+            // fabric would route; the two-island prototype cannot.
+            stats_.dropped.add();
+        }
+    }
+
+    /** Set channel one-way latency on both directions (ablations). */
+    void
+    setLatency(corm::sim::Tick one_way)
+    {
+        aToB.setLatency(one_way);
+        bToA.setLatency(one_way);
+    }
+
+    /** Current one-way latency. */
+    corm::sim::Tick oneWayLatency() const { return aToB.oneWayLatency(); }
+
+    /** Probability in [0,1] that a sent message is silently lost. */
+    void setLossProbability(double p) { lossProb = p; }
+
+    /**
+     * Observe delivered acks (registration reliability lives above
+     * the channel; see coord/reliable.hpp).
+     */
+    void
+    setAckObserver(std::function<void(const CoordMessage &)> fn)
+    {
+        ackObserver = std::move(fn);
+    }
+
+    /** Channel statistics. */
+    const ChannelStats &stats() const { return stats_; }
+
+    /** Channel name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    void
+    rememberSend(const CoordMessage &msg)
+    {
+        // Track per-message send time via a small rotating slot map
+        // keyed by an id derived from the message; precise enough for
+        // latency summaries at coordination-message rates.
+        pendingSendTime[(pendingHead++) % pendingSendTime.size()] =
+            {msg.encodeWord0(), sim.now()};
+    }
+
+    void
+    deliver(ResourceIsland &dst, const CoordMessage &msg)
+    {
+        stats_.delivered.add();
+        // Look up the matching send time for latency accounting. A
+        // used slot is invalidated via its key: no real message
+        // encodes to word0 == 0 (the type field is non-zero).
+        for (auto &slot : pendingSendTime) {
+            if (slot.first == msg.encodeWord0()) {
+                stats_.deliveryLatencyUs.record(
+                    corm::sim::toMicros(sim.now() - slot.second));
+                slot.first = 0;
+                break;
+            }
+        }
+        switch (msg.type) {
+          case MsgType::tune:
+            stats_.tunes.add();
+            dst.applyTune(msg.entity, msg.value);
+            break;
+          case MsgType::trigger:
+            stats_.triggers.add();
+            dst.applyTrigger(msg.entity);
+            break;
+          case MsgType::registerEntity: {
+            stats_.registrations.add();
+            EntityBinding binding;
+            binding.ref = EntityRef{msg.src, msg.entity};
+            binding.ip = corm::net::IpAddr(
+                static_cast<std::uint32_t>(
+                    std::bit_cast<std::uint64_t>(msg.value)));
+            dst.learnBinding(binding);
+            // Registrations are acknowledged so the announcer can
+            // retry losses (see coord/reliable.hpp). The ack names
+            // the learning island as src and echoes the entity.
+            CoordMessage ack;
+            ack.type = MsgType::ack;
+            ack.src = dst.id();
+            ack.dst = msg.src;
+            ack.entity = msg.entity;
+            send(ack);
+            break;
+          }
+          case MsgType::ack:
+            if (ackObserver)
+                ackObserver(msg);
+            break;
+        }
+    }
+
+    corm::sim::Simulator &sim;
+    ResourceIsland &a;
+    ResourceIsland &b;
+    corm::interconnect::Mailbox aToB;
+    corm::interconnect::Mailbox bToA;
+    std::string name_;
+    corm::sim::Rng lossRng;
+    double lossProb = 0.0;
+    std::function<void(const CoordMessage &)> ackObserver;
+    ChannelStats stats_;
+    std::array<std::pair<std::uint64_t, corm::sim::Tick>, 64>
+        pendingSendTime{};
+    std::size_t pendingHead = 0;
+};
+
+} // namespace corm::coord

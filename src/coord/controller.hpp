@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The global controller and platform entity directory.
+ *
+ * Per §2.3 of the paper: "At system initialization time, all
+ * scheduling islands register with a global controller (the first
+ * privileged domain to boot up and have complete knowledge of the
+ * system platform — in our prototype, a part of Xen Dom0). When guest
+ * VMs containing application components are deployed across the
+ * platform's scheduling islands, they register with Dom0."
+ *
+ * The controller keeps the authoritative registry of islands and
+ * entity bindings and announces each binding to every other island,
+ * which is how the IXP learns which destination IP belongs to which
+ * x86 VM before its classifier can steer coordination.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coord/island.hpp"
+#include "coord/types.hpp"
+
+namespace corm::coord {
+
+/**
+ * Global registry of islands and entities. The controller itself is
+ * hosted on one island (Dom0 on the x86 island in the prototype);
+ * announcements to remote islands travel a caller-provided transport
+ * so their cost is borne by the coordination channel model.
+ */
+class GlobalController
+{
+  public:
+    /**
+     * Transport used to announce a binding to a remote island.
+     * Defaults to direct delivery (zero cost) until the platform
+     * wires the coordination channel in.
+     */
+    using AnnounceFn =
+        std::function<void(ResourceIsland &to, const EntityBinding &)>;
+
+    GlobalController()
+    {
+        announce = [](ResourceIsland &to, const EntityBinding &b) {
+            to.learnBinding(b);
+        };
+    }
+
+    /** Install the announcement transport (e.g. channel-mediated). */
+    void setAnnounceTransport(AnnounceFn fn) { announce = std::move(fn); }
+
+    /**
+     * Register an island. Id must be unique; re-registration of the
+     * same object is idempotent.
+     * @return false if a *different* island already owns the id.
+     */
+    bool
+    registerIsland(ResourceIsland &island)
+    {
+        auto [it, inserted] = islands.emplace(island.id(), &island);
+        if (!inserted && it->second != &island)
+            return false;
+        return true;
+    }
+
+    /**
+     * Register an entity binding and announce it to all islands other
+     * than its manager.
+     * @return false if the binding's island is unknown.
+     */
+    bool
+    registerEntity(const EntityBinding &binding)
+    {
+        if (islands.find(binding.ref.island) == islands.end())
+            return false;
+        bindings[key(binding.ref)] = binding;
+        for (auto &[id, island] : islands) {
+            if (id != binding.ref.island)
+                announce(*island, binding);
+        }
+        return true;
+    }
+
+    /** Look up an island by id (null if unknown). */
+    ResourceIsland *
+    island(IslandId id) const
+    {
+        auto it = islands.find(id);
+        return it == islands.end() ? nullptr : it->second;
+    }
+
+    /** Look up a binding by entity reference (null if unknown). */
+    const EntityBinding *
+    binding(const EntityRef &ref) const
+    {
+        auto it = bindings.find(key(ref));
+        return it == bindings.end() ? nullptr : &it->second;
+    }
+
+    /** Find the binding owning @p ip (null if none). */
+    const EntityBinding *
+    bindingByIp(corm::net::IpAddr ip) const
+    {
+        for (const auto &[k, b] : bindings) {
+            if (b.ip == ip)
+                return &b;
+        }
+        return nullptr;
+    }
+
+    /** Number of registered islands. */
+    std::size_t islandCount() const { return islands.size(); }
+
+    /** Number of registered entities. */
+    std::size_t entityCount() const { return bindings.size(); }
+
+    /** All bindings, for inventory dumps. */
+    std::vector<EntityBinding>
+    allBindings() const
+    {
+        std::vector<EntityBinding> out;
+        out.reserve(bindings.size());
+        for (const auto &[k, b] : bindings)
+            out.push_back(b);
+        return out;
+    }
+
+  private:
+    static std::uint64_t
+    key(const EntityRef &ref)
+    {
+        return (static_cast<std::uint64_t>(ref.island) << 32)
+            | ref.entity;
+    }
+
+    std::map<IslandId, ResourceIsland *> islands;
+    std::map<std::uint64_t, EntityBinding> bindings;
+    AnnounceFn announce;
+};
+
+} // namespace corm::coord

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Multi-island coordination fabric.
+ *
+ * The prototype's CoordChannel is point-to-point because the paper's
+ * platform has exactly two islands; §5's ongoing work — "evaluations
+ * of the scalability of such mechanisms to large-scale multicore
+ * platforms ... distributed coordination algorithms across multiple
+ * island resource managers" — needs an N-island transport. The
+ * fabric provides two topologies:
+ *
+ *  * **star** — every message relays through a hub island (the
+ *    global controller's home, Dom0-style). Two hops for any
+ *    non-hub pair; the hub is a serialisation point.
+ *  * **mesh** — direct island-to-island delivery, one hop. What
+ *    §3.3's "hardware-supported queues / fast on-chip shared memory"
+ *    would provide.
+ *
+ * Semantics match CoordChannel: Tune/Trigger dispatch to the
+ * destination island, registrations install bindings and are
+ * acknowledged.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "coord/island.hpp"
+#include "coord/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::coord {
+
+/** Fabric topology. */
+enum class FabricTopology { star, mesh };
+
+/** Aggregate fabric statistics. */
+struct FabricStats
+{
+    corm::sim::Counter sent;
+    corm::sim::Counter delivered;
+    corm::sim::Counter dropped; ///< unknown destination
+    corm::sim::Counter hubRelays;
+    /** Send-to-apply latency (microseconds). */
+    corm::sim::Summary deliveryLatencyUs;
+};
+
+/**
+ * An N-island coordination transport with configurable topology and
+ * per-hop latency.
+ */
+class CoordFabric
+{
+  public:
+    /**
+     * @param simulator Event engine.
+     * @param topology star (hub relay) or mesh (direct).
+     * @param hop_latency One-way latency per hop.
+     * @param hub Hub island id (star topology only).
+     */
+    CoordFabric(corm::sim::Simulator &simulator, FabricTopology topology,
+                corm::sim::Tick hop_latency, IslandId hub = 0)
+        : sim(simulator), topo(topology), hopLatency(hop_latency),
+          hubId(hub)
+    {}
+
+    /** Attach an island to the fabric. */
+    void attach(ResourceIsland &island) { islands[island.id()] = &island; }
+
+    /** Number of attached islands. */
+    std::size_t islandCount() const { return islands.size(); }
+
+    /** Observe delivered acks (for ReliableAnnouncer-style use). */
+    void
+    setAckObserver(std::function<void(const CoordMessage &)> fn)
+    {
+        ackObserver = std::move(fn);
+    }
+
+    /**
+     * Send a message toward msg.dst. Star topology relays through
+     * the hub unless source or destination is the hub itself.
+     */
+    void
+    send(const CoordMessage &msg)
+    {
+        stats_.sent.add();
+        auto it = islands.find(msg.dst);
+        if (it == islands.end()) {
+            stats_.dropped.add();
+            return;
+        }
+        int hops = 1;
+        if (topo == FabricTopology::star && msg.src != hubId
+            && msg.dst != hubId) {
+            hops = 2;
+            stats_.hubRelays.add();
+        }
+        const corm::sim::Tick sent_at = sim.now();
+        ResourceIsland *dst = it->second;
+        sim.schedule(hopLatency * static_cast<corm::sim::Tick>(hops),
+                     [this, dst, msg, sent_at] {
+                         stats_.delivered.add();
+                         stats_.deliveryLatencyUs.record(
+                             corm::sim::toMicros(sim.now() - sent_at));
+                         dispatch(*dst, msg);
+                     });
+    }
+
+    /** Fabric statistics. */
+    const FabricStats &stats() const { return stats_; }
+
+    /** Per-hop latency. */
+    corm::sim::Tick perHopLatency() const { return hopLatency; }
+
+  private:
+    void
+    dispatch(ResourceIsland &dst, const CoordMessage &msg)
+    {
+        switch (msg.type) {
+          case MsgType::tune:
+            dst.applyTune(msg.entity, msg.value);
+            break;
+          case MsgType::trigger:
+            dst.applyTrigger(msg.entity);
+            break;
+          case MsgType::registerEntity: {
+            EntityBinding binding;
+            binding.ref = EntityRef{msg.src, msg.entity};
+            binding.ip = corm::net::IpAddr(
+                static_cast<std::uint32_t>(
+                    std::bit_cast<std::uint64_t>(msg.value)));
+            dst.learnBinding(binding);
+            CoordMessage ack;
+            ack.type = MsgType::ack;
+            ack.src = dst.id();
+            ack.dst = msg.src;
+            ack.entity = msg.entity;
+            send(ack);
+            break;
+          }
+          case MsgType::ack:
+            if (ackObserver)
+                ackObserver(msg);
+            break;
+        }
+    }
+
+    corm::sim::Simulator &sim;
+    FabricTopology topo;
+    corm::sim::Tick hopLatency;
+    IslandId hubId;
+    std::map<IslandId, ResourceIsland *> islands;
+    std::function<void(const CoordMessage &)> ackObserver;
+    FabricStats stats_;
+};
+
+} // namespace corm::coord

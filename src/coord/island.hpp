@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The ResourceIsland abstraction.
+ *
+ * This is the standard interface the paper argues future system
+ * software should export (§5): every independently managed set of
+ * resources — however heterogeneous its internal abstractions (VMs
+ * and credits on x86, message queues and microengine threads on the
+ * IXP) — presents the same small coordination surface: apply a Tune,
+ * apply a Trigger, register entities, and report aggregate state.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coord/types.hpp"
+
+namespace corm::coord {
+
+/**
+ * Abstract base for a scheduling island's resource manager, as seen
+ * by the coordination layer. Concrete implementations translate the
+ * generic operations into their own scheduler's units — e.g. the x86
+ * island maps Tune deltas onto Xen credit-scheduler weights and
+ * Trigger onto a run-queue boost, while the IXP island maps Tune onto
+ * per-queue microengine thread counts.
+ */
+class ResourceIsland
+{
+  public:
+    virtual ~ResourceIsland() = default;
+
+    /** Platform-wide island identifier. */
+    virtual IslandId id() const = 0;
+
+    /** Human-readable island name, e.g. "x86-xen" or "ixp2850". */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Apply a Tune: adjust the resource allocation of @p entity by
+     * the signed @p delta, in abstract units the island translates
+     * (for Xen: credit-weight points; for the IXP: dequeue-thread
+     * share). Unknown entities must be ignored (a stale tune racing
+     * an entity teardown is legal and harmless).
+     */
+    virtual void applyTune(EntityId entity, double delta) = 0;
+
+    /**
+     * Apply a Trigger: give @p entity resources as soon as possible
+     * (preemptive semantics). Unknown entities must be ignored.
+     */
+    virtual void applyTrigger(EntityId entity) = 0;
+
+    /**
+     * Learn about a remote entity binding (announced by the global
+     * controller after registration), e.g. the IXP learning which
+     * destination IP belongs to which x86 VM. Default: ignore.
+     */
+    virtual void learnBinding(const EntityBinding &binding)
+    {
+        (void)binding;
+    }
+
+    /**
+     * Estimated instantaneous power draw of the island, in watts.
+     * Used by the platform-level power-budgeting extension (§1,
+     * use-case 2). Islands without a power model report 0.
+     */
+    virtual double currentPowerWatts() const { return 0.0; }
+};
+
+} // namespace corm::coord

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Coordination message formats and their wire encoding.
+ *
+ * The paper identifies two standard mechanisms (§3.3):
+ *
+ *  * **Tune** — request a fine-grained resource adjustment of an
+ *    entity in a remote island: an entity identifier plus a signed
+ *    numeric value, translated at the receiver into that island's
+ *    own scheduler units (credit-weight deltas in Xen, poll-interval
+ *    or thread-count adjustments on the IXP).
+ *  * **Trigger** — an immediate, interrupt-like notification asking
+ *    the remote island to run a particular entity as soon as
+ *    possible (preemptive semantics; a run-queue boost in Xen).
+ *
+ * Registration messages implement the §2.3 protocol by which islands
+ * and entities make themselves known to the global controller.
+ *
+ * Messages are deliberately tiny — two 64-bit words — matching the
+ * paper's observation that coordination state fits in the "small
+ * additional amounts of information" that future hardware-level
+ * signalling could carry.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "coord/types.hpp"
+
+namespace corm::coord {
+
+/** Kinds of coordination message. */
+enum class MsgType : std::uint8_t
+{
+    registerEntity = 1, ///< announce an entity binding
+    tune = 2,           ///< signed resource adjustment request
+    trigger = 3,        ///< immediate service request (preemptive)
+    ack = 4,            ///< acknowledgement (registration handshake)
+};
+
+/** Human-readable message-type name. */
+constexpr const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::registerEntity: return "register";
+      case MsgType::tune: return "tune";
+      case MsgType::trigger: return "trigger";
+      case MsgType::ack: return "ack";
+    }
+    return "?";
+}
+
+/**
+ * A decoded coordination message. `value` carries the tune delta for
+ * tune messages and the registered IP address (as integer) for
+ * registration messages; it is unused for triggers and acks.
+ */
+struct CoordMessage
+{
+    MsgType type = MsgType::ack;
+    IslandId src = 0;
+    IslandId dst = 0;
+    EntityId entity = invalidEntity;
+    double value = 0.0;
+
+    /** Pack header fields into the first wire word. */
+    std::uint64_t
+    encodeWord0() const
+    {
+        return (static_cast<std::uint64_t>(type) << 48)
+            | (static_cast<std::uint64_t>(src) << 40)
+            | (static_cast<std::uint64_t>(dst) << 32)
+            | static_cast<std::uint64_t>(entity);
+    }
+
+    /** Pack the value into the second wire word. */
+    std::uint64_t
+    encodeWord1() const
+    {
+        return std::bit_cast<std::uint64_t>(value);
+    }
+
+    /** Rebuild a message from its two wire words. */
+    static CoordMessage
+    decode(std::uint64_t word0, std::uint64_t word1)
+    {
+        CoordMessage m;
+        m.type = static_cast<MsgType>((word0 >> 48) & 0xff);
+        m.src = static_cast<IslandId>((word0 >> 40) & 0xff);
+        m.dst = static_cast<IslandId>((word0 >> 32) & 0xff);
+        m.entity = static_cast<EntityId>(word0 & 0xffffffffu);
+        m.value = std::bit_cast<double>(word1);
+        return m;
+    }
+};
+
+} // namespace corm::coord

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Reliable entity announcement over the coordination channel.
+ *
+ * Tune and Trigger are fire-and-forget by design — a lost tune only
+ * costs a little performance. Registration is different: if the IXP
+ * never learns a guest's binding, every packet for that guest is
+ * unclassifiable forever. The registration leg of the §2.3 protocol
+ * therefore needs acknowledgement and retry, which is what the
+ * unused-looking `MsgType::ack` exists for: the receiving island's
+ * channel endpoint acks each registration, and the announcer retries
+ * until acked or out of attempts.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "coord/channel.hpp"
+#include "coord/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::coord {
+
+/**
+ * Retries registration announcements until acknowledged.
+ *
+ * Usage: install as (part of) the GlobalController's announce
+ * transport. announce() sends the registration and arms a retry
+ * timer; the CoordChannel acks registrations on delivery, and the
+ * announcer observes acks through the channel's ack observer hook.
+ */
+class ReliableAnnouncer
+{
+  public:
+    struct Params
+    {
+        /** Resend if unacked after this long. */
+        corm::sim::Tick retryTimeout = 5 * corm::sim::msec;
+        /** Total attempts before giving up (>= 1). */
+        int maxAttempts = 8;
+    };
+
+    /**
+     * @param simulator Event engine.
+     * @param channel Channel the announcements travel.
+     * @param params Retry parameters.
+     */
+    ReliableAnnouncer(corm::sim::Simulator &simulator,
+                      CoordChannel &channel)
+        : ReliableAnnouncer(simulator, channel, Params{})
+    {}
+
+    ReliableAnnouncer(corm::sim::Simulator &simulator,
+                      CoordChannel &channel, Params params)
+        : sim(simulator), chan(channel), cfg(params)
+    {
+        chan.setAckObserver(
+            [this](const CoordMessage &m) { onAck(m); });
+    }
+
+    ~ReliableAnnouncer()
+    {
+        for (auto &[key, st] : pending)
+            sim.cancel(st.retryEvent);
+    }
+
+    ReliableAnnouncer(const ReliableAnnouncer &) = delete;
+    ReliableAnnouncer &operator=(const ReliableAnnouncer &) = delete;
+
+    /**
+     * Announce @p binding to the island @p to over the channel,
+     * retrying until acknowledged.
+     */
+    void
+    announce(IslandId to, const EntityBinding &binding)
+    {
+        CoordMessage m;
+        m.type = MsgType::registerEntity;
+        m.src = binding.ref.island;
+        m.dst = to;
+        m.entity = binding.ref.entity;
+        m.value = std::bit_cast<double>(
+            static_cast<std::uint64_t>(binding.ip.v));
+
+        auto &st = pending[key(to, binding.ref.entity)];
+        sim.cancel(st.retryEvent); // re-announcement supersedes
+        st.msg = m;
+        st.attempts = 0;
+        transmit(key(to, binding.ref.entity));
+    }
+
+    /** Announcements not yet acknowledged. */
+    std::size_t pendingCount() const { return pending.size(); }
+
+    /** Announcements acknowledged. */
+    std::uint64_t acked() const { return ackedCount.value(); }
+
+    /** Retransmissions performed. */
+    std::uint64_t retries() const { return retryCount.value(); }
+
+    /** Announcements abandoned after maxAttempts. */
+    std::uint64_t abandoned() const { return abandonedCount.value(); }
+
+  private:
+    struct Pending
+    {
+        CoordMessage msg;
+        int attempts = 0;
+        corm::sim::EventId retryEvent = corm::sim::invalidEventId;
+    };
+
+    static std::uint64_t
+    key(IslandId to, EntityId entity)
+    {
+        return (static_cast<std::uint64_t>(to) << 32) | entity;
+    }
+
+    void
+    transmit(std::uint64_t k)
+    {
+        auto it = pending.find(k);
+        if (it == pending.end())
+            return;
+        Pending &st = it->second;
+        if (st.attempts >= cfg.maxAttempts) {
+            abandonedCount.add();
+            pending.erase(it);
+            return;
+        }
+        ++st.attempts;
+        if (st.attempts > 1)
+            retryCount.add();
+        chan.send(st.msg);
+        st.retryEvent =
+            sim.schedule(cfg.retryTimeout, [this, k] { transmit(k); });
+    }
+
+    void
+    onAck(const CoordMessage &m)
+    {
+        // The ack's src is the island that learned the binding.
+        auto it = pending.find(key(m.src, m.entity));
+        if (it == pending.end())
+            return;
+        sim.cancel(it->second.retryEvent);
+        pending.erase(it);
+        ackedCount.add();
+    }
+
+    corm::sim::Simulator &sim;
+    CoordChannel &chan;
+    Params cfg;
+    std::map<std::uint64_t, Pending> pending;
+    corm::sim::Counter ackedCount;
+    corm::sim::Counter retryCount;
+    corm::sim::Counter abandonedCount;
+};
+
+} // namespace corm::coord

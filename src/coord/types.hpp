@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Identifier types shared by the coordination layer.
+ *
+ * An *island* is a set of platform resources under one independent
+ * resource manager (the Xen credit scheduler for x86 cores, the IXP
+ * runtime for microengines). An *entity* is a manageable unit inside
+ * an island — a VM/domain on the x86 side, a flow queue on the IXP
+ * side. Coordination messages name entities by (island, entity) pairs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace corm::coord {
+
+/** Identifier of a scheduling island, unique platform-wide. */
+using IslandId = std::uint8_t;
+
+/** Identifier of a managed entity, unique within its island. */
+using EntityId = std::uint32_t;
+
+/** Sentinel entity id naming "no entity". */
+inline constexpr EntityId invalidEntity = 0xffffffffu;
+
+/** Fully qualified entity reference. */
+struct EntityRef
+{
+    IslandId island = 0;
+    EntityId entity = invalidEntity;
+
+    bool
+    operator==(const EntityRef &o) const
+    {
+        return island == o.island && entity == o.entity;
+    }
+};
+
+/**
+ * Registration record announced to the global controller when an
+ * entity is deployed: which island manages it, its name, and the
+ * network identity remote islands use to recognise its traffic
+ * (the IXP classifies flows to VMs by destination IP, §3.2).
+ */
+struct EntityBinding
+{
+    EntityRef ref;
+    std::string name;
+    corm::net::IpAddr ip;
+};
+
+} // namespace corm::coord

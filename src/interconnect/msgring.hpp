@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Host–device message queues: descriptor rings plus a DMA engine.
+ *
+ * Models the Netronome/IXP messaging driver path described in §2 of
+ * the paper: packet payloads are DMAed into a buffer-pool region of
+ * reserved host memory, then a descriptor is appended to a message
+ * queue which the host-side messaging driver drains either by
+ * periodic polling or on a device interrupt.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "interconnect/pcie.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::interconnect {
+
+/** Size of one message descriptor on the wire. */
+inline constexpr std::uint32_t descriptorBytes = 32;
+
+/**
+ * A descriptor ring in reserved host memory, written by the device
+ * (after payload DMA) and drained by the host messaging driver.
+ * A full ring back-pressures the producer: postings fail and the
+ * producer must retry, exactly the condition that lets the IXP-side
+ * DRAM buffers grow (Fig. 7).
+ */
+class DescriptorRing
+{
+  public:
+    /**
+     * @param capacity Ring slots; posting to a full ring fails.
+     * @param ring_name For stats and logs.
+     */
+    explicit DescriptorRing(std::size_t capacity, std::string ring_name)
+        : cap(capacity), name_(std::move(ring_name))
+    {}
+
+    /**
+     * Post a packet descriptor.
+     * @return false if the ring is full (producer must retry).
+     */
+    bool
+    post(corm::net::PacketPtr pkt)
+    {
+        if (ring.size() >= cap) {
+            fullRejects.add();
+            return false;
+        }
+        ring.push_back(std::move(pkt));
+        posted.add();
+        occupancyHigh = std::max(occupancyHigh, ring.size());
+        if (onPost)
+            onPost();
+        return true;
+    }
+
+    /**
+     * Install a post notification (the device-side doorbell that an
+     * interrupt-mode host driver hooks; polling drivers leave it
+     * unset).
+     */
+    void setPostCallback(std::function<void()> fn)
+    {
+        onPost = std::move(fn);
+    }
+
+    /** True if no descriptors are outstanding. */
+    bool empty() const { return ring.empty(); }
+
+    /** Outstanding descriptors. */
+    std::size_t size() const { return ring.size(); }
+
+    /** Ring capacity. */
+    std::size_t capacity() const { return cap; }
+
+    /** Oldest outstanding descriptor without consuming it. */
+    const corm::net::PacketPtr &front() const { return ring.front(); }
+
+    /** Dequeue the oldest outstanding descriptor (must not be empty). */
+    corm::net::PacketPtr
+    consume()
+    {
+        corm::net::PacketPtr p = std::move(ring.front());
+        ring.pop_front();
+        return p;
+    }
+
+    /** Ring name. */
+    const std::string &name() const { return name_; }
+
+    /** Total descriptors ever posted. */
+    std::uint64_t totalPosted() const { return posted.value(); }
+
+    /** Times a post failed on a full ring. */
+    std::uint64_t totalFullRejects() const { return fullRejects.value(); }
+
+    /** High-water mark of occupancy. */
+    std::size_t highWater() const { return occupancyHigh; }
+
+  private:
+    std::size_t cap;
+    std::string name_;
+    std::deque<corm::net::PacketPtr> ring;
+    std::function<void()> onPost;
+    corm::sim::Counter posted;
+    corm::sim::Counter fullRejects;
+    std::size_t occupancyHigh = 0;
+};
+
+/**
+ * DMA engine: moves a packet's payload across a Link and then posts
+ * its descriptor to a DescriptorRing. If the ring is full at
+ * completion time the packet is handed back to the caller's reject
+ * handler so the device can keep it queued in its own memory.
+ */
+class DmaEngine
+{
+  public:
+    using RejectFn = std::function<void(corm::net::PacketPtr)>;
+    using PostedFn = std::function<void()>;
+
+    /**
+     * @param link Wire the payload crosses.
+     * @param ring Ring receiving the descriptor at completion.
+     */
+    DmaEngine(Link &link, DescriptorRing &ring)
+        : wire(link), descriptors(ring)
+    {}
+
+    /**
+     * Start a payload DMA.
+     *
+     * @param pkt Packet whose payload is moved.
+     * @param on_posted Invoked after the descriptor lands in the ring.
+     * @param on_reject Invoked instead if the ring was full.
+     */
+    void
+    dma(corm::net::PacketPtr pkt, PostedFn on_posted, RejectFn on_reject)
+    {
+        const std::uint64_t bytes = pkt->bytes + descriptorBytes;
+        auto captured = std::move(pkt);
+        wire.transfer(bytes,
+                      [this, p = std::move(captured),
+                       posted = std::move(on_posted),
+                       reject = std::move(on_reject)]() mutable {
+                          if (descriptors.post(p)) {
+                              completed.add();
+                              if (posted)
+                                  posted();
+                          } else if (reject) {
+                              reject(std::move(p));
+                          }
+                      });
+    }
+
+    /** DMAs that completed and posted successfully. */
+    std::uint64_t totalCompleted() const { return completed.value(); }
+
+  private:
+    Link &wire;
+    DescriptorRing &descriptors;
+    corm::sim::Counter completed;
+};
+
+/**
+ * The coordination mailbox: a low-rate small-message channel carved
+ * out of the device's PCI configuration space (§2.3). Messages are
+ * fixed-size, FIFO, and experience the mailbox latency — deliberately
+ * modelled separately from the bulk-data link so the ablation benches
+ * can study coordination-channel latency in isolation.
+ */
+class Mailbox
+{
+  public:
+    using DeliverFn = std::function<void(std::uint64_t word0,
+                                         std::uint64_t word1)>;
+
+    /**
+     * @param simulator Event engine.
+     * @param one_way_latency Send-to-deliver latency per message.
+     * @param mailbox_name For stats and logs.
+     */
+    Mailbox(corm::sim::Simulator &simulator,
+            corm::sim::Tick one_way_latency, std::string mailbox_name)
+        : sim(simulator), latency(one_way_latency),
+          name_(std::move(mailbox_name))
+    {}
+
+    /** Install the receiving side's handler. */
+    void setReceiver(DeliverFn fn) { receiver = std::move(fn); }
+
+    /**
+     * Send a two-word message; delivered to the receiver after the
+     * mailbox latency. Messages never reorder.
+     */
+    void
+    send(std::uint64_t word0, std::uint64_t word1)
+    {
+        sent.add();
+        // FIFO: never deliver earlier than the previously sent message.
+        corm::sim::Tick when = sim.now() + latency;
+        when = std::max(when, lastDelivery);
+        lastDelivery = when;
+        sim.scheduleAt(when, [this, word0, word1] {
+            delivered.add();
+            if (receiver)
+                receiver(word0, word1);
+        });
+    }
+
+    /** Adjust latency (ablation sweeps). */
+    void setLatency(corm::sim::Tick one_way) { latency = one_way; }
+
+    /** Current one-way latency. */
+    corm::sim::Tick oneWayLatency() const { return latency; }
+
+    /** Messages sent. */
+    std::uint64_t totalSent() const { return sent.value(); }
+
+    /** Messages delivered. */
+    std::uint64_t totalDelivered() const { return delivered.value(); }
+
+    /** Mailbox name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    corm::sim::Simulator &sim;
+    corm::sim::Tick latency;
+    std::string name_;
+    DeliverFn receiver;
+    corm::sim::Tick lastDelivery = 0;
+    corm::sim::Counter sent;
+    corm::sim::Counter delivered;
+};
+
+} // namespace corm::interconnect

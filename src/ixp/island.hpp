@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The IXP scheduling island: the network processor's data path and
+ * its coordination-facing resource manager (§2.1, Fig. 3).
+ *
+ * Data path (receive, i.e. wire → host):
+ *
+ *   wire → Rx stage → Rx classifier → per-VM flow queue (IXP DRAM)
+ *        → weighted dequeuer (PCI-Rx microengines) → payload DMA
+ *        → descriptor ring in host memory → host messaging driver
+ *
+ * Transmit (host → wire) runs the mirror path through the Tx stage.
+ *
+ * The island's own management knobs are exactly those the paper
+ * describes: the number of microengine threads servicing each flow
+ * queue and their polling intervals, which together set the ingress
+ * bandwidth a VM sees (§2.1). A Tune arriving *at* this island
+ * adjusts a queue's thread share; Tunes and Triggers *from* this
+ * island are emitted by the attached coordination policies, driven by
+ * the classifier (application knowledge) and the buffer monitor
+ * (system-level knowledge).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/island.hpp"
+#include "coord/policy.hpp"
+#include "coord/types.hpp"
+#include "interconnect/msgring.hpp"
+#include "interconnect/pcie.hpp"
+#include "ixp/memory.hpp"
+#include "ixp/stage.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::ixp {
+
+/** IXP island configuration. */
+struct IxpParams
+{
+    MemoryModel mem;
+    PacketCosts costs;
+
+    /** Microengine threads on the Rx, classify and Tx stages. */
+    int rxThreads = 8;
+    int classifyThreads = 8;
+    int txThreads = 8;
+
+    /** Per-VM flow-queue capacity in IXP DRAM (bytes). */
+    std::uint64_t vmQueueBytes = 1 * 1024 * 1024;
+
+    /**
+     * Default dequeue-thread share per VM queue and the polling
+     * interval of a dequeuing thread: a queue drains at roughly
+     * threads / pollInterval packets per second (§2.1's bandwidth
+     * control knob).
+     */
+    double defaultQueueThreads = 1.0;
+    corm::sim::Tick pollInterval = 100 * corm::sim::usec;
+
+    /** Bounds on a queue's thread share. */
+    double minQueueThreads = 0.25;
+    double maxQueueThreads = 8.0;
+
+    /**
+     * Translation of a Tune delta into thread share: threads per
+     * abstract tune unit (a +256 tune adds one thread).
+     */
+    double threadsPerTuneUnit = 1.0 / 256.0;
+
+    /** Buffer-monitor sampling period (drives Fig. 7). */
+    corm::sim::Tick monitorPeriod = 5 * corm::sim::msec;
+
+    /** Retry backoff after a full descriptor ring rejects a DMA. */
+    corm::sim::Tick dmaRetryBackoff = 50 * corm::sim::usec;
+
+    /** Island power model (for the power-cap extension). */
+    double idleWatts = 18.0;
+    double activeWatts = 22.0;
+};
+
+/** Per-island aggregate statistics. */
+struct IxpStats
+{
+    corm::sim::Counter wireRx;
+    corm::sim::Counter wireTx;
+    corm::sim::Counter classified;
+    corm::sim::Counter unknownDst;
+    corm::sim::Counter vmQueueDrops;
+    corm::sim::Counter dmaRejects;
+    corm::sim::Counter tunesApplied;
+    corm::sim::Counter triggersApplied; ///< no-ops, counted (see below)
+};
+
+/**
+ * The IXP island resource manager. Owns the pipeline stages and the
+ * per-VM flow queues; implements the coordination-facing
+ * ResourceIsland interface; hosts the coordination policies that
+ * observe classification, stream and buffer events.
+ */
+class IxpIsland : public coord::ResourceIsland
+{
+  public:
+    using WireTx = std::function<void(corm::net::PacketPtr)>;
+
+    /**
+     * @param simulator Event engine.
+     * @param island_id Platform-wide island id.
+     * @param island_name e.g. "ixp2850".
+     * @param d2h_link Device-to-host PCIe direction (payload DMA).
+     * @param host_ring Descriptor ring in host memory.
+     * @param params Island configuration.
+     */
+    IxpIsland(corm::sim::Simulator &simulator, coord::IslandId island_id,
+              std::string island_name, corm::interconnect::Link &d2h_link,
+              corm::interconnect::DescriptorRing &host_ring,
+              IxpParams params = {});
+
+    ~IxpIsland() override;
+    IxpIsland(const IxpIsland &) = delete;
+    IxpIsland &operator=(const IxpIsland &) = delete;
+
+    // Data path ----------------------------------------------------
+
+    /** A packet arrived from the wire (external clients). */
+    void injectFromWire(corm::net::PacketPtr pkt);
+
+    /**
+     * A packet arrived from the host for transmission to the wire.
+     * The Tx classifier (Fig. 3) maps it to the sending guest's
+     * per-VM queue, whose weighted dequeue threads pace its egress
+     * bandwidth; packets from unknown sources bypass straight to the
+     * Tx stage.
+     */
+    void enqueueTx(corm::net::PacketPtr pkt);
+
+    /** Tx-queue occupancy in bytes for @p entity. */
+    std::uint64_t txQueueBytes(coord::EntityId entity) const;
+
+    /** Install the wire-side sink (delivery to external clients). */
+    void setWireTx(WireTx fn) { wireTx = std::move(fn); }
+
+    // Coordination -------------------------------------------------
+
+    /** Attach a policy observing this island's events. */
+    void attachPolicy(coord::CoordinationPolicy &policy)
+    {
+        policies.push_back(&policy);
+    }
+
+    coord::IslandId id() const override { return id_; }
+    const std::string &name() const override { return name_; }
+
+    /**
+     * Tune toward this island adjusts the named queue's dequeue
+     * thread share — the IXP-unit translation of the generic
+     * mechanism ("poll time adjustments in an I/O scheduler", §3.3).
+     */
+    void applyTune(coord::EntityId entity, double delta) override;
+
+    /**
+     * Triggers toward the IXP are accepted but have no actuator in
+     * the paper's schemes (triggers flow IXP → x86); counted so
+     * misdirected coordination is visible in stats.
+     */
+    void applyTrigger(coord::EntityId entity) override;
+
+    /**
+     * Learn a guest VM binding from the global controller: creates
+     * the per-VM flow queue keyed by the guest's IP. The queue
+     * mirrors the guest's entity id so cross-island Tunes can name
+     * it symmetrically.
+     */
+    void learnBinding(const coord::EntityBinding &binding) override;
+
+    /** Power estimate for the platform power-budgeting extension. */
+    double currentPowerWatts() const override;
+
+    // Introspection --------------------------------------------------
+
+    /** Occupancy in bytes of the flow queue serving @p entity. */
+    std::uint64_t queueBytes(coord::EntityId entity) const;
+
+    /** Dequeue thread share of the flow queue serving @p entity. */
+    double queueThreads(coord::EntityId entity) const;
+
+    /** Per-entity occupancy time series (Fig. 7 traces). */
+    const corm::sim::TimeSeries *occupancySeries(
+        coord::EntityId entity) const;
+
+    /** Packets dropped at the flow queue serving @p entity. */
+    std::uint64_t queueDrops(coord::EntityId entity) const;
+
+    /** Island statistics. */
+    const IxpStats &stats() const { return stats_; }
+
+    /** Number of flow queues (bound guests). */
+    std::size_t flowQueueCount() const { return queues.size(); }
+
+  private:
+    struct VmQueue
+    {
+        coord::EntityRef guest;       ///< remote (x86) entity
+        corm::net::IpAddr ip;
+        corm::net::PacketQueue q;     ///< receive direction (to host)
+        corm::net::PacketQueue txq;   ///< transmit direction (to wire)
+        double threads;               ///< dequeue-thread share (rx+tx)
+        bool inFlight = false;        ///< rx dequeue+DMA outstanding
+        bool backoff = false;         ///< waiting out a ring-full retry
+        bool txInFlight = false;      ///< tx dequeue outstanding
+        corm::sim::TimeSeries occupancy;
+
+        VmQueue(const coord::EntityRef &g, corm::net::IpAddr addr,
+                std::uint64_t byte_cap, double thread_share)
+            : guest(g), ip(addr), q(0, byte_cap), txq(0, byte_cap),
+              threads(thread_share)
+        {}
+    };
+
+    void classify(corm::net::PacketPtr pkt);
+    void pumpQueue(VmQueue &vq);
+    void pumpTxQueue(VmQueue &vq);
+    VmQueue *queueForEntity(coord::EntityId entity);
+    const VmQueue *queueForEntity(coord::EntityId entity) const;
+    void monitorTick();
+
+    corm::sim::Simulator &sim;
+    coord::IslandId id_;
+    std::string name_;
+    IxpParams cfg;
+
+    ServiceStage rxStage;
+    ServiceStage classifyStage;
+    ServiceStage txStage;
+    corm::interconnect::DmaEngine dma;
+
+    /** Flow queues keyed by guest entity id. */
+    std::map<coord::EntityId, std::unique_ptr<VmQueue>> queues;
+    /** IP → guest entity id (classifier lookup). */
+    std::map<std::uint32_t, coord::EntityId> ipToEntity;
+
+    std::vector<coord::CoordinationPolicy *> policies;
+    WireTx wireTx;
+    std::unique_ptr<corm::sim::PeriodicEvent> monitor;
+    IxpStats stats_;
+
+    mutable corm::sim::Tick lastPowerQuery = 0;
+    mutable corm::sim::Tick lastBusySnapshot = 0;
+};
+
+} // namespace corm::ixp

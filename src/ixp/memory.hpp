@@ -1,0 +1,130 @@
+/**
+ * @file
+ * IXP2850 memory-hierarchy and cycle cost model.
+ *
+ * Parameterised from the platform description in §2.1 of the paper:
+ * 16 eight-way hyper-threaded RISC microengines at 1.4 GHz; per-engine
+ * local memory and registers; 16 KB shared scratchpad; 256 MB external
+ * SRAM holding packet *descriptor* queues; 256 MB external DRAM
+ * holding packet *payload*. Access latency increases at each level.
+ *
+ * Packet-operation service times are derived from instruction counts
+ * plus the memory references each operation makes. The 8 hardware
+ * thread contexts per engine switch on every memory reference, hiding
+ * memory latency; the pipeline stages therefore model one engine's
+ * 8 threads as 8 parallel servers whose service time includes the
+ * memory time (the classic latency-hiding approximation).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace corm::ixp {
+
+/** Cycle-accurate-ish cost parameters for the IXP2850. */
+struct MemoryModel
+{
+    /** Microengine clock in Hz (§2.1: 1.4 GHz). */
+    double clockHz = 1.4e9;
+
+    /** Access latencies in cycles at each hierarchy level. */
+    std::uint32_t localMemCycles = 3;
+    std::uint32_t scratchpadCycles = 60;
+    std::uint32_t sramCycles = 90;
+    std::uint32_t dramCycles = 250;
+
+    /** Bytes moved per DRAM burst reference. */
+    std::uint32_t dramBurstBytes = 64;
+
+    /** Convert a cycle count to simulated time. */
+    corm::sim::Tick
+    cyclesToTicks(double cycles) const
+    {
+        return static_cast<corm::sim::Tick>(
+            cycles / clockHz * static_cast<double>(corm::sim::sec));
+    }
+
+    /** Cycles to stream @p bytes of payload through DRAM. */
+    double
+    dramTouchCycles(std::uint32_t bytes) const
+    {
+        const std::uint32_t bursts =
+            (bytes + dramBurstBytes - 1) / dramBurstBytes;
+        return static_cast<double>(bursts)
+            * static_cast<double>(dramCycles);
+    }
+};
+
+/**
+ * Per-packet cycle budgets for the data-path operations, on top of
+ * the memory model. Instruction-path counts are representative of
+ * IXP microengine reference designs; each operation also touches the
+ * descriptor (SRAM) and, where noted, the payload (DRAM).
+ */
+struct PacketCosts
+{
+    /** Receive: reassembly, buffer allocation, descriptor write. */
+    std::uint32_t rxInstrCycles = 400;
+    /** Transmit: descriptor read, TBUF fill. */
+    std::uint32_t txInstrCycles = 350;
+    /**
+     * Classification: header parse plus deep packet inspection of
+     * the first payload bytes (request line / session header).
+     */
+    std::uint32_t classifyInstrCycles = 600;
+    /** Payload bytes the DPI engine reads from DRAM. */
+    std::uint32_t dpiInspectBytes = 128;
+    /** Enqueue/dequeue on a DRAM packet ring. */
+    std::uint32_t ringOpInstrCycles = 150;
+    /** PCI DMA descriptor setup. */
+    std::uint32_t dmaSetupInstrCycles = 300;
+
+    /** Service time of the Rx operation for a packet of @p bytes. */
+    corm::sim::Tick
+    rxTime(const MemoryModel &mem, std::uint32_t bytes) const
+    {
+        // Payload is written to DRAM on receive; descriptor to SRAM.
+        const double cycles = rxInstrCycles + mem.sramCycles
+            + mem.dramTouchCycles(bytes);
+        return mem.cyclesToTicks(cycles);
+    }
+
+    /** Service time of the Tx operation. */
+    corm::sim::Tick
+    txTime(const MemoryModel &mem, std::uint32_t bytes) const
+    {
+        const double cycles = txInstrCycles + mem.sramCycles
+            + mem.dramTouchCycles(bytes);
+        return mem.cyclesToTicks(cycles);
+    }
+
+    /** Service time of classification (header + DPI bytes). */
+    corm::sim::Tick
+    classifyTime(const MemoryModel &mem) const
+    {
+        const double cycles = classifyInstrCycles + mem.sramCycles
+            + mem.dramTouchCycles(dpiInspectBytes);
+        return mem.cyclesToTicks(cycles);
+    }
+
+    /** Service time of a ring enqueue or dequeue. */
+    corm::sim::Tick
+    ringOpTime(const MemoryModel &mem) const
+    {
+        return mem.cyclesToTicks(
+            static_cast<double>(ringOpInstrCycles) + mem.sramCycles);
+    }
+
+    /** Service time of initiating a PCI DMA for a packet. */
+    corm::sim::Tick
+    dmaSetupTime(const MemoryModel &mem) const
+    {
+        return mem.cyclesToTicks(
+            static_cast<double>(dmaSetupInstrCycles) + mem.sramCycles);
+    }
+};
+
+} // namespace corm::ixp

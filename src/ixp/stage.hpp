@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Microengine pipeline stages.
+ *
+ * A ServiceStage models a set of microengine hardware threads
+ * assigned to one packet-processing task (Rx, Tx, classify): k
+ * parallel servers draining a bounded input queue with a per-packet
+ * service time. The thread count is the knob the IXP runtime tunes —
+ * "quality of service for classified flows can be managed by tuning
+ * the number of threads assigned to each flow" (§2.1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::ixp {
+
+/**
+ * A k-server queueing stage over packets. Service time per packet is
+ * computed by a caller-supplied cost function (usually from
+ * PacketCosts), divided among up to `threads` concurrent servers.
+ */
+class ServiceStage
+{
+  public:
+    using CostFn = std::function<corm::sim::Tick(const corm::net::Packet &)>;
+    using OutputFn = std::function<void(corm::net::PacketPtr)>;
+
+    /**
+     * @param simulator Event engine.
+     * @param stage_name For stats and logs, e.g. "ixp.rx".
+     * @param threads Hardware threads assigned (parallel servers).
+     * @param cost Per-packet service-time function.
+     * @param queue_packets Input queue bound in packets (0 = unbounded).
+     */
+    ServiceStage(corm::sim::Simulator &simulator, std::string stage_name,
+                 int threads, CostFn cost, std::size_t queue_packets = 0)
+        : sim(simulator), name_(std::move(stage_name)),
+          threadCount(threads), costFn(std::move(cost)),
+          input(queue_packets, 0)
+    {}
+
+    /** Install the downstream consumer. */
+    void setOutput(OutputFn fn) { output = std::move(fn); }
+
+    /**
+     * Offer a packet to the stage.
+     * @return false if the input queue dropped it.
+     */
+    bool
+    push(corm::net::PacketPtr pkt)
+    {
+        if (!input.push(std::move(pkt)))
+            return false;
+        pump();
+        return true;
+    }
+
+    /** Reassign the stage's thread count (IXP-side tuning). */
+    void
+    setThreads(int threads)
+    {
+        threadCount = threads < 1 ? 1 : threads;
+        pump();
+    }
+
+    /** Threads currently assigned. */
+    int threads() const { return threadCount; }
+
+    /** Packets waiting (not in service). */
+    std::size_t backlog() const { return input.size(); }
+
+    /** Packets fully serviced. */
+    std::uint64_t totalServiced() const { return serviced.value(); }
+
+    /** Packets dropped at the input queue. */
+    std::uint64_t totalDropped() const { return input.totalDrops(); }
+
+    /** Cumulative busy thread-time (for utilisation estimates). */
+    corm::sim::Tick busyThreadTime() const { return busyTime; }
+
+    /** Stage name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    /** Start service on queued packets while threads are free. */
+    void
+    pump()
+    {
+        while (inService < threadCount && !input.empty()) {
+            corm::net::PacketPtr pkt = input.pop();
+            ++inService;
+            const corm::sim::Tick t = costFn(*pkt);
+            busyTime += t;
+            sim.schedule(t, [this, p = std::move(pkt)]() mutable {
+                --inService;
+                serviced.add();
+                // Emit before pumping so ordering downstream matches
+                // service-completion order.
+                if (output)
+                    output(std::move(p));
+                pump();
+            });
+        }
+    }
+
+    corm::sim::Simulator &sim;
+    std::string name_;
+    int threadCount;
+    CostFn costFn;
+    corm::net::PacketQueue input;
+    OutputFn output;
+    int inService = 0;
+    corm::sim::Counter serviced;
+    corm::sim::Tick busyTime = 0;
+};
+
+} // namespace corm::ixp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Packet and flow model for the simulated data path.
+ *
+ * Packets carry enough header structure for the IXP classifier to do
+ * its job — a five-tuple for per-VM/per-flow classification and an
+ * application tag standing in for the first payload bytes that the
+ * deep-packet-inspection engine would parse (RUBiS request type, RTSP
+ * session metadata). The actual payload is represented only by its
+ * length; simulated components charge time for touching it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace corm::net {
+
+/** IPv4-style address; value semantics, printable. */
+struct IpAddr
+{
+    std::uint32_t v = 0;
+
+    constexpr IpAddr() = default;
+    constexpr explicit IpAddr(std::uint32_t raw) : v(raw) {}
+
+    /** Build from dotted-quad components. */
+    constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+        : v((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16)
+            | (std::uint32_t(c) << 8) | std::uint32_t(d))
+    {}
+
+    constexpr bool operator==(const IpAddr &o) const { return v == o.v; }
+    constexpr bool operator!=(const IpAddr &o) const { return v != o.v; }
+    constexpr bool operator<(const IpAddr &o) const { return v < o.v; }
+
+    /** Dotted-quad string, for logs and tables. */
+    std::string
+    str() const
+    {
+        return std::to_string(v >> 24) + "."
+            + std::to_string((v >> 16) & 0xff) + "."
+            + std::to_string((v >> 8) & 0xff) + "."
+            + std::to_string(v & 0xff);
+    }
+};
+
+/** Transport protocol of a flow. */
+enum class Proto : std::uint8_t { tcp, udp };
+
+/** Classic transport five-tuple identifying a flow. */
+struct FiveTuple
+{
+    IpAddr src;
+    IpAddr dst;
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    Proto proto = Proto::tcp;
+
+    bool
+    operator==(const FiveTuple &o) const
+    {
+        return src == o.src && dst == o.dst && sport == o.sport
+            && dport == o.dport && proto == o.proto;
+    }
+};
+
+/** Hash functor so FiveTuple can key unordered containers. */
+struct FiveTupleHash
+{
+    std::size_t
+    operator()(const FiveTuple &t) const
+    {
+        std::uint64_t h = t.src.v;
+        h = h * 0x9e3779b97f4a7c15ULL + t.dst.v;
+        h = h * 0x9e3779b97f4a7c15ULL
+            + ((std::uint64_t(t.sport) << 16) | t.dport);
+        h = h * 0x9e3779b97f4a7c15ULL
+            + static_cast<std::uint64_t>(t.proto);
+        h ^= h >> 29;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * Application-level tag readable by deep packet inspection. In the
+ * real system this information lives in the first payload bytes (an
+ * HTTP request line, an RTSP DESCRIBE response); here the sender sets
+ * the tag and the classifier charges inspection cycles to read it.
+ */
+struct AppTag
+{
+    /** What kind of payload the first bytes describe. */
+    enum class Kind : std::uint8_t
+    {
+        none,         ///< opaque payload
+        httpRequest,  ///< RUBiS request; value = request-type ordinal
+        httpResponse, ///< RUBiS response; value = request-type ordinal
+        rtspSetup,    ///< stream session setup; value = stream id
+        mediaData,    ///< RTP/UDP media payload; value = stream id
+    };
+
+    Kind kind = Kind::none;
+    std::uint32_t value = 0;
+};
+
+/**
+ * A simulated packet. Heap-allocated and shared along the pipeline;
+ * components annotate it (timestamps) rather than copying it.
+ */
+struct Packet
+{
+    /** Platform-unique packet id (monotonic per factory). */
+    std::uint64_t id = 0;
+    /** Transport five-tuple. */
+    FiveTuple flow;
+    /** Total wire size in bytes (headers + payload). */
+    std::uint32_t bytes = 0;
+    /** Tag the DPI classifier can read. */
+    AppTag tag;
+    /** When the packet entered the simulation (wire arrival / send). */
+    corm::sim::Tick created = 0;
+    /**
+     * Opaque application context travelling with the packet, e.g. the
+     * RUBiS request-state object. The receiving endpoint downcasts it.
+     */
+    std::shared_ptr<void> context;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/**
+ * Allocates packets with unique ids. One factory per simulation so
+ * runs are independent of each other.
+ */
+class PacketFactory
+{
+  public:
+    /** Create a packet with the next id and the given fields. */
+    PacketPtr
+    make(const FiveTuple &flow, std::uint32_t bytes,
+         AppTag tag = AppTag{}, corm::sim::Tick now = 0)
+    {
+        auto p = std::make_shared<Packet>();
+        p->id = ++lastId;
+        p->flow = flow;
+        p->bytes = bytes;
+        p->tag = tag;
+        p->created = now;
+        return p;
+    }
+
+    /** Number of packets created so far. */
+    std::uint64_t created() const { return lastId; }
+
+  private:
+    std::uint64_t lastId = 0;
+};
+
+/** Ethernet + IP + transport header overhead applied to payloads. */
+inline constexpr std::uint32_t wireHeaderBytes = 54;
+
+/** Conventional MTU used when segmenting application messages. */
+inline constexpr std::uint32_t defaultMtu = 1500;
+
+/**
+ * Number of MTU-sized packets needed to carry @p payload_bytes of
+ * application data (minimum one packet, e.g. for pure ACK/control).
+ */
+constexpr std::uint32_t
+packetsForPayload(std::uint64_t payload_bytes,
+                  std::uint32_t mtu = defaultMtu)
+{
+    const std::uint32_t mss = mtu - wireHeaderBytes;
+    if (payload_bytes == 0)
+        return 1;
+    return static_cast<std::uint32_t>((payload_bytes + mss - 1) / mss);
+}
+
+} // namespace corm::net

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bounded drop-tail queues with byte accounting.
+ *
+ * Used for the IXP per-VM packet rings in modelled DRAM (whose
+ * occupancy drives the Fig. 7 Trigger policy), the host descriptor
+ * rings, and any staging queue in the pipelines.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::net {
+
+/**
+ * A bounded FIFO of packets, limited in both packet count and total
+ * bytes. Enqueue fails (drop-tail) when either bound would be
+ * exceeded; drops are counted, mirroring what the IXP runtime exposes.
+ */
+class PacketQueue
+{
+  public:
+    /**
+     * @param max_packets Packet-count bound (0 = unbounded).
+     * @param max_bytes Byte bound (0 = unbounded).
+     */
+    explicit PacketQueue(std::size_t max_packets = 0,
+                         std::uint64_t max_bytes = 0)
+        : packetCap(max_packets), byteCap(max_bytes)
+    {}
+
+    /**
+     * Try to enqueue a packet.
+     * @return true on success; false if the packet was dropped.
+     */
+    bool
+    push(PacketPtr pkt)
+    {
+        const bool over_pkts =
+            packetCap != 0 && fifo.size() >= packetCap;
+        const bool over_bytes =
+            byteCap != 0 && bytesQueued + pkt->bytes > byteCap;
+        if (over_pkts || over_bytes) {
+            drops.add();
+            droppedBytes += pkt->bytes;
+            return false;
+        }
+        bytesQueued += pkt->bytes;
+        enqueued.add();
+        fifo.push_back(std::move(pkt));
+        return true;
+    }
+
+    /** Dequeue the oldest packet; empty() must be false. */
+    PacketPtr
+    pop()
+    {
+        PacketPtr p = std::move(fifo.front());
+        fifo.pop_front();
+        bytesQueued -= p->bytes;
+        return p;
+    }
+
+    /**
+     * Requeue a packet at the head after a failed downstream handoff
+     * (e.g. a full descriptor ring). Never drops: the packet already
+     * held its capacity when first admitted.
+     */
+    void
+    pushFront(PacketPtr pkt)
+    {
+        bytesQueued += pkt->bytes;
+        fifo.push_front(std::move(pkt));
+    }
+
+    /** Oldest packet without removing it; empty() must be false. */
+    const PacketPtr &front() const { return fifo.front(); }
+
+    /** True when no packets are queued. */
+    bool empty() const { return fifo.empty(); }
+
+    /** Packets currently queued. */
+    std::size_t size() const { return fifo.size(); }
+
+    /** Bytes currently queued. */
+    std::uint64_t bytes() const { return bytesQueued; }
+
+    /** Packet-count capacity (0 = unbounded). */
+    std::size_t packetCapacity() const { return packetCap; }
+
+    /** Byte capacity (0 = unbounded). */
+    std::uint64_t byteCapacity() const { return byteCap; }
+
+    /** Total packets ever accepted. */
+    std::uint64_t totalEnqueued() const { return enqueued.value(); }
+
+    /** Total packets ever dropped. */
+    std::uint64_t totalDrops() const { return drops.value(); }
+
+    /** Total bytes of dropped packets. */
+    std::uint64_t totalDroppedBytes() const { return droppedBytes; }
+
+    /** Clear contents (not the drop/enqueue counters). */
+    void
+    clear()
+    {
+        fifo.clear();
+        bytesQueued = 0;
+    }
+
+  private:
+    std::size_t packetCap;
+    std::uint64_t byteCap;
+    std::deque<PacketPtr> fifo;
+    std::uint64_t bytesQueued = 0;
+    std::uint64_t droppedBytes = 0;
+    corm::sim::Counter enqueued;
+    corm::sim::Counter drops;
+};
+
+} // namespace corm::net

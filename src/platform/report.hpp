@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Human-readable platform introspection report.
+ *
+ * Collects the statistics every component already keeps — scheduler,
+ * islands, coordination channel, messaging driver, per-guest CPU —
+ * into one formatted dump, the xentop/ixp-stats view an operator of
+ * the prototype would have watched.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "platform/testbed.hpp"
+
+namespace corm::platform {
+
+/** Render a full platform report into a string. */
+inline std::string
+statusReport(Testbed &tb)
+{
+    std::ostringstream out;
+    char line[256];
+    const corm::sim::Tick now = tb.sim().now();
+
+    auto emit = [&out, &line] { out << line; };
+
+    std::snprintf(line, sizeof(line),
+                  "=== CoRM platform status @ %.3f s ===\n",
+                  corm::sim::toSeconds(now));
+    emit();
+
+    // x86 island / scheduler.
+    auto &sched = tb.scheduler();
+    std::snprintf(line, sizeof(line),
+                  "[x86 island] %d PCPUs, %zu domains; ctx switches "
+                  "%llu, migrations %llu, boosts %llu\n",
+                  sched.pcpuCount(), sched.domains().size(),
+                  static_cast<unsigned long long>(
+                      sched.stats().contextSwitches.value()),
+                  static_cast<unsigned long long>(
+                      sched.stats().migrations.value()),
+                  static_cast<unsigned long long>(
+                      sched.stats().boosts.value()));
+    emit();
+    for (int i = 0; i < sched.pcpuCount(); ++i) {
+        std::snprintf(line, sizeof(line),
+                      "  pcpu%d: busy %.3f s, dvfs %.2f\n", i,
+                      corm::sim::toSeconds(sched.pcpuBusy(i)),
+                      sched.pcpuSpeed(i));
+        emit();
+    }
+    for (const auto *dom : sched.domains()) {
+        using K = corm::sim::UtilizationTracker::Kind;
+        const auto &u = dom->cpuUsage();
+        std::snprintf(
+            line, sizeof(line),
+            "  dom %-12s w=%-5.0f user %.3fs sys %.3fs iowait "
+            "%.3fs jobs %llu\n",
+            dom->name().c_str(), dom->weight(),
+            corm::sim::toSeconds(u.busy(K::user)),
+            corm::sim::toSeconds(u.busy(K::system)),
+            corm::sim::toSeconds(u.busy(K::iowait)),
+            static_cast<unsigned long long>(dom->jobsCompleted()));
+        emit();
+    }
+
+    // IXP island.
+    const auto &ixps = tb.ixp().stats();
+    std::snprintf(line, sizeof(line),
+                  "[ixp island] wireRx %llu, wireTx %llu, classified "
+                  "%llu, unknownDst %llu, drops %llu, dmaRejects "
+                  "%llu, tunes %llu\n",
+                  static_cast<unsigned long long>(ixps.wireRx.value()),
+                  static_cast<unsigned long long>(ixps.wireTx.value()),
+                  static_cast<unsigned long long>(
+                      ixps.classified.value()),
+                  static_cast<unsigned long long>(
+                      ixps.unknownDst.value()),
+                  static_cast<unsigned long long>(
+                      ixps.vmQueueDrops.value()),
+                  static_cast<unsigned long long>(
+                      ixps.dmaRejects.value()),
+                  static_cast<unsigned long long>(
+                      ixps.tunesApplied.value()));
+    emit();
+
+    // Coordination channel.
+    const auto &cs = tb.channel().stats();
+    std::snprintf(
+        line, sizeof(line),
+        "[coord channel] sent %llu, delivered %llu, dropped %llu "
+        "(tunes %llu, triggers %llu, regs %llu); latency %.0f us\n",
+        static_cast<unsigned long long>(cs.sent.value()),
+        static_cast<unsigned long long>(cs.delivered.value()),
+        static_cast<unsigned long long>(cs.dropped.value()),
+        static_cast<unsigned long long>(cs.tunes.value()),
+        static_cast<unsigned long long>(cs.triggers.value()),
+        static_cast<unsigned long long>(cs.registrations.value()),
+        cs.deliveryLatencyUs.mean());
+    emit();
+
+    // Messaging driver.
+    std::snprintf(line, sizeof(line),
+                  "[msg driver] delivered %llu, transmitted %llu, "
+                  "polls %llu, interrupts %llu\n",
+                  static_cast<unsigned long long>(
+                      tb.driver().totalDelivered()),
+                  static_cast<unsigned long long>(
+                      tb.driver().totalTransmitted()),
+                  static_cast<unsigned long long>(
+                      tb.driver().totalPolls()),
+                  static_cast<unsigned long long>(
+                      tb.driver().totalInterrupts()));
+    emit();
+
+    // Registration reliability.
+    std::snprintf(line, sizeof(line),
+                  "[registration] acked %llu, retries %llu, "
+                  "abandoned %llu, pending %zu\n",
+                  static_cast<unsigned long long>(
+                      tb.announcer().acked()),
+                  static_cast<unsigned long long>(
+                      tb.announcer().retries()),
+                  static_cast<unsigned long long>(
+                      tb.announcer().abandoned()),
+                  tb.announcer().pendingCount());
+    emit();
+
+    // Power.
+    std::snprintf(line, sizeof(line),
+                  "[power] x86 %.1f W + ixp %.1f W\n",
+                  tb.x86().currentPowerWatts(),
+                  tb.ixp().currentPowerWatts());
+    emit();
+
+    return out.str();
+}
+
+} // namespace corm::platform

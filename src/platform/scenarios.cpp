@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Experiment scenario implementations. Parameter choices and their
+ * calibration against the paper's reported shapes are documented in
+ * EXPERIMENTS.md.
+ */
+
+#include "platform/scenarios.hpp"
+
+#include <memory>
+
+namespace corm::platform {
+
+using corm::net::IpAddr;
+using corm::net::PacketPtr;
+using corm::sim::msec;
+using corm::sim::sec;
+using corm::sim::Tick;
+using corm::sim::usec;
+
+//
+// BackgroundLoad
+//
+
+BackgroundLoad::BackgroundLoad(corm::sim::Simulator &simulator,
+                               corm::xen::Domain &dom, Tick slice_,
+                               double duty_, int vcpu_)
+    : sim(simulator), target(dom), slice(slice_), duty(duty_), vcpu(vcpu_)
+{}
+
+void
+BackgroundLoad::start()
+{
+    running = true;
+    pump();
+}
+
+void
+BackgroundLoad::pump()
+{
+    if (!running)
+        return;
+    target.submit(slice, corm::xen::JobKind::user,
+                  [this] {
+                      if (duty >= 1.0) {
+                          pump();
+                          return;
+                      }
+                      const auto idle = static_cast<Tick>(
+                          static_cast<double>(slice) * (1.0 - duty)
+                          / duty);
+                      sim.schedule(idle, [this] { pump(); });
+                  },
+                  vcpu);
+}
+
+//
+// RUBiS scenario
+//
+
+RubisScenarioConfig::RubisScenarioConfig()
+{
+    client.concurrentSessions = 60;
+    client.thinkTimeMean = 250 * msec;
+    client.sessionLengthMean = 50.0;
+    client.mix = apps::rubis::Mix::bidBrowseSell;
+
+    // The 2010 prototype runs the literal credit1 scheduler; its
+    // class-FIFO latency behaviour is what the coordination acts on.
+    testbed.sched.creditOrderedDispatch = false;
+
+    // Dom0 carries the messaging driver and every bridge hop; give
+    // it the elevated weight operators configure so guest tuning
+    // cannot starve the I/O path (applies to base and coordinated
+    // runs alike).
+    testbed.dom0Weight = 512.0;
+
+    // Per-request tunes ride between these bounds (the XenCtl range
+    // the operators expose); a narrow band keeps the bang-bang
+    // dynamics responsive to request bursts at the ~100 ms scale.
+    testbed.sched.minWeight = 64.0;
+    testbed.sched.maxWeight = 1024.0;
+}
+
+RubisResult
+runRubisScenario(const RubisScenarioConfig &cfg)
+{
+    Testbed tb(cfg.testbed);
+    auto &web = tb.addGuest("web-server", IpAddr{10, 0, 0, 2},
+                            cfg.tierWeight);
+    auto &app = tb.addGuest("app-server", IpAddr{10, 0, 0, 3},
+                            cfg.tierWeight);
+    auto &db = tb.addGuest("db-server", IpAddr{10, 0, 0, 4},
+                           cfg.tierWeight);
+
+    apps::rubis::RubisServer server(tb.sim(), *web.vif, *app.vif, *db.vif,
+                                    tb.bridge(), tb.packets(), cfg.server);
+    apps::rubis::RubisClient client(tb.sim(), tb.ixp(), web.vif->ip(),
+                                    tb.packets(), cfg.client);
+    tb.setWireSink(cfg.client.clientIp,
+                   [&client](const PacketPtr &p) { client.onWirePacket(p); });
+
+    coord::RequestTypeTunePolicy policy(cfg.damping);
+    if (cfg.coordination) {
+        tb.x86().setTuneDecay(cfg.tuneDecayTau);
+        apps::rubis::installRubisAdjustments(policy, web.ref, app.ref,
+                                             db.ref, cfg.tuneDelta,
+                                             cfg.gains);
+        tb.attachPolicy(policy);
+    }
+
+    // Let the entity registrations cross the coordination channel
+    // before traffic arrives, as at real system bring-up.
+    tb.run(1 * msec);
+    client.start();
+    tb.run(cfg.warmup);
+    tb.beginMeasurement();
+    client.resetStats();
+    tb.run(cfg.measure);
+
+    RubisResult r;
+    const Tick elapsed = tb.measuredElapsed();
+    for (const auto &spec : apps::rubis::requestCatalog()) {
+        const auto &s = client.typeStats(spec.type).responseMs;
+        RubisResult::TypeRow row;
+        row.name = spec.name;
+        row.count = s.count();
+        row.minMs = s.min();
+        row.maxMs = s.max();
+        row.meanMs = s.mean();
+        row.stddevMs = s.stddev();
+        r.types.push_back(std::move(row));
+    }
+    r.throughputRps = static_cast<double>(client.completedRequests())
+        / corm::sim::toSeconds(elapsed);
+    r.sessionsCompleted = client.completedSessions();
+    r.avgSessionSec = client.sessionSeconds().mean();
+    r.webCpuPct = tb.guestCpuPct(web);
+    r.appCpuPct = tb.guestCpuPct(app);
+    r.dbCpuPct = tb.guestCpuPct(db);
+    r.webIowaitPct = tb.guestIowaitPct(web);
+    r.appIowaitPct = tb.guestIowaitPct(app);
+    r.dbIowaitPct = tb.guestIowaitPct(db);
+    {
+        const auto &u = tb.dom0().cpuUsage();
+        using K = corm::sim::UtilizationTracker::Kind;
+        r.dom0CpuPct = 100.0
+            * static_cast<double>(u.busy(K::user) + u.busy(K::system))
+            / static_cast<double>(elapsed);
+    }
+    const double total_util =
+        (r.webCpuPct + r.appCpuPct + r.dbCpuPct) / 100.0;
+    r.platformEfficiency =
+        total_util > 0.0 ? r.throughputRps / total_util : 0.0;
+    r.tunesSent = policy.tunesSent();
+    r.tunesApplied = tb.x86().totalTunes();
+    r.meanResponseMs = client.allResponsesMs().mean();
+    r.minResponseMs = client.allResponsesMs().min();
+    r.dbLockWaitMeanMs = server.dbLockWaitMs().mean();
+    r.dbLockWaitMaxMs = server.dbLockWaitMs().max();
+    {
+        const auto &bd = client.breakdown();
+        r.ingressMs = bd.ingressMs.mean();
+        r.webMs = bd.tierMs[0].mean();
+        r.appMs = bd.tierMs[1].mean();
+        r.dbMs = bd.tierMs[2].mean();
+        r.hopsMs = bd.hopsMs.mean();
+        r.egressMs = bd.egressMs.mean();
+    }
+    r.webWeight = web.dom->weight();
+    r.appWeight = app.dom->weight();
+    r.dbWeight = db.dom->weight();
+    return r;
+}
+
+//
+// MPlayer weight QoS (Fig. 6)
+//
+
+MplayerQosConfig::MplayerQosConfig()
+{
+    testbed.dom0Vcpus = 1; // polling, bridge and qemu-dm share it
+    testbed.sched.creditOrderedDispatch = false; // 2010 credit1
+
+    stream1.fps = 20.0;
+    stream1.bitrateBps = 300e3;
+    stream1.prebufferSec = 3.0;
+    stream1.streamId = 1;
+
+    stream2.fps = 25.0;
+    stream2.bitrateBps = 1e6;
+    stream2.prebufferSec = 3.0;
+    stream2.streamId = 2;
+
+    // Decode costs put Domain-1 at ~0.52 and Domain-2 at ~0.66 of a
+    // core at nominal rate — just above their default-weight shares
+    // and just below their tuned shares, which is what makes the
+    // Fig. 6 weight steps flip them between missing and meeting
+    // their frame-rate floors. See EXPERIMENTS.md.
+    decode1.baseCostPerFrame = 25 * msec;
+    decode1.costPerKib = 1 * msec;
+    decode1.lateDeadline = 700 * msec;
+
+    decode2.baseCostPerFrame = 22400 * usec;
+    decode2.costPerKib = 1 * msec;
+    decode2.lateDeadline = 700 * msec;
+}
+
+MplayerQosResult
+runMplayerQos(const MplayerQosConfig &cfg)
+{
+    TestbedParams tp = cfg.testbed;
+    tp.dom0Weight = cfg.dom0Weight;
+    Testbed tb(tp);
+
+    auto &dom1 = tb.addGuest("mplayer-dom1", IpAddr{10, 0, 1, 2},
+                             cfg.weight1);
+    auto &dom2 = tb.addGuest("mplayer-dom2", IpAddr{10, 0, 1, 3},
+                             cfg.weight2);
+
+    apps::mplayer::MplayerClient c1(tb.sim(), *dom1.vif, cfg.decode1);
+    apps::mplayer::MplayerClient c2(tb.sim(), *dom2.vif, cfg.decode2);
+
+    apps::mplayer::StreamingServer::Params sp1;
+    sp1.stream = cfg.stream1;
+    sp1.serverIp = IpAddr{10, 0, 9, 2};
+    apps::mplayer::StreamingServer s1(tb.sim(), tb.ixp(), dom1.vif->ip(),
+                                      tb.packets(), sp1);
+    apps::mplayer::StreamingServer::Params sp2;
+    sp2.stream = cfg.stream2;
+    sp2.serverIp = IpAddr{10, 0, 9, 3};
+    apps::mplayer::StreamingServer s2(tb.sim(), tb.ixp(), dom2.vif->ip(),
+                                      tb.packets(), sp2);
+
+    // Heavy Dom0 device-emulation load (HVM qemu-dm era), the CPU
+    // the guests' weight increases reclaim.
+    BackgroundLoad qemu(tb.sim(), tb.dom0(), 2 * msec, 1.0, 0);
+    if (cfg.dom0Background)
+        qemu.start();
+
+    coord::StreamQosTunePolicy policy(cfg.autoCfg);
+    if (cfg.autoCoordination)
+        tb.attachPolicy(policy);
+
+    if (cfg.ixpThreadBonus2 > 0.0) {
+        // "increase the number of IXP threads servicing Domain-2's
+        // receive queue in tandem" — expressed through the island's
+        // own Tune translation (threadsPerTuneUnit).
+        tb.ixp().applyTune(dom2.entity,
+                           cfg.ixpThreadBonus2 * 256.0);
+    }
+
+    tb.run(1 * msec); // registrations cross the channel first
+    s1.start();
+    s2.start();
+    tb.run(cfg.warmup);
+    tb.beginMeasurement();
+    c1.resetStats();
+    c2.resetStats();
+    tb.run(cfg.measure);
+
+    MplayerQosResult r;
+    const Tick elapsed = tb.measuredElapsed();
+    r.fps1 = c1.fps(elapsed);
+    r.fps2 = c2.fps(elapsed);
+    r.late1 = c1.framesDroppedLate();
+    r.late2 = c2.framesDroppedLate();
+    r.cpu1Pct = tb.guestCpuPct(dom1);
+    r.cpu2Pct = tb.guestCpuPct(dom2);
+    {
+        const auto &u = tb.dom0().cpuUsage();
+        using K = corm::sim::UtilizationTracker::Kind;
+        r.dom0Pct = 100.0
+            * static_cast<double>(u.busy(K::user) + u.busy(K::system))
+            / static_cast<double>(elapsed);
+    }
+    r.weight1End = dom1.dom->weight();
+    r.weight2End = dom2.dom->weight();
+    return r;
+}
+
+//
+// Buffer-threshold Trigger (Fig. 7, Table 3)
+//
+
+TriggerScenarioConfig::TriggerScenarioConfig()
+{
+    testbed.dom0Vcpus = 2;
+    testbed.sched.creditOrderedDispatch = false; // 2010 credit1
+    testbed.ringSlots = 64; // small host ring: bursts back-pressure
+
+    stream1.fps = 25.0;
+    stream1.bitrateBps = 1e6;
+    stream1.prebufferSec = 4.0;
+    stream1.streamId = 1;
+
+    decode1.baseCostPerFrame = 26 * msec;
+    decode1.costPerKib = 1 * msec;
+    // Streaming players keep a deep playout buffer; a frame is only
+    // skipped once it is hopelessly behind.
+    decode1.lateDeadline = 6600 * msec;
+
+    triggerCfg.thresholdBytes = 128 * 1024;
+    triggerCfg.minGap = 50 * msec;
+}
+
+TriggerScenarioResult
+runTriggerScenario(const TriggerScenarioConfig &cfg)
+{
+    Testbed tb(cfg.testbed);
+    auto &dom1 = tb.addGuest("mplayer-net", IpAddr{10, 0, 2, 2}, 256.0);
+    auto &dom2 = tb.addGuest("mplayer-disk", IpAddr{10, 0, 2, 3}, 256.0);
+
+    apps::mplayer::MplayerClient c1(tb.sim(), *dom1.vif, cfg.decode1);
+    apps::mplayer::DiskPlayer d2(*dom2.dom, cfg.diskFrameCost);
+
+    // Dom0 housekeeping load: keeps the host contended enough that
+    // scheduling position matters during burst drains.
+    BackgroundLoad dom0bg(tb.sim(), tb.dom0(), 2 * msec,
+                          cfg.dom0BackgroundDuty, 1);
+    if (cfg.dom0BackgroundDuty > 0.0)
+        dom0bg.start();
+
+    apps::mplayer::StreamingServer::Params sp;
+    sp.stream = cfg.stream1;
+    sp.pacing = apps::mplayer::Pacing::bursty;
+    sp.burstSec = cfg.burstSec;
+    apps::mplayer::StreamingServer server(tb.sim(), tb.ixp(),
+                                          dom1.vif->ip(), tb.packets(),
+                                          sp);
+
+    coord::BufferThresholdTriggerPolicy policy(cfg.triggerCfg);
+    if (cfg.trigger)
+        tb.attachPolicy(policy);
+
+    tb.run(1 * msec); // registrations cross the channel first
+    d2.start();
+    server.start();
+    tb.run(cfg.warmup);
+    tb.beginMeasurement();
+    c1.resetStats();
+    d2.resetStats();
+
+    // Fig. 7 CPU-utilisation series for the boosted domain.
+    TriggerScenarioResult r;
+    Tick last_busy = 0;
+    corm::sim::PeriodicEvent sampler(
+        tb.sim(), cfg.cpuSamplePeriod, [&] {
+            using K = corm::sim::UtilizationTracker::Kind;
+            const auto &u = dom1.dom->cpuUsage();
+            const Tick busy = u.busy(K::user) + u.busy(K::system);
+            r.cpu1Series.record(
+                tb.sim().now(),
+                100.0 * static_cast<double>(busy - last_busy)
+                    / static_cast<double>(cfg.cpuSamplePeriod));
+            last_busy = busy;
+        });
+
+    const Tick measure_start = tb.sim().now();
+    tb.run(cfg.measure);
+
+    const Tick elapsed = tb.measuredElapsed();
+    r.fps1 = c1.fps(elapsed);
+    r.fps2 = d2.fps(elapsed);
+    r.late1 = c1.framesDroppedLate();
+    r.triggersSent = policy.triggersSent();
+    r.boosts = tb.scheduler().stats().boosts.value();
+    r.ixpQueueDrops = tb.ixp().queueDrops(dom1.entity);
+    r.driverPolls = tb.driver().totalPolls();
+    r.driverInterrupts = tb.driver().totalInterrupts();
+
+    // Copy the measured window of the IXP occupancy trace.
+    if (const auto *series = tb.ixp().occupancySeries(dom1.entity)) {
+        for (const auto &p : series->data()) {
+            if (p.when >= measure_start) {
+                r.bufferSeries.record(p.when, p.value);
+                r.bufferPeakBytes =
+                    std::max(r.bufferPeakBytes, p.value);
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace corm::platform

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Prebuilt experiment scenarios reproducing the paper's evaluation
+ * (§3): the RUBiS coordinated-vs-base comparison (Figs. 2/4/5,
+ * Tables 1/2), the MPlayer weight-QoS experiment (Fig. 6), and the
+ * buffer-threshold Trigger experiment (Fig. 7, Table 3).
+ *
+ * Benches, examples and the integration tests all run these same
+ * scenario functions, so the numbers in EXPERIMENTS.md are exactly
+ * what the test suite asserts against.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/mplayer.hpp"
+#include "apps/rubis.hpp"
+#include "coord/policy.hpp"
+#include "platform/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::platform {
+
+//
+// RUBiS (§3.1)
+//
+
+/** Configuration of one RUBiS run. */
+struct RubisScenarioConfig
+{
+    TestbedParams testbed;
+    apps::rubis::RubisClient::Params client;
+    apps::rubis::RubisServer::Params server;
+
+    /** Initial weight of each tier VM (the paper's defaults). */
+    double tierWeight = 256.0;
+
+    /** Enable the request-type Tune coordination scheme. */
+    bool coordination = false;
+    /** Per-request weight step of the coordination table. */
+    double tuneDelta = 2.0;
+    /** Gain multipliers of the coordination table. */
+    apps::rubis::AdjustmentGains gains;
+    /**
+     * Decay time constant of tuned weights toward baseline on the
+     * x86 island (0 = off). With decay, a tier's weight tracks the
+     * Tune inflow of the last ~tau — the recent request mix.
+     */
+    corm::sim::Tick tuneDecayTau = 2 * corm::sim::sec;
+    /** Optional damping (oscillation ablation; off = paper baseline). */
+    coord::RequestTypeTunePolicy::Damping damping;
+
+    corm::sim::Tick warmup = 20 * corm::sim::sec;
+    corm::sim::Tick measure = 120 * corm::sim::sec;
+
+    RubisScenarioConfig();
+};
+
+/** Results of one RUBiS run, shaped like the paper's artefacts. */
+struct RubisResult
+{
+    /** One Table 1 / Fig. 2 / Fig. 4 row. */
+    struct TypeRow
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double minMs = 0.0;
+        double maxMs = 0.0;
+        double meanMs = 0.0;
+        double stddevMs = 0.0;
+    };
+
+    std::vector<TypeRow> types; ///< indexed by RequestType ordinal
+
+    // Table 2 metrics.
+    double throughputRps = 0.0;
+    std::uint64_t sessionsCompleted = 0;
+    double avgSessionSec = 0.0;
+    double platformEfficiency = 0.0; ///< throughput / (Σ guest util/100)
+
+    // Fig. 5 metrics (percent of one core).
+    double webCpuPct = 0.0, appCpuPct = 0.0, dbCpuPct = 0.0;
+    double dom0CpuPct = 0.0;
+    double webIowaitPct = 0.0, appIowaitPct = 0.0, dbIowaitPct = 0.0;
+
+    // Coordination machinery counters.
+    std::uint64_t tunesSent = 0;
+    std::uint64_t tunesApplied = 0;
+
+    double meanResponseMs = 0.0;
+    double minResponseMs = 0.0;
+
+    // Database write-transaction lock behaviour.
+    double dbLockWaitMeanMs = 0.0;
+    double dbLockWaitMaxMs = 0.0;
+
+    // E2Eprof-style latency breakdown (means, ms).
+    double ingressMs = 0.0;
+    double webMs = 0.0, appMs = 0.0, dbMs = 0.0;
+    double hopsMs = 0.0;
+    double egressMs = 0.0;
+
+    // Final tier weights (where the per-request tuning settled).
+    double webWeight = 0.0, appWeight = 0.0, dbWeight = 0.0;
+};
+
+/** Run one RUBiS experiment end to end. */
+RubisResult runRubisScenario(const RubisScenarioConfig &cfg);
+
+//
+// MPlayer weight QoS (Fig. 6, §3.2 scheme 1)
+//
+
+struct MplayerQosConfig
+{
+    TestbedParams testbed;
+
+    /** Guest weights for the run (the Fig. 6 x-axis). */
+    double weight1 = 256.0;
+    double weight2 = 256.0;
+
+    /**
+     * Extra dequeue-thread share for Domain-2's IXP queue (the
+     * "increase the number of IXP threads servicing Domain-2's
+     * receive queue in tandem" step of the third configuration).
+     */
+    double ixpThreadBonus2 = 0.0;
+
+    /**
+     * Run with the StreamQosTunePolicy driving the weights instead
+     * of static settings (the automated version of the scheme).
+     */
+    bool autoCoordination = false;
+    coord::StreamQosTunePolicy::Config autoCfg;
+
+    /** Dom0 device-emulation background load (HVM qemu-dm model). */
+    bool dom0Background = true;
+    double dom0Weight = 512.0;
+
+    apps::mplayer::StreamSpec stream1;
+    apps::mplayer::StreamSpec stream2;
+    apps::mplayer::DecodeParams decode1;
+    apps::mplayer::DecodeParams decode2;
+
+    corm::sim::Tick warmup = 10 * corm::sim::sec;
+    corm::sim::Tick measure = 60 * corm::sim::sec;
+
+    MplayerQosConfig();
+};
+
+struct MplayerQosResult
+{
+    double fps1 = 0.0;
+    double fps2 = 0.0;
+    std::uint64_t late1 = 0, late2 = 0;
+    double cpu1Pct = 0.0, cpu2Pct = 0.0, dom0Pct = 0.0;
+    double weight1End = 0.0, weight2End = 0.0;
+};
+
+/** Run one Fig. 6 configuration. */
+MplayerQosResult runMplayerQos(const MplayerQosConfig &cfg);
+
+//
+// Buffer-threshold Trigger (Fig. 7, Table 3; §3.2 scheme 2)
+//
+
+struct TriggerScenarioConfig
+{
+    TestbedParams testbed;
+
+    /** Enable the buffer-threshold Trigger policy. */
+    bool trigger = false;
+    coord::BufferThresholdTriggerPolicy::Config triggerCfg;
+
+    /** Domain-1's bursty network stream. */
+    apps::mplayer::StreamSpec stream1;
+    double burstSec = 8.0;
+    apps::mplayer::DecodeParams decode1;
+
+    /** Domain-2's local-disk decode cost per frame. */
+    corm::sim::Tick diskFrameCost = 12500 * corm::sim::usec;
+
+    /** Dom0 housekeeping/device-emulation duty cycle (0 = none). */
+    double dom0BackgroundDuty = 0.5;
+
+    /** Sampling period of the Fig. 7 CPU-utilisation series. */
+    corm::sim::Tick cpuSamplePeriod = 1 * corm::sim::sec;
+
+    corm::sim::Tick warmup = 8 * corm::sim::sec;
+    corm::sim::Tick measure = 120 * corm::sim::sec;
+
+    TriggerScenarioConfig();
+};
+
+struct TriggerScenarioResult
+{
+    double fps1 = 0.0; ///< network-stream domain
+    double fps2 = 0.0; ///< local-disk domain
+    std::uint64_t late1 = 0;
+    std::uint64_t triggersSent = 0;
+    std::uint64_t boosts = 0;
+    std::uint64_t ixpQueueDrops = 0;
+    double bufferPeakBytes = 0.0;
+    std::uint64_t driverPolls = 0;
+    std::uint64_t driverInterrupts = 0;
+
+    /** Fig. 7 series: Dom-1 CPU utilisation (%) over time. */
+    corm::sim::TimeSeries cpu1Series;
+    /** Fig. 7 series: Dom-1 IXP buffer occupancy (bytes) over time. */
+    corm::sim::TimeSeries bufferSeries;
+};
+
+/** Run one Fig. 7 / Table 3 configuration. */
+TriggerScenarioResult runTriggerScenario(const TriggerScenarioConfig &cfg);
+
+//
+// Shared helpers
+//
+
+/**
+ * A CPU-hungry background load inside a domain (device emulation,
+ * kernel housekeeping): back-to-back jobs of the given slice length
+ * on one VCPU, optionally duty-cycled.
+ */
+class BackgroundLoad
+{
+  public:
+    /**
+     * @param simulator Event engine (paces duty-cycled loads).
+     * @param dom Domain to load.
+     * @param slice Job length (2 ms gives tick-grained interleaving).
+     * @param duty Fraction of time busy in (0, 1]; 1 = saturating.
+     * @param vcpu VCPU index to load.
+     */
+    BackgroundLoad(corm::sim::Simulator &simulator, corm::xen::Domain &dom,
+                   corm::sim::Tick slice, double duty = 1.0, int vcpu = 0);
+
+    void start();
+    void stop() { running = false; }
+
+  private:
+    void pump();
+
+    corm::sim::Simulator &sim;
+    corm::xen::Domain &target;
+    corm::sim::Tick slice;
+    double duty;
+    int vcpu;
+    bool running = false;
+};
+
+} // namespace corm::platform

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Testbed assembly.
+ */
+
+#include "platform/testbed.hpp"
+
+#include <bit>
+
+namespace corm::platform {
+
+using corm::coord::CoordMessage;
+using corm::coord::EntityBinding;
+using corm::coord::MsgType;
+using corm::sim::UtilizationTracker;
+
+Testbed::Testbed(TestbedParams params)
+    : cfg(std::move(params)),
+      sched_(sim_, cfg.pcpus, cfg.sched),
+      dom0_(sched_, 0, "dom0", cfg.dom0Weight, cfg.dom0Vcpus),
+      bridge_(dom0_, cfg.bridgeRelayCost),
+      pcie_(sim_, cfg.link, "pcie"),
+      ring_(cfg.ringSlots, "hostring"),
+      ixp_(sim_, cfg.ixpIslandId, "ixp2850", pcie_.deviceToHost(), ring_,
+           cfg.ixp),
+      x86_(sim_, cfg.x86IslandId, "x86-xen", sched_),
+      channel_(sim_, ixp_, x86_, cfg.coordLatency),
+      announcer_(sim_, channel_),
+      driver_(sim_, dom0_, ring_, bridge_, pcie_.hostToDevice(), ixp_,
+              cfg.driver)
+{
+    controller_.registerIsland(x86_);
+    controller_.registerIsland(ixp_);
+
+    // Registration announcements to the IXP travel the coordination
+    // channel (§2.3); islands co-located with the controller learn
+    // directly.
+    controller_.setAnnounceTransport(
+        [this](corm::coord::ResourceIsland &to, const EntityBinding &b) {
+            if (to.id() == ixp_.id()) {
+                // Registrations travel the channel with ack + retry:
+                // a lost binding would blind the classifier forever.
+                announcer_.announce(ixp_.id(), b);
+            } else {
+                to.learnBinding(b);
+            }
+        });
+
+    // Wire egress: route to the registered external sink for the
+    // destination address.
+    ixp_.setWireTx([this](corm::net::PacketPtr p) {
+        auto it = wireSinks.find(p->flow.dst.v);
+        if (it != wireSinks.end())
+            it->second(p);
+    });
+}
+
+Testbed::Guest &
+Testbed::addGuest(const std::string &name, corm::net::IpAddr ip,
+                  double weight)
+{
+    auto guest = std::make_unique<Guest>();
+    guest->dom = std::make_unique<corm::xen::Domain>(
+        sched_, static_cast<std::uint32_t>(guests_.size() + 1), name,
+        weight);
+    guest->vif =
+        std::make_unique<corm::xen::GuestVif>(*guest->dom, ip, cfg.vif);
+    bridge_.attach(*guest->vif);
+
+    guest->entity = x86_.manage(*guest->dom);
+    guest->ref = corm::coord::EntityRef{x86_.id(), guest->entity};
+
+    EntityBinding binding;
+    binding.ref = guest->ref;
+    binding.name = name;
+    binding.ip = ip;
+    controller_.registerEntity(binding);
+
+    guests_.push_back(std::move(guest));
+    return *guests_.back();
+}
+
+void
+Testbed::attachPolicy(corm::coord::CoordinationPolicy &policy)
+{
+    ixp_.attachPolicy(policy);
+    policy.attachSender(ixp_.id(), [this](const CoordMessage &m) {
+        channel_.send(m);
+    });
+}
+
+void
+Testbed::beginMeasurement()
+{
+    measureStart = sim_.now();
+    sched_.resetBusy();
+    dom0_.resetUsage();
+    for (auto &g : guests_)
+        g->dom->resetUsage();
+}
+
+double
+Testbed::guestCpuPct(const Guest &guest) const
+{
+    const corm::sim::Tick elapsed = measuredElapsed();
+    if (elapsed == 0)
+        return 0.0;
+    const auto &u = guest.dom->cpuUsage();
+    const corm::sim::Tick busy = u.busy(UtilizationTracker::Kind::user)
+        + u.busy(UtilizationTracker::Kind::system);
+    return 100.0 * static_cast<double>(busy)
+        / static_cast<double>(elapsed);
+}
+
+double
+Testbed::guestIowaitPct(const Guest &guest) const
+{
+    const corm::sim::Tick elapsed = measuredElapsed();
+    if (elapsed == 0)
+        return 0.0;
+    return 100.0
+        * static_cast<double>(guest.dom->cpuUsage().busy(
+              UtilizationTracker::Kind::iowait))
+        / static_cast<double>(elapsed);
+}
+
+} // namespace corm::platform

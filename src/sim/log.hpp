@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight component-tagged logging with simulated-time stamps.
+ *
+ * Intended for tracing platform behaviour during development and in
+ * the examples; the benchmark harnesses run with logging off so their
+ * output is exactly the paper-style tables.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace corm::sim {
+
+/** Log severity, in increasing order of importance. */
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/**
+ * Global log configuration. A single threshold applies to all
+ * components; the simulator pointer (if set) adds time stamps.
+ */
+class LogConfig
+{
+  public:
+    /** Access the process-wide configuration. */
+    static LogConfig &
+    instance()
+    {
+        static LogConfig config;
+        return config;
+    }
+
+    /** Current threshold; messages below it are dropped. */
+    LogLevel level() const { return threshold; }
+
+    /** Set the threshold. */
+    void setLevel(LogLevel level) { threshold = level; }
+
+    /** Simulator whose clock stamps messages (may be null). */
+    const Simulator *clock() const { return sim; }
+
+    /** Attach/detach the time-stamping simulator. */
+    void setClock(const Simulator *simulator) { sim = simulator; }
+
+  private:
+    LogLevel threshold = LogLevel::warn;
+    const Simulator *sim = nullptr;
+};
+
+/**
+ * Per-component logger; cheap to construct and copy. Formatting uses
+ * printf-style varargs for zero dependencies.
+ */
+class Logger
+{
+  public:
+    /** @param component Tag shown in every message, e.g. "xen.sched". */
+    explicit Logger(std::string component)
+        : tag(std::move(component))
+    {}
+
+    /** True if messages at @p level would currently be emitted. */
+    static bool
+    enabled(LogLevel level)
+    {
+        return level >= LogConfig::instance().level();
+    }
+
+    /** Emit a debug-level message. */
+    template <typename... Args>
+    void
+    debug(const char *fmt, Args... args) const
+    {
+        emit(LogLevel::debug, fmt, args...);
+    }
+
+    /** Emit an info-level message. */
+    template <typename... Args>
+    void
+    info(const char *fmt, Args... args) const
+    {
+        emit(LogLevel::info, fmt, args...);
+    }
+
+    /** Emit a warning. */
+    template <typename... Args>
+    void
+    warn(const char *fmt, Args... args) const
+    {
+        emit(LogLevel::warn, fmt, args...);
+    }
+
+    /** Emit an error message. */
+    template <typename... Args>
+    void
+    error(const char *fmt, Args... args) const
+    {
+        emit(LogLevel::error, fmt, args...);
+    }
+
+  private:
+    template <typename... Args>
+    void
+    emit(LogLevel level, const char *fmt, Args... args) const
+    {
+        if (!enabled(level))
+            return;
+        static const char *names[] = {"DBG", "INF", "WRN", "ERR"};
+        const auto *clk = LogConfig::instance().clock();
+        const double t = clk ? toMillis(clk->now()) : 0.0;
+        std::fprintf(stderr, "[%12.3f ms] %s %-16s ", t,
+                     names[static_cast<int>(level)], tag.c_str());
+        if constexpr (sizeof...(Args) == 0)
+            std::fprintf(stderr, "%s", fmt);
+        else
+            std::fprintf(stderr, fmt, args...);
+        std::fputc('\n', stderr);
+    }
+
+    std::string tag;
+};
+
+} // namespace corm::sim

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Seedable random number generation for workload models.
+ *
+ * The simulator must be deterministic for a given seed so every
+ * experiment in EXPERIMENTS.md is exactly reproducible. We therefore
+ * avoid std::random_device and the unspecified-across-platforms
+ * std::*_distribution implementations, and ship a small self-contained
+ * generator (xoshiro256++) plus the handful of distributions the
+ * workload models need.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace corm::sim {
+
+/**
+ * SplitMix64 stream, used to expand a single 64-bit seed into the
+ * 256-bit state of Xoshiro256pp. Also usable standalone for cheap
+ * hashing-style randomness.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * xoshiro256++ pseudo-random generator (Blackman & Vigna). Fast,
+ * high-quality, and fully specified, so results are identical on any
+ * platform. One instance per independent random stream; derive
+ * per-component streams from a master seed with fork().
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the generator; the full state is expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x5eedc0de5eedc0deULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** Minimum value, for UniformRandomBitGenerator conformance. */
+    static constexpr result_type min() { return 0; }
+    /** Maximum value, for UniformRandomBitGenerator conformance. */
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next 64 random bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+        const std::uint64_t t = s[1] << 17;
+
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+
+        return result;
+    }
+
+    /**
+     * Derive an independent child stream. Uses the next output as the
+     * child's seed; the parent stream advances by one draw.
+     */
+    Rng fork() { return Rng((*this)()); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high-quality mantissa bits.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire's unbiased bounded generation.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            std::uint64_t t = (0 - n) % n;
+            while (lo < t) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Bernoulli draw with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponential variate with the given mean (mean > 0). */
+    double
+    exponential(double mean)
+    {
+        // Guard against log(0).
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Exponentially distributed duration with the given mean. */
+    Tick
+    exponentialTicks(Tick mean)
+    {
+        return static_cast<Tick>(
+            exponential(static_cast<double>(mean)));
+    }
+
+    /** Normal variate (Box–Muller, one value per call). */
+    double
+    normal(double mean, double stddev)
+    {
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        return mean + stddev * r * std::cos(theta);
+    }
+
+    /**
+     * Truncated-at-zero normal duration. Service-demand jitter in the
+     * workload models never goes negative.
+     */
+    Tick
+    normalTicks(Tick mean, Tick stddev)
+    {
+        const double v = normal(static_cast<double>(mean),
+                                static_cast<double>(stddev));
+        return v <= 0.0 ? 0 : static_cast<Tick>(v);
+    }
+
+    /** Bounded Pareto variate (heavy-tailed demand bursts). */
+    double
+    boundedPareto(double alpha, double lo, double hi)
+    {
+        const double u = uniform();
+        const double la = std::pow(lo, alpha);
+        const double ha = std::pow(hi, alpha);
+        return std::pow(-(u * ha - u * la - ha) / (ha * la),
+                        -1.0 / alpha);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+/**
+ * Discrete distribution over [0, n) defined by arbitrary non-negative
+ * weights. Used for the RUBiS session transition matrix. Sampling is
+ * O(n) on purpose: n is ~20 and clarity beats an alias table here.
+ */
+class DiscreteDist
+{
+  public:
+    DiscreteDist() = default;
+
+    /** Build from weights; zero-weight entries are never drawn. */
+    explicit DiscreteDist(std::vector<double> w) : weights(std::move(w))
+    {
+        total = 0.0;
+        for (double x : weights)
+            total += x;
+    }
+
+    /** True if no entry can be drawn. */
+    bool empty() const { return total <= 0.0; }
+
+    /** Number of categories. */
+    std::size_t size() const { return weights.size(); }
+
+    /** Probability of category i. */
+    double
+    probability(std::size_t i) const
+    {
+        if (total <= 0.0 || i >= weights.size())
+            return 0.0;
+        return weights[i] / total;
+    }
+
+    /** Draw a category index. Requires !empty(). */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        double x = rng.uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0.0)
+                return i;
+        }
+        // Floating-point slop: return the last non-zero weight.
+        for (std::size_t i = weights.size(); i-- > 0;) {
+            if (weights[i] > 0.0)
+                return i;
+        }
+        return 0;
+    }
+
+  private:
+    std::vector<double> weights;
+    double total = 0.0;
+};
+
+} // namespace corm::sim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * A Simulator owns a time-ordered queue of events. Components schedule
+ * callbacks at absolute or relative simulated times; run() dispatches
+ * them in (time, insertion) order, so simultaneous events execute in
+ * the order they were scheduled — a property several scheduler tests
+ * rely on. Events are cancellable via the id returned by schedule().
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace corm::sim {
+
+/** Identifier of a scheduled event, usable with Simulator::cancel(). */
+using EventId = std::uint64_t;
+
+/** EventId value that never names a live event. */
+inline constexpr EventId invalidEventId = 0;
+
+/**
+ * Discrete-event simulator: a clock plus an ordered event queue.
+ *
+ * Not thread-safe by design; the entire platform model runs in one
+ * thread of host execution, which keeps it deterministic.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to run.
+     * @return Id usable with cancel().
+     */
+    EventId
+    scheduleAt(Tick when, Callback cb)
+    {
+        if (when < currentTick)
+            when = currentTick;
+        const EventId id = ++nextId;
+        queue.push(Event{when, id, std::move(cb)});
+        ++liveEvents;
+        return id;
+    }
+
+    /** Schedule a callback @p delay ticks from now. */
+    EventId
+    schedule(Tick delay, Callback cb)
+    {
+        return scheduleAt(currentTick + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired
+     * or already-cancelled event is a harmless no-op.
+     */
+    void
+    cancel(EventId id)
+    {
+        if (id == invalidEventId)
+            return;
+        if (cancelled.insert(id).second && liveEvents > 0)
+            --liveEvents;
+    }
+
+    /** Number of scheduled-and-not-yet-fired (nor cancelled) events. */
+    std::size_t pendingEvents() const { return liveEvents; }
+
+    /**
+     * Run until the queue drains or simulated time would pass @p until.
+     * The clock is left at @p until (or at the final event if the queue
+     * drained earlier and stopRequested() was set).
+     */
+    void
+    runUntil(Tick until)
+    {
+        drain(until);
+        if (!stopFlag && currentTick < until)
+            currentTick = until;
+    }
+
+    /** Run @p duration ticks of simulated time from now. */
+    void runFor(Tick duration) { runUntil(currentTick + duration); }
+
+    /**
+     * Run until the event queue is completely drained; the clock is
+     * left at the final event (it does not jump to infinity).
+     */
+    void runToCompletion() { drain(maxTick); }
+
+    /**
+     * Execute exactly one pending event (skipping cancelled ones).
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        while (!queue.empty()) {
+            if (cancelled.erase(queue.top().id)) {
+                queue.pop();
+                continue;
+            }
+            Event ev = std::move(const_cast<Event &>(queue.top()));
+            queue.pop();
+            --liveEvents;
+            currentTick = ev.when;
+            ev.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** Ask a running runUntil() loop to stop after the current event. */
+    void requestStop() { stopFlag = true; }
+
+    /** True if the last run ended due to requestStop(). */
+    bool stopRequested() const { return stopFlag; }
+
+  private:
+    /** Execute events with when <= until, honouring cancellations. */
+    void
+    drain(Tick until)
+    {
+        stopFlag = false;
+        while (!queue.empty() && !stopFlag) {
+            const Event &top = queue.top();
+            if (top.when > until)
+                break;
+            if (cancelled.erase(top.id)) {
+                queue.pop();
+                continue;
+            }
+            // Move the callback out before popping so the event can
+            // safely schedule (and even cancel) other events.
+            Event ev = std::move(const_cast<Event &>(top));
+            queue.pop();
+            --liveEvents;
+            currentTick = ev.when;
+            ev.cb();
+        }
+    }
+
+    struct Event
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among simultaneous events
+        }
+    };
+
+    Tick currentTick = 0;
+    EventId nextId = invalidEventId;
+    bool stopFlag = false;
+    std::size_t liveEvents = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::unordered_set<EventId> cancelled;
+};
+
+/**
+ * RAII helper for a periodic event: fires a callback every @p period
+ * ticks until stopped or destroyed. Used for scheduler ticks,
+ * accounting periods, polling loops and monitors.
+ */
+class PeriodicEvent
+{
+  public:
+    /**
+     * @param simulator Owning simulator (must outlive this object).
+     * @param period Interval between firings; must be > 0.
+     * @param cb Callback invoked each period.
+     * @param start_offset Delay before the first firing (default: one
+     *        full period).
+     */
+    PeriodicEvent(Simulator &simulator, Tick period,
+                  Simulator::Callback cb, Tick start_offset = 0)
+        : sim(simulator), interval(period), callback(std::move(cb))
+    {
+        const Tick first = start_offset == 0 ? interval : start_offset;
+        pending = sim.schedule(first, [this] { fire(); });
+    }
+
+    ~PeriodicEvent() { stop(); }
+
+    PeriodicEvent(const PeriodicEvent &) = delete;
+    PeriodicEvent &operator=(const PeriodicEvent &) = delete;
+
+    /** Stop firing; safe to call repeatedly. */
+    void
+    stop()
+    {
+        sim.cancel(pending);
+        pending = invalidEventId;
+    }
+
+    /** True while the periodic event is armed. */
+    bool running() const { return pending != invalidEventId; }
+
+  private:
+    void
+    fire()
+    {
+        pending = sim.schedule(interval, [this] { fire(); });
+        callback();
+    }
+
+    Simulator &sim;
+    Tick interval;
+    Simulator::Callback callback;
+    EventId pending = invalidEventId;
+};
+
+} // namespace corm::sim

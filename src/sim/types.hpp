@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental simulation types and time units.
+ *
+ * All of CoRM runs on a single discrete-event clock whose unit is one
+ * nanosecond of simulated time. Helpers below convert between human
+ * units (us/ms/s) and ticks; use them instead of raw literals so the
+ * time base can be audited in one place.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace corm::sim {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A signed duration in ticks, for deltas that may be negative. */
+using TickDelta = std::int64_t;
+
+/** Sentinel for "no deadline / never". */
+inline constexpr Tick maxTick = ~Tick(0);
+
+/** One nanosecond of simulated time. */
+inline constexpr Tick nsec = 1;
+/** One microsecond of simulated time. */
+inline constexpr Tick usec = 1000 * nsec;
+/** One millisecond of simulated time. */
+inline constexpr Tick msec = 1000 * usec;
+/** One second of simulated time. */
+inline constexpr Tick sec = 1000 * msec;
+
+/** Convert ticks to (double) seconds, for reporting. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sec);
+}
+
+/** Convert ticks to (double) milliseconds, for reporting. */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(msec);
+}
+
+/** Convert ticks to (double) microseconds, for reporting. */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(usec);
+}
+
+/** Convert (double) seconds to ticks, clamping negatives to zero. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return s <= 0.0 ? 0 : static_cast<Tick>(s * static_cast<double>(sec));
+}
+
+/** Convert (double) milliseconds to ticks, clamping negatives to zero. */
+constexpr Tick
+fromMillis(double ms)
+{
+    return ms <= 0.0 ? 0 : static_cast<Tick>(ms * static_cast<double>(msec));
+}
+
+/** Convert (double) microseconds to ticks, clamping negatives to zero. */
+constexpr Tick
+fromMicros(double us)
+{
+    return us <= 0.0 ? 0 : static_cast<Tick>(us * static_cast<double>(usec));
+}
+
+} // namespace corm::sim

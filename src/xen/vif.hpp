@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Guest virtual interfaces (ViFs) and the Xen bridge.
+ *
+ * Models the paper's §2 data path on the host side: each guest has a
+ * virtual interface; all guest traffic is relayed by the privileged
+ * control domain (Dom0) through the Xen bridge, which either delivers
+ * to another local guest or hands the packet to the external path
+ * (the IXP messaging driver). Every hop costs CPU in the domain that
+ * performs it — that Dom0 per-packet relay cost is precisely the
+ * contention the MPlayer experiments exercise.
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+#include "xen/sched.hpp"
+
+namespace corm::xen {
+
+/** CPU costs of moving packets through a guest's network stack. */
+struct VifParams
+{
+    /** Guest-side receive cost per packet (softirq + socket). */
+    corm::sim::Tick rxPerPacket = 6 * corm::sim::usec;
+    /** Additional receive cost per KiB of payload (copies). */
+    corm::sim::Tick rxPerKib = 1 * corm::sim::usec;
+    /** Guest-side transmit cost per packet. */
+    corm::sim::Tick txPerPacket = 5 * corm::sim::usec;
+    /** Additional transmit cost per KiB of payload. */
+    corm::sim::Tick txPerKib = 1 * corm::sim::usec;
+    /**
+     * Receive-ring depth: packets that may be in flight into the
+     * guest before it has run its receive stack. When the guest is
+     * CPU-starved the ring fills, the messaging driver stops
+     * consuming descriptors, the host descriptor ring fills, and the
+     * IXP's DRAM buffers grow — the backpressure chain behind the
+     * Fig. 7 buffer-threshold Trigger scheme.
+     */
+    int rxRingDepth = 64;
+};
+
+/**
+ * A guest's virtual network interface. Receive and transmit charge
+ * system-time jobs to the guest before the application sees or the
+ * wire receives the packet, so network processing competes with the
+ * guest's own work for its VCPU — the effect coordination must
+ * anticipate.
+ */
+class GuestVif
+{
+  public:
+    using RxHandler = std::function<void(corm::net::PacketPtr)>;
+    using TxDone = std::function<void(corm::net::PacketPtr)>;
+
+    /**
+     * @param guest Owning domain.
+     * @param address The guest's IP (its classifier identity).
+     * @param params Stack cost parameters.
+     */
+    GuestVif(Domain &guest, corm::net::IpAddr address,
+             VifParams params = {})
+        : dom(guest), ip_(address), cfg(params)
+    {}
+
+    /** Install the guest application's receive handler. */
+    void setReceiveHandler(RxHandler fn) { rxHandler = std::move(fn); }
+
+    /** The guest's IP address. */
+    corm::net::IpAddr ip() const { return ip_; }
+
+    /** Owning domain. */
+    Domain &domain() { return dom; }
+
+    /**
+     * True if the receive ring has room for another packet; the
+     * messaging driver checks this before consuming a descriptor.
+     */
+    bool canAccept() const { return inflightRx < cfg.rxRingDepth; }
+
+    /** Packets in the receive ring not yet processed by the guest. */
+    int inflight() const { return inflightRx; }
+
+    /**
+     * Deliver a packet into the guest: occupies a receive-ring slot,
+     * charges the receive-stack job, then invokes the application
+     * handler. Callers should honour canAccept(); delivery beyond the
+     * ring depth is allowed but keeps the ring marked full.
+     */
+    void
+    deliver(corm::net::PacketPtr pkt)
+    {
+        rxPackets.add();
+        rxBytes += pkt->bytes;
+        ++inflightRx;
+        const corm::sim::Tick cost = cfg.rxPerPacket
+            + cfg.rxPerKib * (pkt->bytes / 1024);
+        dom.submit(cost, JobKind::system,
+                   [this, p = std::move(pkt)]() mutable {
+                       --inflightRx;
+                       if (rxHandler)
+                           rxHandler(std::move(p));
+                   });
+    }
+
+    /**
+     * Transmit a packet from the guest: charges the transmit-stack
+     * job, then hands the packet to @p on_wire (the bridge).
+     */
+    void
+    transmit(corm::net::PacketPtr pkt, TxDone on_wire)
+    {
+        txPackets.add();
+        txBytes += pkt->bytes;
+        const corm::sim::Tick cost = cfg.txPerPacket
+            + cfg.txPerKib * (pkt->bytes / 1024);
+        dom.submit(cost, JobKind::system,
+                   [p = std::move(pkt),
+                    done = std::move(on_wire)]() mutable {
+                       if (done)
+                           done(std::move(p));
+                   });
+    }
+
+    /** Packets received into the guest. */
+    std::uint64_t totalRxPackets() const { return rxPackets.value(); }
+    /** Packets transmitted by the guest. */
+    std::uint64_t totalTxPackets() const { return txPackets.value(); }
+    /** Bytes received. */
+    std::uint64_t totalRxBytes() const { return rxBytes; }
+    /** Bytes transmitted. */
+    std::uint64_t totalTxBytes() const { return txBytes; }
+
+  private:
+    Domain &dom;
+    corm::net::IpAddr ip_;
+    VifParams cfg;
+    RxHandler rxHandler;
+    corm::sim::Counter rxPackets;
+    corm::sim::Counter txPackets;
+    std::uint64_t rxBytes = 0;
+    std::uint64_t txBytes = 0;
+    int inflightRx = 0;
+};
+
+/**
+ * The Xen bridge in Dom0: relays guest traffic between local ViFs or
+ * out the external path. Each relayed packet costs Dom0 CPU (netback
+ * copy + bridge lookup), spread across Dom0's VCPUs since Dom0 is
+ * unpinned in the prototype.
+ */
+class XenBridge
+{
+  public:
+    using ExternalTx = std::function<void(corm::net::PacketPtr)>;
+
+    /**
+     * @param dom0 The privileged control domain doing the relaying.
+     * @param per_packet_cost Dom0 CPU per relayed packet.
+     */
+    XenBridge(Domain &dom0, corm::sim::Tick per_packet_cost)
+        : ctrl(dom0), relayCost(per_packet_cost)
+    {}
+
+    /** Attach a guest interface (keyed by its IP). */
+    void attach(GuestVif &vif) { vifs[vif.ip().v] = &vif; }
+
+    /** Install the handler for packets leaving the host. */
+    void setExternalTx(ExternalTx fn) { externalTx = std::move(fn); }
+
+    /**
+     * Relay a packet transmitted by a guest: Dom0 pays the relay
+     * cost, then the packet reaches the destination guest's ViF or
+     * the external path.
+     */
+    void
+    relayFromGuest(corm::net::PacketPtr pkt)
+    {
+        relayed.add();
+        submitRelay(std::move(pkt), /*inbound=*/false);
+    }
+
+    /**
+     * Inject a packet arriving from the external path (the IXP
+     * messaging driver): Dom0 pays the relay cost, then the
+     * destination guest's ViF receives it.
+     */
+    void
+    injectFromExternal(corm::net::PacketPtr pkt)
+    {
+        injected.add();
+        submitRelay(std::move(pkt), /*inbound=*/true);
+    }
+
+    /** Find the local ViF owning @p ip (null if none). */
+    GuestVif *
+    vifFor(corm::net::IpAddr ip) const
+    {
+        auto it = vifs.find(ip.v);
+        return it == vifs.end() ? nullptr : it->second;
+    }
+
+    /** Packets relayed from guests. */
+    std::uint64_t totalRelayed() const { return relayed.value(); }
+    /** Packets injected from the external path. */
+    std::uint64_t totalInjected() const { return injected.value(); }
+    /** Packets dropped for want of any destination. */
+    std::uint64_t totalNoRoute() const { return noRoute.value(); }
+
+  private:
+    void
+    submitRelay(corm::net::PacketPtr pkt, bool inbound)
+    {
+        // Spread relay work across Dom0's VCPUs (Dom0 is unpinned).
+        int vcpu = 0;
+        std::size_t best = ~std::size_t(0);
+        for (int i = 0; i < ctrl.vcpuCount(); ++i) {
+            const std::size_t depth = ctrl.vcpu(i).state()
+                    == VcpuState::blocked
+                ? 0
+                : 1;
+            if (depth < best) {
+                best = depth;
+                vcpu = i;
+            }
+        }
+        ctrl.submit(relayCost, JobKind::system,
+                    [this, p = std::move(pkt), inbound]() mutable {
+                        route(std::move(p), inbound);
+                    },
+                    vcpu);
+    }
+
+    void
+    route(corm::net::PacketPtr pkt, bool inbound)
+    {
+        GuestVif *dst = vifFor(pkt->flow.dst);
+        if (dst != nullptr) {
+            dst->deliver(std::move(pkt));
+            return;
+        }
+        if (!inbound && externalTx) {
+            externalTx(std::move(pkt));
+            return;
+        }
+        noRoute.add();
+    }
+
+    Domain &ctrl;
+    corm::sim::Tick relayCost;
+    std::map<std::uint32_t, GuestVif *> vifs;
+    ExternalTx externalTx;
+    corm::sim::Counter relayed;
+    corm::sim::Counter injected;
+    corm::sim::Counter noRoute;
+};
+
+} // namespace corm::xen

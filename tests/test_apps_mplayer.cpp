@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the MPlayer workload model: the streaming server,
+ * the decoding client (including late-frame skipping under
+ * starvation) and the local-disk player.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mplayer.hpp"
+#include "platform/testbed.hpp"
+
+using namespace corm::sim;
+using namespace corm::apps::mplayer;
+using corm::net::IpAddr;
+
+namespace {
+
+struct LivePlayer
+{
+    corm::platform::Testbed tb;
+    corm::platform::Testbed::Guest *guest;
+    std::unique_ptr<MplayerClient> client;
+    std::unique_ptr<StreamingServer> server;
+
+    explicit LivePlayer(StreamingServer::Params sp,
+                        DecodeParams dp = DecodeParams{})
+    {
+        guest = &tb.addGuest("player", IpAddr{10, 0, 1, 2});
+        client = std::make_unique<MplayerClient>(tb.sim(), *guest->vif,
+                                                 dp);
+        server = std::make_unique<StreamingServer>(
+            tb.sim(), tb.ixp(), guest->vif->ip(), tb.packets(), sp);
+    }
+};
+
+} // namespace
+
+TEST(StreamingServer, PacesFramesAtStreamRate)
+{
+    StreamingServer::Params sp;
+    sp.stream.fps = 20.0;
+    sp.stream.bitrateBps = 300e3;
+    sp.stream.prebufferSec = 0.0;
+    LivePlayer live(sp);
+    live.server->start();
+    live.tb.run(10 * sec);
+    // 20 fps for 10 s: ~200 frames (one tick of slack).
+    EXPECT_NEAR(static_cast<double>(live.server->framesSent()), 200.0,
+                3.0);
+}
+
+TEST(StreamingServer, PrebufferArrivesUpFront)
+{
+    StreamingServer::Params sp;
+    sp.stream.fps = 25.0;
+    sp.stream.prebufferSec = 2.0;
+    LivePlayer live(sp);
+    live.server->start();
+    live.tb.run(1 * msec);
+    EXPECT_EQ(live.server->framesSent(), 50u); // 2 s x 25 fps burst
+}
+
+TEST(StreamingServer, BurstyPacingShipsChunks)
+{
+    StreamingServer::Params sp;
+    sp.stream.fps = 25.0;
+    sp.stream.prebufferSec = 0.0;
+    sp.pacing = Pacing::bursty;
+    sp.burstSec = 4.0;
+    LivePlayer live(sp);
+    live.server->start();
+    live.tb.run(4100 * msec); // first burst at t = 4 s
+    EXPECT_EQ(live.server->framesSent(), 100u);
+    live.tb.run(4 * sec);
+    EXPECT_EQ(live.server->framesSent(), 200u);
+}
+
+TEST(StreamingServer, StopCeasesEmission)
+{
+    StreamingServer::Params sp;
+    sp.stream.prebufferSec = 0.0;
+    LivePlayer live(sp);
+    live.server->start();
+    live.tb.run(2 * sec);
+    const auto sent = live.server->framesSent();
+    live.server->stop();
+    live.tb.run(5 * sec);
+    EXPECT_EQ(live.server->framesSent(), sent);
+}
+
+TEST(MplayerClient, DecodesDeliveredFrames)
+{
+    StreamingServer::Params sp;
+    sp.stream.fps = 20.0;
+    sp.stream.bitrateBps = 300e3;
+    sp.stream.prebufferSec = 0.0;
+    DecodeParams dp;
+    dp.baseCostPerFrame = 5 * msec; // light: keeps up easily
+    LivePlayer live(sp, dp);
+    live.server->start();
+    live.tb.run(10 * sec);
+    EXPECT_NEAR(live.client->fps(10 * sec), 20.0, 1.5);
+    EXPECT_EQ(live.client->framesDroppedLate(), 0u);
+}
+
+TEST(MplayerClient, SkipsLateFramesWhenStarved)
+{
+    // Decode cost far above real time: the playout deadline forces
+    // skips and the client never falls unboundedly behind.
+    StreamingServer::Params sp;
+    sp.stream.fps = 25.0;
+    sp.stream.bitrateBps = 1e6;
+    sp.stream.prebufferSec = 0.0;
+    DecodeParams dp;
+    dp.baseCostPerFrame = 120 * msec; // can decode only ~8 fps
+    dp.lateDeadline = 500 * msec;
+    LivePlayer live(sp, dp);
+    live.server->start();
+    live.tb.run(20 * sec);
+    EXPECT_GT(live.client->framesDroppedLate(), 50u);
+    EXPECT_LT(live.client->fps(20 * sec), 10.0);
+    EXPECT_GT(live.client->fps(20 * sec), 4.0);
+}
+
+TEST(MplayerClient, ResetStatsZeroesCounters)
+{
+    StreamingServer::Params sp;
+    sp.stream.prebufferSec = 0.0;
+    DecodeParams dp;
+    dp.baseCostPerFrame = 1 * msec;
+    LivePlayer live(sp, dp);
+    live.server->start();
+    live.tb.run(2 * sec);
+    ASSERT_GT(live.client->framesDecoded(), 0u);
+    live.client->resetStats();
+    EXPECT_EQ(live.client->framesDecoded(), 0u);
+    EXPECT_EQ(live.client->framesDroppedLate(), 0u);
+}
+
+TEST(DiskPlayer, DecodesAtCpuLimit)
+{
+    Simulator sim;
+    corm::xen::CreditScheduler sched(sim, 1);
+    corm::xen::Domain dom(sched, 1, "player", 256);
+    DiskPlayer player(dom, 12500 * usec); // 80 fps on a free core
+    player.start();
+    sim.runUntil(10 * sec);
+    EXPECT_NEAR(player.fps(10 * sec), 80.0, 1.0);
+    player.stop();
+    sim.runUntil(12 * sec);
+    const auto frames = player.framesDecoded();
+    sim.runUntil(14 * sec);
+    EXPECT_EQ(player.framesDecoded(), frames);
+}
+
+TEST(DiskPlayer, SharesCpuUnderContention)
+{
+    Simulator sim;
+    corm::xen::CreditScheduler sched(sim, 1);
+    corm::xen::Domain d1(sched, 1, "p1", 256);
+    corm::xen::Domain d2(sched, 2, "p2", 256);
+    DiskPlayer p1(d1, 10 * msec), p2(d2, 10 * msec);
+    p1.start();
+    p2.start();
+    sim.runUntil(10 * sec);
+    // 100 fps of capacity split two ways.
+    EXPECT_NEAR(p1.fps(10 * sec), 50.0, 6.0);
+    EXPECT_NEAR(p2.fps(10 * sec), 50.0, 6.0);
+}
+
+/** Frame size follows bitrate/fps. */
+class FrameSizeSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{};
+
+TEST_P(FrameSizeSweep, BytesPerSecondMatchesBitrate)
+{
+    const auto [fps, bps] = GetParam();
+    StreamingServer::Params sp;
+    sp.stream.fps = fps;
+    sp.stream.bitrateBps = bps;
+    sp.stream.prebufferSec = 0.0;
+    LivePlayer live(sp);
+    live.server->start();
+    live.tb.run(10 * sec);
+    const auto bytes = live.guest->vif->totalRxBytes();
+    // Delivered application bytes per second ~ bitrate/8.
+    EXPECT_NEAR(static_cast<double>(bytes) / 10.0, bps / 8.0,
+                bps / 8.0 * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, FrameSizeSweep,
+    ::testing::Values(std::make_pair(20.0, 300e3),
+                      std::make_pair(25.0, 1e6),
+                      std::make_pair(30.0, 2e6)));

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Unit tests for the coordination core: message encoding, the
+ * channel, and the global controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coord/channel.hpp"
+#include "coord/controller.hpp"
+#include "coord/message.hpp"
+#include "sim/simulator.hpp"
+
+using namespace corm::sim;
+using namespace corm::coord;
+
+namespace {
+
+/** Island test double recording every operation applied to it. */
+class RecordingIsland : public ResourceIsland
+{
+  public:
+    RecordingIsland(IslandId island_id, std::string island_name)
+        : id_(island_id), name_(std::move(island_name))
+    {}
+
+    IslandId id() const override { return id_; }
+    const std::string &name() const override { return name_; }
+
+    void
+    applyTune(EntityId entity, double delta) override
+    {
+        tunes.emplace_back(entity, delta);
+    }
+
+    void applyTrigger(EntityId entity) override
+    {
+        triggers.push_back(entity);
+    }
+
+    void learnBinding(const EntityBinding &b) override
+    {
+        bindings.push_back(b);
+    }
+
+    std::vector<std::pair<EntityId, double>> tunes;
+    std::vector<EntityId> triggers;
+    std::vector<EntityBinding> bindings;
+
+  private:
+    IslandId id_;
+    std::string name_;
+};
+
+} // namespace
+
+//
+// Message encoding
+//
+
+TEST(CoordMessage, EncodeDecodeRoundTrip)
+{
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 2;
+    m.dst = 1;
+    m.entity = 0xabcdef01u;
+    m.value = -128.5;
+    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1());
+    EXPECT_EQ(d.type, m.type);
+    EXPECT_EQ(d.src, m.src);
+    EXPECT_EQ(d.dst, m.dst);
+    EXPECT_EQ(d.entity, m.entity);
+    EXPECT_DOUBLE_EQ(d.value, m.value);
+}
+
+TEST(CoordMessage, TypeNamesAreStable)
+{
+    EXPECT_STREQ(msgTypeName(MsgType::tune), "tune");
+    EXPECT_STREQ(msgTypeName(MsgType::trigger), "trigger");
+    EXPECT_STREQ(msgTypeName(MsgType::registerEntity), "register");
+    EXPECT_STREQ(msgTypeName(MsgType::ack), "ack");
+}
+
+/** Round-trip across the full field ranges. */
+class MessageRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{};
+
+TEST_P(MessageRoundTrip, AllFieldsSurvive)
+{
+    const auto [type_i, value] = GetParam();
+    CoordMessage m;
+    m.type = static_cast<MsgType>(type_i);
+    m.src = 255;
+    m.dst = 0;
+    m.entity = invalidEntity;
+    m.value = value;
+    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1());
+    EXPECT_EQ(d.type, m.type);
+    EXPECT_EQ(d.src, 255);
+    EXPECT_EQ(d.dst, 0);
+    EXPECT_EQ(d.entity, invalidEntity);
+    EXPECT_DOUBLE_EQ(d.value, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, MessageRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0.0, 1e-300, -1e300, 256.0,
+                                         -0.5)));
+
+//
+// Channel
+//
+
+TEST(CoordChannel, RoutesTuneToDestinationIsland)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 100 * usec);
+
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 1;
+    m.dst = 2;
+    m.entity = 7;
+    m.value = 32.0;
+    ch.send(m);
+    sim.runToCompletion();
+
+    ASSERT_EQ(b.tunes.size(), 1u);
+    EXPECT_EQ(b.tunes[0].first, 7u);
+    EXPECT_DOUBLE_EQ(b.tunes[0].second, 32.0);
+    EXPECT_TRUE(a.tunes.empty());
+    EXPECT_EQ(ch.stats().tunes.value(), 1u);
+}
+
+TEST(CoordChannel, RoutesBothDirections)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 10 * usec);
+
+    CoordMessage to_b;
+    to_b.type = MsgType::trigger;
+    to_b.src = 1;
+    to_b.dst = 2;
+    to_b.entity = 1;
+    CoordMessage to_a = to_b;
+    to_a.src = 2;
+    to_a.dst = 1;
+    to_a.entity = 2;
+    ch.send(to_b);
+    ch.send(to_a);
+    sim.runToCompletion();
+    ASSERT_EQ(b.triggers.size(), 1u);
+    ASSERT_EQ(a.triggers.size(), 1u);
+    EXPECT_EQ(b.triggers[0], 1u);
+    EXPECT_EQ(a.triggers[0], 2u);
+}
+
+TEST(CoordChannel, DeliveryIncursConfiguredLatency)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 120 * usec);
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 1;
+    m.dst = 2;
+    m.entity = 1;
+    ch.send(m);
+    sim.runUntil(119 * usec);
+    EXPECT_TRUE(b.tunes.empty()); // not yet
+    sim.runUntil(121 * usec);
+    EXPECT_EQ(b.tunes.size(), 1u);
+    EXPECT_NEAR(ch.stats().deliveryLatencyUs.mean(), 120.0, 1.0);
+}
+
+TEST(CoordChannel, RegistrationCarriesIpBinding)
+{
+    Simulator sim;
+    RecordingIsland x86(1, "x86"), ixp(2, "ixp");
+    CoordChannel ch(sim, ixp, x86, 10 * usec);
+
+    CoordMessage m;
+    m.type = MsgType::registerEntity;
+    m.src = 1; // x86-owned entity...
+    m.dst = 2; // ...announced to the IXP
+    m.entity = 42;
+    m.value = std::bit_cast<double>(
+        static_cast<std::uint64_t>(corm::net::IpAddr(10, 0, 0, 9).v));
+    ch.send(m);
+    sim.runToCompletion();
+    ASSERT_EQ(ixp.bindings.size(), 1u);
+    EXPECT_EQ(ixp.bindings[0].ref.island, 1);
+    EXPECT_EQ(ixp.bindings[0].ref.entity, 42u);
+    EXPECT_EQ(ixp.bindings[0].ip, corm::net::IpAddr(10, 0, 0, 9));
+}
+
+TEST(CoordChannel, UnknownDestinationCountsAsDropped)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 10 * usec);
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 1;
+    m.dst = 99;
+    ch.send(m);
+    sim.runToCompletion();
+    EXPECT_EQ(ch.stats().dropped.value(), 1u);
+    EXPECT_TRUE(a.tunes.empty());
+    EXPECT_TRUE(b.tunes.empty());
+}
+
+TEST(CoordChannel, LossInjectionDropsMessages)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 1 * usec);
+    ch.setLossProbability(1.0);
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 1;
+    m.dst = 2;
+    for (int i = 0; i < 50; ++i)
+        ch.send(m);
+    sim.runToCompletion();
+    EXPECT_TRUE(b.tunes.empty());
+    EXPECT_EQ(ch.stats().dropped.value(), 50u);
+    // Partial loss: roughly half get through.
+    ch.setLossProbability(0.5);
+    for (int i = 0; i < 400; ++i)
+        ch.send(m);
+    sim.runToCompletion();
+    EXPECT_GT(b.tunes.size(), 120u);
+    EXPECT_LT(b.tunes.size(), 280u);
+}
+
+TEST(CoordChannel, LatencyChangeAppliesToBothDirections)
+{
+    Simulator sim;
+    RecordingIsland a(1, "a"), b(2, "b");
+    CoordChannel ch(sim, a, b, 500 * usec);
+    ch.setLatency(5 * usec);
+    EXPECT_EQ(ch.oneWayLatency(), 5 * usec);
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = 2;
+    m.dst = 1;
+    ch.send(m);
+    sim.runUntil(10 * usec);
+    EXPECT_EQ(a.tunes.size(), 1u);
+}
+
+//
+// GlobalController
+//
+
+TEST(GlobalController, RegistersIslandsOnce)
+{
+    GlobalController gc;
+    RecordingIsland a(1, "a"), b(2, "b"), impostor(1, "imp");
+    EXPECT_TRUE(gc.registerIsland(a));
+    EXPECT_TRUE(gc.registerIsland(a)); // idempotent
+    EXPECT_TRUE(gc.registerIsland(b));
+    EXPECT_FALSE(gc.registerIsland(impostor)); // id collision
+    EXPECT_EQ(gc.islandCount(), 2u);
+    EXPECT_EQ(gc.island(1), &a);
+    EXPECT_EQ(gc.island(9), nullptr);
+}
+
+TEST(GlobalController, AnnouncesBindingsToOtherIslands)
+{
+    GlobalController gc;
+    RecordingIsland a(1, "a"), b(2, "b"), c(3, "c");
+    gc.registerIsland(a);
+    gc.registerIsland(b);
+    gc.registerIsland(c);
+
+    EntityBinding bind;
+    bind.ref = {1, 10};
+    bind.name = "vm";
+    bind.ip = corm::net::IpAddr(10, 0, 0, 5);
+    EXPECT_TRUE(gc.registerEntity(bind));
+
+    // Announced to b and c but not back to the owner a.
+    EXPECT_TRUE(a.bindings.empty());
+    ASSERT_EQ(b.bindings.size(), 1u);
+    ASSERT_EQ(c.bindings.size(), 1u);
+    EXPECT_EQ(b.bindings[0].ip, bind.ip);
+}
+
+TEST(GlobalController, RejectsEntityOfUnknownIsland)
+{
+    GlobalController gc;
+    EntityBinding bind;
+    bind.ref = {5, 1};
+    EXPECT_FALSE(gc.registerEntity(bind));
+    EXPECT_EQ(gc.entityCount(), 0u);
+}
+
+TEST(GlobalController, LooksUpByRefAndIp)
+{
+    GlobalController gc;
+    RecordingIsland a(1, "a");
+    gc.registerIsland(a);
+    EntityBinding bind;
+    bind.ref = {1, 10};
+    bind.name = "web";
+    bind.ip = corm::net::IpAddr(10, 0, 0, 2);
+    gc.registerEntity(bind);
+
+    const auto *by_ref = gc.binding(EntityRef{1, 10});
+    ASSERT_NE(by_ref, nullptr);
+    EXPECT_EQ(by_ref->name, "web");
+    const auto *by_ip = gc.bindingByIp(corm::net::IpAddr(10, 0, 0, 2));
+    ASSERT_NE(by_ip, nullptr);
+    EXPECT_EQ(by_ip->ref.entity, 10u);
+    EXPECT_EQ(gc.bindingByIp(corm::net::IpAddr(1, 1, 1, 1)), nullptr);
+    EXPECT_EQ(gc.binding(EntityRef{1, 99}), nullptr);
+    EXPECT_EQ(gc.allBindings().size(), 1u);
+}
+
+TEST(GlobalController, CustomAnnounceTransportIsUsed)
+{
+    GlobalController gc;
+    RecordingIsland a(1, "a"), b(2, "b");
+    gc.registerIsland(a);
+    gc.registerIsland(b);
+    int transported = 0;
+    gc.setAnnounceTransport(
+        [&](ResourceIsland &to, const EntityBinding &bind) {
+            ++transported;
+            to.learnBinding(bind);
+        });
+    EntityBinding bind;
+    bind.ref = {1, 1};
+    gc.registerEntity(bind);
+    EXPECT_EQ(transported, 1);
+    EXPECT_EQ(b.bindings.size(), 1u);
+}

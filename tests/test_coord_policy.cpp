@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the coordination policies: the RUBiS request-type
+ * tuner (with damping), the stream-QoS tuner, the buffer-threshold
+ * trigger, and the power-cap policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coord/policy.hpp"
+#include "sim/types.hpp"
+
+using namespace corm::coord;
+using corm::sim::msec;
+using corm::sim::Tick;
+
+namespace {
+
+/** Capture every message a policy emits. */
+struct Capture
+{
+    std::vector<CoordMessage> messages;
+
+    void
+    attach(CoordinationPolicy &policy, IslandId self = 2)
+    {
+        policy.attachSender(self, [this](const CoordMessage &m) {
+            messages.push_back(m);
+        });
+    }
+
+    std::size_t
+    count(MsgType t) const
+    {
+        std::size_t n = 0;
+        for (const auto &m : messages) {
+            if (m.type == t)
+                ++n;
+        }
+        return n;
+    }
+};
+
+const EntityRef web{1, 1};
+const EntityRef app{1, 2};
+const EntityRef db{1, 3};
+
+} // namespace
+
+//
+// RequestTypeTunePolicy
+//
+
+TEST(RequestTypeTunePolicy, EmitsConfiguredAdjustments)
+{
+    RequestTypeTunePolicy policy;
+    Capture cap;
+    cap.attach(policy);
+    policy.setAdjustments(7, {{web, +32.0}, {db, -32.0}});
+
+    policy.onRequestClassified(web, 7);
+    ASSERT_EQ(cap.messages.size(), 2u);
+    EXPECT_EQ(cap.messages[0].entity, web.entity);
+    EXPECT_DOUBLE_EQ(cap.messages[0].value, +32.0);
+    EXPECT_EQ(cap.messages[1].entity, db.entity);
+    EXPECT_DOUBLE_EQ(cap.messages[1].value, -32.0);
+    EXPECT_EQ(policy.tunesSent(), 2u);
+}
+
+TEST(RequestTypeTunePolicy, UnknownClassEmitsNothing)
+{
+    RequestTypeTunePolicy policy;
+    Capture cap;
+    cap.attach(policy);
+    policy.setAdjustments(1, {{web, 1.0}});
+    policy.onRequestClassified(web, 99);
+    EXPECT_TRUE(cap.messages.empty());
+}
+
+TEST(RequestTypeTunePolicy, StampsSourceAndDestination)
+{
+    RequestTypeTunePolicy policy;
+    Capture cap;
+    cap.attach(policy, /*self=*/9);
+    policy.setAdjustments(1, {{web, 1.0}});
+    policy.onRequestClassified(web, 1);
+    ASSERT_EQ(cap.messages.size(), 1u);
+    EXPECT_EQ(cap.messages[0].src, 9);
+    EXPECT_EQ(cap.messages[0].dst, web.island);
+    EXPECT_EQ(cap.messages[0].type, MsgType::tune);
+}
+
+TEST(RequestTypeTunePolicy, DampingSuppressesOscillation)
+{
+    RequestTypeTunePolicy::Damping damping;
+    damping.enabled = true;
+    damping.alpha = 0.3;
+    damping.hysteresis = 20.0;
+    RequestTypeTunePolicy policy(damping);
+    Capture cap;
+    cap.attach(policy);
+    policy.setAdjustments(1, {{db, +32.0}}); // "write"
+    policy.setAdjustments(2, {{db, -32.0}}); // "read"
+
+    // Perfectly alternating classes: the EWMA hovers near zero and
+    // the hysteresis band keeps the policy quiet.
+    for (int i = 0; i < 200; ++i)
+        policy.onRequestClassified(db, i % 2 == 0 ? 1u : 2u);
+    EXPECT_LT(cap.messages.size(), 6u);
+
+    // A sustained run breaks through the band.
+    const auto before = cap.messages.size();
+    for (int i = 0; i < 30; ++i)
+        policy.onRequestClassified(db, 1u);
+    EXPECT_GT(cap.messages.size(), before);
+}
+
+TEST(RequestTypeTunePolicy, UndampedEmitsPerRequest)
+{
+    RequestTypeTunePolicy policy; // damping off = paper behaviour
+    Capture cap;
+    cap.attach(policy);
+    policy.setAdjustments(1, {{db, +32.0}});
+    for (int i = 0; i < 50; ++i)
+        policy.onRequestClassified(db, 1u);
+    EXPECT_EQ(cap.messages.size(), 50u);
+}
+
+//
+// StreamQosTunePolicy
+//
+
+TEST(StreamQosTunePolicy, HighRateStreamGetsIncrease)
+{
+    StreamQosTunePolicy policy;
+    Capture cap;
+    cap.attach(policy);
+    StreamInfo hi;
+    hi.bitrateBps = 1e6;
+    hi.fps = 25.0;
+    policy.onStreamInfo(web, hi);
+    ASSERT_EQ(cap.messages.size(), 1u);
+    EXPECT_GT(cap.messages[0].value, 0.0);
+}
+
+TEST(StreamQosTunePolicy, LowRateStreamGetsDecrease)
+{
+    StreamQosTunePolicy::Config cfg;
+    cfg.highBitrateBps = 800e3;
+    cfg.highFps = 24.0;
+    StreamQosTunePolicy policy(cfg);
+    Capture cap;
+    cap.attach(policy);
+    StreamInfo lo;
+    lo.bitrateBps = 100e3;
+    lo.fps = 10.0;
+    policy.onStreamInfo(web, lo);
+    ASSERT_EQ(cap.messages.size(), 1u);
+    EXPECT_LT(cap.messages[0].value, 0.0);
+}
+
+TEST(StreamQosTunePolicy, PerMbpsBonusScalesWithDemand)
+{
+    StreamQosTunePolicy::Config cfg;
+    cfg.highBitrateBps = 500e3;
+    cfg.perMbpsBonus = 100.0;
+    StreamQosTunePolicy policy(cfg);
+    Capture cap;
+    cap.attach(policy);
+    StreamInfo one;
+    one.bitrateBps = 1.5e6;
+    one.fps = 25.0;
+    StreamInfo two = one;
+    two.bitrateBps = 2.5e6;
+    policy.onStreamInfo(web, one);
+    policy.onStreamInfo(app, two);
+    ASSERT_EQ(cap.messages.size(), 2u);
+    EXPECT_NEAR(cap.messages[1].value - cap.messages[0].value, 100.0,
+                1e-9);
+}
+
+TEST(StreamQosTunePolicy, RepeatedIdenticalInfoEmitsOnce)
+{
+    StreamQosTunePolicy policy;
+    Capture cap;
+    cap.attach(policy);
+    StreamInfo hi;
+    hi.bitrateBps = 1e6;
+    hi.fps = 25.0;
+    for (int i = 0; i < 10; ++i)
+        policy.onStreamInfo(web, hi);
+    EXPECT_EQ(cap.messages.size(), 1u);
+    // A changed decision emits again.
+    StreamInfo lo;
+    lo.bitrateBps = 50e3;
+    lo.fps = 5.0;
+    policy.onStreamInfo(web, lo);
+    EXPECT_EQ(cap.messages.size(), 2u);
+}
+
+//
+// BufferThresholdTriggerPolicy
+//
+
+TEST(BufferThresholdTrigger, FiresAtThreshold)
+{
+    BufferThresholdTriggerPolicy policy;
+    Capture cap;
+    cap.attach(policy);
+    policy.onBufferLevel(web, 64 * 1024, 0);
+    EXPECT_TRUE(cap.messages.empty());
+    policy.onBufferLevel(web, 128 * 1024, 1 * msec);
+    ASSERT_EQ(cap.messages.size(), 1u);
+    EXPECT_EQ(cap.messages[0].type, MsgType::trigger);
+    EXPECT_EQ(policy.triggersSent(), 1u);
+}
+
+TEST(BufferThresholdTrigger, RespectsRefractoryGap)
+{
+    BufferThresholdTriggerPolicy::Config cfg;
+    cfg.thresholdBytes = 100;
+    cfg.minGap = 20 * msec;
+    BufferThresholdTriggerPolicy policy(cfg);
+    Capture cap;
+    cap.attach(policy);
+    policy.onBufferLevel(web, 200, 1 * msec);
+    policy.onBufferLevel(web, 200, 10 * msec); // inside the gap
+    policy.onBufferLevel(web, 200, 22 * msec); // outside
+    EXPECT_EQ(cap.messages.size(), 2u);
+}
+
+TEST(BufferThresholdTrigger, EdgeModeRequiresRearm)
+{
+    BufferThresholdTriggerPolicy::Config cfg;
+    cfg.thresholdBytes = 100;
+    cfg.minGap = 0;
+    cfg.edgeTriggered = true;
+    BufferThresholdTriggerPolicy policy(cfg);
+    Capture cap;
+    cap.attach(policy);
+    policy.onBufferLevel(web, 200, 1 * msec);
+    policy.onBufferLevel(web, 250, 2 * msec); // still above: no refire
+    EXPECT_EQ(cap.messages.size(), 1u);
+    policy.onBufferLevel(web, 50, 3 * msec); // re-arm
+    policy.onBufferLevel(web, 300, 4 * msec);
+    EXPECT_EQ(cap.messages.size(), 2u);
+}
+
+TEST(BufferThresholdTrigger, TracksEntitiesIndependently)
+{
+    BufferThresholdTriggerPolicy::Config cfg;
+    cfg.thresholdBytes = 100;
+    cfg.minGap = 1 * corm::sim::sec;
+    BufferThresholdTriggerPolicy policy(cfg);
+    Capture cap;
+    cap.attach(policy);
+    policy.onBufferLevel(web, 200, 1 * msec);
+    policy.onBufferLevel(app, 200, 2 * msec); // different entity
+    EXPECT_EQ(cap.messages.size(), 2u);
+}
+
+//
+// PowerCapPolicy
+//
+
+TEST(PowerCapPolicy, ThrottlesLowestPriorityFirst)
+{
+    double power = 150.0;
+    PowerCapPolicy::Config cfg;
+    cfg.capWatts = 100.0;
+    cfg.stepDelta = 10.0;
+    cfg.maxReduction = 20.0;
+    PowerCapPolicy policy(cfg, [&] { return power; });
+    Capture cap;
+    cap.attach(policy);
+    policy.addEntity(app, /*priority=*/1);
+    policy.addEntity(db, /*priority=*/0); // throttled first
+
+    policy.onPeriodic(0);
+    ASSERT_EQ(cap.messages.size(), 1u);
+    EXPECT_EQ(cap.messages[0].entity, db.entity);
+    EXPECT_DOUBLE_EQ(cap.messages[0].value, -10.0);
+
+    // Exhaust db's headroom, then app is next.
+    policy.onPeriodic(1);
+    policy.onPeriodic(2);
+    ASSERT_EQ(cap.messages.size(), 3u);
+    EXPECT_EQ(cap.messages[2].entity, app.entity);
+    EXPECT_EQ(policy.throttles(), 3u);
+}
+
+TEST(PowerCapPolicy, RestoresWhenHeadroomReturns)
+{
+    double power = 150.0;
+    PowerCapPolicy::Config cfg;
+    cfg.capWatts = 100.0;
+    cfg.restoreFraction = 0.9;
+    cfg.stepDelta = 10.0;
+    cfg.maxReduction = 40.0;
+    PowerCapPolicy policy(cfg, [&] { return power; });
+    Capture cap;
+    cap.attach(policy);
+    policy.addEntity(db, 0);
+    policy.onPeriodic(0); // throttle -10
+
+    power = 80.0; // below 90% of cap: restore
+    policy.onPeriodic(1);
+    ASSERT_EQ(cap.messages.size(), 2u);
+    EXPECT_DOUBLE_EQ(cap.messages[1].value, +10.0);
+    EXPECT_EQ(policy.restores(), 1u);
+
+    // In the hysteresis band: do nothing.
+    power = 95.0;
+    policy.onPeriodic(2);
+    EXPECT_EQ(cap.messages.size(), 2u);
+}
+
+TEST(PowerCapPolicy, NoActionWithoutEntities)
+{
+    PowerCapPolicy policy({}, [] { return 1e9; });
+    Capture cap;
+    cap.attach(policy);
+    policy.onPeriodic(0);
+    EXPECT_TRUE(cap.messages.empty());
+}

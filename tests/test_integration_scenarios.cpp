@@ -1,0 +1,212 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper-reproduction scenarios
+ * must keep their headline shapes, and identical seeds must produce
+ * identical results (the determinism contract every number in
+ * EXPERIMENTS.md relies on).
+ *
+ * Shorter warm-up/measure windows than the bench binaries keep the
+ * suite fast; the asserted shapes are correspondingly coarse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/scenarios.hpp"
+
+using namespace corm::sim;
+using namespace corm::platform;
+
+namespace {
+
+RubisResult
+rubis(bool coordination)
+{
+    RubisScenarioConfig cfg;
+    cfg.coordination = coordination;
+    cfg.warmup = 10 * sec;
+    cfg.measure = 90 * sec;
+    return runRubisScenario(cfg);
+}
+
+} // namespace
+
+TEST(ScenarioRubis, BaseProducesTheMotivatingVariability)
+{
+    const auto r = rubis(false);
+    // Fig. 2's shape: every type shows substantial min-max spread.
+    int spread_types = 0, rows = 0;
+    for (const auto &t : r.types) {
+        if (t.count < 20)
+            continue;
+        ++rows;
+        if (t.maxMs > 2.0 * t.minMs)
+            ++spread_types;
+    }
+    ASSERT_GT(rows, 10);
+    EXPECT_EQ(spread_types, rows);
+    EXPECT_GT(r.throughputRps, 20.0);
+    EXPECT_GT(r.meanResponseMs, 50.0);
+}
+
+TEST(ScenarioRubis, CoordinationReducesVariance)
+{
+    const auto base = rubis(false);
+    const auto coord = rubis(true);
+
+    // Fig. 4's headline: stddev falls for (nearly) every type.
+    int reduced = 0, rows = 0;
+    for (std::size_t i = 0; i < base.types.size(); ++i) {
+        if (base.types[i].count < 30 || coord.types[i].count < 30)
+            continue;
+        ++rows;
+        if (coord.types[i].stddevMs < base.types[i].stddevMs)
+            ++reduced;
+    }
+    ASSERT_GT(rows, 8);
+    EXPECT_GE(reduced, rows - 4);
+
+    // Table 2 direction: throughput and efficiency do not regress.
+    EXPECT_GT(coord.throughputRps, base.throughputRps * 0.97);
+    EXPECT_GT(coord.platformEfficiency,
+              base.platformEfficiency * 0.97);
+    // The machinery actually ran. A handful of tunes may still be
+    // in flight on the channel when the clock stops.
+    EXPECT_GT(coord.tunesSent, 1000u);
+    EXPECT_LE(coord.tunesApplied, coord.tunesSent);
+    EXPECT_GE(coord.tunesApplied + 16, coord.tunesSent);
+    EXPECT_EQ(base.tunesSent, 0u);
+}
+
+TEST(ScenarioRubis, CoordinationShiftsWeightsOffDefaults)
+{
+    const auto coord = rubis(true);
+    const bool moved = coord.webWeight != 256.0
+        || coord.appWeight != 256.0 || coord.dbWeight != 256.0;
+    EXPECT_TRUE(moved);
+    // The application server — hot on both paths — ends highest.
+    EXPECT_GE(coord.appWeight, coord.webWeight * 0.9);
+}
+
+TEST(ScenarioRubis, DeterministicForFixedSeed)
+{
+    RubisScenarioConfig cfg;
+    cfg.coordination = true;
+    cfg.warmup = 5 * sec;
+    cfg.measure = 20 * sec;
+    const auto a = runRubisScenario(cfg);
+    const auto b = runRubisScenario(cfg);
+    EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_DOUBLE_EQ(a.meanResponseMs, b.meanResponseMs);
+    EXPECT_EQ(a.tunesSent, b.tunesSent);
+    EXPECT_DOUBLE_EQ(a.dbWeight, b.dbWeight);
+}
+
+TEST(ScenarioRubis, DifferentSeedsDifferButAgreeOnShape)
+{
+    RubisScenarioConfig cfg;
+    cfg.warmup = 5 * sec;
+    cfg.measure = 30 * sec;
+    const auto a = runRubisScenario(cfg);
+    cfg.client.seed = 0x5eed2;
+    cfg.server.seed = 0x5eed3;
+    const auto b = runRubisScenario(cfg);
+    EXPECT_NE(a.throughputRps, b.throughputRps);
+    EXPECT_NEAR(a.throughputRps / b.throughputRps, 1.0, 0.15);
+}
+
+TEST(ScenarioMplayerQos, DefaultWeightsMissTunedWeightsMeet)
+{
+    MplayerQosConfig defaults;
+    defaults.measure = 45 * sec;
+    const auto a = runMplayerQos(defaults);
+    // Fig. 6 config (a): neither meets its floor.
+    EXPECT_LT(a.fps1, 19.8);
+    EXPECT_LT(a.fps2, 24.8);
+
+    MplayerQosConfig tuned;
+    tuned.weight1 = 384;
+    tuned.weight2 = 512;
+    tuned.measure = 45 * sec;
+    const auto b = runMplayerQos(tuned);
+    // Fig. 6 config (b): both meet.
+    EXPECT_GE(b.fps1, 19.8);
+    EXPECT_GE(b.fps2, 24.8);
+    EXPECT_LT(b.late2, a.late2);
+}
+
+TEST(ScenarioMplayerQos, AutoPolicyMatchesManualTuning)
+{
+    MplayerQosConfig cfg;
+    cfg.autoCoordination = true;
+    cfg.autoCfg.highFps = 19.0;
+    cfg.autoCfg.highBitrateBps = 250e3;
+    cfg.autoCfg.increaseDelta = +128.0;
+    cfg.autoCfg.perMbpsBonus = +256.0;
+    cfg.measure = 45 * sec;
+    const auto r = runMplayerQos(cfg);
+    EXPECT_GE(r.fps1, 19.5);
+    EXPECT_GE(r.fps2, 24.5);
+    EXPECT_GT(r.weight1End, 256.0);
+    EXPECT_GT(r.weight2End, r.weight1End);
+}
+
+TEST(ScenarioTrigger, BoostImprovesStreamAtBystanderCost)
+{
+    TriggerScenarioConfig base_cfg;
+    base_cfg.measure = 60 * sec;
+    const auto base = runTriggerScenario(base_cfg);
+
+    TriggerScenarioConfig trig_cfg;
+    trig_cfg.trigger = true;
+    trig_cfg.measure = 60 * sec;
+    const auto trig = runTriggerScenario(trig_cfg);
+
+    // Table 3 shape: the streaming domain gains, the uninvolved
+    // local-disk domain pays.
+    EXPECT_GT(trig.fps1, base.fps1 * 1.03);
+    EXPECT_LT(trig.fps2, base.fps2);
+    EXPECT_GT(trig.triggersSent, 0u);
+    EXPECT_EQ(trig.triggersSent, trig.boosts);
+    EXPECT_EQ(base.triggersSent, 0u);
+
+    // Fig. 7 shape: the buffer saw-tooth exists, crosses the 128 KiB
+    // threshold, and drains better with triggers.
+    EXPECT_GT(base.bufferPeakBytes, 128.0 * 1024.0);
+    EXPECT_LE(trig.ixpQueueDrops, base.ixpQueueDrops);
+    EXPECT_GT(base.bufferSeries.size(), 100u);
+    EXPECT_GT(trig.cpu1Series.size(), 10u);
+}
+
+TEST(ScenarioTrigger, DeterministicForFixedSeed)
+{
+    TriggerScenarioConfig cfg;
+    cfg.trigger = true;
+    cfg.measure = 30 * sec;
+    const auto a = runTriggerScenario(cfg);
+    const auto b = runTriggerScenario(cfg);
+    EXPECT_DOUBLE_EQ(a.fps1, b.fps1);
+    EXPECT_EQ(a.triggersSent, b.triggersSent);
+}
+
+TEST(ScenarioOscillation, BrowsingOnlyMixNeverRegresses)
+{
+    // The paper's diagnostic: the pure browsing mix has no
+    // read-write transitions, so coordination always helps.
+    RubisScenarioConfig base_cfg;
+    base_cfg.client.mix = corm::apps::rubis::Mix::browsing;
+    base_cfg.warmup = 10 * sec;
+    base_cfg.measure = 45 * sec;
+    auto coord_cfg = base_cfg;
+    coord_cfg.coordination = true;
+    const auto base = runRubisScenario(base_cfg);
+    const auto coord = runRubisScenario(coord_cfg);
+    EXPECT_LE(coord.meanResponseMs, base.meanResponseMs * 1.05);
+    int regressions = 0;
+    for (std::size_t i = 0; i < base.types.size(); ++i) {
+        if (base.types[i].count < 30 || coord.types[i].count < 30)
+            continue;
+        if (coord.types[i].meanMs > base.types[i].meanMs * 1.10)
+            ++regressions;
+    }
+    EXPECT_EQ(regressions, 0);
+}

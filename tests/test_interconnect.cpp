@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the PCIe interconnect substrate: the serialising
+ * link, descriptor rings, the DMA engine and the coordination
+ * mailbox.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "interconnect/msgring.hpp"
+#include "interconnect/pcie.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+using namespace corm::sim;
+using namespace corm::interconnect;
+using corm::net::FiveTuple;
+using corm::net::PacketFactory;
+
+namespace {
+
+LinkParams
+simpleParams(Tick latency, double bw, std::uint32_t overhead = 0)
+{
+    LinkParams p;
+    p.latency = latency;
+    p.bandwidthBytesPerSec = bw;
+    p.overheadBytes = overhead;
+    return p;
+}
+
+} // namespace
+
+TEST(Link, DeliveryAfterSerializationPlusLatency)
+{
+    Simulator sim;
+    // 1000 bytes/s -> 1 byte per ms of simulated time.
+    Link link(sim, simpleParams(10 * msec, 1000.0), "t");
+    Tick delivered = 0;
+    link.transfer(500, [&] { delivered = sim.now(); });
+    sim.runToCompletion();
+    // 500 bytes at 1 B/ms = 500 ms serialisation + 10 ms latency.
+    EXPECT_EQ(delivered, 510 * msec);
+    EXPECT_EQ(link.totalBytes(), 500u);
+    EXPECT_EQ(link.totalTransfers(), 1u);
+}
+
+TEST(Link, OverheadBytesAreCharged)
+{
+    Simulator sim;
+    Link link(sim, simpleParams(0, 1000.0, 100), "t");
+    Tick delivered = 0;
+    link.transfer(100, [&] { delivered = sim.now(); });
+    sim.runToCompletion();
+    EXPECT_EQ(delivered, 200 * msec); // 100 + 100 overhead
+}
+
+TEST(Link, TransfersSerializeAndKeepFifoOrder)
+{
+    Simulator sim;
+    Link link(sim, simpleParams(5 * msec, 1000.0), "t");
+    std::vector<int> order;
+    std::vector<Tick> times;
+    link.transfer(100, [&] {
+        order.push_back(1);
+        times.push_back(sim.now());
+    });
+    link.transfer(100, [&] {
+        order.push_back(2);
+        times.push_back(sim.now());
+    });
+    sim.runToCompletion();
+    ASSERT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(times[0], 105 * msec);        // 100 ser + 5 lat
+    EXPECT_EQ(times[1], 205 * msec);        // waits for the wire
+    EXPECT_EQ(link.busyTime(), 200 * msec); // both serialisations
+    EXPECT_GT(link.queueingDelay().max(), 0.0);
+}
+
+TEST(Link, UtilizationFractionIsBusyOverElapsed)
+{
+    Simulator sim;
+    Link link(sim, simpleParams(0, 1000.0), "t");
+    link.transfer(250, [] {});
+    sim.runUntil(1 * sec);
+    EXPECT_NEAR(link.utilization(1 * sec), 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(link.utilization(0), 0.0);
+}
+
+TEST(DuplexLink, DirectionsAreIndependent)
+{
+    Simulator sim;
+    DuplexLink link(sim, simpleParams(0, 1000.0), "pcie");
+    Tick up = 0, down = 0;
+    link.deviceToHost().transfer(100, [&] { down = sim.now(); });
+    link.hostToDevice().transfer(100, [&] { up = sim.now(); });
+    sim.runToCompletion();
+    // Same time: full duplex, no shared wire.
+    EXPECT_EQ(up, down);
+    EXPECT_EQ(up, 100 * msec);
+}
+
+TEST(DescriptorRing, PostConsumeFifo)
+{
+    PacketFactory f;
+    DescriptorRing ring(4, "r");
+    EXPECT_TRUE(ring.post(f.make(FiveTuple{}, 10)));
+    EXPECT_TRUE(ring.post(f.make(FiveTuple{}, 20)));
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.front()->bytes, 10u);
+    EXPECT_EQ(ring.consume()->bytes, 10u);
+    EXPECT_EQ(ring.consume()->bytes, 20u);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(DescriptorRing, FullRingRejects)
+{
+    PacketFactory f;
+    DescriptorRing ring(2, "r");
+    EXPECT_TRUE(ring.post(f.make(FiveTuple{}, 1)));
+    EXPECT_TRUE(ring.post(f.make(FiveTuple{}, 2)));
+    EXPECT_FALSE(ring.post(f.make(FiveTuple{}, 3)));
+    EXPECT_EQ(ring.totalFullRejects(), 1u);
+    EXPECT_EQ(ring.highWater(), 2u);
+    ring.consume();
+    EXPECT_TRUE(ring.post(f.make(FiveTuple{}, 4)));
+}
+
+TEST(DmaEngine, PostsDescriptorAfterTransfer)
+{
+    Simulator sim;
+    PacketFactory f;
+    Link link(sim, simpleParams(1 * msec, 1e6), "d2h");
+    DescriptorRing ring(8, "r");
+    DmaEngine dma(link, ring);
+    bool posted = false;
+    dma.dma(f.make(FiveTuple{}, 1000), [&] { posted = true; },
+            [](corm::net::PacketPtr) { FAIL() << "unexpected reject"; });
+    sim.runToCompletion();
+    EXPECT_TRUE(posted);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(dma.totalCompleted(), 1u);
+}
+
+TEST(DmaEngine, FullRingHandsPacketBack)
+{
+    Simulator sim;
+    PacketFactory f;
+    Link link(sim, simpleParams(0, 1e6), "d2h");
+    DescriptorRing ring(1, "r");
+    DmaEngine dma(link, ring);
+    int rejects = 0;
+    for (int i = 0; i < 3; ++i) {
+        dma.dma(f.make(FiveTuple{}, 100), {},
+                [&](corm::net::PacketPtr p) {
+                    ++rejects;
+                    EXPECT_TRUE(p != nullptr);
+                });
+    }
+    sim.runToCompletion();
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(rejects, 2);
+    EXPECT_EQ(dma.totalCompleted(), 1u);
+}
+
+TEST(Mailbox, DeliversAfterLatency)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 120 * usec, "m");
+    Tick delivered = 0;
+    std::uint64_t got0 = 0, got1 = 0;
+    mbox.setReceiver([&](std::uint64_t w0, std::uint64_t w1) {
+        delivered = sim.now();
+        got0 = w0;
+        got1 = w1;
+    });
+    mbox.send(0xdead, 0xbeef);
+    sim.runToCompletion();
+    EXPECT_EQ(delivered, 120 * usec);
+    EXPECT_EQ(got0, 0xdeadu);
+    EXPECT_EQ(got1, 0xbeefu);
+    EXPECT_EQ(mbox.totalSent(), 1u);
+    EXPECT_EQ(mbox.totalDelivered(), 1u);
+}
+
+TEST(Mailbox, NeverReordersAcrossLatencyChange)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 100 * usec, "m");
+    std::vector<std::uint64_t> got;
+    mbox.setReceiver(
+        [&](std::uint64_t w0, std::uint64_t) { got.push_back(w0); });
+    mbox.send(1, 0);
+    // Lowering the latency mid-stream must not overtake message 1.
+    mbox.setLatency(1 * usec);
+    mbox.send(2, 0);
+    sim.runToCompletion();
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2}));
+}
+
+/** Parameterised: delivery time scales linearly with payload size. */
+class LinkBandwidthSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LinkBandwidthSweep, SerializationMatchesBandwidth)
+{
+    const std::uint64_t bytes = GetParam();
+    Simulator sim;
+    Link link(sim, simpleParams(0, 1e9), "t"); // 1 GB/s
+    Tick delivered = 0;
+    link.transfer(bytes, [&] { delivered = sim.now(); });
+    sim.runToCompletion();
+    const double expect_ns = static_cast<double>(bytes); // 1 B/ns
+    EXPECT_NEAR(static_cast<double>(delivered), expect_ns,
+                expect_ns * 0.01 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinkBandwidthSweep,
+                         ::testing::Values(64, 1500, 64 * 1024,
+                                           1024 * 1024));

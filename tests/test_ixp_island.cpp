@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the IXP island: the memory-hierarchy cost model,
+ * the microengine service stages, and the island's data path,
+ * classification hooks and management knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coord/policy.hpp"
+#include "interconnect/msgring.hpp"
+#include "interconnect/pcie.hpp"
+#include "ixp/island.hpp"
+#include "ixp/memory.hpp"
+#include "ixp/stage.hpp"
+#include "sim/simulator.hpp"
+
+using namespace corm::sim;
+using namespace corm::ixp;
+using corm::net::AppTag;
+using corm::net::FiveTuple;
+using corm::net::IpAddr;
+using corm::net::PacketFactory;
+using corm::net::PacketPtr;
+
+namespace {
+
+/** Observe policy hooks fired by the island's classifier/monitor. */
+class ProbePolicy : public corm::coord::CoordinationPolicy
+{
+  public:
+    ProbePolicy() : corm::coord::CoordinationPolicy("probe") {}
+
+    void
+    onRequestClassified(const corm::coord::EntityRef &vm,
+                        std::uint32_t request_class) override
+    {
+        classified.emplace_back(vm.entity, request_class);
+    }
+
+    void
+    onStreamInfo(const corm::coord::EntityRef &vm,
+                 const corm::coord::StreamInfo &info) override
+    {
+        streams.emplace_back(vm.entity, info);
+    }
+
+    void
+    onBufferLevel(const corm::coord::EntityRef &, std::uint64_t bytes,
+                  Tick) override
+    {
+        levels.push_back(bytes);
+    }
+
+    std::vector<std::pair<corm::coord::EntityId, std::uint32_t>>
+        classified;
+    std::vector<std::pair<corm::coord::EntityId, corm::coord::StreamInfo>>
+        streams;
+    std::vector<std::uint64_t> levels;
+};
+
+/** A ready-wired island with its link and host ring. */
+struct Rig
+{
+    Simulator sim;
+    PacketFactory packets;
+    corm::interconnect::Link link;
+    corm::interconnect::DescriptorRing ring;
+    IxpIsland island;
+
+    explicit Rig(IxpParams params = IxpParams{},
+                 std::size_t ring_slots = 256)
+        : link(sim, corm::interconnect::LinkParams{}, "d2h"),
+          ring(ring_slots, "ring"),
+          island(sim, 2, "ixp", link, ring, params)
+    {}
+
+    void
+    bind(corm::coord::EntityId entity, IpAddr ip)
+    {
+        corm::coord::EntityBinding b;
+        b.ref = {1, entity};
+        b.ip = ip;
+        island.learnBinding(b);
+    }
+
+    PacketPtr
+    packetTo(IpAddr dst, std::uint32_t bytes, AppTag tag = AppTag{})
+    {
+        FiveTuple flow;
+        flow.src = IpAddr(10, 0, 9, 1);
+        flow.dst = dst;
+        flow.proto = corm::net::Proto::udp;
+        return packets.make(flow, bytes, tag, sim.now());
+    }
+};
+
+} // namespace
+
+//
+// Memory / cost model
+//
+
+TEST(MemoryModel, CostsScaleWithPayload)
+{
+    MemoryModel mem;
+    PacketCosts costs;
+    EXPECT_GT(costs.rxTime(mem, 1500), costs.rxTime(mem, 64));
+    EXPECT_GT(costs.txTime(mem, 1500), costs.txTime(mem, 64));
+    EXPECT_GT(costs.rxTime(mem, 64), 0u);
+    EXPECT_GT(costs.classifyTime(mem), 0u);
+    EXPECT_GT(costs.ringOpTime(mem), 0u);
+    EXPECT_GT(costs.dmaSetupTime(mem), 0u);
+}
+
+TEST(MemoryModel, DramBurstsRoundUp)
+{
+    MemoryModel mem;
+    EXPECT_DOUBLE_EQ(mem.dramTouchCycles(1),
+                     static_cast<double>(mem.dramCycles));
+    EXPECT_DOUBLE_EQ(mem.dramTouchCycles(64),
+                     static_cast<double>(mem.dramCycles));
+    EXPECT_DOUBLE_EQ(mem.dramTouchCycles(65),
+                     2.0 * mem.dramCycles);
+}
+
+TEST(MemoryModel, ClockConvertsCyclesToTime)
+{
+    MemoryModel mem;
+    mem.clockHz = 1.4e9;
+    // 1400 cycles at 1.4 GHz = 1 us.
+    EXPECT_EQ(mem.cyclesToTicks(1400.0), 1 * usec);
+}
+
+//
+// ServiceStage
+//
+
+TEST(ServiceStage, ServicesPacketsAtConfiguredCost)
+{
+    Simulator sim;
+    PacketFactory f;
+    ServiceStage stage(sim, "s", 1,
+                       [](const corm::net::Packet &) { return 10 * usec; });
+    std::vector<Tick> out;
+    stage.setOutput([&](PacketPtr) { out.push_back(sim.now()); });
+    stage.push(f.make(FiveTuple{}, 100));
+    stage.push(f.make(FiveTuple{}, 100));
+    sim.runToCompletion();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 10 * usec);
+    EXPECT_EQ(out[1], 20 * usec); // one thread: serialised
+    EXPECT_EQ(stage.totalServiced(), 2u);
+}
+
+TEST(ServiceStage, ThreadsServiceInParallel)
+{
+    Simulator sim;
+    PacketFactory f;
+    ServiceStage stage(sim, "s", 4,
+                       [](const corm::net::Packet &) { return 10 * usec; });
+    int done = 0;
+    stage.setOutput([&](PacketPtr) { ++done; });
+    for (int i = 0; i < 4; ++i)
+        stage.push(f.make(FiveTuple{}, 100));
+    sim.runUntil(10 * usec);
+    EXPECT_EQ(done, 4); // all four in parallel
+}
+
+TEST(ServiceStage, BoundedQueueDrops)
+{
+    Simulator sim;
+    PacketFactory f;
+    ServiceStage stage(sim, "s", 1,
+                       [](const corm::net::Packet &) { return 1 * msec; },
+                       /*queue_packets=*/2);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (stage.push(f.make(FiveTuple{}, 100)))
+            ++accepted;
+    }
+    // 1 in service + 2 queued.
+    EXPECT_EQ(accepted, 3);
+    EXPECT_EQ(stage.totalDropped(), 7u);
+}
+
+TEST(ServiceStage, ThreadIncreaseDrainsBacklog)
+{
+    Simulator sim;
+    PacketFactory f;
+    ServiceStage stage(sim, "s", 1,
+                       [](const corm::net::Packet &) { return 1 * msec; });
+    int done = 0;
+    stage.setOutput([&](PacketPtr) { ++done; });
+    for (int i = 0; i < 8; ++i)
+        stage.push(f.make(FiveTuple{}, 100));
+    sim.runUntil(1 * msec); // 1 done at 1 thread
+    stage.setThreads(8);
+    sim.runUntil(2100 * usec);
+    EXPECT_EQ(done, 8); // remaining 7 ran in parallel
+    EXPECT_EQ(stage.threads(), 8);
+}
+
+//
+// IxpIsland
+//
+
+TEST(IxpIsland, LearnsBindingsAndCreatesFlowQueues)
+{
+    Rig rig;
+    EXPECT_EQ(rig.island.flowQueueCount(), 0u);
+    rig.bind(5, IpAddr(10, 0, 0, 5));
+    EXPECT_EQ(rig.island.flowQueueCount(), 1u);
+    EXPECT_DOUBLE_EQ(rig.island.queueThreads(5),
+                     IxpParams{}.defaultQueueThreads);
+    // Re-binding with a new address updates, not duplicates.
+    rig.bind(5, IpAddr(10, 0, 0, 6));
+    EXPECT_EQ(rig.island.flowQueueCount(), 1u);
+}
+
+TEST(IxpIsland, UnknownDestinationCounted)
+{
+    Rig rig;
+    rig.island.injectFromWire(rig.packetTo(IpAddr(1, 2, 3, 4), 100));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(rig.island.stats().unknownDst.value(), 1u);
+    EXPECT_EQ(rig.island.stats().classified.value(), 0u);
+}
+
+TEST(IxpIsland, DataPathDeliversToHostRing)
+{
+    Rig rig;
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    for (int i = 0; i < 5; ++i) {
+        rig.island.injectFromWire(
+            rig.packetTo(IpAddr(10, 0, 0, 2), 1000));
+    }
+    rig.sim.runFor(100 * msec);
+    EXPECT_EQ(rig.ring.size(), 5u);
+    EXPECT_EQ(rig.island.stats().wireRx.value(), 5u);
+    EXPECT_EQ(rig.island.stats().classified.value(), 5u);
+    EXPECT_EQ(rig.island.queueBytes(1), 0u); // drained
+}
+
+TEST(IxpIsland, ClassifierFiresRequestHook)
+{
+    Rig rig;
+    ProbePolicy probe;
+    rig.island.attachPolicy(probe);
+    rig.bind(3, IpAddr(10, 0, 0, 3));
+    AppTag tag;
+    tag.kind = AppTag::Kind::httpRequest;
+    tag.value = 11;
+    rig.island.injectFromWire(
+        rig.packetTo(IpAddr(10, 0, 0, 3), 400, tag));
+    rig.sim.runFor(10 * msec);
+    ASSERT_EQ(probe.classified.size(), 1u);
+    EXPECT_EQ(probe.classified[0].first, 3u);
+    EXPECT_EQ(probe.classified[0].second, 11u);
+}
+
+TEST(IxpIsland, ClassifierFiresStreamHook)
+{
+    Rig rig;
+    ProbePolicy probe;
+    rig.island.attachPolicy(probe);
+    rig.bind(4, IpAddr(10, 0, 0, 4));
+    AppTag tag;
+    tag.kind = AppTag::Kind::rtspSetup;
+    tag.value = 1;
+    auto pkt = rig.packetTo(IpAddr(10, 0, 0, 4), 512, tag);
+    auto info = std::make_shared<corm::coord::StreamInfo>();
+    info->bitrateBps = 1e6;
+    info->fps = 25.0;
+    pkt->context = info;
+    rig.island.injectFromWire(std::move(pkt));
+    rig.sim.runFor(10 * msec);
+    ASSERT_EQ(probe.streams.size(), 1u);
+    EXPECT_DOUBLE_EQ(probe.streams[0].second.bitrateBps, 1e6);
+}
+
+TEST(IxpIsland, MonitorReportsBufferLevels)
+{
+    Rig rig;
+    ProbePolicy probe;
+    rig.island.attachPolicy(probe);
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    rig.sim.runFor(50 * msec);
+    EXPECT_GE(probe.levels.size(), 5u); // 5 ms monitor period
+    const auto *series = rig.island.occupancySeries(1);
+    ASSERT_NE(series, nullptr);
+    EXPECT_GE(series->size(), 5u);
+    EXPECT_EQ(rig.island.occupancySeries(99), nullptr);
+}
+
+TEST(IxpIsland, TuneAdjustsQueueThreadsWithClamping)
+{
+    Rig rig;
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    const double before = rig.island.queueThreads(1);
+    rig.island.applyTune(1, +256.0); // one thread per 256 units
+    EXPECT_NEAR(rig.island.queueThreads(1), before + 1.0, 1e-9);
+    rig.island.applyTune(1, +1e9);
+    EXPECT_DOUBLE_EQ(rig.island.queueThreads(1),
+                     IxpParams{}.maxQueueThreads);
+    rig.island.applyTune(1, -1e9);
+    EXPECT_DOUBLE_EQ(rig.island.queueThreads(1),
+                     IxpParams{}.minQueueThreads);
+    // Unknown entity: ignored, not counted as applied.
+    const auto applied = rig.island.stats().tunesApplied.value();
+    rig.island.applyTune(42, 1.0);
+    EXPECT_EQ(rig.island.stats().tunesApplied.value(), applied);
+}
+
+TEST(IxpIsland, TriggersTowardIxpAreCountedNoOps)
+{
+    Rig rig;
+    rig.island.applyTrigger(1);
+    EXPECT_EQ(rig.island.stats().triggersApplied.value(), 1u);
+}
+
+TEST(IxpIsland, FullHostRingBacksUpIntoDram)
+{
+    // A tiny host ring that nobody drains: packets must accumulate
+    // in the island's DRAM flow queue (the Fig. 7 condition).
+    Rig rig(IxpParams{}, /*ring_slots=*/2);
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    for (int i = 0; i < 20; ++i) {
+        rig.island.injectFromWire(
+            rig.packetTo(IpAddr(10, 0, 0, 2), 1000));
+    }
+    rig.sim.runFor(200 * msec);
+    EXPECT_EQ(rig.ring.size(), 2u); // ring full
+    EXPECT_GT(rig.island.queueBytes(1), 0u);
+    EXPECT_GT(rig.island.stats().dmaRejects.value(), 0u);
+
+    // A host-side consumer appears: the backlog drains through the
+    // island's retry loop.
+    PeriodicEvent consumer(rig.sim, 1 * msec, [&] {
+        while (!rig.ring.empty())
+            rig.ring.consume();
+    });
+    rig.sim.runFor(2 * sec);
+    EXPECT_LE(rig.island.queueBytes(1), 2000u);
+}
+
+TEST(IxpIsland, QueueOverflowDropsAndCounts)
+{
+    IxpParams params;
+    params.vmQueueBytes = 4000; // tiny DRAM ring
+    Rig rig(params, /*ring_slots=*/1);
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    for (int i = 0; i < 50; ++i) {
+        rig.island.injectFromWire(
+            rig.packetTo(IpAddr(10, 0, 0, 2), 1000));
+    }
+    rig.sim.runFor(100 * msec);
+    EXPECT_GT(rig.island.queueDrops(1), 0u);
+    EXPECT_GT(rig.island.stats().vmQueueDrops.value(), 0u);
+}
+
+TEST(IxpIsland, EgressPathReachesWire)
+{
+    Rig rig;
+    int on_wire = 0;
+    rig.island.setWireTx([&](PacketPtr) { ++on_wire; });
+    for (int i = 0; i < 3; ++i)
+        rig.island.enqueueTx(rig.packetTo(IpAddr(10, 0, 9, 1), 1500));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(on_wire, 3);
+    EXPECT_EQ(rig.island.stats().wireTx.value(), 3u);
+}
+
+TEST(IxpIsland, PowerTracksActivity)
+{
+    Rig rig;
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    const double idle = rig.island.currentPowerWatts();
+    // Blast traffic, then sample over the busy window.
+    for (int i = 0; i < 2000; ++i) {
+        rig.island.injectFromWire(
+            rig.packetTo(IpAddr(10, 0, 0, 2), 1500));
+    }
+    rig.sim.runFor(5 * msec);
+    const double busy = rig.island.currentPowerWatts();
+    EXPECT_GT(busy, idle);
+}
+
+/** Parameterised: higher thread share drains a queue faster. */
+class DequeueThreadSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DequeueThreadSweep, DrainRateScalesWithThreads)
+{
+    const double threads = GetParam();
+    IxpParams params;
+    params.defaultQueueThreads = threads;
+    Rig rig(params, 4096);
+    rig.bind(1, IpAddr(10, 0, 0, 2));
+    for (int i = 0; i < 400; ++i) {
+        rig.island.injectFromWire(
+            rig.packetTo(IpAddr(10, 0, 0, 2), 500));
+    }
+    rig.sim.runFor(20 * msec);
+    // Poll interval 100 us: expected drain ~ threads * 10 pkts/ms.
+    const double drained = static_cast<double>(rig.ring.size());
+    const double expected = threads * 10.0 * 20.0;
+    EXPECT_NEAR(drained, std::min(expected, 400.0),
+                std::max(6.0, expected * 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, DequeueThreadSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));

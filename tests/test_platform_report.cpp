@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the platform status report and the scheduler event trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/report.hpp"
+#include "platform/testbed.hpp"
+#include "xen/sched.hpp"
+
+using namespace corm::sim;
+using namespace corm;
+
+TEST(StatusReport, ContainsEverySection)
+{
+    platform::Testbed tb;
+    auto &g = tb.addGuest("web-server", net::IpAddr{10, 0, 0, 2});
+    g.dom->submit(10 * msec, xen::JobKind::user);
+    tb.run(1 * sec);
+
+    const std::string report = platform::statusReport(tb);
+    EXPECT_NE(report.find("x86 island"), std::string::npos);
+    EXPECT_NE(report.find("ixp island"), std::string::npos);
+    EXPECT_NE(report.find("coord channel"), std::string::npos);
+    EXPECT_NE(report.find("msg driver"), std::string::npos);
+    EXPECT_NE(report.find("registration"), std::string::npos);
+    EXPECT_NE(report.find("power"), std::string::npos);
+    EXPECT_NE(report.find("web-server"), std::string::npos);
+    EXPECT_NE(report.find("dom0"), std::string::npos);
+    // Registration through the channel was acked.
+    EXPECT_NE(report.find("acked 1"), std::string::npos);
+}
+
+TEST(SchedTrace, DisabledByDefault)
+{
+    Simulator sim;
+    xen::CreditScheduler sched(sim, 1);
+    xen::Domain dom(sched, 1, "d", 256);
+    dom.submit(5 * msec, xen::JobKind::user);
+    sim.runFor(100 * msec);
+    EXPECT_TRUE(sched.trace().empty());
+}
+
+TEST(SchedTrace, RecordsLifecycleInOrder)
+{
+    Simulator sim;
+    xen::CreditScheduler sched(sim, 1);
+    sched.setTraceCapacity(128);
+    xen::Domain dom(sched, 7, "d", 256);
+    dom.submit(5 * msec, xen::JobKind::user);
+    sim.runFor(100 * msec);
+
+    const auto &trace = sched.trace();
+    ASSERT_GE(trace.size(), 3u);
+    // wake -> dispatch -> block, time-ordered, right domain.
+    bool saw_wake = false, saw_dispatch = false, saw_block = false;
+    Tick last = 0;
+    for (const auto &ev : trace) {
+        EXPECT_GE(ev.when, last);
+        last = ev.when;
+        EXPECT_EQ(ev.domid, 7u);
+        if (ev.kind == xen::SchedEvent::Kind::wake)
+            saw_wake = true;
+        if (ev.kind == xen::SchedEvent::Kind::dispatch) {
+            EXPECT_TRUE(saw_wake);
+            saw_dispatch = true;
+        }
+        if (ev.kind == xen::SchedEvent::Kind::block) {
+            EXPECT_TRUE(saw_dispatch);
+            saw_block = true;
+        }
+    }
+    EXPECT_TRUE(saw_block);
+}
+
+TEST(SchedTrace, RingIsBounded)
+{
+    Simulator sim;
+    xen::CreditScheduler sched(sim, 1);
+    sched.setTraceCapacity(16);
+    xen::Domain a(sched, 1, "a", 256);
+    xen::Domain b(sched, 2, "b", 256);
+    std::function<void(xen::Domain &)> pump =
+        [&pump](xen::Domain &d) {
+            d.submit(1 * msec, xen::JobKind::user,
+                     [&pump, &d] { pump(d); });
+        };
+    pump(a);
+    pump(b);
+    sim.runFor(2 * sec);
+    EXPECT_EQ(sched.trace().size(), 16u);
+    // The retained window is the most recent one.
+    EXPECT_GT(sched.trace().front().when, 1 * sec);
+}
+
+TEST(SchedTrace, CapturesBoostAndPreempt)
+{
+    Simulator sim;
+    xen::CreditScheduler sched(sim, 1);
+    sched.setTraceCapacity(4096);
+    xen::Domain hog(sched, 1, "hog", 256);
+    xen::Domain lat(sched, 2, "lat", 256);
+    std::function<void()> pump = [&] {
+        hog.submit(10 * msec, xen::JobKind::user, pump);
+    };
+    pump();
+    sim.runFor(500 * msec);
+    sched.boost(lat); // runnable? blocked: pendingBoost path
+    lat.submit(1 * msec, xen::JobKind::user);
+    sim.runFor(100 * msec);
+
+    bool saw_boost = false, saw_preempt = false;
+    for (const auto &ev : sched.trace()) {
+        if (ev.kind == xen::SchedEvent::Kind::boost)
+            saw_boost = true;
+        if (ev.kind == xen::SchedEvent::Kind::preempt)
+            saw_preempt = true;
+    }
+    EXPECT_TRUE(saw_boost);
+    EXPECT_TRUE(saw_preempt);
+    EXPECT_STREQ(xen::schedEventName(xen::SchedEvent::Kind::boost),
+                 "boost");
+}
+
+TEST(SchedTrace, DisablingClearsRing)
+{
+    Simulator sim;
+    xen::CreditScheduler sched(sim, 1);
+    sched.setTraceCapacity(64);
+    xen::Domain dom(sched, 1, "d", 256);
+    dom.submit(1 * msec, xen::JobKind::user);
+    sim.runFor(50 * msec);
+    EXPECT_FALSE(sched.trace().empty());
+    sched.setTraceCapacity(0);
+    EXPECT_TRUE(sched.trace().empty());
+    dom.submit(1 * msec, xen::JobKind::user);
+    sim.runFor(50 * msec);
+    EXPECT_TRUE(sched.trace().empty());
+}

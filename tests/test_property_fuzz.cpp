@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Property and fuzz tests: randomly generated workloads exercised
+ * against global invariants of the scheduler, the data path, and the
+ * coordination layer — the "can't happen" class of bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coord/message.hpp"
+#include "platform/testbed.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "xen/sched.hpp"
+
+using namespace corm::sim;
+using namespace corm::xen;
+
+namespace {
+
+struct FuzzOutcome
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    Tick demanded = 0;
+};
+
+/**
+ * Drive a random job mix through a scheduler and report totals.
+ * Every job eventually completes and accounting stays conservative.
+ */
+FuzzOutcome
+fuzzScheduler(std::uint64_t seed, int pcpus, int domains,
+              bool credit_ordered)
+{
+    Simulator sim;
+    SchedParams params;
+    params.creditOrderedDispatch = credit_ordered;
+    CreditScheduler sched(sim, pcpus, params);
+    Rng rng(seed);
+
+    std::vector<std::unique_ptr<Domain>> doms;
+    for (int i = 0; i < domains; ++i) {
+        doms.push_back(std::make_unique<Domain>(
+            sched, static_cast<std::uint32_t>(i + 1),
+            "d" + std::to_string(i),
+            rng.uniform(32.0, 1024.0)));
+    }
+
+    FuzzOutcome out;
+    // Random submissions over the first 2 simulated seconds, with
+    // random weight changes and boosts sprinkled in.
+    for (int i = 0; i < 400; ++i) {
+        const Tick when = rng.uniformInt(2 * sec);
+        auto &dom = *doms[rng.uniformInt(doms.size())];
+        const Tick len = 100 * usec + rng.exponentialTicks(3 * msec);
+        const JobKind kind =
+            rng.chance(0.3) ? JobKind::system : JobKind::user;
+        ++out.submitted;
+        out.demanded += len;
+        sim.scheduleAt(when, [&dom, len, kind, &out] {
+            dom.submit(len, kind, [&out] { ++out.completed; });
+        });
+        if (rng.chance(0.1)) {
+            sim.scheduleAt(rng.uniformInt(2 * sec), [&sched, &dom, &rng] {
+                sched.adjustWeight(dom, rng.uniform(-64.0, 64.0));
+            });
+        }
+        if (rng.chance(0.1)) {
+            sim.scheduleAt(rng.uniformInt(2 * sec),
+                           [&sched, &dom] { sched.boost(dom); });
+        }
+    }
+    sim.runUntil(30 * sec);
+
+    // Invariants: every job ran; busy time equals demand and never
+    // exceeds platform capacity; per-domain busy adds up.
+    EXPECT_EQ(out.completed, out.submitted);
+    Tick dom_busy = 0;
+    for (auto &d : doms) {
+        dom_busy += d->cpuUsage().busy(UtilizationTracker::Kind::user)
+            + d->cpuUsage().busy(UtilizationTracker::Kind::system);
+        EXPECT_EQ(d->queuedJobs(), 0u);
+    }
+    EXPECT_EQ(dom_busy, out.demanded);
+    EXPECT_EQ(sched.totalBusy(), out.demanded);
+    EXPECT_LE(sched.totalBusy(),
+              static_cast<Tick>(pcpus) * 30 * sec);
+    return out;
+}
+
+} // namespace
+
+class SchedulerFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>>
+{};
+
+TEST_P(SchedulerFuzz, AllJobsCompleteAndAccountingBalances)
+{
+    const auto [pcpus, domains, ordered] = GetParam();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed)
+        fuzzScheduler(seed * 7919, pcpus, domains, ordered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SchedulerFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Bool()));
+
+TEST(DataPathFuzz, RandomTrafficNeverLosesPacketsSilently)
+{
+    // Conservation: every packet injected at the wire is either
+    // delivered to a guest, dropped at a bounded queue (counted), or
+    // still in flight when the clock stops.
+    corm::platform::TestbedParams tp;
+    tp.ringSlots = 32;
+    corm::platform::Testbed tb(tp);
+    auto &a = tb.addGuest("a", corm::net::IpAddr{10, 0, 0, 2});
+    auto &b = tb.addGuest("b", corm::net::IpAddr{10, 0, 0, 3});
+    tb.run(1 * msec);
+
+    std::uint64_t delivered = 0;
+    a.vif->setReceiveHandler(
+        [&](corm::net::PacketPtr) { ++delivered; });
+    b.vif->setReceiveHandler(
+        [&](corm::net::PacketPtr) { ++delivered; });
+
+    Rng rng(0xfeed);
+    const int injected = 3000;
+    for (int i = 0; i < injected; ++i) {
+        corm::net::FiveTuple flow;
+        flow.src = corm::net::IpAddr(10, 0, 9, 1);
+        flow.dst = rng.chance(0.5) ? a.vif->ip() : b.vif->ip();
+        const auto bytes =
+            static_cast<std::uint32_t>(64 + rng.uniformInt(1400));
+        tb.sim().scheduleAt(
+            tb.sim().now() + rng.uniformInt(2 * sec),
+            [&tb, flow, bytes] {
+                tb.ixp().injectFromWire(tb.packets().make(
+                    flow, bytes, corm::net::AppTag{}, tb.sim().now()));
+            });
+    }
+    tb.run(20 * sec);
+
+    const auto &st = tb.ixp().stats();
+    const std::uint64_t dropped = st.vmQueueDrops.value()
+        + tb.ixp().queueDrops(a.entity) - tb.ixp().queueDrops(a.entity)
+        + st.unknownDst.value();
+    EXPECT_EQ(delivered + dropped, static_cast<std::uint64_t>(injected))
+        << "delivered=" << delivered << " dropped=" << dropped;
+}
+
+TEST(ChannelFuzz, RandomMessagesNeverCrashIslands)
+{
+    // Arbitrary (even nonsensical) coordination messages must be
+    // absorbed: unknown entities ignored, unknown types dropped.
+    corm::platform::Testbed tb;
+    tb.addGuest("vm", corm::net::IpAddr{10, 0, 0, 2});
+    tb.run(1 * msec);
+    Rng rng(0xc0de);
+    for (int i = 0; i < 2000; ++i) {
+        corm::coord::CoordMessage m;
+        m.type = static_cast<corm::coord::MsgType>(
+            1 + rng.uniformInt(4));
+        m.src = static_cast<corm::coord::IslandId>(rng.uniformInt(4));
+        m.dst = static_cast<corm::coord::IslandId>(rng.uniformInt(4));
+        m.entity =
+            static_cast<corm::coord::EntityId>(rng.uniformInt(5));
+        m.value = rng.uniform(-1e6, 1e6);
+        tb.channel().send(m);
+    }
+    tb.run(1 * sec);
+    // Weights stayed within the configured clamp despite the abuse.
+    for (const auto *dom : tb.scheduler().domains()) {
+        EXPECT_GE(dom->weight(), tb.scheduler().params().minWeight);
+        EXPECT_LE(dom->weight(), tb.scheduler().params().maxWeight);
+    }
+}
+
+TEST(SimulatorFuzz, RandomCancellationsKeepQueueConsistent)
+{
+    Simulator sim;
+    Rng rng(42);
+    std::vector<EventId> ids;
+    int fired = 0;
+    for (int i = 0; i < 5000; ++i) {
+        ids.push_back(
+            sim.schedule(rng.uniformInt(1000), [&fired] { ++fired; }));
+    }
+    int cancelled = 0;
+    for (const auto id : ids) {
+        if (rng.chance(0.4)) {
+            sim.cancel(id);
+            ++cancelled;
+        }
+    }
+    sim.runToCompletion();
+    EXPECT_EQ(fired, 5000 - cancelled);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}

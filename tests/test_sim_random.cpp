@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and statistical-property tests for the RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+
+using namespace corm::sim;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(7);
+    Rng child = parent.fork();
+    // Child stream differs from parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent() == child())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntBoundsRespected)
+{
+    Rng rng(5);
+    std::vector<int> histogram(7, 0);
+    for (int i = 0; i < 70000; ++i) {
+        const auto v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        ++histogram[static_cast<std::size_t>(v)];
+    }
+    // Each bin should hold roughly 10000 draws.
+    for (int count : histogram)
+        EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ExponentialTicksNeverNegative)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(rng.exponentialTicks(1000), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(29);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalTicksTruncatesAtZero)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(rng.normalTicks(10, 100), 0u);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(37);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.boundedPareto(1.5, 1.0, 100.0);
+        ASSERT_GE(v, 1.0 - 1e-9);
+        ASSERT_LE(v, 100.0 + 1e-9);
+    }
+}
+
+TEST(Rng, ChanceProbabilityRoughlyCorrect)
+{
+    Rng rng(41);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(DiscreteDist, EmptyWhenAllZero)
+{
+    DiscreteDist d({0.0, 0.0});
+    EXPECT_TRUE(d.empty());
+    DiscreteDist e;
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(DiscreteDist, ProbabilitiesNormalize)
+{
+    DiscreteDist d({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(1), 0.75);
+    EXPECT_DOUBLE_EQ(d.probability(2), 0.0); // out of range
+}
+
+TEST(DiscreteDist, ZeroWeightCategoryNeverDrawn)
+{
+    DiscreteDist d({1.0, 0.0, 1.0});
+    Rng rng(43);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_NE(d.sample(rng), 1u);
+}
+
+TEST(DiscreteDist, EmpiricalFrequenciesMatchWeights)
+{
+    DiscreteDist d({2.0, 1.0, 1.0});
+    Rng rng(47);
+    std::vector<int> hist(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hist[d.sample(rng)];
+    EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.5, 0.01);
+    EXPECT_NEAR(hist[1] / static_cast<double>(n), 0.25, 0.01);
+    EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.25, 0.01);
+}
+
+/** Parameterised sweep: exponential mean accuracy across scales. */
+class ExponentialSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ExponentialSweep, MeanWithinTwoPercent)
+{
+    const double mean = GetParam();
+    Rng rng(static_cast<std::uint64_t>(mean) + 1);
+    double sum = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / n / mean, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExponentialSweep,
+                         ::testing::Values(1.0, 10.0, 1e3, 1e6, 1e9));

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+using namespace corm::sim;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(5, [&order, i] { order.push_back(i); });
+    sim.runToCompletion();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator sim;
+    Tick seen = 0;
+    sim.schedule(123, [&] { seen = sim.now(); });
+    sim.runToCompletion();
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST(Simulator, RunUntilLeavesClockAtBoundary)
+{
+    Simulator sim;
+    sim.schedule(500, [] {});
+    sim.runUntil(100);
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.runUntil(1000);
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsScheduledInPastRunNow)
+{
+    Simulator sim;
+    sim.schedule(100, [] {});
+    sim.runToCompletion();
+    Tick fired_at = 0;
+    sim.scheduleAt(5, [&] { fired_at = sim.now(); }); // 5 < now
+    sim.runToCompletion();
+    EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    EventId id = sim.schedule(10, [&] { ran = true; });
+    sim.cancel(id);
+    sim.runToCompletion();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire)
+{
+    Simulator sim;
+    int runs = 0;
+    EventId id = sim.schedule(10, [&] { ++runs; });
+    sim.runToCompletion();
+    sim.cancel(id); // already fired
+    sim.cancel(id); // double cancel
+    sim.cancel(invalidEventId);
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            sim.schedule(10, chain);
+    };
+    sim.schedule(10, chain);
+    sim.runToCompletion();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, EventCanCancelAnotherPendingEvent)
+{
+    Simulator sim;
+    bool victim_ran = false;
+    EventId victim = sim.schedule(20, [&] { victim_ran = true; });
+    sim.schedule(10, [&] { sim.cancel(victim); });
+    sim.runToCompletion();
+    EXPECT_FALSE(victim_ran);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent)
+{
+    Simulator sim;
+    int runs = 0;
+    sim.schedule(1, [&] { ++runs; });
+    sim.schedule(2, [&] { ++runs; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(runs, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RequestStopHaltsRun)
+{
+    Simulator sim;
+    int runs = 0;
+    sim.schedule(10, [&] {
+        ++runs;
+        sim.requestStop();
+    });
+    sim.schedule(20, [&] { ++runs; });
+    sim.runUntil(100);
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(sim.stopRequested());
+    // Remaining events still pending.
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, PendingEventsTracksQueue)
+{
+    Simulator sim;
+    EventId a = sim.schedule(10, [] {});
+    sim.schedule(20, [] {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    sim.cancel(a);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.runToCompletion();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(PeriodicEvent, FiresAtFixedInterval)
+{
+    Simulator sim;
+    std::vector<Tick> fires;
+    PeriodicEvent tick(sim, 10, [&] { fires.push_back(sim.now()); });
+    sim.runUntil(35);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 20, 30}));
+}
+
+TEST(PeriodicEvent, HonorsStartOffset)
+{
+    Simulator sim;
+    std::vector<Tick> fires;
+    PeriodicEvent tick(sim, 10, [&] { fires.push_back(sim.now()); }, 3);
+    sim.runUntil(25);
+    EXPECT_EQ(fires, (std::vector<Tick>{3, 13, 23}));
+}
+
+TEST(PeriodicEvent, StopCeasesFiring)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicEvent tick(sim, 10, [&] { ++fires; });
+    sim.runUntil(25);
+    tick.stop();
+    EXPECT_FALSE(tick.running());
+    sim.runUntil(100);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicEvent, DestructionCancelsCleanly)
+{
+    Simulator sim;
+    int fires = 0;
+    {
+        PeriodicEvent tick(sim, 10, [&] { ++fires; });
+        sim.runUntil(15);
+    }
+    sim.runUntil(100);
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(TimeUnits, ConversionsRoundTrip)
+{
+    EXPECT_EQ(sec, 1000u * msec);
+    EXPECT_EQ(msec, 1000u * usec);
+    EXPECT_DOUBLE_EQ(toMillis(5 * msec), 5.0);
+    EXPECT_DOUBLE_EQ(toSeconds(1500 * msec), 1.5);
+    EXPECT_EQ(fromMillis(2.5), 2500u * usec);
+    EXPECT_EQ(fromMicros(-1.0), 0u);
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the x86 island adapter, the XenCtl interface, guest
+ * ViFs and the Xen bridge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "xen/island.hpp"
+#include "xen/sched.hpp"
+#include "xen/vif.hpp"
+
+using namespace corm::sim;
+using namespace corm::xen;
+using corm::net::AppTag;
+using corm::net::FiveTuple;
+using corm::net::IpAddr;
+using corm::net::PacketFactory;
+using corm::net::PacketPtr;
+
+namespace {
+
+struct Rig
+{
+    Simulator sim;
+    CreditScheduler sched;
+    XenIsland island;
+    PacketFactory packets;
+
+    Rig() : sched(sim, 2), island(sim, 1, "x86", sched) {}
+
+    PacketPtr
+    packet(IpAddr src, IpAddr dst, std::uint32_t bytes)
+    {
+        FiveTuple flow;
+        flow.src = src;
+        flow.dst = dst;
+        return packets.make(flow, bytes, AppTag{}, sim.now());
+    }
+};
+
+} // namespace
+
+//
+// XenIsland adapter
+//
+
+TEST(XenIsland, ManageAssignsEntityIds)
+{
+    Rig rig;
+    Domain a(rig.sched, 1, "a", 256);
+    Domain b(rig.sched, 2, "b", 256);
+    const auto ea = rig.island.manage(a);
+    const auto eb = rig.island.manage(b);
+    EXPECT_NE(ea, eb);
+    EXPECT_EQ(rig.island.domainFor(ea), &a);
+    EXPECT_EQ(rig.island.domainFor(eb), &b);
+    EXPECT_EQ(rig.island.domainFor(999), nullptr);
+}
+
+TEST(XenIsland, TuneTranslatesToWeightDelta)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    const auto e = rig.island.manage(dom);
+    rig.island.applyTune(e, +128.0);
+    EXPECT_DOUBLE_EQ(dom.weight(), 384.0);
+    rig.island.applyTune(e, -500.0);
+    EXPECT_DOUBLE_EQ(dom.weight(), rig.sched.params().minWeight);
+    EXPECT_EQ(rig.island.totalTunes(), 2u);
+}
+
+TEST(XenIsland, UnknownEntityOperationsAreIgnored)
+{
+    Rig rig;
+    rig.island.applyTune(42, 1.0);
+    rig.island.applyTrigger(42);
+    EXPECT_EQ(rig.island.totalTunes(), 0u);
+    EXPECT_EQ(rig.island.totalTriggers(), 0u);
+    EXPECT_EQ(rig.island.totalIgnored(), 2u);
+}
+
+TEST(XenIsland, TriggerBoostsDomain)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    const auto e = rig.island.manage(dom);
+    rig.island.applyTrigger(e);
+    EXPECT_EQ(rig.island.totalTriggers(), 1u);
+    EXPECT_EQ(rig.sched.stats().boosts.value(), 1u);
+}
+
+TEST(XenIsland, TuneDecayRelaxesTowardBaseline)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    const auto e = rig.island.manage(dom);
+    rig.island.setTuneDecay(1 * sec);
+    rig.island.applyTune(e, +512.0);
+    EXPECT_DOUBLE_EQ(dom.weight(), 768.0);
+    rig.sim.runFor(3 * sec);
+    // Three time constants later the weight is nearly back at 256.
+    EXPECT_LT(dom.weight(), 300.0);
+    EXPECT_GT(dom.weight(), 255.0);
+    // Disabling decay freezes the weight.
+    rig.island.setTuneDecay(0);
+    const double frozen = dom.weight();
+    rig.sim.runFor(2 * sec);
+    EXPECT_DOUBLE_EQ(dom.weight(), frozen);
+}
+
+TEST(XenIsland, PowerRisesWithLoad)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    (void)rig.island.currentPowerWatts(); // establish the window
+    rig.sim.runFor(100 * msec);
+    const double idle = rig.island.currentPowerWatts();
+    dom.submit(1 * sec, JobKind::user);
+    rig.sim.runFor(100 * msec);
+    const double busy = rig.island.currentPowerWatts();
+    EXPECT_GT(busy, idle);
+}
+
+TEST(XenCtl, GetSetAdjustBoost)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    XenCtl &ctl = rig.island.xenctl();
+    EXPECT_DOUBLE_EQ(ctl.getWeight(dom), 256.0);
+    ctl.setWeight(dom, 512.0);
+    EXPECT_DOUBLE_EQ(ctl.getWeight(dom), 512.0);
+    ctl.adjustWeight(dom, -112.0);
+    EXPECT_DOUBLE_EQ(ctl.getWeight(dom), 400.0);
+    ctl.boost(dom);
+    EXPECT_EQ(rig.sched.stats().boosts.value(), 1u);
+}
+
+//
+// GuestVif
+//
+
+TEST(GuestVif, DeliveryChargesSystemTimeThenHandsToApp)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    GuestVif vif(dom, IpAddr(10, 0, 0, 2));
+    int received = 0;
+    Tick received_at = 0;
+    vif.setReceiveHandler([&](PacketPtr) {
+        ++received;
+        received_at = rig.sim.now();
+    });
+    vif.deliver(rig.packet(IpAddr(10, 0, 9, 1), vif.ip(), 2048));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(received, 1);
+    EXPECT_GT(received_at, 0u); // stack cost elapsed first
+    EXPECT_GT(dom.cpuUsage().busy(UtilizationTracker::Kind::system), 0u);
+    EXPECT_EQ(vif.totalRxPackets(), 1u);
+    EXPECT_EQ(vif.totalRxBytes(), 2048u);
+}
+
+TEST(GuestVif, RxWindowTracksInflight)
+{
+    Rig rig;
+    // A zero-weight... rather, block the guest by keeping the other
+    // domain hogging both cores is complex; instead use a huge rx
+    // cost so packets stay in flight.
+    VifParams params;
+    params.rxPerPacket = 100 * msec;
+    params.rxRingDepth = 2;
+    Domain dom(rig.sched, 1, "d", 256);
+    GuestVif vif(dom, IpAddr(10, 0, 0, 2), params);
+    vif.setReceiveHandler([](PacketPtr) {});
+    EXPECT_TRUE(vif.canAccept());
+    vif.deliver(rig.packet(IpAddr(10, 0, 9, 1), vif.ip(), 100));
+    vif.deliver(rig.packet(IpAddr(10, 0, 9, 1), vif.ip(), 100));
+    EXPECT_FALSE(vif.canAccept());
+    EXPECT_EQ(vif.inflight(), 2);
+    rig.sim.runFor(300 * msec);
+    EXPECT_TRUE(vif.canAccept());
+    EXPECT_EQ(vif.inflight(), 0);
+}
+
+TEST(GuestVif, TransmitChargesGuestThenHitsWire)
+{
+    Rig rig;
+    Domain dom(rig.sched, 1, "d", 256);
+    GuestVif vif(dom, IpAddr(10, 0, 0, 2));
+    int on_wire = 0;
+    vif.transmit(rig.packet(vif.ip(), IpAddr(10, 0, 9, 1), 1500),
+                 [&](PacketPtr) { ++on_wire; });
+    EXPECT_EQ(on_wire, 0); // not before the tx stack job runs
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(on_wire, 1);
+    EXPECT_EQ(vif.totalTxPackets(), 1u);
+}
+
+//
+// XenBridge
+//
+
+TEST(XenBridge, RelaysBetweenLocalGuests)
+{
+    Rig rig;
+    Domain dom0(rig.sched, 0, "dom0", 256, 2);
+    Domain g1(rig.sched, 1, "g1", 256);
+    Domain g2(rig.sched, 2, "g2", 256);
+    GuestVif v1(g1, IpAddr(10, 0, 0, 2));
+    GuestVif v2(g2, IpAddr(10, 0, 0, 3));
+    XenBridge bridge(dom0, 15 * usec);
+    bridge.attach(v1);
+    bridge.attach(v2);
+    int got = 0;
+    v2.setReceiveHandler([&](PacketPtr) { ++got; });
+
+    bridge.relayFromGuest(rig.packet(v1.ip(), v2.ip(), 1000));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(bridge.totalRelayed(), 1u);
+    // Dom0 paid the relay cost.
+    EXPECT_GT(dom0.cpuUsage().busy(UtilizationTracker::Kind::system), 0u);
+}
+
+TEST(XenBridge, NonLocalEgressGoesExternal)
+{
+    Rig rig;
+    Domain dom0(rig.sched, 0, "dom0", 256, 2);
+    XenBridge bridge(dom0, 15 * usec);
+    int external = 0;
+    bridge.setExternalTx([&](PacketPtr) { ++external; });
+    bridge.relayFromGuest(
+        rig.packet(IpAddr(10, 0, 0, 2), IpAddr(99, 0, 0, 1), 500));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(external, 1);
+}
+
+TEST(XenBridge, InboundWithoutGuestIsNoRoute)
+{
+    Rig rig;
+    Domain dom0(rig.sched, 0, "dom0", 256, 2);
+    XenBridge bridge(dom0, 15 * usec);
+    bridge.setExternalTx([](PacketPtr) {
+        FAIL() << "inbound traffic must not loop back out";
+    });
+    bridge.injectFromExternal(
+        rig.packet(IpAddr(10, 0, 9, 1), IpAddr(10, 0, 0, 7), 500));
+    rig.sim.runFor(10 * msec);
+    EXPECT_EQ(bridge.totalNoRoute(), 1u);
+    EXPECT_EQ(bridge.totalInjected(), 1u);
+}
+
+TEST(XenBridge, VifLookupByIp)
+{
+    Rig rig;
+    Domain dom0(rig.sched, 0, "dom0", 256, 2);
+    Domain g1(rig.sched, 1, "g1", 256);
+    GuestVif v1(g1, IpAddr(10, 0, 0, 2));
+    XenBridge bridge(dom0, 15 * usec);
+    bridge.attach(v1);
+    EXPECT_EQ(bridge.vifFor(IpAddr(10, 0, 0, 2)), &v1);
+    EXPECT_EQ(bridge.vifFor(IpAddr(10, 0, 0, 3)), nullptr);
+}

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit and property tests for the Xen credit-scheduler model.
+ *
+ * These validate the scheduler behaviours the paper's coordination
+ * mechanisms rely on: weight-proportional CPU shares, fast BOOST
+ * dispatch of event-woken VCPUs (the Trigger path), weight changes
+ * taking effect at accounting (the Tune path), work conservation
+ * across PCPUs, and iowait accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+#include "xen/sched.hpp"
+
+using namespace corm::sim;
+using namespace corm::xen;
+
+namespace {
+
+/** Keeps a domain 100 % CPU-bound with back-to-back jobs. */
+class Hog
+{
+  public:
+    Hog(Domain &dom, Tick job_len = 2 * msec)
+        : target(dom), len(job_len)
+    {
+        pump();
+    }
+
+    void
+    pump()
+    {
+        target.submit(len, JobKind::user, [this] { pump(); });
+    }
+
+  private:
+    Domain &target;
+    Tick len;
+};
+
+/** User-time busy ticks for a domain. */
+Tick
+userBusy(const Domain &dom)
+{
+    return dom.cpuUsage().busy(UtilizationTracker::Kind::user);
+}
+
+} // namespace
+
+TEST(CreditSched, UncontendedJobFinishesOnTime)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain dom(sched, 1, "d1", 256);
+
+    Tick done_at = 0;
+    dom.submit(5 * msec, JobKind::user, [&] { done_at = sim.now(); });
+    sim.runUntil(1 * sec);
+    EXPECT_EQ(done_at, 5 * msec);
+    EXPECT_EQ(dom.jobsCompleted(), 1u);
+}
+
+TEST(CreditSched, JobsOnOneVcpuRunFifo)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain dom(sched, 1, "d1", 256);
+
+    std::vector<int> order;
+    dom.submit(1 * msec, JobKind::user, [&] { order.push_back(1); });
+    dom.submit(1 * msec, JobKind::user, [&] { order.push_back(2); });
+    dom.submit(1 * msec, JobKind::user, [&] { order.push_back(3); });
+    sim.runUntil(100 * msec);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CreditSched, EqualWeightsShareEqually)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain a(sched, 1, "a", 256);
+    Domain b(sched, 2, "b", 256);
+    Hog ha(a), hb(b);
+
+    sim.runUntil(3 * sec);
+    const double sa = toSeconds(userBusy(a));
+    const double sb = toSeconds(userBusy(b));
+    EXPECT_NEAR(sa + sb, 3.0, 0.05); // work conservation
+    EXPECT_NEAR(sa / (sa + sb), 0.5, 0.05);
+}
+
+TEST(CreditSched, WorkConservingAcrossPcpus)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 2);
+    Domain a(sched, 1, "a", 256);
+    Domain b(sched, 2, "b", 256);
+    Hog ha(a), hb(b);
+
+    sim.runUntil(2 * sec);
+    // Two runnable single-VCPU domains on two cores: both should get
+    // essentially a full core each (stealing spreads them).
+    EXPECT_NEAR(toSeconds(userBusy(a)), 2.0, 0.1);
+    EXPECT_NEAR(toSeconds(userBusy(b)), 2.0, 0.1);
+}
+
+TEST(CreditSched, BlockedDomainConsumesNothing)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain busy(sched, 1, "busy", 256);
+    Domain idle(sched, 2, "idle", 256);
+    Hog hog(busy);
+
+    sim.runUntil(1 * sec);
+    EXPECT_EQ(userBusy(idle), 0u);
+    // The busy domain takes the whole core despite equal weights.
+    EXPECT_NEAR(toSeconds(userBusy(busy)), 1.0, 0.05);
+}
+
+TEST(CreditSched, WokenVcpuBoostsAndPreemptsQuickly)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain hog_dom(sched, 1, "hog", 256);
+    Domain latency_dom(sched, 2, "lat", 256);
+    Hog hog(hog_dom, 10 * msec);
+
+    // Let the hog saturate the core, then submit a tiny job to the
+    // blocked domain: it must BOOST past the hog.
+    Tick submitted = 0, completed = 0;
+    sim.schedule(1 * sec, [&] {
+        submitted = sim.now();
+        latency_dom.submit(500 * usec, JobKind::user,
+                           [&] { completed = sim.now(); });
+    });
+    sim.runUntil(2 * sec);
+    ASSERT_GT(completed, 0u);
+    // Without BOOST the job could wait behind a 10 ms hog job (or a
+    // whole 30 ms slice); with BOOST it preempts immediately.
+    EXPECT_LT(completed - submitted, 2 * msec);
+    EXPECT_GT(sched.stats().contextSwitches.value(), 0u);
+}
+
+TEST(CreditSched, TriggerBoostDispatchesRunnableDomainImmediately)
+{
+    // A Trigger boost is a *latency* mechanism: it puts the entity at
+    // the head of the run queue right now. It must not permanently
+    // override weight-proportional shares (credit fairness reclaims
+    // the CPU afterwards) — so the assertion here is immediate
+    // dispatch, not long-run share.
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain a(sched, 1, "a", 256);
+    Domain b(sched, 2, "b", 256);
+    Hog ha(a, 5 * msec), hb(b, 5 * msec);
+
+    // Probe each millisecond until we catch b runnable-but-waiting,
+    // then fire the boost.
+    Tick boosted_at = 0;
+    for (int i = 0; i < 2000; ++i) {
+        sim.schedule(1 * sec + static_cast<Tick>(i) * 1 * msec, [&] {
+            if (boosted_at == 0
+                && b.vcpu().state() == VcpuState::runnable) {
+                boosted_at = sim.now();
+                sched.boost(b);
+            }
+        });
+    }
+    sim.runUntil(3 * sec);
+    ASSERT_GT(boosted_at, 0u) << "never observed b waiting";
+
+    // Replay to just after the boost and verify b took the CPU.
+    Simulator sim2;
+    CreditScheduler sched2(sim2, 1);
+    Domain a2(sched2, 1, "a", 256);
+    Domain b2(sched2, 2, "b", 256);
+    Hog ha2(a2, 5 * msec), hb2(b2, 5 * msec);
+    sim2.scheduleAt(boosted_at, [&] { sched2.boost(b2); });
+    sim2.runUntil(boosted_at + 100 * usec);
+    EXPECT_EQ(b2.vcpu().state(), VcpuState::running);
+    EXPECT_EQ(sched2.stats().boosts.value(), 1u);
+
+    // And fairness still holds over the long run despite the boost.
+    sim2.runUntil(boosted_at + 3 * sec);
+    const double sa = toSeconds(userBusy(a2));
+    const double sb = toSeconds(userBusy(b2));
+    EXPECT_NEAR(sa / (sa + sb), 0.5, 0.05);
+}
+
+TEST(CreditSched, WeightChangeShiftsShareAfterAccounting)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain a(sched, 1, "a", 256);
+    Domain b(sched, 2, "b", 256);
+    Hog ha(a), hb(b);
+
+    sim.runUntil(2 * sec);
+    const Tick a_phase1 = userBusy(a);
+    const Tick b_phase1 = userBusy(b);
+    EXPECT_NEAR(static_cast<double>(a_phase1)
+                    / static_cast<double>(a_phase1 + b_phase1),
+                0.5, 0.05);
+
+    // Tune semantics: adjust weight; effect from next accounting.
+    sched.setWeight(a, 768); // 3:1
+    sim.runUntil(5 * sec);
+    const double a_phase2 = toSeconds(userBusy(a) - a_phase1);
+    const double b_phase2 = toSeconds(userBusy(b) - b_phase1);
+    EXPECT_NEAR(a_phase2 / (a_phase2 + b_phase2), 0.75, 0.06);
+}
+
+TEST(CreditSched, WeightsClampToConfiguredRange)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain a(sched, 1, "a", 256);
+    sched.adjustWeight(a, -1e9);
+    EXPECT_DOUBLE_EQ(a.weight(), sched.params().minWeight);
+    sched.adjustWeight(a, +1e9);
+    EXPECT_DOUBLE_EQ(a.weight(), sched.params().maxWeight);
+}
+
+TEST(CreditSched, IowaitAccountedWhileBlockedOnIo)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain dom(sched, 1, "d", 256);
+
+    // Run 1 ms, then block with an outstanding I/O dependency for
+    // ~100 ms, then run again.
+    dom.submit(1 * msec, JobKind::user, [&] { dom.ioBegin(); });
+    sim.schedule(101 * msec, [&] {
+        dom.ioEnd();
+        dom.submit(1 * msec, JobKind::user);
+    });
+    sim.runUntil(1 * sec);
+
+    const Tick io = dom.cpuUsage().busy(UtilizationTracker::Kind::iowait);
+    EXPECT_NEAR(toMillis(io), 100.0, 1.0);
+}
+
+TEST(CreditSched, SystemAndUserTimeSeparated)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain dom(sched, 1, "d", 256);
+    dom.submit(3 * msec, JobKind::system);
+    dom.submit(7 * msec, JobKind::user);
+    sim.runUntil(1 * sec);
+    EXPECT_EQ(dom.cpuUsage().busy(UtilizationTracker::Kind::system),
+              3 * msec);
+    EXPECT_EQ(dom.cpuUsage().busy(UtilizationTracker::Kind::user),
+              7 * msec);
+}
+
+TEST(CreditSched, MultiVcpuDomainUsesBothCores)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 2);
+    Domain dom0(sched, 0, "dom0", 256, 2);
+
+    // Saturate both VCPUs.
+    std::function<void(int)> pump = [&](int vcpu) {
+        dom0.submit(2 * msec, JobKind::system,
+                    [&pump, vcpu] { pump(vcpu); }, vcpu);
+    };
+    pump(0);
+    pump(1);
+    sim.runUntil(1 * sec);
+    EXPECT_NEAR(toSeconds(dom0.cpuUsage().totalBusy()), 2.0, 0.1);
+}
+
+TEST(CreditSched, ResetBusyZeroesAccounting)
+{
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain dom(sched, 1, "d", 256);
+    Hog hog(dom);
+    sim.runUntil(500 * msec);
+    EXPECT_GT(sched.totalBusy(), 0u);
+    sched.resetBusy();
+    EXPECT_EQ(sched.totalBusy(), 0u);
+    sim.runUntil(1 * sec);
+    EXPECT_NEAR(toSeconds(sched.totalBusy()), 0.5, 0.05);
+}
+
+/**
+ * Property sweep: CPU shares are proportional to weights across
+ * ratios, the credit scheduler's core contract.
+ */
+class WeightRatioSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{};
+
+TEST_P(WeightRatioSweep, SharesMatchWeights)
+{
+    const auto [wa, wb] = GetParam();
+    Simulator sim;
+    CreditScheduler sched(sim, 1);
+    Domain a(sched, 1, "a", wa);
+    Domain b(sched, 2, "b", wb);
+    Hog ha(a), hb(b);
+
+    sim.runUntil(6 * sec);
+    const double sa = toSeconds(userBusy(a));
+    const double sb = toSeconds(userBusy(b));
+    const double expected = wa / (wa + wb);
+    EXPECT_NEAR(sa / (sa + sb), expected, 0.06)
+        << "weights " << wa << ":" << wb;
+    EXPECT_NEAR(sa + sb, 6.0, 0.1); // work conservation
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, WeightRatioSweep,
+    ::testing::Values(std::make_pair(256.0, 256.0),
+                      std::make_pair(512.0, 256.0),
+                      std::make_pair(768.0, 256.0),
+                      std::make_pair(1024.0, 256.0),
+                      std::make_pair(384.0, 512.0),
+                      std::make_pair(384.0, 640.0)));
+
+/** Sweep PCPU counts: total busy never exceeds capacity. */
+class PcpuSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PcpuSweep, BusyNeverExceedsCapacity)
+{
+    const int ncpu = GetParam();
+    Simulator sim;
+    CreditScheduler sched(sim, ncpu);
+    std::vector<std::unique_ptr<Domain>> doms;
+    std::vector<std::unique_ptr<Hog>> hogs;
+    for (int i = 0; i < ncpu + 2; ++i) {
+        doms.push_back(std::make_unique<Domain>(
+            sched, static_cast<std::uint32_t>(i + 1),
+            "d" + std::to_string(i), 256.0));
+        hogs.push_back(std::make_unique<Hog>(*doms.back()));
+    }
+    sim.runUntil(2 * sec);
+    const double busy = toSeconds(sched.totalBusy());
+    EXPECT_LE(busy, 2.0 * ncpu + 0.01);
+    EXPECT_NEAR(busy, 2.0 * ncpu, 0.1 * ncpu); // saturated
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, PcpuSweep, ::testing::Values(1, 2, 4, 8));
