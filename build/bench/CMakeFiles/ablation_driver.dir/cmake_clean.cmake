@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_driver.dir/ablation_driver.cpp.o"
+  "CMakeFiles/ablation_driver.dir/ablation_driver.cpp.o.d"
+  "ablation_driver"
+  "ablation_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oscillation.dir/ablation_oscillation.cpp.o"
+  "CMakeFiles/ablation_oscillation.dir/ablation_oscillation.cpp.o.d"
+  "ablation_oscillation"
+  "ablation_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

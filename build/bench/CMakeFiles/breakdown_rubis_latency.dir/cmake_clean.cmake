@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_rubis_latency.dir/breakdown_rubis_latency.cpp.o"
+  "CMakeFiles/breakdown_rubis_latency.dir/breakdown_rubis_latency.cpp.o.d"
+  "breakdown_rubis_latency"
+  "breakdown_rubis_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_rubis_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

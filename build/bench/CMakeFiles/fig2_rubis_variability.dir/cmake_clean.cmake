@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rubis_variability.dir/fig2_rubis_variability.cpp.o"
+  "CMakeFiles/fig2_rubis_variability.dir/fig2_rubis_variability.cpp.o.d"
+  "fig2_rubis_variability"
+  "fig2_rubis_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rubis_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rubis_minmax_coord.dir/fig4_rubis_minmax_coord.cpp.o"
+  "CMakeFiles/fig4_rubis_minmax_coord.dir/fig4_rubis_minmax_coord.cpp.o.d"
+  "fig4_rubis_minmax_coord"
+  "fig4_rubis_minmax_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rubis_minmax_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

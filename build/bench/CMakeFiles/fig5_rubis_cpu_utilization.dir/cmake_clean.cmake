@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rubis_cpu_utilization.dir/fig5_rubis_cpu_utilization.cpp.o"
+  "CMakeFiles/fig5_rubis_cpu_utilization.dir/fig5_rubis_cpu_utilization.cpp.o.d"
+  "fig5_rubis_cpu_utilization"
+  "fig5_rubis_cpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rubis_cpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mplayer_qos.dir/fig6_mplayer_qos.cpp.o"
+  "CMakeFiles/fig6_mplayer_qos.dir/fig6_mplayer_qos.cpp.o.d"
+  "fig6_mplayer_qos"
+  "fig6_mplayer_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mplayer_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

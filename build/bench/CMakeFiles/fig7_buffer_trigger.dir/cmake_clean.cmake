@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_buffer_trigger.dir/fig7_buffer_trigger.cpp.o"
+  "CMakeFiles/fig7_buffer_trigger.dir/fig7_buffer_trigger.cpp.o.d"
+  "fig7_buffer_trigger"
+  "fig7_buffer_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_buffer_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_microbench.dir/mech_microbench.cpp.o"
+  "CMakeFiles/mech_microbench.dir/mech_microbench.cpp.o.d"
+  "mech_microbench"
+  "mech_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

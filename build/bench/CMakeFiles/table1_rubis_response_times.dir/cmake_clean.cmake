@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rubis_response_times.dir/table1_rubis_response_times.cpp.o"
+  "CMakeFiles/table1_rubis_response_times.dir/table1_rubis_response_times.cpp.o.d"
+  "table1_rubis_response_times"
+  "table1_rubis_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rubis_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rubis_throughput.dir/table2_rubis_throughput.cpp.o"
+  "CMakeFiles/table2_rubis_throughput.dir/table2_rubis_throughput.cpp.o.d"
+  "table2_rubis_throughput"
+  "table2_rubis_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rubis_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

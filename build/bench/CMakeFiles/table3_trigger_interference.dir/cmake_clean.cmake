@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_trigger_interference.dir/table3_trigger_interference.cpp.o"
+  "CMakeFiles/table3_trigger_interference.dir/table3_trigger_interference.cpp.o.d"
+  "table3_trigger_interference"
+  "table3_trigger_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trigger_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_trigger_interference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_trigger.dir/buffer_trigger.cpp.o"
+  "CMakeFiles/buffer_trigger.dir/buffer_trigger.cpp.o.d"
+  "buffer_trigger"
+  "buffer_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

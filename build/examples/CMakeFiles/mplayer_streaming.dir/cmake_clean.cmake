@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mplayer_streaming.dir/mplayer_streaming.cpp.o"
+  "CMakeFiles/mplayer_streaming.dir/mplayer_streaming.cpp.o.d"
+  "mplayer_streaming"
+  "mplayer_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mplayer_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

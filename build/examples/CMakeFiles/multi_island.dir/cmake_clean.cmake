@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_island.dir/multi_island.cpp.o"
+  "CMakeFiles/multi_island.dir/multi_island.cpp.o.d"
+  "multi_island"
+  "multi_island.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

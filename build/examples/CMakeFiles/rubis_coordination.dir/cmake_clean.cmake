@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_coordination.dir/rubis_coordination.cpp.o"
+  "CMakeFiles/rubis_coordination.dir/rubis_coordination.cpp.o.d"
+  "rubis_coordination"
+  "rubis_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

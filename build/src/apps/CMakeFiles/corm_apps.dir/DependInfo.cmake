@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/mplayer.cpp" "src/apps/CMakeFiles/corm_apps.dir/mplayer.cpp.o" "gcc" "src/apps/CMakeFiles/corm_apps.dir/mplayer.cpp.o.d"
+  "/root/repo/src/apps/rubis.cpp" "src/apps/CMakeFiles/corm_apps.dir/rubis.cpp.o" "gcc" "src/apps/CMakeFiles/corm_apps.dir/rubis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xen/CMakeFiles/corm_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/corm_ixp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

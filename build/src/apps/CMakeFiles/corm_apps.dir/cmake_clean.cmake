@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_apps.dir/mplayer.cpp.o"
+  "CMakeFiles/corm_apps.dir/mplayer.cpp.o.d"
+  "CMakeFiles/corm_apps.dir/rubis.cpp.o"
+  "CMakeFiles/corm_apps.dir/rubis.cpp.o.d"
+  "libcorm_apps.a"
+  "libcorm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

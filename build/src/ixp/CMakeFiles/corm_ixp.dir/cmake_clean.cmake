@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_ixp.dir/island.cpp.o"
+  "CMakeFiles/corm_ixp.dir/island.cpp.o.d"
+  "libcorm_ixp.a"
+  "libcorm_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

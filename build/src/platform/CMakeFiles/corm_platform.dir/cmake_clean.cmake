@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_platform.dir/scenarios.cpp.o"
+  "CMakeFiles/corm_platform.dir/scenarios.cpp.o.d"
+  "CMakeFiles/corm_platform.dir/testbed.cpp.o"
+  "CMakeFiles/corm_platform.dir/testbed.cpp.o.d"
+  "libcorm_platform.a"
+  "libcorm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

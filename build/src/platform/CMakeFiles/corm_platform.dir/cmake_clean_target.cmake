@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorm_platform.a"
+)

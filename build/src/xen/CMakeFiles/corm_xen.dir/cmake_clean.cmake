@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_xen.dir/sched.cpp.o"
+  "CMakeFiles/corm_xen.dir/sched.cpp.o.d"
+  "libcorm_xen.a"
+  "libcorm_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

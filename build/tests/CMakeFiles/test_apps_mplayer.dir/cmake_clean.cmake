@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_mplayer.dir/test_apps_mplayer.cpp.o"
+  "CMakeFiles/test_apps_mplayer.dir/test_apps_mplayer.cpp.o.d"
+  "test_apps_mplayer"
+  "test_apps_mplayer.pdb"
+  "test_apps_mplayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_mplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_rubis.dir/test_apps_rubis.cpp.o"
+  "CMakeFiles/test_apps_rubis.dir/test_apps_rubis.cpp.o.d"
+  "test_apps_rubis"
+  "test_apps_rubis.pdb"
+  "test_apps_rubis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_rubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord_core.dir/test_coord_core.cpp.o"
+  "CMakeFiles/test_coord_core.dir/test_coord_core.cpp.o.d"
+  "test_coord_core"
+  "test_coord_core.pdb"
+  "test_coord_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

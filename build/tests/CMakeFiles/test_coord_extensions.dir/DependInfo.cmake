@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coord_extensions.cpp" "tests/CMakeFiles/test_coord_extensions.dir/test_coord_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_coord_extensions.dir/test_coord_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/corm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/corm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/corm_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/corm_ixp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord_extensions.dir/test_coord_extensions.cpp.o"
+  "CMakeFiles/test_coord_extensions.dir/test_coord_extensions.cpp.o.d"
+  "test_coord_extensions"
+  "test_coord_extensions.pdb"
+  "test_coord_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

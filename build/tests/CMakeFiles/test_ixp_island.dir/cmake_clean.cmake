@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ixp_island.dir/test_ixp_island.cpp.o"
+  "CMakeFiles/test_ixp_island.dir/test_ixp_island.cpp.o.d"
+  "test_ixp_island"
+  "test_ixp_island.pdb"
+  "test_ixp_island[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ixp_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_driver.dir/test_platform_driver.cpp.o"
+  "CMakeFiles/test_platform_driver.dir/test_platform_driver.cpp.o.d"
+  "test_platform_driver"
+  "test_platform_driver.pdb"
+  "test_platform_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_report.dir/test_platform_report.cpp.o"
+  "CMakeFiles/test_platform_report.dir/test_platform_report.cpp.o.d"
+  "test_platform_report"
+  "test_platform_report.pdb"
+  "test_platform_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

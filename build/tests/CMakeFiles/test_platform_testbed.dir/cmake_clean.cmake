@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_testbed.dir/test_platform_testbed.cpp.o"
+  "CMakeFiles/test_platform_testbed.dir/test_platform_testbed.cpp.o.d"
+  "test_platform_testbed"
+  "test_platform_testbed.pdb"
+  "test_platform_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

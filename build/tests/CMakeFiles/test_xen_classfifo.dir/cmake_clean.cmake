@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xen_classfifo.dir/test_xen_classfifo.cpp.o"
+  "CMakeFiles/test_xen_classfifo.dir/test_xen_classfifo.cpp.o.d"
+  "test_xen_classfifo"
+  "test_xen_classfifo.pdb"
+  "test_xen_classfifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xen_classfifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

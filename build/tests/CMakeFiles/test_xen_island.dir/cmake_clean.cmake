@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xen_island.dir/test_xen_island.cpp.o"
+  "CMakeFiles/test_xen_island.dir/test_xen_island.cpp.o.d"
+  "test_xen_island"
+  "test_xen_island.pdb"
+  "test_xen_island[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xen_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

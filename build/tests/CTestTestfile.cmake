@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_random[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_net_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_interconnect[1]_include.cmake")
+include("/root/repo/build/tests/test_coord_core[1]_include.cmake")
+include("/root/repo/build/tests/test_coord_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_ixp_island[1]_include.cmake")
+include("/root/repo/build/tests/test_xen_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_xen_island[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_rubis[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_mplayer[1]_include.cmake")
+include("/root/repo/build/tests/test_platform_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_coord_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_platform_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_xen_classfifo[1]_include.cmake")
+include("/root/repo/build/tests/test_platform_report[1]_include.cmake")
