@@ -30,11 +30,14 @@ struct Row
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "ablation_driver");
     corm::bench::banner("Ablation: messaging-driver mode",
                         "periodic polling vs coalesced interrupts "
                         "(bursty-stream workload)");
+    corm::bench::BenchReport report(opts);
 
     using corm::platform::DriverMode;
     using corm::sim::msec;
@@ -61,9 +64,12 @@ main()
         cfg.testbed.driver = row.driver;
         cfg.trigger = true;
         cfg.measure = 60 * corm::sim::sec;
-        const auto r = corm::platform::runTriggerScenario(cfg);
-        const double secs = corm::sim::toSeconds(cfg.warmup
-                                                 + cfg.measure);
+        const auto merged = corm::bench::runTriggerTrials(cfg, opts);
+        const auto &r = merged.mean;
+        corm::sim::Tick warm = cfg.warmup, meas = cfg.measure;
+        corm::bench::applyWindow(opts, warm, meas);
+        const double secs = corm::sim::toSeconds(warm + meas);
+        report.add(row.label, merged);
         std::printf("%-28s | %8.1f %9.0f %9llu | %9.0f %10.0f\n",
                     row.label, r.fps1, r.bufferPeakBytes / 1024.0,
                     static_cast<unsigned long long>(r.ixpQueueDrops),
@@ -77,5 +83,6 @@ main()
                 "polling configuration at a fraction of the\n"
                 "notification rate — the 'user-defined frequency' "
                 "knob §2.1 describes is a real trade-off.\n");
+    report.write();
     return 0;
 }

@@ -55,9 +55,9 @@ compare(const corm::platform::RubisResult &base,
     return o;
 }
 
-corm::platform::RubisResult
-run(corm::apps::rubis::Mix mix, bool coordination, bool damped,
-    double delta = 0.0)
+corm::platform::MergedRubis
+run(const corm::bench::BenchOptions &opts, corm::apps::rubis::Mix mix,
+    bool coordination, bool damped, double delta = 0.0)
 {
     corm::platform::RubisScenarioConfig cfg;
     cfg.client.mix = mix;
@@ -73,56 +73,67 @@ run(corm::apps::rubis::Mix mix, bool coordination, bool damped,
     }
     cfg.warmup = 15 * corm::sim::sec;
     cfg.measure = 120 * corm::sim::sec;
-    return corm::platform::runRubisScenario(cfg);
+    return corm::bench::runRubisTrials(cfg, opts);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "ablation_oscillation");
     corm::bench::banner("Ablation: oscillation",
                         "per-request vs damped tunes; read-write vs "
                         "browsing-only mix");
+    corm::bench::BenchReport report(opts);
 
     using corm::apps::rubis::Mix;
 
     std::printf("%-34s %9s %9s %10s %12s\n", "Configuration",
                 "improved", "max-regr", "mean base", "mean coord");
 
+    // The read-write baseline is shared by the first three
+    // configurations (identical config + seed => identical result).
+    const auto rwBase = run(opts, Mix::bidBrowseSell, false, false);
+    report.add("rw_base", rwBase);
+
     {
-        const auto base = run(Mix::bidBrowseSell, false, false);
-        const auto coord = run(Mix::bidBrowseSell, true, false);
-        const auto o = compare(base, coord);
+        const auto coord = run(opts, Mix::bidBrowseSell, true, false);
+        const auto o = compare(rwBase.mean, coord.mean);
         std::printf("%-34s %6d/%-2d %9d %8.0f ms %9.0f ms\n",
                     "read-write mix, per-request", o.improved, o.rows,
                     o.regressedMax, o.meanBase, o.meanCoord);
+        report.add("rw_per_request", coord);
     }
     {
         // Aggressive per-request steps overreact to read/write
         // alternation — the paper's mis-application pathology.
-        const auto base = run(Mix::bidBrowseSell, false, false);
-        const auto coord = run(Mix::bidBrowseSell, true, false, 32.0);
-        const auto o = compare(base, coord);
+        const auto coord =
+            run(opts, Mix::bidBrowseSell, true, false, 32.0);
+        const auto o = compare(rwBase.mean, coord.mean);
         std::printf("%-34s %6d/%-2d %9d %8.0f ms %9.0f ms\n",
                     "read-write mix, aggressive steps", o.improved,
                     o.rows, o.regressedMax, o.meanBase, o.meanCoord);
+        report.add("rw_aggressive", coord);
     }
     {
-        const auto base = run(Mix::bidBrowseSell, false, false);
-        const auto coord = run(Mix::bidBrowseSell, true, true);
-        const auto o = compare(base, coord);
+        const auto coord = run(opts, Mix::bidBrowseSell, true, true);
+        const auto o = compare(rwBase.mean, coord.mean);
         std::printf("%-34s %6d/%-2d %9d %8.0f ms %9.0f ms\n",
                     "read-write mix, damped tunes", o.improved, o.rows,
                     o.regressedMax, o.meanBase, o.meanCoord);
+        report.add("rw_damped", coord);
     }
     {
-        const auto base = run(Mix::browsing, false, false);
-        const auto coord = run(Mix::browsing, true, false);
-        const auto o = compare(base, coord);
+        const auto base = run(opts, Mix::browsing, false, false);
+        const auto coord = run(opts, Mix::browsing, true, false);
+        const auto o = compare(base.mean, coord.mean);
         std::printf("%-34s %6d/%-2d %9d %8.0f ms %9.0f ms\n",
                     "browsing-only mix, per-request", o.improved,
                     o.rows, o.regressedMax, o.meanBase, o.meanCoord);
+        report.add("browse_base", base);
+        report.add("browse_per_request", coord);
     }
 
     std::printf("\nReading: calibrated per-request tunes track the "
@@ -131,5 +142,6 @@ main()
                 "paper's mis-application pathology); EWMA damping\n"
                 "suppresses the pathology but also the benefit — "
                 "reaction speed is the price of stability.\n");
+    report.write();
     return 0;
 }

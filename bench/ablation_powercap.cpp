@@ -18,133 +18,230 @@
 #include "apps/mplayer.hpp"
 #include "bench_util.hpp"
 
-int
-main()
+namespace {
+
+/** One row of the weight-throttling sweep. */
+struct WeightCapRow
 {
+    double avgW = 0.0, peakW = 0.0;
+    double fpsHi = 0.0, fpsLo = 0.0;
+    std::uint64_t throttles = 0, restores = 0;
+    std::uint64_t events = 0;
+};
+
+/** One row of the DVFS sweep. */
+struct DvfsCapRow
+{
+    double avgW = 0.0, peakW = 0.0;
+    double fpsHi = 0.0, fpsLo = 0.0;
+    double endLevel = 0.0;
+    std::uint64_t events = 0;
+};
+
+WeightCapRow
+runWeightCap(double cap)
+{
+    WeightCapRow row;
+    corm::platform::TestbedParams tp;
+    tp.sched.minWeight = 32;
+    corm::platform::Testbed tb(tp);
+    auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
+                           256.0);
+    auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
+                           256.0);
+    corm::apps::mplayer::DiskPlayer phi(*hi.dom,
+                                        15 * corm::sim::msec);
+    corm::apps::mplayer::DiskPlayer plo(*lo.dom,
+                                        15 * corm::sim::msec);
+    phi.start();
+    plo.start();
+
+    corm::coord::PowerCapPolicy::Config pc;
+    pc.capWatts = cap;
+    pc.stepDelta = 48.0;
+    pc.maxReduction = 224.0;
+    // The island power models report windowed averages, so the
+    // controller samples once per period and the policy reads
+    // that sample (double-sampling in one tick would see an
+    // empty window).
+    double sampled_watts = 0.0;
+    corm::coord::PowerCapPolicy policy(
+        pc, [&sampled_watts] { return sampled_watts; });
+    policy.addEntity(lo.ref, /*priority=*/0); // throttled first
+    policy.addEntity(hi.ref, /*priority=*/1);
+    tb.attachPolicy(policy);
+
+    // The power controller samples every 250 ms. A throttled
+    // guest runs at lower weight; with both guests CPU-bound the
+    // weight shift lowers the *platform* draw only via the
+    // scheduler's response to the induced idling — here the
+    // throttle works by capping the low-priority guest's weight
+    // so the high-priority guest's QoS survives the cap.
+    corm::sim::Summary watts;
+    corm::sim::PeriodicEvent controller(
+        tb.sim(), 250 * corm::sim::msec, [&] {
+            sampled_watts = tb.x86().currentPowerWatts()
+                + tb.ixp().currentPowerWatts();
+            watts.record(sampled_watts);
+            policy.onPeriodic(tb.sim().now());
+            // Throttling translates into a hard cap on the low
+            // guest: weight below baseline idles it pro rata.
+            const double frac =
+                lo.dom->weight() / 256.0;
+            if (frac < 1.0 && plo.framesDecoded() > 0) {
+                // Model DVFS-style slowdown: pause the hog
+                // briefly in proportion to the throttle.
+                plo.stop();
+                tb.sim().schedule(
+                    static_cast<corm::sim::Tick>(
+                        250 * corm::sim::msec * (1.0 - frac)),
+                    [&plo] { plo.start(); });
+            }
+        });
+
+    tb.run(5 * corm::sim::sec);
+    tb.beginMeasurement();
+    phi.resetStats();
+    plo.resetStats();
+    tb.run(60 * corm::sim::sec);
+
+    const auto elapsed = tb.measuredElapsed();
+    row.avgW = watts.mean();
+    row.peakW = watts.max();
+    row.fpsHi = phi.fps(elapsed);
+    row.fpsLo = plo.fps(elapsed);
+    row.throttles = policy.throttles();
+    row.restores = policy.restores();
+    row.events = tb.sim().executedEvents();
+    return row;
+}
+
+DvfsCapRow
+runDvfsCap(double cap)
+{
+    DvfsCapRow row;
+    corm::platform::TestbedParams tp;
+    corm::platform::Testbed tb(tp);
+    auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
+                           256.0);
+    auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
+                           256.0);
+    corm::apps::mplayer::DiskPlayer phi(*hi.dom,
+                                        15 * corm::sim::msec);
+    corm::apps::mplayer::DiskPlayer plo(*lo.dom,
+                                        15 * corm::sim::msec);
+    phi.start();
+    plo.start();
+
+    // Simple integral controller on the island frequency.
+    corm::sim::Summary watts;
+    corm::sim::PeriodicEvent controller(
+        tb.sim(), 250 * corm::sim::msec, [&] {
+            const double w = tb.x86().currentPowerWatts()
+                + tb.ixp().currentPowerWatts();
+            watts.record(w);
+            const double level = tb.x86().currentDvfsLevel();
+            if (w > cap) {
+                tb.x86().setDvfsLevel(level - 0.05);
+            } else if (w < cap * 0.92 && level < 1.0) {
+                tb.x86().setDvfsLevel(level + 0.05);
+            }
+        });
+
+    tb.run(5 * corm::sim::sec);
+    tb.beginMeasurement();
+    phi.resetStats();
+    plo.resetStats();
+    tb.run(60 * corm::sim::sec);
+    const auto elapsed = tb.measuredElapsed();
+    row.avgW = watts.mean();
+    row.peakW = watts.max();
+    row.fpsHi = phi.fps(elapsed);
+    row.fpsLo = plo.fps(elapsed);
+    row.endLevel = tb.x86().currentDvfsLevel();
+    row.events = tb.sim().executedEvents();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "ablation_powercap");
     corm::bench::banner("Ablation: power cap",
                         "platform-level power budgeting via "
                         "coordination Tunes");
+    corm::bench::BenchReport report(opts);
+
+    // Every sweep row is deterministic (no stochastic streams), so
+    // --trials does not multiply the work here; --jobs still spreads
+    // the independent rows across threads.
+    const std::vector<double> weightCaps = {1e9, 126.0, 122.0, 118.0,
+                                            114.0};
+    std::vector<WeightCapRow> wrows(weightCaps.size());
+    corm::platform::runTrialsIndexed(
+        static_cast<int>(weightCaps.size()), opts.trial.jobs,
+        [&](int i) {
+            wrows[static_cast<std::size_t>(i)] =
+                runWeightCap(weightCaps[static_cast<std::size_t>(i)]);
+        });
 
     std::printf("%10s | %10s %10s | %10s %10s | %9s %9s\n",
                 "cap (W)", "avg W", "peak W", "fps hi", "fps lo",
                 "throttles", "restores");
-
-    for (const double cap : {1e9, 126.0, 122.0, 118.0, 114.0}) {
-        corm::platform::TestbedParams tp;
-        tp.sched.minWeight = 32;
-        corm::platform::Testbed tb(tp);
-        auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
-                               256.0);
-        auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
-                               256.0);
-        corm::apps::mplayer::DiskPlayer phi(*hi.dom,
-                                            15 * corm::sim::msec);
-        corm::apps::mplayer::DiskPlayer plo(*lo.dom,
-                                            15 * corm::sim::msec);
-        phi.start();
-        plo.start();
-
-        corm::coord::PowerCapPolicy::Config pc;
-        pc.capWatts = cap;
-        pc.stepDelta = 48.0;
-        pc.maxReduction = 224.0;
-        // The island power models report windowed averages, so the
-        // controller samples once per period and the policy reads
-        // that sample (double-sampling in one tick would see an
-        // empty window).
-        double sampled_watts = 0.0;
-        corm::coord::PowerCapPolicy policy(
-            pc, [&sampled_watts] { return sampled_watts; });
-        policy.addEntity(lo.ref, /*priority=*/0); // throttled first
-        policy.addEntity(hi.ref, /*priority=*/1);
-        tb.attachPolicy(policy);
-
-        // The power controller samples every 250 ms. A throttled
-        // guest runs at lower weight; with both guests CPU-bound the
-        // weight shift lowers the *platform* draw only via the
-        // scheduler's response to the induced idling — here the
-        // throttle works by capping the low-priority guest's weight
-        // so the high-priority guest's QoS survives the cap.
-        corm::sim::Summary watts;
-        corm::sim::PeriodicEvent controller(
-            tb.sim(), 250 * corm::sim::msec, [&] {
-                sampled_watts = tb.x86().currentPowerWatts()
-                    + tb.ixp().currentPowerWatts();
-                watts.record(sampled_watts);
-                policy.onPeriodic(tb.sim().now());
-                // Throttling translates into a hard cap on the low
-                // guest: weight below baseline idles it pro rata.
-                const double frac =
-                    lo.dom->weight() / 256.0;
-                if (frac < 1.0 && plo.framesDecoded() > 0) {
-                    // Model DVFS-style slowdown: pause the hog
-                    // briefly in proportion to the throttle.
-                    plo.stop();
-                    tb.sim().schedule(
-                        static_cast<corm::sim::Tick>(
-                            250 * corm::sim::msec * (1.0 - frac)),
-                        [&plo] { plo.start(); });
-                }
-            });
-
-        tb.run(5 * corm::sim::sec);
-        tb.beginMeasurement();
-        phi.resetStats();
-        plo.resetStats();
-        tb.run(60 * corm::sim::sec);
-
-        const auto elapsed = tb.measuredElapsed();
+    for (std::size_t i = 0; i < weightCaps.size(); ++i) {
+        const auto &r = wrows[i];
         std::printf("%10.0f | %10.1f %10.1f | %10.1f %10.1f | %9llu "
                     "%9llu\n",
-                    cap, watts.mean(), watts.max(), phi.fps(elapsed),
-                    plo.fps(elapsed),
-                    static_cast<unsigned long long>(policy.throttles()),
-                    static_cast<unsigned long long>(policy.restores()));
+                    weightCaps[i], r.avgW, r.peakW, r.fpsHi, r.fpsLo,
+                    static_cast<unsigned long long>(r.throttles),
+                    static_cast<unsigned long long>(r.restores));
+        char label[48];
+        std::snprintf(label, sizeof(label), "weight_cap_%.0f",
+                      weightCaps[i]);
+        report.addScalars(label,
+                          {{"cap_watts", weightCaps[i]},
+                           {"avg_watts", r.avgW},
+                           {"peak_watts", r.peakW},
+                           {"fps_hi", r.fpsHi},
+                           {"fps_lo", r.fpsLo},
+                           {"throttles", double(r.throttles)},
+                           {"restores", double(r.restores)}},
+                          r.events);
     }
 
     // ---- Second actuator: island-level DVFS ---------------------
+    const std::vector<double> dvfsCaps = {1e9, 122.0, 114.0, 106.0};
+    std::vector<DvfsCapRow> drows(dvfsCaps.size());
+    corm::platform::runTrialsIndexed(
+        static_cast<int>(dvfsCaps.size()), opts.trial.jobs,
+        [&](int i) {
+            drows[static_cast<std::size_t>(i)] =
+                runDvfsCap(dvfsCaps[static_cast<std::size_t>(i)]);
+        });
+
     std::printf("\nDVFS actuator (island-level frequency scaling "
                 "instead of per-entity weight throttling):\n");
     std::printf("%10s | %10s %10s | %10s %10s | %10s\n", "cap (W)",
                 "avg W", "peak W", "fps hi", "fps lo", "end level");
-    for (const double cap : {1e9, 122.0, 114.0, 106.0}) {
-        corm::platform::TestbedParams tp;
-        corm::platform::Testbed tb(tp);
-        auto &hi = tb.addGuest("hi-prio", corm::net::IpAddr{10, 0, 3, 2},
-                               256.0);
-        auto &lo = tb.addGuest("lo-prio", corm::net::IpAddr{10, 0, 3, 3},
-                               256.0);
-        corm::apps::mplayer::DiskPlayer phi(*hi.dom,
-                                            15 * corm::sim::msec);
-        corm::apps::mplayer::DiskPlayer plo(*lo.dom,
-                                            15 * corm::sim::msec);
-        phi.start();
-        plo.start();
-
-        // Simple integral controller on the island frequency.
-        corm::sim::Summary watts;
-        corm::sim::PeriodicEvent controller(
-            tb.sim(), 250 * corm::sim::msec, [&] {
-                const double w = tb.x86().currentPowerWatts()
-                    + tb.ixp().currentPowerWatts();
-                watts.record(w);
-                const double level = tb.x86().currentDvfsLevel();
-                if (w > cap) {
-                    tb.x86().setDvfsLevel(level - 0.05);
-                } else if (w < cap * 0.92 && level < 1.0) {
-                    tb.x86().setDvfsLevel(level + 0.05);
-                }
-            });
-
-        tb.run(5 * corm::sim::sec);
-        tb.beginMeasurement();
-        phi.resetStats();
-        plo.resetStats();
-        tb.run(60 * corm::sim::sec);
-        const auto elapsed = tb.measuredElapsed();
+    for (std::size_t i = 0; i < dvfsCaps.size(); ++i) {
+        const auto &r = drows[i];
         std::printf("%10.0f | %10.1f %10.1f | %10.1f %10.1f | %10.2f\n",
-                    cap, watts.mean(), watts.max(), phi.fps(elapsed),
-                    plo.fps(elapsed), tb.x86().currentDvfsLevel());
+                    dvfsCaps[i], r.avgW, r.peakW, r.fpsHi, r.fpsLo,
+                    r.endLevel);
+        char label[48];
+        std::snprintf(label, sizeof(label), "dvfs_cap_%.0f",
+                      dvfsCaps[i]);
+        report.addScalars(label,
+                          {{"cap_watts", dvfsCaps[i]},
+                           {"avg_watts", r.avgW},
+                           {"peak_watts", r.peakW},
+                           {"fps_hi", r.fpsHi},
+                           {"fps_lo", r.fpsLo},
+                           {"end_level", r.endLevel}},
+                          r.events);
     }
 
     std::printf("\nShape: weight throttling sacrifices the low-"
@@ -153,5 +250,6 @@ main()
                 "savings at proportional slowdown). Coordinated\n"
                 "platform-level budgeting — §1's second use case — "
                 "can pick either translation per island.\n");
+    report.write();
     return 0;
 }

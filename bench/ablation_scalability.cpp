@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -52,10 +53,13 @@ class CountingIsland : public corm::coord::ResourceIsland
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "ablation_scalability");
     corm::bench::banner("Ablation: scalability",
                         "channel latency sweep + many-island fan-out");
+    corm::bench::BenchReport report(opts);
 
     std::printf("Part 1 -- coordination channel one-way latency sweep "
                 "(coordinated RUBiS, 60 s):\n");
@@ -69,17 +73,34 @@ main()
         2 * corm::sim::msec,    // slow shared bus
         20 * corm::sim::msec,   // pathological
     };
-    for (const auto lat : latencies) {
+    constexpr int nLat = static_cast<int>(std::size(latencies));
+    // Independent sweep rows: spread them across --jobs threads.
+    std::vector<corm::platform::RubisResult> sweep(nLat);
+    corm::platform::runTrialsIndexed(nLat, opts.trial.jobs, [&](int i) {
         corm::platform::RubisScenarioConfig cfg;
         cfg.coordination = true;
-        cfg.testbed.coordLatency = lat;
+        cfg.testbed.coordLatency = latencies[i];
         cfg.warmup = 15 * corm::sim::sec;
         cfg.measure = 60 * corm::sim::sec;
-        const auto r = corm::platform::runRubisScenario(cfg);
+        sweep[static_cast<std::size_t>(i)] =
+            corm::platform::runRubisScenario(cfg);
+    });
+    for (int i = 0; i < nLat; ++i) {
+        const auto &r = sweep[static_cast<std::size_t>(i)];
         std::printf("%9.0f us %9.0f ms %9.1f /s %12llu\n",
-                    corm::sim::toMicros(lat), r.meanResponseMs,
+                    corm::sim::toMicros(latencies[i]), r.meanResponseMs,
                     r.throughputRps,
                     static_cast<unsigned long long>(r.tunesApplied));
+        char label[48];
+        std::snprintf(label, sizeof(label), "latency_%.0fus",
+                      corm::sim::toMicros(latencies[i]));
+        report.addScalars(label,
+                          {{"latency_us",
+                            corm::sim::toMicros(latencies[i])},
+                           {"mean_response_ms", r.meanResponseMs},
+                           {"throughput_rps", r.throughputRps},
+                           {"tunes_applied", double(r.tunesApplied)}},
+                          r.eventsExecuted);
     }
 
     std::printf("\nPart 2 -- global-controller fan-out across N "
@@ -112,6 +133,12 @@ main()
             announced += isl->bindings;
         std::printf("%10d %14zu %16llu\n", n, controller.entityCount(),
                     static_cast<unsigned long long>(announced));
+        char label[32];
+        std::snprintf(label, sizeof(label), "fanout_%d_islands", n);
+        report.addScalars(
+            label, {{"islands", double(n)},
+                    {"entities", double(controller.entityCount())},
+                    {"announcements", double(announced)}});
     }
     // Part 3: fabric topology — the hub (Dom0-style) star against
     // the direct mesh that hardware-supported queues would enable.
@@ -159,6 +186,13 @@ main()
         }
         std::printf("%10d %16.1f %16.1f %14llu\n", n, lat[0], lat[1],
                     static_cast<unsigned long long>(relays));
+        char label[32];
+        std::snprintf(label, sizeof(label), "fabric_%d_islands", n);
+        report.addScalars(label,
+                          {{"islands", double(n)},
+                           {"star_latency_us", lat[0]},
+                           {"mesh_latency_us", lat[1]},
+                           {"hub_relays", double(relays)}});
     }
 
     std::printf("\nFan-out grows as N*(N-1)*entities — the quadratic "
@@ -170,5 +204,6 @@ main()
                 "session waves it tracks; latency-critical schemes "
                 "(the Fig. 7 Trigger) are the ones that benefit\n"
                 "from tighter interconnects.\n");
+    report.write();
     return 0;
 }

@@ -15,11 +15,14 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "ablation_scheduler");
     corm::bench::banner("Ablation: scheduler dispatch mode",
                         "coordination gain under classFifo (2010 "
                         "credit1) vs creditOrdered dispatch");
+    corm::bench::BenchReport report(opts);
 
     std::printf("%-24s %12s %12s %10s %12s\n", "Scheduler", "base RT",
                 "coord RT", "RT gain", "thr gain");
@@ -30,8 +33,10 @@ main()
         b.measure = 90 * corm::sim::sec;
         auto c = b;
         c.coordination = true;
-        const auto rb = corm::platform::runRubisScenario(b);
-        const auto rc = corm::platform::runRubisScenario(c);
+        const auto mb = corm::bench::runRubisTrials(b, opts);
+        const auto mc = corm::bench::runRubisTrials(c, opts);
+        const auto &rb = mb.mean;
+        const auto &rc = mc.mean;
         std::printf("%-24s %9.0f ms %9.0f ms %+8.1f%% %+10.1f%%\n",
                     ordered ? "creditOrdered (modern)"
                             : "classFifo (credit1)",
@@ -41,11 +46,16 @@ main()
                         / rb.meanResponseMs,
                     100.0 * (rc.throughputRps - rb.throughputRps)
                         / rb.throughputRps);
+        report.add(ordered ? "creditOrdered_base" : "classFifo_base",
+                   mb);
+        report.add(ordered ? "creditOrdered_coord" : "classFifo_coord",
+                   mc);
     }
     std::printf("\nReading: the coordination win persists across "
                 "dispatcher generations — most of it comes from\n"
                 "tracking the request mix, not from any one "
                 "scheduler's latency pathologies; the magnitude\n"
                 "depends on the island's internal scheduler.\n");
+    report.write();
     return 0;
 }

@@ -1,16 +1,32 @@
 /**
  * @file
- * Shared helpers for the paper-artefact benchmark binaries: table
- * formatting and the paper's reported values (for side-by-side shape
- * comparison; we reproduce shapes, not absolute numbers — see
- * EXPERIMENTS.md).
+ * Shared infrastructure for the paper-artefact benchmark binaries:
+ *
+ *  - banner/table formatting and the paper's reported values (for
+ *    side-by-side shape comparison; we reproduce shapes, not absolute
+ *    numbers — see EXPERIMENTS.md);
+ *  - the common command line every bench accepts
+ *    (--trials/--jobs/--seed/--warmup-sec/--measure-sec/--json);
+ *  - multi-trial scenario runners fanning independent trials across
+ *    host cores via platform/harness.hpp;
+ *  - the machine-readable BENCH_<name>.json report (wall time,
+ *    events/sec, merged trial results) that tracks the perf
+ *    trajectory of the simulator from PR to PR.
  */
 
 #pragma once
 
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "platform/harness.hpp"
 #include "platform/scenarios.hpp"
 
 namespace corm::bench {
@@ -57,17 +73,463 @@ inline const PaperTable1Row paperTable1[] = {
     {1154, 546},  // AboutMe(authForm)
 };
 
-/** Run the default RUBiS scenario with/without coordination. */
-inline corm::platform::RubisResult
-runRubis(bool coordination,
-         corm::sim::Tick warmup = 20 * corm::sim::sec,
-         corm::sim::Tick measure = 300 * corm::sim::sec)
+//
+// Command line
+//
+
+/** Options every bench binary accepts. */
+struct BenchOptions
+{
+    corm::platform::TrialOptions trial;
+    /** Scenario window overrides in seconds; < 0 keeps the default. */
+    double warmupSec = -1.0;
+    double measureSec = -1.0;
+    /** Where the JSON report goes; empty = BENCH_<name>.json. */
+    std::string jsonPath;
+    bool writeJson = true;
+    /** True once --seed was given explicitly. */
+    bool seedSet = false;
+    /** Bench name (set by parseArgs from the binary's artefact id). */
+    std::string name;
+};
+
+inline void
+printUsage(const char *bench_name)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --trials N        independent trials to run and merge "
+        "(default 1)\n"
+        "  --jobs M          worker threads; results are identical "
+        "for any M (default 1)\n"
+        "  --seed S          master seed, decimal or 0x-hex "
+        "(default 0x5eedc0de5eedc0de)\n"
+        "  --warmup-sec X    override scenario warm-up window\n"
+        "  --measure-sec X   override scenario measurement window\n"
+        "  --json PATH       write the JSON report to PATH "
+        "(default BENCH_%s.json)\n"
+        "  --no-json         skip the JSON report\n"
+        "  --help            this text\n",
+        bench_name, bench_name);
+}
+
+/**
+ * Parse the shared bench flags. Exits with usage on error, so bench
+ * main()s stay one-liners.
+ */
+inline BenchOptions
+parseArgs(int argc, char **argv, const char *bench_name)
+{
+    BenchOptions o;
+    o.name = bench_name;
+    auto numeric = [&](const char *flag, int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                         flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--trials")) {
+            o.trial.trials = std::atoi(numeric(a, i));
+            if (o.trial.trials < 1) {
+                std::fprintf(stderr, "%s: --trials must be >= 1\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        } else if (!std::strcmp(a, "--jobs")) {
+            o.trial.jobs = std::atoi(numeric(a, i));
+            if (o.trial.jobs < 1) {
+                std::fprintf(stderr, "%s: --jobs must be >= 1\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        } else if (!std::strcmp(a, "--seed")) {
+            o.trial.seed = std::strtoull(numeric(a, i), nullptr, 0);
+            o.seedSet = true;
+        } else if (!std::strcmp(a, "--warmup-sec")) {
+            o.warmupSec = std::atof(numeric(a, i));
+        } else if (!std::strcmp(a, "--measure-sec")) {
+            o.measureSec = std::atof(numeric(a, i));
+        } else if (!std::strcmp(a, "--json")) {
+            o.jsonPath = numeric(a, i);
+        } else if (!std::strcmp(a, "--no-json")) {
+            o.writeJson = false;
+        } else if (!std::strcmp(a, "--help")) {
+            printUsage(bench_name);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         a);
+            printUsage(bench_name);
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+/** Apply --warmup-sec/--measure-sec to a scenario window pair. */
+inline void
+applyWindow(const BenchOptions &o, corm::sim::Tick &warmup,
+            corm::sim::Tick &measure)
+{
+    if (o.warmupSec >= 0.0)
+        warmup = corm::sim::fromSeconds(o.warmupSec);
+    if (o.measureSec >= 0.0)
+        measure = corm::sim::fromSeconds(o.measureSec);
+}
+
+//
+// Multi-trial scenario runners
+//
+
+/**
+ * Run --trials independent RUBiS trials of @p cfg_template across
+ * --jobs threads and merge. Per-trial seeds derive from the master
+ * seed; everything else in the template is shared. A default
+ * single-trial run (no --seed) keeps the template's built-in RNG
+ * seeds so the no-flag invocation regenerates the paper artefact
+ * documented in EXPERIMENTS.md byte-for-byte.
+ */
+inline corm::platform::MergedRubis
+runRubisTrials(const corm::platform::RubisScenarioConfig &cfg_template,
+               const BenchOptions &o)
+{
+    const bool reseed = o.trial.trials > 1 || o.seedSet;
+    auto results = corm::platform::runTrials(
+        o.trial, [&](int, std::uint64_t seed) {
+            corm::platform::RubisScenarioConfig cfg = cfg_template;
+            applyWindow(o, cfg.warmup, cfg.measure);
+            if (reseed)
+                corm::platform::applyTrialSeed(cfg, seed);
+            return corm::platform::runRubisScenario(cfg);
+        });
+    return corm::platform::mergeRubisResults(results);
+}
+
+/** RUBiS trials with the default scenario configuration. */
+inline corm::platform::MergedRubis
+runRubis(bool coordination, const BenchOptions &o)
 {
     corm::platform::RubisScenarioConfig cfg;
     cfg.coordination = coordination;
-    cfg.warmup = warmup;
-    cfg.measure = measure;
-    return corm::platform::runRubisScenario(cfg);
+    cfg.warmup = 20 * corm::sim::sec;
+    cfg.measure = 300 * corm::sim::sec;
+    return runRubisTrials(cfg, o);
 }
+
+/**
+ * Run --trials MPlayer-QoS trials. The scenario's workload is fully
+ * deterministic (no stochastic streams), so trials differ only if
+ * the template does; the harness still parallelises sweeps.
+ */
+inline corm::platform::MergedMplayerQos
+runMplayerTrials(const corm::platform::MplayerQosConfig &cfg_template,
+                 const BenchOptions &o)
+{
+    auto results = corm::platform::runTrials(
+        o.trial, [&](int, std::uint64_t) {
+            corm::platform::MplayerQosConfig cfg = cfg_template;
+            applyWindow(o, cfg.warmup, cfg.measure);
+            return corm::platform::runMplayerQos(cfg);
+        });
+    return corm::platform::mergeMplayerResults(results);
+}
+
+/** Run --trials buffer-threshold Trigger trials. */
+inline corm::platform::MergedTrigger
+runTriggerTrials(
+    const corm::platform::TriggerScenarioConfig &cfg_template,
+    const BenchOptions &o)
+{
+    auto results = corm::platform::runTrials(
+        o.trial, [&](int, std::uint64_t) {
+            corm::platform::TriggerScenarioConfig cfg = cfg_template;
+            applyWindow(o, cfg.warmup, cfg.measure);
+            return corm::platform::runTriggerScenario(cfg);
+        });
+    return corm::platform::mergeTriggerResults(results);
+}
+
+//
+// JSON report
+//
+
+/** Minimal append-only JSON writer (objects/arrays, auto commas). */
+class JsonWriter
+{
+  public:
+    void
+    beginObject(const char *key = nullptr)
+    {
+        open(key, '{');
+    }
+    void
+    endObject()
+    {
+        close('}');
+    }
+    void
+    beginArray(const char *key = nullptr)
+    {
+        open(key, '[');
+    }
+    void
+    endArray()
+    {
+        close(']');
+    }
+
+    void
+    field(const char *key, double v)
+    {
+        prefix(key);
+        char buf[64];
+        // %.17g round-trips doubles; trim to something readable but
+        // byte-stable across runs.
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        out << buf;
+    }
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        prefix(key);
+        out << v;
+    }
+    void
+    field(const char *key, int v)
+    {
+        prefix(key);
+        out << v;
+    }
+    void
+    field(const char *key, bool v)
+    {
+        prefix(key);
+        out << (v ? "true" : "false");
+    }
+    void
+    field(const char *key, const std::string &v)
+    {
+        prefix(key);
+        out << '"';
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                out << '\\' << c;
+            else if (c == '\n')
+                out << "\\n";
+            else
+                out << c;
+        }
+        out << '"';
+    }
+
+    std::string str() const { return out.str(); }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (needComma)
+            out << ",";
+        if (!depthStack.empty())
+            out << "\n" << std::string(depthStack.size() * 2, ' ');
+        if (key)
+            out << '"' << key << "\": ";
+        needComma = true;
+    }
+
+    void
+    open(const char *key, char bracket)
+    {
+        prefix(key);
+        out << bracket;
+        depthStack.push_back(bracket);
+        needComma = false;
+    }
+
+    void
+    close(char bracket)
+    {
+        depthStack.pop_back();
+        out << "\n" << std::string(depthStack.size() * 2, ' ')
+            << bracket;
+        needComma = true;
+    }
+
+    std::ostringstream out;
+    std::vector<char> depthStack;
+    bool needComma = false;
+};
+
+/** Serialize a cross-trial Summary as {mean,stddev,min,max,n}. */
+inline void
+jsonSummary(JsonWriter &j, const char *key,
+            const corm::sim::Summary &s)
+{
+    j.beginObject(key);
+    j.field("mean", s.mean());
+    j.field("stddev", s.stddev());
+    j.field("min", s.min());
+    j.field("max", s.max());
+    j.field("n", s.count());
+    j.endObject();
+}
+
+/**
+ * Per-bench JSON report: collects merged results under labels, then
+ * write() stamps wall time and events/sec and emits
+ * BENCH_<name>.json (schema documented in EXPERIMENTS.md).
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(const BenchOptions &options)
+        : opts(options), started(std::chrono::steady_clock::now())
+    {
+        json.beginObject();
+        json.field("bench", opts.name);
+        json.field("trials", opts.trial.trials);
+        json.field("jobs", opts.trial.jobs);
+        char seedbuf[32];
+        std::snprintf(seedbuf, sizeof(seedbuf), "0x%016" PRIx64,
+                      opts.trial.seed);
+        json.field("seed", std::string(seedbuf));
+        json.beginObject("results");
+    }
+
+    void
+    add(const char *label, const corm::platform::MergedRubis &m)
+    {
+        totalEvents += m.totalEvents;
+        json.beginObject(label);
+        json.field("trials", m.trials);
+        jsonSummary(json, "throughput_rps", m.throughputRps);
+        jsonSummary(json, "mean_response_ms", m.meanResponseMs);
+        json.field("sessions_completed", m.mean.sessionsCompleted);
+        json.field("avg_session_sec", m.mean.avgSessionSec);
+        json.field("platform_efficiency", m.mean.platformEfficiency);
+        json.field("tunes_sent", m.mean.tunesSent);
+        json.field("tunes_applied", m.mean.tunesApplied);
+        json.field("events_executed", m.totalEvents);
+        json.beginArray("types");
+        for (std::size_t i = 0; i < m.mean.types.size(); ++i) {
+            const auto &t = m.mean.types[i];
+            json.beginObject();
+            json.field("name", t.name);
+            json.field("count", t.count);
+            json.field("min_ms", t.minMs);
+            json.field("max_ms", t.maxMs);
+            json.field("mean_ms", t.meanMs);
+            json.field("stddev_ms", t.stddevMs);
+            json.field("trial_mean_stddev_ms",
+                       m.typeMeanMs[i].stddev());
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+
+    void
+    add(const char *label, const corm::platform::MergedMplayerQos &m)
+    {
+        totalEvents += m.totalEvents;
+        json.beginObject(label);
+        json.field("trials", m.trials);
+        jsonSummary(json, "fps1", m.fps1);
+        jsonSummary(json, "fps2", m.fps2);
+        json.field("late1", m.mean.late1);
+        json.field("late2", m.mean.late2);
+        json.field("cpu1_pct", m.mean.cpu1Pct);
+        json.field("cpu2_pct", m.mean.cpu2Pct);
+        json.field("dom0_pct", m.mean.dom0Pct);
+        json.field("weight1_end", m.mean.weight1End);
+        json.field("weight2_end", m.mean.weight2End);
+        json.field("events_executed", m.totalEvents);
+        json.endObject();
+    }
+
+    void
+    add(const char *label, const corm::platform::MergedTrigger &m)
+    {
+        totalEvents += m.totalEvents;
+        json.beginObject(label);
+        json.field("trials", m.trials);
+        jsonSummary(json, "fps1", m.fps1);
+        jsonSummary(json, "fps2", m.fps2);
+        json.field("late1", m.mean.late1);
+        json.field("triggers_sent", m.mean.triggersSent);
+        json.field("boosts", m.mean.boosts);
+        json.field("ixp_queue_drops", m.mean.ixpQueueDrops);
+        json.field("buffer_peak_bytes", m.mean.bufferPeakBytes);
+        json.field("driver_polls", m.mean.driverPolls);
+        json.field("driver_interrupts", m.mean.driverInterrupts);
+        json.field("events_executed", m.totalEvents);
+        json.endObject();
+    }
+
+    /** Free-form scalar rows (ablation sweeps). */
+    void
+    addScalars(
+        const char *label,
+        const std::vector<std::pair<std::string, double>> &values,
+        std::uint64_t events = 0)
+    {
+        totalEvents += events;
+        json.beginObject(label);
+        for (const auto &[k, v] : values)
+            json.field(k.c_str(), v);
+        if (events)
+            json.field("events_executed", events);
+        json.endObject();
+    }
+
+    /**
+     * Close the report and write it. Prints the destination so runs
+     * leave a breadcrumb next to the human-readable tables.
+     */
+    void
+    write()
+    {
+        if (written)
+            return;
+        written = true;
+        json.endObject(); // results
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        json.field("wall_seconds", wall);
+        json.field("events_executed", totalEvents);
+        json.field("events_per_second",
+                   wall > 0.0 ? static_cast<double>(totalEvents) / wall
+                              : 0.0);
+        json.endObject();
+        if (!opts.writeJson)
+            return;
+        const std::string path = opts.jsonPath.empty()
+            ? "BENCH_" + opts.name + ".json"
+            : opts.jsonPath;
+        std::ofstream f(path);
+        f << json.str() << "\n";
+        std::printf("\n[%s: %d trial(s) x %d job(s), %.2f s wall, "
+                    "%.2fM events/s -> %s]\n",
+                    opts.name.c_str(), opts.trial.trials,
+                    opts.trial.jobs, wall,
+                    wall > 0.0
+                        ? static_cast<double>(totalEvents) / wall / 1e6
+                        : 0.0,
+                    path.c_str());
+    }
+
+  private:
+    BenchOptions opts;
+    std::chrono::steady_clock::time_point started;
+    JsonWriter json;
+    std::uint64_t totalEvents = 0;
+    bool written = false;
+};
 
 } // namespace corm::bench

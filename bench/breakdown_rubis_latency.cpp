@@ -17,14 +17,19 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "breakdown_rubis_latency");
     corm::bench::banner("Latency breakdown",
                         "per-segment attribution of RUBiS response "
                         "time (means, ms)");
 
-    const auto base = corm::bench::runRubis(false);
-    const auto coord = corm::bench::runRubis(true);
+    corm::bench::BenchReport report(opts);
+    const auto mbase = corm::bench::runRubis(false, opts);
+    const auto mcoord = corm::bench::runRubis(true, opts);
+    const auto &base = mbase.mean;
+    const auto &coord = mcoord.mean;
 
     struct Row
     {
@@ -61,5 +66,8 @@ main()
                 "web server cede relative weight: a redistribution\n"
                 "of waiting toward where it hurts least, which is "
                 "exactly the mechanism's intent.\n");
+    report.add("base", mbase);
+    report.add("coord", mcoord);
+    report.write();
     return 0;
 }

@@ -13,13 +13,17 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "fig2_rubis_variability");
     corm::bench::banner("Figure 2",
                         "RUBiS min-max response-time variation "
                         "(no coordination)");
 
-    const auto r = corm::bench::runRubis(/*coordination=*/false);
+    corm::bench::BenchReport report(opts);
+    const auto merged = corm::bench::runRubis(false, opts);
+    const auto &r = merged.mean;
 
     std::printf("%-26s %8s %8s %8s %9s %8s\n", "Request Type", "min(ms)",
                 "max(ms)", "mean(ms)", "spread(x)", "stddev");
@@ -33,5 +37,7 @@ main()
     }
     std::printf("\nShape check: substantial min-max variation for every "
                 "request type, as in the paper's Fig. 2.\n");
+    report.add("base", merged);
+    report.write();
     return 0;
 }

@@ -14,14 +14,19 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "fig4_rubis_minmax_coord");
     corm::bench::banner("Figure 4",
                         "RUBiS min-max response times: base vs "
                         "coord-ixp-dom0");
 
-    const auto base = corm::bench::runRubis(false);
-    const auto coord = corm::bench::runRubis(true);
+    corm::bench::BenchReport report(opts);
+    const auto mbase = corm::bench::runRubis(false, opts);
+    const auto mcoord = corm::bench::runRubis(true, opts);
+    const auto &base = mbase.mean;
+    const auto &coord = mcoord.mean;
 
     std::printf("%-26s | %8s %8s %8s | %8s %8s %8s | %7s\n",
                 "Request Type", "min", "max", "sd", "min", "max", "sd",
@@ -54,5 +59,8 @@ main()
                 "~50%%) at <=3%% min-latency overhead, with occasional\n"
                 "mis-application under read/write oscillation (see "
                 "ablation_oscillation).\n");
+    report.add("base", mbase);
+    report.add("coord", mcoord);
+    report.write();
     return 0;
 }

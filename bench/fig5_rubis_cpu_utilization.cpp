@@ -14,13 +14,18 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "fig5_rubis_cpu_utilization");
     corm::bench::banner("Figure 5",
                         "RUBiS per-VM CPU utilisation (% of one core)");
 
-    const auto base = corm::bench::runRubis(false);
-    const auto coord = corm::bench::runRubis(true);
+    corm::bench::BenchReport report(opts);
+    const auto mbase = corm::bench::runRubis(false, opts);
+    const auto mcoord = corm::bench::runRubis(true, opts);
+    const auto &base = mbase.mean;
+    const auto &coord = mcoord.mean;
 
     std::printf("%-14s %10s %10s\n", "", "no-coord", "coord");
     std::printf("%-14s %9.1f%% %9.1f%%\n", "Web-Server", base.webCpuPct,
@@ -46,5 +51,8 @@ main()
     std::printf("\nPaper shape: slightly higher utilisation under "
                 "coordination, justified by the platform-efficiency\n"
                 "gain (Table 2 bench).\n");
+    report.add("base", mbase);
+    report.add("coord", mcoord);
+    report.write();
     return 0;
 }

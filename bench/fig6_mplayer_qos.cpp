@@ -21,10 +21,13 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "fig6_mplayer_qos");
     corm::bench::banner("Figure 6",
                         "MPlayer video-stream QoS (frames/sec)");
+    corm::bench::BenchReport report(opts);
 
     struct Config
     {
@@ -46,7 +49,9 @@ main()
         cfg.weight1 = c.w1;
         cfg.weight2 = c.w2;
         cfg.ixpThreadBonus2 = c.bonus2;
-        const auto r = corm::platform::runMplayerQos(cfg);
+        const auto merged = corm::bench::runMplayerTrials(cfg, opts);
+        const auto &r = merged.mean;
+        report.add(c.label, merged);
         std::printf("%-10s | %7.1f%s %7.1f%s | %6llu %6llu | %6.0f%% "
                     "%6.0f%% %6.0f%%\n",
                     c.label, r.fps1, r.fps1 >= 19.95 ? "*" : " ",
@@ -62,5 +67,6 @@ main()
                 "frame rates; further raising Domain-2 keeps\n"
                 "Domain-1 at its floor. Paper values: (15/18-ish), "
                 "(22, 25.7), (~20, higher).\n");
+    report.write();
     return 0;
 }

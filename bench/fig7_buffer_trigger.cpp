@@ -33,21 +33,26 @@ seriesAt(const corm::sim::TimeSeries &s, corm::sim::Tick t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts =
+        corm::bench::parseArgs(argc, argv, "fig7_buffer_trigger");
     corm::bench::banner("Figure 7",
                         "IXP buffer occupancy vs boosted-domain CPU "
                         "(trigger threshold 128 KiB)");
+    corm::bench::BenchReport report(opts);
 
     corm::platform::TriggerScenarioConfig nocoord;
     nocoord.trigger = false;
     nocoord.measure = 60 * corm::sim::sec;
-    const auto base = corm::platform::runTriggerScenario(nocoord);
+    const auto mbase = corm::bench::runTriggerTrials(nocoord, opts);
+    const auto &base = mbase.mean;
 
     corm::platform::TriggerScenarioConfig coord;
     coord.trigger = true;
     coord.measure = 60 * corm::sim::sec;
-    const auto trig = corm::platform::runTriggerScenario(coord);
+    const auto mtrig = corm::bench::runTriggerTrials(coord, opts);
+    const auto &trig = mtrig.mean;
 
     std::printf("%8s | %12s %12s | %12s %12s\n", "t (s)",
                 "buf KB", "cpu1 %", "buf KB", "cpu1 %");
@@ -82,5 +87,8 @@ main()
                 "crossed; frame rate improves ~10%% (24.0 -> 26.6 "
                 "fps on the paper's testbed) and buffers drain "
                 "faster.\n");
+    report.add("base", mbase);
+    report.add("trigger", mtrig);
+    report.write();
     return 0;
 }

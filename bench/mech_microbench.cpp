@@ -34,8 +34,100 @@ BM_EventScheduleDispatch(benchmark::State &state)
         simulator.runFor(2);
     }
     benchmark::DoNotOptimize(fired);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventScheduleDispatch);
+
+void
+BM_EventScheduleFireBatch(benchmark::State &state)
+{
+    // Steady-state schedule/fire throughput: keep a 64-event window
+    // in flight so the heap stays warm (the drain() fast path).
+    constexpr int kWindow = 64;
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kWindow; ++i)
+            simulator.schedule(static_cast<sim::Tick>(i + 1),
+                               [&fired] { ++fired; });
+        simulator.runFor(kWindow + 1);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kWindow,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleFireBatch);
+
+void
+BM_EventScheduleCancel(benchmark::State &state)
+{
+    // The cancel-heavy pattern of timeout guards: schedule far-future
+    // events that almost always get cancelled before firing. The
+    // tombstone + amortized-compaction path of the event kernel.
+    constexpr int kWindow = 64;
+    sim::Simulator simulator;
+    sim::EventId ids[kWindow] = {};
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kWindow; ++i)
+            ids[i] = simulator.schedule(1 * sim::sec,
+                                        [&fired] { ++fired; });
+        for (int i = 0; i < kWindow; ++i)
+            simulator.cancel(ids[i]);
+        simulator.runFor(1);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kWindow,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+void
+BM_TimerChurn(benchmark::State &state)
+{
+    // Watchdog-style churn: every "packet" reschedules its timeout —
+    // cancel the pending timer, schedule a new one, occasionally let
+    // one fire. Mixes live and tombstoned entries in the heap.
+    sim::Simulator simulator;
+    sim::EventId timeout = sim::invalidEventId;
+    std::uint64_t fired = 0;
+    int tick = 0;
+    for (auto _ : state) {
+        simulator.cancel(timeout);
+        timeout = simulator.schedule(10 * sim::msec,
+                                     [&fired] { ++fired; });
+        if (++tick % 16 == 0)
+            simulator.runFor(1 * sim::msec);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimerChurn);
+
+void
+BM_PeriodicTick(benchmark::State &state)
+{
+    // Cost per tick of the PeriodicEvent helper (scheduler
+    // accounting, pollers and samplers all ride on it).
+    constexpr int kTicksPerIter = 64;
+    sim::Simulator simulator;
+    std::uint64_t ticks = 0;
+    sim::PeriodicEvent pe(simulator, 1 * sim::msec,
+                          [&ticks] { ++ticks; });
+    for (auto _ : state)
+        simulator.runFor(kTicksPerIter * sim::msec);
+    benchmark::DoNotOptimize(ticks);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kTicksPerIter,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PeriodicTick);
 
 void
 BM_MessageEncodeDecode(benchmark::State &state)

@@ -10,13 +10,18 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "table1_rubis_response_times");
     corm::bench::banner("Table 1",
                         "RUBiS average request response times (ms)");
 
-    const auto base = corm::bench::runRubis(false);
-    const auto coord = corm::bench::runRubis(true);
+    corm::bench::BenchReport report(opts);
+    const auto mbase = corm::bench::runRubis(false, opts);
+    const auto mcoord = corm::bench::runRubis(true, opts);
+    const auto &base = mbase.mean;
+    const auto &coord = mcoord.mean;
 
     std::printf("%-26s | %9s %9s %7s | %9s %9s\n", "Request Type",
                 "base", "coord", "change", "paper.b", "paper.c");
@@ -45,5 +50,8 @@ main()
                 "real testbed; our CPU-only substrate reproduces the "
                 "direction with smaller magnitudes -- see "
                 "EXPERIMENTS.md).\n");
+    report.add("base", mbase);
+    report.add("coord", mcoord);
+    report.write();
     return 0;
 }

@@ -10,12 +10,17 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "table2_rubis_throughput");
     corm::bench::banner("Table 2", "RUBiS throughput results");
 
-    const auto base = corm::bench::runRubis(false);
-    const auto coord = corm::bench::runRubis(true);
+    corm::bench::BenchReport report(opts);
+    const auto mbase = corm::bench::runRubis(false, opts);
+    const auto mcoord = corm::bench::runRubis(true, opts);
+    const auto &base = mbase.mean;
+    const auto &coord = mcoord.mean;
 
     std::printf("%-24s %12s %16s %10s %10s\n", "", "base",
                 "coord-ixp-dom0", "paper.b", "paper.c");
@@ -40,5 +45,8 @@ main()
     std::printf("Paper shape: coordination raises throughput and "
                 "platform efficiency, completes more sessions, and\n"
                 "shortens the average session.\n");
+    report.add("base", mbase);
+    report.add("coord", mcoord);
+    report.write();
     return 0;
 }

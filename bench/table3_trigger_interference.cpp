@@ -11,17 +11,22 @@
 #include "bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "table3_trigger_interference");
     corm::bench::banner("Table 3", "MPlayer trigger interference");
+    corm::bench::BenchReport report(opts);
 
     corm::platform::TriggerScenarioConfig base_cfg;
     base_cfg.trigger = false;
-    const auto base = corm::platform::runTriggerScenario(base_cfg);
+    const auto mbase = corm::bench::runTriggerTrials(base_cfg, opts);
+    const auto &base = mbase.mean;
 
     corm::platform::TriggerScenarioConfig trig_cfg;
     trig_cfg.trigger = true;
-    const auto trig = corm::platform::runTriggerScenario(trig_cfg);
+    const auto mtrig = corm::bench::runTriggerTrials(trig_cfg, opts);
+    const auto &trig = mtrig.mean;
 
     auto pct = [](double b, double w) {
         return b > 0.0 ? 100.0 * (w - b) / b : 0.0;
@@ -46,5 +51,8 @@ main()
                 "uninvolved domain degrades modestly; the paper "
                 "expects\nthis overhead to shrink on more tightly "
                 "coupled manycores (see ablation_scalability).\n");
+    report.add("base", mbase);
+    report.add("trigger", mtrig);
+    report.write();
     return 0;
 }

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Trial fan-out and cross-trial merging. See harness.hpp for the
+ * determinism contract.
+ */
+
+#include "platform/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace corm::platform {
+
+void
+runTrialsIndexed(int trials, int jobs,
+                 const std::function<void(int)> &body)
+{
+    if (trials <= 0)
+        return;
+    if (jobs <= 0)
+        jobs = trials;
+    jobs = std::min(jobs, trials);
+
+    if (jobs == 1) {
+        // Run on the calling thread: no pool, exceptions propagate
+        // directly. Identical results by construction (trial i's
+        // output depends only on i and its derived seed).
+        for (int i = 0; i < trials; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex errorLock;
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            if (abort.load(std::memory_order_relaxed))
+                return;
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= trials)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> g(errorLock);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+                // Let the other workers wind down instead of
+                // starting trials whose output will be discarded.
+                abort.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+void
+applyTrialSeed(RubisScenarioConfig &cfg, std::uint64_t seed)
+{
+    corm::sim::SplitMix64 sm(seed);
+    cfg.client.seed = sm.next();
+    cfg.server.seed = sm.next();
+}
+
+namespace {
+
+/** Pool per-trial (count, min, max, mean, stddev) rows. */
+corm::sim::Summary
+poolRow(const std::vector<RubisResult> &trials, std::size_t type)
+{
+    corm::sim::Summary pooled;
+    for (const auto &t : trials) {
+        const auto &row = t.types[type];
+        pooled.merge(corm::sim::Summary::fromMoments(
+            row.count, row.minMs, row.maxMs, row.meanMs,
+            row.stddevMs));
+    }
+    return pooled;
+}
+
+} // namespace
+
+MergedRubis
+mergeRubisResults(const std::vector<RubisResult> &trials)
+{
+    MergedRubis m;
+    m.trials = static_cast<int>(trials.size());
+    if (trials.empty())
+        return m;
+
+    const double n = static_cast<double>(trials.size());
+    m.mean = trials.front(); // copies names/shape; scalars overwritten
+
+    // Per request type: the pooled distribution over the union of
+    // all trials' samples (counts sum; min/max/mean/stddev combine
+    // via the parallel-merge identities).
+    m.typeMeanMs.resize(m.mean.types.size());
+    for (std::size_t ty = 0; ty < m.mean.types.size(); ++ty) {
+        const corm::sim::Summary pooled = poolRow(trials, ty);
+        auto &row = m.mean.types[ty];
+        row.count = pooled.count();
+        row.minMs = pooled.min();
+        row.maxMs = pooled.max();
+        row.meanMs = pooled.mean();
+        row.stddevMs = pooled.stddev();
+        for (const auto &t : trials) {
+            if (t.types[ty].count > 0)
+                m.typeMeanMs[ty].record(t.types[ty].meanMs);
+        }
+    }
+
+    // Every other field: cross-trial arithmetic mean (they are
+    // per-run estimates, not totals).
+    auto avg = [&](auto pick) {
+        double s = 0.0;
+        for (const auto &t : trials)
+            s += pick(t);
+        return s / n;
+    };
+    m.mean.throughputRps = avg([](auto &r) { return r.throughputRps; });
+    m.mean.sessionsCompleted = static_cast<std::uint64_t>(
+        avg([](auto &r) {
+            return static_cast<double>(r.sessionsCompleted);
+        }) +
+        0.5);
+    m.mean.avgSessionSec = avg([](auto &r) { return r.avgSessionSec; });
+    m.mean.platformEfficiency =
+        avg([](auto &r) { return r.platformEfficiency; });
+    m.mean.webCpuPct = avg([](auto &r) { return r.webCpuPct; });
+    m.mean.appCpuPct = avg([](auto &r) { return r.appCpuPct; });
+    m.mean.dbCpuPct = avg([](auto &r) { return r.dbCpuPct; });
+    m.mean.dom0CpuPct = avg([](auto &r) { return r.dom0CpuPct; });
+    m.mean.webIowaitPct = avg([](auto &r) { return r.webIowaitPct; });
+    m.mean.appIowaitPct = avg([](auto &r) { return r.appIowaitPct; });
+    m.mean.dbIowaitPct = avg([](auto &r) { return r.dbIowaitPct; });
+    m.mean.tunesSent = static_cast<std::uint64_t>(
+        avg([](auto &r) { return static_cast<double>(r.tunesSent); }) +
+        0.5);
+    m.mean.tunesApplied = static_cast<std::uint64_t>(
+        avg([](auto &r) {
+            return static_cast<double>(r.tunesApplied);
+        }) +
+        0.5);
+    m.mean.meanResponseMs =
+        avg([](auto &r) { return r.meanResponseMs; });
+    m.mean.minResponseMs = avg([](auto &r) { return r.minResponseMs; });
+    m.mean.dbLockWaitMeanMs =
+        avg([](auto &r) { return r.dbLockWaitMeanMs; });
+    m.mean.dbLockWaitMaxMs =
+        avg([](auto &r) { return r.dbLockWaitMaxMs; });
+    m.mean.ingressMs = avg([](auto &r) { return r.ingressMs; });
+    m.mean.webMs = avg([](auto &r) { return r.webMs; });
+    m.mean.appMs = avg([](auto &r) { return r.appMs; });
+    m.mean.dbMs = avg([](auto &r) { return r.dbMs; });
+    m.mean.hopsMs = avg([](auto &r) { return r.hopsMs; });
+    m.mean.egressMs = avg([](auto &r) { return r.egressMs; });
+    m.mean.webWeight = avg([](auto &r) { return r.webWeight; });
+    m.mean.appWeight = avg([](auto &r) { return r.appWeight; });
+    m.mean.dbWeight = avg([](auto &r) { return r.dbWeight; });
+
+    for (const auto &t : trials) {
+        m.throughputRps.record(t.throughputRps);
+        m.meanResponseMs.record(t.meanResponseMs);
+        m.totalEvents += t.eventsExecuted;
+    }
+    m.mean.eventsExecuted = m.totalEvents;
+    return m;
+}
+
+MergedMplayerQos
+mergeMplayerResults(const std::vector<MplayerQosResult> &trials)
+{
+    MergedMplayerQos m;
+    m.trials = static_cast<int>(trials.size());
+    if (trials.empty())
+        return m;
+    const double n = static_cast<double>(trials.size());
+    auto avg = [&](auto pick) {
+        double s = 0.0;
+        for (const auto &t : trials)
+            s += pick(t);
+        return s / n;
+    };
+    m.mean.fps1 = avg([](auto &r) { return r.fps1; });
+    m.mean.fps2 = avg([](auto &r) { return r.fps2; });
+    m.mean.late1 = static_cast<std::uint64_t>(
+        avg([](auto &r) { return static_cast<double>(r.late1); }) +
+        0.5);
+    m.mean.late2 = static_cast<std::uint64_t>(
+        avg([](auto &r) { return static_cast<double>(r.late2); }) +
+        0.5);
+    m.mean.cpu1Pct = avg([](auto &r) { return r.cpu1Pct; });
+    m.mean.cpu2Pct = avg([](auto &r) { return r.cpu2Pct; });
+    m.mean.dom0Pct = avg([](auto &r) { return r.dom0Pct; });
+    m.mean.weight1End = avg([](auto &r) { return r.weight1End; });
+    m.mean.weight2End = avg([](auto &r) { return r.weight2End; });
+    for (const auto &t : trials) {
+        m.fps1.record(t.fps1);
+        m.fps2.record(t.fps2);
+        m.totalEvents += t.eventsExecuted;
+    }
+    m.mean.eventsExecuted = m.totalEvents;
+    return m;
+}
+
+MergedTrigger
+mergeTriggerResults(const std::vector<TriggerScenarioResult> &trials)
+{
+    MergedTrigger m;
+    m.trials = static_cast<int>(trials.size());
+    if (trials.empty())
+        return m;
+    const double n = static_cast<double>(trials.size());
+    auto avg = [&](auto pick) {
+        double s = 0.0;
+        for (const auto &t : trials)
+            s += pick(t);
+        return s / n;
+    };
+    auto avgu = [&](auto pick) {
+        return static_cast<std::uint64_t>(
+            avg([&pick](auto &r) {
+                return static_cast<double>(pick(r));
+            }) +
+            0.5);
+    };
+    m.mean.fps1 = avg([](auto &r) { return r.fps1; });
+    m.mean.fps2 = avg([](auto &r) { return r.fps2; });
+    m.mean.late1 = avgu([](auto &r) { return r.late1; });
+    m.mean.triggersSent = avgu([](auto &r) { return r.triggersSent; });
+    m.mean.boosts = avgu([](auto &r) { return r.boosts; });
+    m.mean.ixpQueueDrops =
+        avgu([](auto &r) { return r.ixpQueueDrops; });
+    m.mean.bufferPeakBytes =
+        avg([](auto &r) { return r.bufferPeakBytes; });
+    m.mean.driverPolls = avgu([](auto &r) { return r.driverPolls; });
+    m.mean.driverInterrupts =
+        avgu([](auto &r) { return r.driverInterrupts; });
+    // Time series cannot be averaged point-for-point (sampling
+    // instants differ across trials); the merged view carries trial
+    // 0's traces as the representative run.
+    m.mean.cpu1Series = trials.front().cpu1Series;
+    m.mean.bufferSeries = trials.front().bufferSeries;
+    for (const auto &t : trials) {
+        m.fps1.record(t.fps1);
+        m.fps2.record(t.fps2);
+        m.totalEvents += t.eventsExecuted;
+    }
+    m.mean.eventsExecuted = m.totalEvents;
+    return m;
+}
+
+} // namespace corm::platform

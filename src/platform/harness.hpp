@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parallel multi-trial experiment harness.
+ *
+ * Every paper artefact is a function of one `(scenario config, seed)`
+ * pair run through a single-threaded Simulator. Confidence intervals
+ * and parameter sweeps need many such trials, and independent trials
+ * share no mutable state — each owns its Simulator, Testbed and RNG
+ * streams — so they fan out across host cores embarrassingly.
+ *
+ * TrialRunner is a fixed-pool runner (no work stealing: trials are
+ * coarse, seconds-long units; an atomic cursor over the index space
+ * balances fine). The determinism contract: for a fixed
+ * (config, trials, seed), the merged output is identical for ANY
+ * --jobs value, because trial i always derives its seeds from
+ * trialSeed(master, i) and results are merged in trial-index order.
+ *
+ * Merge helpers aggregate the per-trial result structs of
+ * platform/scenarios.hpp into cross-trial mean/stddev/min/max
+ * summaries (per request type for RUBiS), which is what the bench
+ * binaries print and serialize.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "platform/scenarios.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace corm::platform {
+
+/** Knobs shared by every multi-trial experiment. */
+struct TrialOptions
+{
+    /** Number of independent trials (distinct derived seeds). */
+    int trials = 1;
+    /** Worker threads; clamped to [1, trials]. 0 = one per trial. */
+    int jobs = 1;
+    /** Master seed all per-trial seeds derive from. */
+    std::uint64_t seed = 0x5eedc0de5eedc0deULL;
+};
+
+/**
+ * Seed of trial @p trial under master seed @p master. Stateless (no
+ * sequential RNG walk), so any trial's seed is computable without
+ * running the others — the property the parallel runner relies on.
+ */
+inline std::uint64_t
+trialSeed(std::uint64_t master, int trial)
+{
+    corm::sim::SplitMix64 sm(
+        master ^ (0x9e3779b97f4a7c15ULL *
+                  (static_cast<std::uint64_t>(trial) + 1)));
+    return sm.next();
+}
+
+/**
+ * Run @p body(trial) for every trial index in [0, trials) across a
+ * fixed pool of @p jobs threads. Blocks until all trials finish. If
+ * any body throws, the first exception (by completion order) is
+ * rethrown on the calling thread after every worker has been joined;
+ * remaining unstarted trials are abandoned.
+ */
+void runTrialsIndexed(int trials, int jobs,
+                      const std::function<void(int)> &body);
+
+/**
+ * Typed fan-out: returns one R per trial, indexed by trial number.
+ * @p fn is invoked as fn(trialIndex, derivedSeed) and must not touch
+ * shared mutable state (each invocation may run on any pool thread).
+ */
+template <typename Fn>
+auto
+runTrials(const TrialOptions &opt, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, int, std::uint64_t>>
+{
+    using R = std::invoke_result_t<Fn &, int, std::uint64_t>;
+    std::vector<R> results(
+        static_cast<std::size_t>(opt.trials > 0 ? opt.trials : 0));
+    runTrialsIndexed(opt.trials, opt.jobs, [&](int i) {
+        results[static_cast<std::size_t>(i)] =
+            fn(i, trialSeed(opt.seed, i));
+    });
+    return results;
+}
+
+//
+// Cross-trial aggregation
+//
+// Each Merged* struct carries (a) `mean`: the familiar result struct
+// with every scalar field averaged across trials (request counts are
+// summed — they are totals, not estimates), so existing printing
+// code works unchanged on multi-trial runs; and (b) cross-trial
+// Summary distributions for the headline metrics, so benches can
+// report the spread that a single run hides.
+//
+
+/** Cross-trial view of the RUBiS scenario. */
+struct MergedRubis
+{
+    int trials = 0;
+    RubisResult mean;
+    /** Per request type: distribution of per-trial mean latency. */
+    std::vector<corm::sim::Summary> typeMeanMs;
+    corm::sim::Summary throughputRps;
+    corm::sim::Summary meanResponseMs;
+    /** Host-side totals for events/sec reporting. */
+    std::uint64_t totalEvents = 0;
+};
+
+/** Cross-trial view of the MPlayer QoS scenario. */
+struct MergedMplayerQos
+{
+    int trials = 0;
+    MplayerQosResult mean;
+    corm::sim::Summary fps1;
+    corm::sim::Summary fps2;
+    std::uint64_t totalEvents = 0;
+};
+
+/** Cross-trial view of the buffer-threshold Trigger scenario. */
+struct MergedTrigger
+{
+    int trials = 0;
+    TriggerScenarioResult mean;
+    corm::sim::Summary fps1;
+    corm::sim::Summary fps2;
+    std::uint64_t totalEvents = 0;
+};
+
+/** Aggregate trial results in index order. Requires !trials.empty(). */
+MergedRubis mergeRubisResults(const std::vector<RubisResult> &trials);
+MergedMplayerQos
+mergeMplayerResults(const std::vector<MplayerQosResult> &trials);
+MergedTrigger
+mergeTriggerResults(const std::vector<TriggerScenarioResult> &trials);
+
+/**
+ * Derive the per-trial workload seeds of a RUBiS config from one
+ * trial seed (client and server jitter streams get independent
+ * sub-seeds). Trial 0 of the default master seed is the canonical
+ * configuration benches report.
+ */
+void applyTrialSeed(RubisScenarioConfig &cfg, std::uint64_t seed);
+
+} // namespace corm::platform

@@ -170,6 +170,7 @@ runRubisScenario(const RubisScenarioConfig &cfg)
     r.webWeight = web.dom->weight();
     r.appWeight = app.dom->weight();
     r.dbWeight = db.dom->weight();
+    r.eventsExecuted = tb.sim().executedEvents();
     return r;
 }
 
@@ -276,6 +277,7 @@ runMplayerQos(const MplayerQosConfig &cfg)
     }
     r.weight1End = dom1.dom->weight();
     r.weight2End = dom2.dom->weight();
+    r.eventsExecuted = tb.sim().executedEvents();
     return r;
 }
 
@@ -379,6 +381,7 @@ runTriggerScenario(const TriggerScenarioConfig &cfg)
             }
         }
     }
+    r.eventsExecuted = tb.sim().executedEvents();
     return r;
 }
 

@@ -105,6 +105,9 @@ struct RubisResult
 
     // Final tier weights (where the per-request tuning settled).
     double webWeight = 0.0, appWeight = 0.0, dbWeight = 0.0;
+
+    /** Host-side cost: simulator events dispatched during the run. */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** Run one RUBiS experiment end to end. */
@@ -158,6 +161,9 @@ struct MplayerQosResult
     std::uint64_t late1 = 0, late2 = 0;
     double cpu1Pct = 0.0, cpu2Pct = 0.0, dom0Pct = 0.0;
     double weight1End = 0.0, weight2End = 0.0;
+
+    /** Host-side cost: simulator events dispatched during the run. */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** Run one Fig. 6 configuration. */
@@ -211,6 +217,9 @@ struct TriggerScenarioResult
     corm::sim::TimeSeries cpu1Series;
     /** Fig. 7 series: Dom-1 IXP buffer occupancy (bytes) over time. */
     corm::sim::TimeSeries bufferSeries;
+
+    /** Host-side cost: simulator events dispatched during the run. */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** Run one Fig. 7 / Table 3 configuration. */

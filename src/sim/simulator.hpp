@@ -7,16 +7,32 @@
  * them in (time, insertion) order, so simultaneous events execute in
  * the order they were scheduled — a property several scheduler tests
  * rely on. Events are cancellable via the id returned by schedule().
+ *
+ * Hot-path design (this file is the innermost loop of every
+ * experiment):
+ *
+ *  - The pending queue is a hand-rolled binary min-heap of 24-byte
+ *    POD entries (time, sequence, slot). Sift operations move PODs,
+ *    never callbacks.
+ *  - Callbacks live in a slot table addressed by the heap entries.
+ *    An EventId encodes (generation, slot); cancel() flips the
+ *    slot's tombstone flag in O(1) — no hash lookup — and the
+ *    tombstone is resolved when the heap entry reaches the top.
+ *    Generations make stale ids (fired, cancelled, or reused slots)
+ *    harmless no-ops, which also keeps pendingEvents() exact.
+ *  - Callbacks are SmallCallback (sim/callback.hpp): common lambdas
+ *    like [this]{...} are stored inline, with no heap allocation.
+ *  - runs batch-pop all events that share a timestamp and dispatch
+ *    the batch in insertion order, re-checking tombstones per event
+ *    so a batch member may cancel another member.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/types.hpp"
 
 namespace corm::sim {
@@ -31,12 +47,14 @@ inline constexpr EventId invalidEventId = 0;
  * Discrete-event simulator: a clock plus an ordered event queue.
  *
  * Not thread-safe by design; the entire platform model runs in one
- * thread of host execution, which keeps it deterministic.
+ * thread of host execution, which keeps it deterministic. Parallelism
+ * lives one level up: independent trials each own a Simulator (see
+ * platform/harness.hpp).
  */
 class Simulator
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallCallback;
 
     Simulator() = default;
     Simulator(const Simulator &) = delete;
@@ -57,10 +75,11 @@ class Simulator
     {
         if (when < currentTick)
             when = currentTick;
-        const EventId id = ++nextId;
-        queue.push(Event{when, id, std::move(cb)});
+        const std::uint32_t slot = allocSlot(std::move(cb));
+        heap.push_back(HeapEntry{when, ++nextSeq, slot});
+        siftUp(heap.size() - 1);
         ++liveEvents;
-        return id;
+        return makeId(slots[slot].generation, slot);
     }
 
     /** Schedule a callback @p delay ticks from now. */
@@ -72,19 +91,37 @@ class Simulator
 
     /**
      * Cancel a previously scheduled event. Cancelling an already-fired
-     * or already-cancelled event is a harmless no-op.
+     * or already-cancelled event is a harmless no-op: the generation
+     * encoded in the id no longer matches the slot (or the slot is
+     * already tombstoned), so accounting is untouched.
      */
     void
     cancel(EventId id)
     {
-        if (id == invalidEventId)
-            return;
-        if (cancelled.insert(id).second && liveEvents > 0)
-            --liveEvents;
+        const std::uint32_t slot = slotOf(id);
+        if (slot >= slots.size())
+            return; // invalidEventId and ids from other simulators
+        Slot &s = slots[slot];
+        if (s.generation != generationOf(id) ||
+            s.state != SlotState::pending)
+            return; // stale id: fired, cancelled, or slot reused
+        s.state = SlotState::cancelled;
+        s.cb.reset(); // release captures eagerly
+        --liveEvents;
+        ++deadEntries;
+        // Amortized tombstone collection: once the majority of the
+        // queue is dead, one O(n) sweep re-packs it. Charged to the
+        // >= n/2 cancels that made it necessary, cancel stays O(1)
+        // amortized and pop cost tracks the number of *live* events.
+        if (deadEntries > 64 && deadEntries * 2 > heap.size())
+            compact();
     }
 
     /** Number of scheduled-and-not-yet-fired (nor cancelled) events. */
     std::size_t pendingEvents() const { return liveEvents; }
+
+    /** Total events dispatched since construction (tombstones excluded). */
+    std::uint64_t executedEvents() const { return executed; }
 
     /**
      * Run until the queue drains or simulated time would pass @p until.
@@ -115,17 +152,9 @@ class Simulator
     bool
     step()
     {
-        while (!queue.empty()) {
-            if (cancelled.erase(queue.top().id)) {
-                queue.pop();
-                continue;
-            }
-            Event ev = std::move(const_cast<Event &>(queue.top()));
-            queue.pop();
-            --liveEvents;
-            currentTick = ev.when;
-            ev.cb();
-            return true;
+        while (!heap.empty()) {
+            if (dispatch(popTop()))
+                return true;
         }
         return false;
     }
@@ -137,53 +166,233 @@ class Simulator
     bool stopRequested() const { return stopFlag; }
 
   private:
+    /** One pending occurrence in the heap: small, trivially movable. */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq; ///< global insertion order (FIFO tiebreak)
+        std::uint32_t slot;
+    };
+
+    enum class SlotState : std::uint8_t { free, pending, cancelled };
+
+    /** Callback storage + liveness for one in-flight event id. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t generation = 0;
+        SlotState state = SlotState::free;
+    };
+
+    // EventId layout: high 32 bits generation, low 32 bits slot+1
+    // (so invalidEventId = 0 never names a slot). A slot's
+    // generation increments every time it is recycled; a wrap after
+    // 2^32 reuses of one slot is accepted.
+    static EventId
+    makeId(std::uint32_t generation, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(generation) << 32) |
+               (static_cast<EventId>(slot) + 1);
+    }
+
+    static std::uint32_t
+    slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
+
+    static std::uint32_t
+    generationOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    std::uint32_t
+    allocSlot(Callback cb)
+    {
+        std::uint32_t idx;
+        if (!freeSlots.empty()) {
+            idx = freeSlots.back();
+            freeSlots.pop_back();
+        } else {
+            idx = static_cast<std::uint32_t>(slots.size());
+            slots.emplace_back();
+        }
+        Slot &s = slots[idx];
+        s.cb = std::move(cb);
+        s.state = SlotState::pending;
+        return idx;
+    }
+
+    void
+    freeSlot(std::uint32_t idx)
+    {
+        Slot &s = slots[idx];
+        ++s.generation; // invalidate every id minted for this use
+        s.state = SlotState::free;
+        freeSlots.push_back(idx);
+    }
+
+    /** (when, seq) lexicographic order; true if a fires before b. */
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq; // FIFO among simultaneous events
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        HeapEntry e = heap[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(e, heap[parent]))
+                break;
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        heap[i] = e;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap.size();
+        HeapEntry e = heap[i];
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && before(heap[child + 1], heap[child]))
+                ++child;
+            if (!before(heap[child], e))
+                break;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = e;
+    }
+
+    /** Remove and return the earliest entry. Requires !heap.empty(). */
+    HeapEntry
+    popTop()
+    {
+        const HeapEntry top = heap.front();
+        heap.front() = heap.back();
+        heap.pop_back();
+        if (!heap.empty())
+            siftDown(0);
+        return top;
+    }
+
+    /** Re-insert an entry (stop-request unwound a batch). */
+    void
+    pushEntry(const HeapEntry &e)
+    {
+        heap.push_back(e);
+        siftUp(heap.size() - 1);
+    }
+
+    /**
+     * Resolve one popped entry: free tombstones, else run the
+     * callback. Returns true if a live event was dispatched. Takes
+     * the entry by value: the callback may re-enter drain() and
+     * reallocate the vectors a reference would point into.
+     */
+    bool
+    dispatch(HeapEntry e)
+    {
+        Slot &s = slots[e.slot];
+        if (s.state == SlotState::cancelled) {
+            freeSlot(e.slot);
+            --deadEntries;
+            return false;
+        }
+        // Move the callback out and retire the id before running, so
+        // the callback can freely schedule (and even cancel) events —
+        // including ids that land in this same slot.
+        Callback cb = std::move(s.cb);
+        freeSlot(e.slot);
+        --liveEvents;
+        currentTick = e.when;
+        ++executed;
+        cb();
+        return true;
+    }
+
+    /**
+     * Drop every tombstoned entry from the heap and restore the heap
+     * property bottom-up (Floyd heapify, O(n)). Entries parked in
+     * the drain() batch scratch are not in the heap and keep their
+     * share of deadEntries until dispatched.
+     */
+    void
+    compact()
+    {
+        std::size_t kept = 0;
+        for (const HeapEntry &e : heap) {
+            if (slots[e.slot].state == SlotState::cancelled) {
+                freeSlot(e.slot);
+                --deadEntries;
+            } else {
+                heap[kept++] = e;
+            }
+        }
+        heap.resize(kept);
+        for (std::size_t i = kept / 2; i-- > 0;)
+            siftDown(i);
+    }
+
     /** Execute events with when <= until, honouring cancellations. */
     void
     drain(Tick until)
     {
         stopFlag = false;
-        while (!queue.empty() && !stopFlag) {
-            const Event &top = queue.top();
-            if (top.when > until)
+        while (!heap.empty() && !stopFlag) {
+            if (heap.front().when > until)
                 break;
-            if (cancelled.erase(top.id)) {
-                queue.pop();
+            HeapEntry first = popTop();
+            if (heap.empty() || heap.front().when != first.when) {
+                // Fast path: a lone event at this timestamp.
+                dispatch(first);
                 continue;
             }
-            // Move the callback out before popping so the event can
-            // safely schedule (and even cancel) other events.
-            Event ev = std::move(const_cast<Event &>(top));
-            queue.pop();
-            --liveEvents;
-            currentTick = ev.when;
-            ev.cb();
+            // Batch path: pop every already-queued event that shares
+            // this timestamp, then dispatch in insertion order.
+            // Events the batch schedules at the same timestamp join a
+            // later batch (their seq is higher), preserving FIFO. The
+            // scratch vector is shared across re-entrant runs (a
+            // callback may call runFor()), so work with a base offset
+            // and indices, never iterators.
+            const Tick when = first.when;
+            const std::size_t base = batch.size();
+            batch.push_back(first);
+            while (!heap.empty() && heap.front().when == when)
+                batch.push_back(popTop());
+            std::size_t i = base;
+            for (; i < batch.size() && !stopFlag; ++i)
+                dispatch(batch[i]);
+            if (i < batch.size()) {
+                // Stopped mid-batch: the rest stays pending.
+                for (std::size_t j = i; j < batch.size(); ++j)
+                    pushEntry(batch[j]);
+            }
+            batch.resize(base);
         }
     }
 
-    struct Event
-    {
-        Tick when;
-        EventId id;
-        Callback cb;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id; // FIFO among simultaneous events
-        }
-    };
-
     Tick currentTick = 0;
-    EventId nextId = invalidEventId;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
     bool stopFlag = false;
     std::size_t liveEvents = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue;
-    std::unordered_set<EventId> cancelled;
+    std::size_t deadEntries = 0; ///< tombstones in heap or batch
+    std::vector<HeapEntry> heap;
+    std::vector<HeapEntry> batch; ///< drain() scratch, see above
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
 };
 
 /**

@@ -102,6 +102,27 @@ class Summary
         maxv = -std::numeric_limits<double>::infinity();
     }
 
+    /**
+     * Reconstruct a Summary from previously reported moments, e.g.
+     * to pool per-trial (count, min, max, mean, stddev) rows via
+     * merge(). Exact for count/min/max/mean; the variance round-trips
+     * through the population formula this class reports.
+     */
+    static Summary
+    fromMoments(std::uint64_t count, double min_value, double max_value,
+                double mean_value, double stddev_value)
+    {
+        Summary s;
+        if (count == 0)
+            return s;
+        s.n = count;
+        s.minv = min_value;
+        s.maxv = max_value;
+        s.mean_ = mean_value;
+        s.m2 = stddev_value * stddev_value * static_cast<double>(count);
+        return s;
+    }
+
     /** Merge another summary into this one (parallel-combinable). */
     void
     merge(const Summary &other)

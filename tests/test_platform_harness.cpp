@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the parallel trial harness: the determinism contract
+ * (same config/trials/seed => identical merged results for any
+ * --jobs), trial-seed derivation, result merging, and failure
+ * propagation out of the worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "platform/harness.hpp"
+#include "platform/scenarios.hpp"
+
+using namespace corm::platform;
+
+namespace {
+
+/** Short RUBiS config so the determinism test stays fast. */
+RubisScenarioConfig
+shortRubisConfig()
+{
+    RubisScenarioConfig cfg;
+    cfg.coordination = true;
+    cfg.warmup = 500 * corm::sim::msec;
+    cfg.measure = 2 * corm::sim::sec;
+    return cfg;
+}
+
+MergedRubis
+runShortRubis(int trials, int jobs, std::uint64_t seed)
+{
+    TrialOptions opt;
+    opt.trials = trials;
+    opt.jobs = jobs;
+    opt.seed = seed;
+    auto results = runTrials(opt, [&](int, std::uint64_t s) {
+        RubisScenarioConfig cfg = shortRubisConfig();
+        applyTrialSeed(cfg, s);
+        return runRubisScenario(cfg);
+    });
+    return mergeRubisResults(results);
+}
+
+void
+expectIdentical(const MergedRubis &a, const MergedRubis &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+    EXPECT_EQ(a.throughputRps.mean(), b.throughputRps.mean());
+    EXPECT_EQ(a.throughputRps.stddev(), b.throughputRps.stddev());
+    EXPECT_EQ(a.meanResponseMs.mean(), b.meanResponseMs.mean());
+    EXPECT_EQ(a.mean.throughputRps, b.mean.throughputRps);
+    EXPECT_EQ(a.mean.meanResponseMs, b.mean.meanResponseMs);
+    EXPECT_EQ(a.mean.sessionsCompleted, b.mean.sessionsCompleted);
+    EXPECT_EQ(a.mean.platformEfficiency, b.mean.platformEfficiency);
+    EXPECT_EQ(a.mean.tunesSent, b.mean.tunesSent);
+    EXPECT_EQ(a.mean.tunesApplied, b.mean.tunesApplied);
+    EXPECT_EQ(a.mean.webWeight, b.mean.webWeight);
+    EXPECT_EQ(a.mean.appWeight, b.mean.appWeight);
+    EXPECT_EQ(a.mean.dbWeight, b.mean.dbWeight);
+    ASSERT_EQ(a.mean.types.size(), b.mean.types.size());
+    for (std::size_t i = 0; i < a.mean.types.size(); ++i) {
+        EXPECT_EQ(a.mean.types[i].count, b.mean.types[i].count);
+        EXPECT_EQ(a.mean.types[i].minMs, b.mean.types[i].minMs);
+        EXPECT_EQ(a.mean.types[i].maxMs, b.mean.types[i].maxMs);
+        EXPECT_EQ(a.mean.types[i].meanMs, b.mean.types[i].meanMs);
+        EXPECT_EQ(a.mean.types[i].stddevMs, b.mean.types[i].stddevMs);
+    }
+}
+
+} // namespace
+
+TEST(TrialSeed, DistinctPerTrialAndStable)
+{
+    const std::uint64_t master = 0x5eedc0de5eedc0deULL;
+    EXPECT_EQ(trialSeed(master, 0), trialSeed(master, 0));
+    EXPECT_NE(trialSeed(master, 0), trialSeed(master, 1));
+    EXPECT_NE(trialSeed(master, 1), trialSeed(master, 2));
+    EXPECT_NE(trialSeed(master, 0), trialSeed(master ^ 1, 0));
+}
+
+TEST(TrialRunner, RunsEveryIndexExactlyOnce)
+{
+    for (int jobs : {1, 2, 7, 16}) {
+        std::vector<std::atomic<int>> hits(23);
+        runTrialsIndexed(23, jobs, [&](int i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(TrialRunner, ResultsIndexedByTrialNotByThread)
+{
+    TrialOptions opt;
+    opt.trials = 16;
+    opt.jobs = 4;
+    auto results =
+        runTrials(opt, [](int trial, std::uint64_t) { return trial * 10; });
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(TrialRunner, ExceptionPropagatesWithoutDeadlock)
+{
+    EXPECT_THROW(
+        runTrialsIndexed(8, 4,
+                         [](int i) {
+                             if (i == 3)
+                                 throw std::runtime_error("trial failed");
+                         }),
+        std::runtime_error);
+    // The pool must be fully joined: running again works.
+    std::atomic<int> ran{0};
+    runTrialsIndexed(4, 4, [&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Harness, MergedRubisIdenticalAcrossJobCounts)
+{
+    // The determinism contract: same (config, trials, seed) produces
+    // identical merged output for ANY --jobs value.
+    const auto serial = runShortRubis(4, 1, 0xfeedface);
+    const auto parallel = runShortRubis(4, 4, 0xfeedface);
+    expectIdentical(serial, parallel);
+
+    // Different seed => different results (the seeds really do flow
+    // into the workload).
+    const auto other = runShortRubis(4, 1, 0xdeadbeef);
+    EXPECT_NE(serial.throughputRps.mean(), other.throughputRps.mean());
+}
+
+TEST(Harness, MergeRubisPoolsPerTypeRows)
+{
+    RubisResult a, b;
+    a.types.resize(1);
+    b.types.resize(1);
+    a.types[0] = {"Browse", 2, 10.0, 20.0, 15.0, 5.0};
+    b.types[0] = {"Browse", 2, 12.0, 30.0, 21.0, 9.0};
+    a.throughputRps = 50.0;
+    b.throughputRps = 70.0;
+    a.eventsExecuted = 100;
+    b.eventsExecuted = 200;
+    const auto merged = mergeRubisResults({a, b});
+    EXPECT_EQ(merged.trials, 2);
+    EXPECT_EQ(merged.totalEvents, 300u);
+    EXPECT_EQ(merged.mean.types[0].count, 4u);
+    EXPECT_DOUBLE_EQ(merged.mean.types[0].minMs, 10.0);
+    EXPECT_DOUBLE_EQ(merged.mean.types[0].maxMs, 30.0);
+    EXPECT_DOUBLE_EQ(merged.mean.types[0].meanMs, 18.0);
+    EXPECT_DOUBLE_EQ(merged.mean.throughputRps, 60.0);
+    EXPECT_DOUBLE_EQ(merged.throughputRps.min(), 50.0);
+    EXPECT_DOUBLE_EQ(merged.throughputRps.max(), 70.0);
+}
+
+TEST(Harness, SingleTrialMergeIsIdentity)
+{
+    const auto one = runShortRubis(1, 1, 42);
+    TrialOptions opt;
+    opt.trials = 1;
+    opt.jobs = 1;
+    opt.seed = 42;
+    RubisScenarioConfig cfg = shortRubisConfig();
+    applyTrialSeed(cfg, trialSeed(opt.seed, 0));
+    const auto direct = runRubisScenario(cfg);
+    EXPECT_EQ(one.mean.throughputRps, direct.throughputRps);
+    EXPECT_EQ(one.mean.meanResponseMs, direct.meanResponseMs);
+    EXPECT_EQ(one.totalEvents, direct.eventsExecuted);
+}
