@@ -413,6 +413,16 @@ class BenchReport
         json.field("platform_efficiency", m.mean.platformEfficiency);
         json.field("tunes_sent", m.mean.tunesSent);
         json.field("tunes_applied", m.mean.tunesApplied);
+        json.beginObject("channel_health");
+        json.field("dropped", m.mean.chanDropped);
+        json.field("duplicates", m.mean.chanDuplicates);
+        json.field("reorders", m.mean.chanReorders);
+        json.field("retries", m.mean.chanRetries);
+        json.field("outage_ms", m.mean.chanOutageMs);
+        json.field("regs_acked", m.mean.regsAcked);
+        json.field("regs_abandoned", m.mean.regsAbandoned);
+        json.field("regs_pending", m.mean.regsPending);
+        json.endObject();
         json.field("events_executed", m.totalEvents);
         json.beginArray("types");
         for (std::size_t i = 0; i < m.mean.types.size(); ++i) {

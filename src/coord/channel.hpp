@@ -8,9 +8,15 @@
  * and dispatches decoded messages to the destination island's
  * ResourceIsland interface.
  *
- * The channel supports failure injection (message loss, extra delay)
- * so tests can verify that coordination degrades gracefully — a lost
- * Tune may only cost performance, never correctness.
+ * The channel supports deterministic failure injection (loss,
+ * duplication, reordering, latency spikes, burst outages; see
+ * interconnect/faults.hpp) so tests and benches can verify that
+ * coordination degrades gracefully — a lost Tune may only cost
+ * performance, never correctness. Messages carrying a non-zero
+ * reliable-delivery sequence number (coord/reliable.hpp) are
+ * acknowledged by the receiving endpoint, which also suppresses
+ * duplicate deliveries of the same (src, seq) so retransmissions and
+ * fault-injected copies apply at most once.
  */
 
 #pragma once
@@ -18,11 +24,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "coord/island.hpp"
 #include "coord/message.hpp"
+#include "interconnect/faults.hpp"
 #include "interconnect/msgring.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -39,8 +47,26 @@ struct ChannelStats
     corm::sim::Counter tunes;
     corm::sim::Counter triggers;
     corm::sim::Counter registrations;
+    /** Duplicate reliable deliveries suppressed at an endpoint. */
+    corm::sim::Counter duplicates;
+    /** Deliveries observed out of send order within a direction. */
+    corm::sim::Counter reorders;
+    /** Retransmissions performed by the reliable layer above. */
+    corm::sim::Counter retries;
     /** Send-to-apply latency (microseconds). */
     corm::sim::Summary deliveryLatencyUs;
+};
+
+/** Aggregated fault-injection health of a channel. */
+struct ChannelHealth
+{
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t spiked = 0;
+    std::uint64_t outageDrops = 0;
+    /** Scheduled outage time elapsed so far, microseconds. */
+    double outageTimeUs = 0.0;
 };
 
 /**
@@ -65,35 +91,44 @@ class CoordChannel
         : sim(simulator), a(side_a), b(side_b),
           aToB(simulator, one_way_latency, channel_name + ".a2b"),
           bToA(simulator, one_way_latency, channel_name + ".b2a"),
-          name_(std::move(channel_name)), lossRng(0x10551055ULL)
+          name_(std::move(channel_name))
     {
-        aToB.setReceiver([this](std::uint64_t w0, std::uint64_t w1) {
-            deliver(b, CoordMessage::decode(w0, w1));
-        });
-        bToA.setReceiver([this](std::uint64_t w0, std::uint64_t w1) {
-            deliver(a, CoordMessage::decode(w0, w1));
-        });
+        aToB.setReceiver(
+            [this](std::uint64_t w0, std::uint64_t w1,
+                   std::uint64_t tag) {
+                deliver(0, b, CoordMessage::decode(w0, w1), tag);
+            });
+        bToA.setReceiver(
+            [this](std::uint64_t w0, std::uint64_t w1,
+                   std::uint64_t tag) {
+                deliver(1, a, CoordMessage::decode(w0, w1), tag);
+            });
+        auto drop = [this](std::uint64_t tag) {
+            stats_.dropped.add();
+            pendingSendTime.erase(tag);
+        };
+        aToB.setDropObserver(drop);
+        bToA.setDropObserver(drop);
     }
+
+    CoordChannel(const CoordChannel &) = delete;
+    CoordChannel &operator=(const CoordChannel &) = delete;
 
     /**
      * Send a message. Routing uses msg.dst: it must equal one of the
-     * two endpoint island ids; messages to the sender's own island
-     * are delivered immediately (no channel traversal).
+     * two endpoint island ids; messages to an unknown island are
+     * counted as dropped (the two-island prototype cannot route).
      */
     void
     send(CoordMessage msg)
     {
         stats_.sent.add();
-        if (lossProb > 0.0 && lossRng.chance(lossProb)) {
-            stats_.dropped.add();
-            return;
-        }
         if (msg.dst == b.id()) {
-            rememberSend(msg);
-            aToB.send(msg.encodeWord0(), msg.encodeWord1());
+            aToB.send(msg.encodeWord0(), msg.encodeWord1(),
+                      rememberSend());
         } else if (msg.dst == a.id()) {
-            rememberSend(msg);
-            bToA.send(msg.encodeWord0(), msg.encodeWord1());
+            bToA.send(msg.encodeWord0(), msg.encodeWord1(),
+                      rememberSend());
         } else {
             // Unknown destination: count as dropped. A production
             // fabric would route; the two-island prototype cannot.
@@ -112,18 +147,80 @@ class CoordChannel
     /** Current one-way latency. */
     corm::sim::Tick oneWayLatency() const { return aToB.oneWayLatency(); }
 
-    /** Probability in [0,1] that a sent message is silently lost. */
-    void setLossProbability(double p) { lossProb = p; }
-
     /**
-     * Observe delivered acks (registration reliability lives above
-     * the channel; see coord/reliable.hpp).
+     * Subject both directions to the weather described by @p params.
+     * The channel owns the plan; the same seed replays the same fault
+     * sequence. A plan with no enabled faults removes any previous
+     * one.
      */
     void
-    setAckObserver(std::function<void(const CoordMessage &)> fn)
+    installFaultPlan(const corm::interconnect::FaultPlanParams &params)
     {
-        ackObserver = std::move(fn);
+        if (!params.any()) {
+            faults.reset();
+            aToB.setFaultInjector(nullptr);
+            bToA.setFaultInjector(nullptr);
+            return;
+        }
+        faults =
+            std::make_unique<corm::interconnect::FaultPlan>(params);
+        aToB.setFaultInjector(&faults->aToB());
+        bToA.setFaultInjector(&faults->bToA());
     }
+
+    /**
+     * Probability in [0,1] that a sent message is silently lost.
+     * Sugar for installing a loss-only fault plan with a fixed seed;
+     * kept for the simple loss-robustness tests and ablations.
+     */
+    void
+    setLossProbability(double p)
+    {
+        corm::interconnect::FaultPlanParams params;
+        params.seed = 0x10551055ULL;
+        params.lossProb = p;
+        installFaultPlan(params);
+    }
+
+    /** The installed fault plan, or nullptr for a perfect channel. */
+    const corm::interconnect::FaultPlan *faultPlan() const
+    {
+        return faults.get();
+    }
+
+    /** Aggregated fault-injection health counters. */
+    ChannelHealth
+    health() const
+    {
+        ChannelHealth h;
+        if (!faults)
+            return h;
+        h.lost = faults->lost();
+        h.duplicated = faults->duplicated();
+        h.reordered = faults->reordered();
+        h.spiked = faults->spiked();
+        h.outageDrops = faults->outageDrops();
+        h.outageTimeUs =
+            corm::sim::toMicros(faults->outageTimeUpTo(sim.now()));
+        return h;
+    }
+
+    /**
+     * Observe acks delivered to @p endpoint (one of the two island
+     * ids). Observers are per endpoint, so one reliable sender per
+     * island can coexist on the same channel without seeing the
+     * other's acks. Installing a new observer for the same endpoint
+     * replaces the old one.
+     */
+    void
+    setAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn)
+    {
+        ackObservers[endpoint] = std::move(fn);
+    }
+
+    /** Record a retransmission performed by the reliable layer. */
+    void noteRetransmit() { stats_.retries.add(); }
 
     /** Channel statistics. */
     const ChannelStats &stats() const { return stats_; }
@@ -132,39 +229,89 @@ class CoordChannel
     const std::string &name() const { return name_; }
 
   private:
-    void
-    rememberSend(const CoordMessage &msg)
+    std::uint64_t
+    rememberSend()
     {
-        // Track per-message send time via a small rotating slot map
-        // keyed by an id derived from the message; precise enough for
-        // latency summaries at coordination-message rates.
-        pendingSendTime[(pendingHead++) % pendingSendTime.size()] =
-            {msg.encodeWord0(), sim.now()};
+        // Tag every send with a fresh monotonically increasing
+        // sequence so two in-flight identical messages (repeated
+        // tunes of the same entity/delta) keep distinct latency
+        // records. The tag travels the mailbox as an opaque cookie;
+        // drops erase their record, so the map stays bounded by the
+        // number of in-flight messages.
+        const std::uint64_t tag = ++sendTag;
+        pendingSendTime.emplace(tag, sim.now());
+        return tag;
+    }
+
+    /** True if (src, seq) was recently applied at endpoint @p dir. */
+    bool
+    seenRecently(int dir, const CoordMessage &msg)
+    {
+        const std::uint32_t key =
+            (static_cast<std::uint32_t>(msg.src) << 8) | msg.seq;
+        auto &window = seenWindow[dir];
+        for (std::uint32_t k : window) {
+            if (k == key)
+                return true;
+        }
+        window[seenHead[dir]++ % window.size()] = key;
+        return false;
     }
 
     void
-    deliver(ResourceIsland &dst, const CoordMessage &msg)
+    sendAckFor(ResourceIsland &learner, const CoordMessage &msg)
+    {
+        CoordMessage ack;
+        ack.type = MsgType::ack;
+        ack.src = learner.id();
+        ack.dst = msg.src;
+        ack.entity = msg.entity;
+        ack.seq = msg.seq; // echo: the sender matches pending by seq
+        send(ack);
+    }
+
+    void
+    deliver(int dir, ResourceIsland &dst, const CoordMessage &msg,
+            std::uint64_t tag)
     {
         stats_.delivered.add();
-        // Look up the matching send time for latency accounting. A
-        // used slot is invalidated via its key: no real message
-        // encodes to word0 == 0 (the type field is non-zero).
-        for (auto &slot : pendingSendTime) {
-            if (slot.first == msg.encodeWord0()) {
-                stats_.deliveryLatencyUs.record(
-                    corm::sim::toMicros(sim.now() - slot.second));
-                slot.first = 0;
-                break;
-            }
+        // Latency accounting by send tag. A duplicated delivery's
+        // second copy misses the (erased) record and is not counted.
+        if (auto it = pendingSendTime.find(tag);
+            it != pendingSendTime.end()) {
+            stats_.deliveryLatencyUs.record(
+                corm::sim::toMicros(sim.now() - it->second));
+            pendingSendTime.erase(it);
+        }
+        // Observed reordering: tags are monotone per direction, so a
+        // delivery below the direction's high-water mark overtook.
+        if (tag > maxTagDelivered[dir]) {
+            maxTagDelivered[dir] = tag;
+        } else if (tag != 0) {
+            stats_.reorders.add();
+        }
+        // Idempotent duplicate suppression for reliable messages:
+        // retransmissions and fault-injected copies apply at most
+        // once, but are re-acked so a sender whose ack was lost
+        // stops retrying.
+        if (msg.seq != 0 && msg.type != MsgType::ack
+            && seenRecently(dir, msg)) {
+            stats_.duplicates.add();
+            sendAckFor(dst, msg);
+            return;
         }
         switch (msg.type) {
           case MsgType::tune:
             stats_.tunes.add();
             dst.applyTune(msg.entity, msg.value);
+            if (msg.seq != 0)
+                sendAckFor(dst, msg);
             break;
           case MsgType::trigger:
             stats_.triggers.add();
             dst.applyTrigger(msg.entity);
+            if (msg.seq != 0)
+                sendAckFor(dst, msg);
             break;
           case MsgType::registerEntity: {
             stats_.registrations.add();
@@ -174,21 +321,17 @@ class CoordChannel
                 static_cast<std::uint32_t>(
                     std::bit_cast<std::uint64_t>(msg.value)));
             dst.learnBinding(binding);
-            // Registrations are acknowledged so the announcer can
-            // retry losses (see coord/reliable.hpp). The ack names
-            // the learning island as src and echoes the entity.
-            CoordMessage ack;
-            ack.type = MsgType::ack;
-            ack.src = dst.id();
-            ack.dst = msg.src;
-            ack.entity = msg.entity;
-            send(ack);
+            // Registrations are acknowledged even without a seq so
+            // the announcer can retry losses (see coord/reliable.hpp).
+            sendAckFor(dst, msg);
             break;
           }
-          case MsgType::ack:
-            if (ackObserver)
-                ackObserver(msg);
+          case MsgType::ack: {
+            auto it = ackObservers.find(msg.dst);
+            if (it != ackObservers.end() && it->second)
+                it->second(msg);
             break;
+          }
         }
     }
 
@@ -198,13 +341,16 @@ class CoordChannel
     corm::interconnect::Mailbox aToB;
     corm::interconnect::Mailbox bToA;
     std::string name_;
-    corm::sim::Rng lossRng;
-    double lossProb = 0.0;
-    std::function<void(const CoordMessage &)> ackObserver;
+    std::unique_ptr<corm::interconnect::FaultPlan> faults;
+    std::map<IslandId, std::function<void(const CoordMessage &)>>
+        ackObservers;
     ChannelStats stats_;
-    std::array<std::pair<std::uint64_t, corm::sim::Tick>, 64>
-        pendingSendTime{};
-    std::size_t pendingHead = 0;
+    std::map<std::uint64_t, corm::sim::Tick> pendingSendTime;
+    std::uint64_t sendTag = 0;
+    std::array<std::uint64_t, 2> maxTagDelivered{};
+    /** Per-endpoint window of recently applied (src, seq) keys. */
+    std::array<std::array<std::uint32_t, 64>, 2> seenWindow{};
+    std::array<std::size_t, 2> seenHead{};
 };
 
 } // namespace corm::coord

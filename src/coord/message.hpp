@@ -57,6 +57,11 @@ msgTypeName(MsgType t)
  * A decoded coordination message. `value` carries the tune delta for
  * tune messages and the registered IP address (as integer) for
  * registration messages; it is unused for triggers and acks.
+ *
+ * `seq` is the reliable-delivery sequence number (coord/reliable.hpp):
+ * 0 marks a fire-and-forget message; a non-zero seq asks the
+ * receiving channel endpoint to acknowledge (the ack echoes the seq)
+ * and to suppress duplicate deliveries of the same (src, seq).
  */
 struct CoordMessage
 {
@@ -64,13 +69,15 @@ struct CoordMessage
     IslandId src = 0;
     IslandId dst = 0;
     EntityId entity = invalidEntity;
+    std::uint8_t seq = 0;
     double value = 0.0;
 
     /** Pack header fields into the first wire word. */
     std::uint64_t
     encodeWord0() const
     {
-        return (static_cast<std::uint64_t>(type) << 48)
+        return (static_cast<std::uint64_t>(seq) << 56)
+            | (static_cast<std::uint64_t>(type) << 48)
             | (static_cast<std::uint64_t>(src) << 40)
             | (static_cast<std::uint64_t>(dst) << 32)
             | static_cast<std::uint64_t>(entity);
@@ -88,6 +95,7 @@ struct CoordMessage
     decode(std::uint64_t word0, std::uint64_t word1)
     {
         CoordMessage m;
+        m.seq = static_cast<std::uint8_t>((word0 >> 56) & 0xff);
         m.type = static_cast<MsgType>((word0 >> 48) & 0xff);
         m.src = static_cast<IslandId>((word0 >> 40) & 0xff);
         m.dst = static_cast<IslandId>((word0 >> 32) & 0xff);

@@ -1,21 +1,34 @@
 /**
  * @file
- * Reliable entity announcement over the coordination channel.
+ * Reliable delivery over the coordination channel.
  *
  * Tune and Trigger are fire-and-forget by design — a lost tune only
- * costs a little performance. Registration is different: if the IXP
- * never learns a guest's binding, every packet for that guest is
- * unclassifiable forever. The registration leg of the §2.3 protocol
- * therefore needs acknowledgement and retry, which is what the
- * unused-looking `MsgType::ack` exists for: the receiving island's
- * channel endpoint acks each registration, and the announcer retries
- * until acked or out of attempts.
+ * costs a little performance. Some coordination traffic is different:
+ * if the IXP never learns a guest's binding, every packet for that
+ * guest is unclassifiable forever. The registration leg of the §2.3
+ * protocol therefore needs acknowledgement and retry.
+ *
+ * ReliableSender is the general layer any policy can opt into: it
+ * stamps messages with a non-zero sequence number (the channel acks
+ * sequenced messages and suppresses duplicate deliveries of the same
+ * (src, seq) at the receiving endpoint), retries unacked messages
+ * with exponential backoff up to a cap, and gives up after a bounded
+ * number of attempts. One sender serves one source endpoint; acks are
+ * observed through the channel's per-endpoint ack observer, so a
+ * sender per island can coexist on the same channel.
+ *
+ * ReliableAnnouncer keeps the registration-specific behaviour on top:
+ * one logical slot per (island, entity), where a re-announcement
+ * supersedes the pending one (the newest binding wins).
  */
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "coord/channel.hpp"
@@ -26,12 +39,216 @@
 namespace corm::coord {
 
 /**
+ * Sequence-numbered ack/retry transport for one source endpoint.
+ */
+class ReliableSender
+{
+  public:
+    struct Params
+    {
+        /** First resend if unacked after this long. */
+        corm::sim::Tick retryTimeout = 5 * corm::sim::msec;
+        /** Multiplier applied to the timeout after every attempt. */
+        double backoffFactor = 2.0;
+        /** Upper bound of the backed-off timeout. */
+        corm::sim::Tick backoffCap = 40 * corm::sim::msec;
+        /** Total attempts before giving up (>= 1). */
+        int maxAttempts = 8;
+    };
+
+    /** Final fate of one reliable send. */
+    enum class Outcome { acked, abandoned, superseded };
+
+    /** Completion callback: outcome plus the message it concerns. */
+    using OutcomeFn =
+        std::function<void(Outcome, const CoordMessage &)>;
+
+    /**
+     * @param simulator Event engine.
+     * @param channel Channel the messages travel.
+     * @param self Source endpoint island; acks to it are observed.
+     * @param params Retry parameters.
+     */
+    ReliableSender(corm::sim::Simulator &simulator,
+                   CoordChannel &channel, IslandId self)
+        : ReliableSender(simulator, channel, self, Params{})
+    {}
+
+    ReliableSender(corm::sim::Simulator &simulator,
+                   CoordChannel &channel, IslandId self, Params params)
+        : sim(simulator), chan(channel), selfId(self), cfg(params)
+    {
+        chan.setAckObserver(
+            selfId, [this](const CoordMessage &m) { onAck(m); });
+    }
+
+    ~ReliableSender()
+    {
+        for (auto &[seq, st] : pending)
+            sim.cancel(st.retryEvent);
+        chan.setAckObserver(selfId, nullptr);
+    }
+
+    ReliableSender(const ReliableSender &) = delete;
+    ReliableSender &operator=(const ReliableSender &) = delete;
+
+    /**
+     * Send @p m reliably: stamps a fresh sequence number, retries
+     * until acked or out of attempts. @p m.src should equal the
+     * sender's endpoint (acks route back to msg.src).
+     *
+     * @return The sequence number assigned (usable with cancel()).
+     */
+    std::uint8_t
+    send(CoordMessage m, OutcomeFn done = {})
+    {
+        const std::uint8_t seq = allocSeq();
+        m.seq = seq;
+        Pending &st = pending[seq];
+        st.msg = m;
+        st.attempts = 0;
+        st.timeout = cfg.retryTimeout;
+        st.done = std::move(done);
+        transmit(seq);
+        return seq;
+    }
+
+    /**
+     * Withdraw a pending send (a newer message supersedes it). Safe
+     * to call with a seq that already completed.
+     */
+    void
+    cancel(std::uint8_t seq)
+    {
+        auto it = pending.find(seq);
+        if (it == pending.end())
+            return;
+        finish(it, Outcome::superseded);
+    }
+
+    /** Sends not yet acked, abandoned, or cancelled. */
+    std::size_t pendingCount() const { return pending.size(); }
+
+    /** Sends acknowledged. */
+    std::uint64_t acked() const { return ackedCount.value(); }
+
+    /** Retransmissions performed. */
+    std::uint64_t retries() const { return retryCount.value(); }
+
+    /** Sends abandoned after maxAttempts. */
+    std::uint64_t abandoned() const { return abandonedCount.value(); }
+
+    /** Acks that arrived after their send completed (e.g. gave up). */
+    std::uint64_t lateAcks() const { return lateAckCount.value(); }
+
+    /** Endpoint this sender transmits from. */
+    IslandId endpoint() const { return selfId; }
+
+  private:
+    struct Pending
+    {
+        CoordMessage msg;
+        int attempts = 0;
+        corm::sim::Tick timeout = 0;
+        corm::sim::EventId retryEvent = corm::sim::invalidEventId;
+        OutcomeFn done;
+    };
+
+    std::uint8_t
+    allocSeq()
+    {
+        // Skip 0 (fire-and-forget marker) and seqs still in flight;
+        // with 255 usable values and coordination-message rates the
+        // scan terminates immediately in practice.
+        for (int guard = 0; guard < 256; ++guard) {
+            if (++nextSeq == 0)
+                ++nextSeq;
+            if (!pending.count(nextSeq))
+                return nextSeq;
+        }
+        // All 255 seqs pending: reclaim the slot (oldest semantics
+        // are moot at this point — the channel is effectively dead).
+        auto it = pending.find(nextSeq);
+        abandonedCount.add();
+        finish(it, Outcome::abandoned);
+        return nextSeq;
+    }
+
+    void
+    finish(std::map<std::uint8_t, Pending>::iterator it, Outcome o)
+    {
+        sim.cancel(it->second.retryEvent);
+        OutcomeFn done = std::move(it->second.done);
+        const CoordMessage msg = it->second.msg;
+        pending.erase(it);
+        if (done)
+            done(o, msg);
+    }
+
+    void
+    transmit(std::uint8_t seq)
+    {
+        auto it = pending.find(seq);
+        if (it == pending.end())
+            return;
+        Pending &st = it->second;
+        if (st.attempts >= cfg.maxAttempts) {
+            abandonedCount.add();
+            finish(it, Outcome::abandoned);
+            return;
+        }
+        ++st.attempts;
+        if (st.attempts > 1) {
+            retryCount.add();
+            chan.noteRetransmit();
+        }
+        chan.send(st.msg);
+        st.retryEvent =
+            sim.schedule(st.timeout, [this, seq] { transmit(seq); });
+        const double next = static_cast<double>(st.timeout)
+            * (cfg.backoffFactor > 1.0 ? cfg.backoffFactor : 1.0);
+        st.timeout = std::min(
+            cfg.backoffCap,
+            static_cast<corm::sim::Tick>(next));
+    }
+
+    void
+    onAck(const CoordMessage &m)
+    {
+        if (m.seq == 0)
+            return; // legacy unsequenced ack; nothing to match
+        auto it = pending.find(m.seq);
+        if (it == pending.end()) {
+            lateAckCount.add();
+            return;
+        }
+        ackedCount.add();
+        finish(it, Outcome::acked);
+    }
+
+    corm::sim::Simulator &sim;
+    CoordChannel &chan;
+    IslandId selfId;
+    Params cfg;
+    std::map<std::uint8_t, Pending> pending;
+    std::uint8_t nextSeq = 0;
+    corm::sim::Counter ackedCount;
+    corm::sim::Counter retryCount;
+    corm::sim::Counter abandonedCount;
+    corm::sim::Counter lateAckCount;
+};
+
+/**
  * Retries registration announcements until acknowledged.
  *
  * Usage: install as (part of) the GlobalController's announce
- * transport. announce() sends the registration and arms a retry
- * timer; the CoordChannel acks registrations on delivery, and the
- * announcer observes acks through the channel's ack observer hook.
+ * transport. announce() sends the registration through a
+ * ReliableSender; a re-announcement of the same (island, entity)
+ * supersedes the pending one so the newest binding wins.
+ *
+ * Registration bring-up predates any traffic, so the default retry
+ * policy is a constant aggressive timeout (backoffFactor 1); set
+ * backoffFactor > 1 for exponential backoff.
  */
 class ReliableAnnouncer
 {
@@ -42,6 +259,10 @@ class ReliableAnnouncer
         corm::sim::Tick retryTimeout = 5 * corm::sim::msec;
         /** Total attempts before giving up (>= 1). */
         int maxAttempts = 8;
+        /** Timeout multiplier per attempt (1 = constant). */
+        double backoffFactor = 1.0;
+        /** Upper bound of the backed-off timeout. */
+        corm::sim::Tick backoffCap = 40 * corm::sim::msec;
     };
 
     /**
@@ -57,23 +278,16 @@ class ReliableAnnouncer
     ReliableAnnouncer(corm::sim::Simulator &simulator,
                       CoordChannel &channel, Params params)
         : sim(simulator), chan(channel), cfg(params)
-    {
-        chan.setAckObserver(
-            [this](const CoordMessage &m) { onAck(m); });
-    }
-
-    ~ReliableAnnouncer()
-    {
-        for (auto &[key, st] : pending)
-            sim.cancel(st.retryEvent);
-    }
+    {}
 
     ReliableAnnouncer(const ReliableAnnouncer &) = delete;
     ReliableAnnouncer &operator=(const ReliableAnnouncer &) = delete;
 
     /**
      * Announce @p binding to the island @p to over the channel,
-     * retrying until acknowledged.
+     * retrying until acknowledged. All announcements of one
+     * announcer must originate from the same source island
+     * (binding.ref.island); the first call pins it.
      */
     void
     announce(IslandId to, const EntityBinding &binding)
@@ -86,78 +300,71 @@ class ReliableAnnouncer
         m.value = std::bit_cast<double>(
             static_cast<std::uint64_t>(binding.ip.v));
 
-        auto &st = pending[key(to, binding.ref.entity)];
-        sim.cancel(st.retryEvent); // re-announcement supersedes
-        st.msg = m;
-        st.attempts = 0;
-        transmit(key(to, binding.ref.entity));
+        if (!sender) {
+            ReliableSender::Params sp;
+            sp.retryTimeout = cfg.retryTimeout;
+            sp.maxAttempts = cfg.maxAttempts;
+            sp.backoffFactor = cfg.backoffFactor;
+            sp.backoffCap = cfg.backoffCap;
+            sender = std::make_unique<ReliableSender>(
+                sim, chan, binding.ref.island, sp);
+        }
+
+        const std::uint64_t k = key(to, binding.ref.entity);
+        if (auto it = slots.find(k); it != slots.end())
+            sender->cancel(it->second); // re-announcement supersedes
+        slots[k] = sender->send(
+            m, [this](ReliableSender::Outcome o, const CoordMessage &msg) {
+                if (o == ReliableSender::Outcome::superseded)
+                    return; // announce() is installing the new seq
+                slots.erase(key(msg.dst, msg.entity));
+            });
     }
 
     /** Announcements not yet acknowledged. */
-    std::size_t pendingCount() const { return pending.size(); }
+    std::size_t
+    pendingCount() const
+    {
+        return sender ? sender->pendingCount() : 0;
+    }
 
     /** Announcements acknowledged. */
-    std::uint64_t acked() const { return ackedCount.value(); }
+    std::uint64_t acked() const { return sender ? sender->acked() : 0; }
 
     /** Retransmissions performed. */
-    std::uint64_t retries() const { return retryCount.value(); }
+    std::uint64_t
+    retries() const
+    {
+        return sender ? sender->retries() : 0;
+    }
 
     /** Announcements abandoned after maxAttempts. */
-    std::uint64_t abandoned() const { return abandonedCount.value(); }
+    std::uint64_t
+    abandoned() const
+    {
+        return sender ? sender->abandoned() : 0;
+    }
+
+    /** Acks that arrived after their announcement gave up. */
+    std::uint64_t
+    lateAcks() const
+    {
+        return sender ? sender->lateAcks() : 0;
+    }
 
   private:
-    struct Pending
-    {
-        CoordMessage msg;
-        int attempts = 0;
-        corm::sim::EventId retryEvent = corm::sim::invalidEventId;
-    };
-
     static std::uint64_t
     key(IslandId to, EntityId entity)
     {
         return (static_cast<std::uint64_t>(to) << 32) | entity;
     }
 
-    void
-    transmit(std::uint64_t k)
-    {
-        auto it = pending.find(k);
-        if (it == pending.end())
-            return;
-        Pending &st = it->second;
-        if (st.attempts >= cfg.maxAttempts) {
-            abandonedCount.add();
-            pending.erase(it);
-            return;
-        }
-        ++st.attempts;
-        if (st.attempts > 1)
-            retryCount.add();
-        chan.send(st.msg);
-        st.retryEvent =
-            sim.schedule(cfg.retryTimeout, [this, k] { transmit(k); });
-    }
-
-    void
-    onAck(const CoordMessage &m)
-    {
-        // The ack's src is the island that learned the binding.
-        auto it = pending.find(key(m.src, m.entity));
-        if (it == pending.end())
-            return;
-        sim.cancel(it->second.retryEvent);
-        pending.erase(it);
-        ackedCount.add();
-    }
-
     corm::sim::Simulator &sim;
     CoordChannel &chan;
     Params cfg;
-    std::map<std::uint64_t, Pending> pending;
-    corm::sim::Counter ackedCount;
-    corm::sim::Counter retryCount;
-    corm::sim::Counter abandonedCount;
+    std::unique_ptr<ReliableSender> sender;
+    /** Logical (island, entity) slot -> in-flight sequence number. */
+    std::map<std::uint64_t, std::uint8_t> slots;
 };
 
 } // namespace corm::coord

@@ -17,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "interconnect/faults.hpp"
 #include "interconnect/pcie.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
@@ -178,12 +179,24 @@ class DmaEngine
  * fixed-size, FIFO, and experience the mailbox latency — deliberately
  * modelled separately from the bulk-data link so the ablation benches
  * can study coordination-channel latency in isolation.
+ *
+ * Fault weather (loss, duplication, reordering, latency spikes,
+ * outages) is injected here, below the message semantics, via an
+ * optional FaultInjector — every word pair crossing the direction
+ * experiences the same conditions regardless of which layer above
+ * produced it.
  */
 class Mailbox
 {
   public:
-    using DeliverFn = std::function<void(std::uint64_t word0,
-                                         std::uint64_t word1)>;
+    /**
+     * Receive handler. @p tag is the sender-side tag passed to
+     * send(); duplicated deliveries repeat the same tag.
+     */
+    using DeliverFn = std::function<void(
+        std::uint64_t word0, std::uint64_t word1, std::uint64_t tag)>;
+    /** Observer of messages consumed by the fault injector. */
+    using DropFn = std::function<void(std::uint64_t tag)>;
 
     /**
      * @param simulator Event engine.
@@ -199,23 +212,47 @@ class Mailbox
     /** Install the receiving side's handler. */
     void setReceiver(DeliverFn fn) { receiver = std::move(fn); }
 
+    /** Observe sends the fault injector drops (for accounting). */
+    void setDropObserver(DropFn fn) { onDrop = std::move(fn); }
+
+    /**
+     * Subject this direction to @p injector's weather (nullptr
+     * restores the perfect channel). Not owned; must outlive the
+     * mailbox or be reset first.
+     */
+    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+
     /**
      * Send a two-word message; delivered to the receiver after the
-     * mailbox latency. Messages never reorder.
+     * mailbox latency. Messages never reorder unless a fault
+     * injector explicitly holds one back. @p tag is an opaque
+     * sender-side cookie handed back on delivery (the channel uses
+     * it for per-message latency accounting).
      */
     void
-    send(std::uint64_t word0, std::uint64_t word1)
+    send(std::uint64_t word0, std::uint64_t word1,
+         std::uint64_t tag = 0)
     {
         sent.add();
-        // FIFO: never deliver earlier than the previously sent message.
-        corm::sim::Tick when = sim.now() + latency;
-        when = std::max(when, lastDelivery);
-        lastDelivery = when;
-        sim.scheduleAt(when, [this, word0, word1] {
-            delivered.add();
-            if (receiver)
-                receiver(word0, word1);
-        });
+        FaultAction act;
+        if (faults)
+            act = faults->apply(sim.now());
+        if (act.drop) {
+            dropped.add();
+            if (onDrop)
+                onDrop(tag);
+            return;
+        }
+        corm::sim::Tick when = sim.now() + latency + act.extraDelay;
+        if (!act.reorder) {
+            // FIFO: never deliver before the previously sent message.
+            when = std::max(when, lastDelivery);
+            lastDelivery = when;
+        }
+        deliverAt(when, word0, word1, tag);
+        if (act.duplicate)
+            deliverAt(when + (faults ? faults->params().dupOffset : 0),
+                      word0, word1, tag);
     }
 
     /** Adjust latency (ablation sweeps). */
@@ -227,20 +264,37 @@ class Mailbox
     /** Messages sent. */
     std::uint64_t totalSent() const { return sent.value(); }
 
-    /** Messages delivered. */
+    /** Messages delivered (duplicates count once per copy). */
     std::uint64_t totalDelivered() const { return delivered.value(); }
+
+    /** Messages consumed by the fault injector. */
+    std::uint64_t totalDropped() const { return dropped.value(); }
 
     /** Mailbox name. */
     const std::string &name() const { return name_; }
 
   private:
+    void
+    deliverAt(corm::sim::Tick when, std::uint64_t word0,
+              std::uint64_t word1, std::uint64_t tag)
+    {
+        sim.scheduleAt(when, [this, word0, word1, tag] {
+            delivered.add();
+            if (receiver)
+                receiver(word0, word1, tag);
+        });
+    }
+
     corm::sim::Simulator &sim;
     corm::sim::Tick latency;
     std::string name_;
     DeliverFn receiver;
+    DropFn onDrop;
+    FaultInjector *faults = nullptr;
     corm::sim::Tick lastDelivery = 0;
     corm::sim::Counter sent;
     corm::sim::Counter delivered;
+    corm::sim::Counter dropped;
 };
 
 } // namespace corm::interconnect

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -65,10 +66,17 @@ class Link
     transfer(std::uint64_t bytes, DeliverFn on_delivered)
     {
         const std::uint64_t wire_bytes = bytes + cfg.overheadBytes;
-        const auto ser = static_cast<corm::sim::Tick>(
-            static_cast<double>(wire_bytes)
+        // Round the serialisation time *up* to whole ticks: truncation
+        // would let sub-tick transfers (every coordination-sized
+        // message on a fast link) occupy the wire for zero time,
+        // i.e. infinite bandwidth. The epsilon keeps products that
+        // are integral up to double rounding (e.g. 0.2 * 1e9) from
+        // ceiling into the next tick.
+        const double ticks = static_cast<double>(wire_bytes)
             / cfg.bandwidthBytesPerSec
-            * static_cast<double>(corm::sim::sec));
+            * static_cast<double>(corm::sim::sec);
+        const auto ser = static_cast<corm::sim::Tick>(
+            std::ceil(ticks * (1.0 - 1e-12)));
 
         // Serialisation starts when the wire frees up.
         const corm::sim::Tick start =

@@ -78,6 +78,10 @@ applyTrialSeed(RubisScenarioConfig &cfg, std::uint64_t seed)
     corm::sim::SplitMix64 sm(seed);
     cfg.client.seed = sm.next();
     cfg.server.seed = sm.next();
+    // Fault weather is part of the trial: each trial replays its own
+    // derived storm, so merged fault-sweep reports are identical for
+    // any --jobs value. A no-fault plan ignores the seed.
+    cfg.testbed.coordFaults.seed = sm.next();
 }
 
 namespace {
@@ -175,6 +179,23 @@ mergeRubisResults(const std::vector<RubisResult> &trials)
     m.mean.webWeight = avg([](auto &r) { return r.webWeight; });
     m.mean.appWeight = avg([](auto &r) { return r.appWeight; });
     m.mean.dbWeight = avg([](auto &r) { return r.dbWeight; });
+    auto avgu = [&](auto pick) {
+        return static_cast<std::uint64_t>(
+            avg([&pick](auto &r) {
+                return static_cast<double>(pick(r));
+            }) +
+            0.5);
+    };
+    m.mean.chanDropped = avgu([](auto &r) { return r.chanDropped; });
+    m.mean.chanDuplicates =
+        avgu([](auto &r) { return r.chanDuplicates; });
+    m.mean.chanReorders = avgu([](auto &r) { return r.chanReorders; });
+    m.mean.chanRetries = avgu([](auto &r) { return r.chanRetries; });
+    m.mean.chanOutageMs = avg([](auto &r) { return r.chanOutageMs; });
+    m.mean.regsAcked = avgu([](auto &r) { return r.regsAcked; });
+    m.mean.regsAbandoned =
+        avgu([](auto &r) { return r.regsAbandoned; });
+    m.mean.regsPending = avgu([](auto &r) { return r.regsPending; });
 
     for (const auto &t : trials) {
         m.throughputRps.record(t.throughputRps);

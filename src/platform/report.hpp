@@ -102,6 +102,21 @@ statusReport(Testbed &tb)
         static_cast<unsigned long long>(cs.registrations.value()),
         cs.deliveryLatencyUs.mean());
     emit();
+    const auto health = tb.channel().health();
+    std::snprintf(
+        line, sizeof(line),
+        "[coord health] retries %llu, dup-suppressed %llu, reorders "
+        "%llu; faults: lost %llu, dup %llu, spiked %llu, outage drops "
+        "%llu, outage %.1f ms\n",
+        static_cast<unsigned long long>(cs.retries.value()),
+        static_cast<unsigned long long>(cs.duplicates.value()),
+        static_cast<unsigned long long>(cs.reorders.value()),
+        static_cast<unsigned long long>(health.lost),
+        static_cast<unsigned long long>(health.duplicated),
+        static_cast<unsigned long long>(health.spiked),
+        static_cast<unsigned long long>(health.outageDrops),
+        health.outageTimeUs / 1000.0);
+    emit();
 
     // Messaging driver.
     std::snprintf(line, sizeof(line),

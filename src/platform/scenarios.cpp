@@ -154,6 +154,17 @@ runRubisScenario(const RubisScenarioConfig &cfg)
         total_util > 0.0 ? r.throughputRps / total_util : 0.0;
     r.tunesSent = policy.tunesSent();
     r.tunesApplied = tb.x86().totalTunes();
+    {
+        const auto &cs = tb.channel().stats();
+        r.chanDropped = cs.dropped.value();
+        r.chanDuplicates = cs.duplicates.value();
+        r.chanReorders = cs.reorders.value();
+        r.chanRetries = cs.retries.value();
+        r.chanOutageMs = tb.channel().health().outageTimeUs / 1000.0;
+        r.regsAcked = tb.announcer().acked();
+        r.regsAbandoned = tb.announcer().abandoned();
+        r.regsPending = tb.announcer().pendingCount();
+    }
     r.meanResponseMs = client.allResponsesMs().mean();
     r.minResponseMs = client.allResponsesMs().min();
     r.dbLockWaitMeanMs = server.dbLockWaitMs().mean();

@@ -90,6 +90,21 @@ struct RubisResult
     std::uint64_t tunesSent = 0;
     std::uint64_t tunesApplied = 0;
 
+    // Coordination-channel health under fault injection (zeros on a
+    // perfect channel). Drops/duplicates/reorders are the channel's
+    // accounting view; outage time is scheduled-outage overlap with
+    // the run.
+    std::uint64_t chanDropped = 0;
+    std::uint64_t chanDuplicates = 0;
+    std::uint64_t chanReorders = 0;
+    std::uint64_t chanRetries = 0;
+    double chanOutageMs = 0.0;
+
+    // Registration convergence through the reliable announcer.
+    std::uint64_t regsAcked = 0;
+    std::uint64_t regsAbandoned = 0;
+    std::uint64_t regsPending = 0;
+
     double meanResponseMs = 0.0;
     double minResponseMs = 0.0;
 

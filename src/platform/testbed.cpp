@@ -25,10 +25,12 @@ Testbed::Testbed(TestbedParams params)
            cfg.ixp),
       x86_(sim_, cfg.x86IslandId, "x86-xen", sched_),
       channel_(sim_, ixp_, x86_, cfg.coordLatency),
-      announcer_(sim_, channel_),
+      announcer_(sim_, channel_, cfg.announcer),
       driver_(sim_, dom0_, ring_, bridge_, pcie_.hostToDevice(), ixp_,
               cfg.driver)
 {
+    channel_.installFaultPlan(cfg.coordFaults);
+
     controller_.registerIsland(x86_);
     controller_.registerIsland(ixp_);
 

@@ -58,6 +58,17 @@ struct TestbedParams
      */
     corm::sim::Tick coordLatency = 120 * corm::sim::usec;
 
+    /**
+     * Fault weather of the coordination channel (loss, duplication,
+     * reordering, latency spikes, outages). Defaults to a perfect
+     * channel; the fault-sweep bench and robustness tests fill it
+     * in. Seeded, so a run is reproducible end to end.
+     */
+    corm::interconnect::FaultPlanParams coordFaults;
+
+    /** Retry policy of the registration announcer. */
+    corm::coord::ReliableAnnouncer::Params announcer;
+
     corm::ixp::IxpParams ixp;
     DriverParams driver;
     corm::xen::VifParams vif;

@@ -171,7 +171,8 @@ TEST(Mailbox, DeliversAfterLatency)
     Mailbox mbox(sim, 120 * usec, "m");
     Tick delivered = 0;
     std::uint64_t got0 = 0, got1 = 0;
-    mbox.setReceiver([&](std::uint64_t w0, std::uint64_t w1) {
+    mbox.setReceiver([&](std::uint64_t w0, std::uint64_t w1,
+                         std::uint64_t) {
         delivered = sim.now();
         got0 = w0;
         got1 = w1;
@@ -191,7 +192,9 @@ TEST(Mailbox, NeverReordersAcrossLatencyChange)
     Mailbox mbox(sim, 100 * usec, "m");
     std::vector<std::uint64_t> got;
     mbox.setReceiver(
-        [&](std::uint64_t w0, std::uint64_t) { got.push_back(w0); });
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+            got.push_back(w0);
+        });
     mbox.send(1, 0);
     // Lowering the latency mid-stream must not overtake message 1.
     mbox.setLatency(1 * usec);
@@ -220,3 +223,185 @@ TEST_P(LinkBandwidthSweep, SerializationMatchesBandwidth)
 INSTANTIATE_TEST_SUITE_P(Sizes, LinkBandwidthSweep,
                          ::testing::Values(64, 1500, 64 * 1024,
                                            1024 * 1024));
+
+//
+// Link serialisation rounding
+//
+
+TEST(Link, SubTickTransferStillOccupiesWire)
+{
+    Simulator sim;
+    // 1e12 B/s: a 25-byte message serialises in 0.025 ticks — which
+    // must round UP to one tick, not truncate to an infinitely fast
+    // wire.
+    Link link(sim, simpleParams(0, 1e12, 24), "t");
+    std::vector<Tick> times;
+    link.transfer(1, [&] { times.push_back(sim.now()); });
+    link.transfer(1, [&] { times.push_back(sim.now()); });
+    sim.runToCompletion();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 1u); // one whole tick of serialisation
+    EXPECT_EQ(times[1], 2u); // second transfer waited for the wire
+    EXPECT_EQ(link.busyTime(), 2u);
+}
+
+TEST(Link, IntegralSerializationTimeIsNotInflated)
+{
+    Simulator sim;
+    // 200 bytes at 1000 B/s is exactly 200 ms; the round-up must not
+    // push products that are integral up to double rounding into the
+    // next tick.
+    Link link(sim, simpleParams(0, 1000.0, 100), "t");
+    Tick delivered = 0;
+    link.transfer(100, [&] { delivered = sim.now(); });
+    sim.runToCompletion();
+    EXPECT_EQ(delivered, 200 * msec);
+    EXPECT_EQ(link.busyTime(), 200 * msec);
+}
+
+//
+// Fault injection
+//
+
+namespace {
+
+/** Compare two injectors draw-by-draw over @p n decisions. */
+bool
+sameDecisions(FaultInjector &x, FaultInjector &y, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        const FaultAction a = x.apply(0);
+        const FaultAction b = y.apply(0);
+        if (a.drop != b.drop || a.duplicate != b.duplicate
+            || a.reorder != b.reorder || a.extraDelay != b.extraDelay)
+            return false;
+    }
+    return true;
+}
+
+FaultPlanParams
+stormyParams()
+{
+    FaultPlanParams p;
+    p.lossProb = 0.2;
+    p.dupProb = 0.1;
+    p.reorderProb = 0.15;
+    p.spikeProb = 0.05;
+    return p;
+}
+
+} // namespace
+
+TEST(FaultInjector, SameSeedReplaysSameWeather)
+{
+    const FaultPlanParams p = stormyParams();
+    FaultInjector a(p, 42), b(p, 42), c(p, 43);
+    EXPECT_TRUE(sameDecisions(a, b, 1000));
+    FaultInjector a2(p, 42);
+    EXPECT_FALSE(sameDecisions(a2, c, 1000));
+}
+
+TEST(FaultInjector, OutageWindowDropsEverything)
+{
+    FaultPlanParams p;
+    p.outages.push_back({1 * msec, 2 * msec});
+    FaultInjector inj(p, 7);
+    EXPECT_FALSE(inj.apply(0).drop);
+    EXPECT_TRUE(inj.apply(1 * msec).drop);
+    EXPECT_TRUE(inj.apply(2 * msec).drop);
+    EXPECT_FALSE(inj.apply(3 * msec).drop); // end is exclusive
+    EXPECT_EQ(inj.counters().outageDrops.value(), 2u);
+}
+
+TEST(Mailbox, FaultLossDropsAndNotifiesObserver)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 10 * usec, "m");
+    FaultPlanParams p;
+    p.lossProb = 1.0;
+    FaultInjector inj(p, 1);
+    mbox.setFaultInjector(&inj);
+    int deliveries = 0;
+    std::uint64_t droppedTag = 0;
+    mbox.setReceiver(
+        [&](std::uint64_t, std::uint64_t, std::uint64_t) {
+            ++deliveries;
+        });
+    mbox.setDropObserver([&](std::uint64_t tag) { droppedTag = tag; });
+    mbox.send(1, 2, 77);
+    sim.runToCompletion();
+    EXPECT_EQ(deliveries, 0);
+    EXPECT_EQ(droppedTag, 77u);
+    EXPECT_EQ(mbox.totalSent(), 1u);
+    EXPECT_EQ(mbox.totalDropped(), 1u);
+    EXPECT_EQ(mbox.totalDelivered(), 0u);
+}
+
+TEST(Mailbox, FaultDuplicateDeliversSameTagTwice)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 10 * usec, "m");
+    FaultPlanParams p;
+    p.dupProb = 1.0;
+    p.dupOffset = 5 * usec;
+    FaultInjector inj(p, 1);
+    mbox.setFaultInjector(&inj);
+    std::vector<std::pair<std::uint64_t, Tick>> got;
+    mbox.setReceiver(
+        [&](std::uint64_t, std::uint64_t, std::uint64_t tag) {
+            got.emplace_back(tag, sim.now());
+        });
+    mbox.send(1, 2, 9);
+    sim.runToCompletion();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].first, 9u);
+    EXPECT_EQ(got[1].first, 9u);
+    EXPECT_EQ(got[1].second - got[0].second, 5 * usec);
+    EXPECT_EQ(mbox.totalDelivered(), 2u);
+}
+
+TEST(Mailbox, ReorderedMessageIsOvertaken)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 10 * usec, "m");
+    FaultPlanParams p;
+    p.reorderProb = 1.0;
+    p.reorderWindow = 1 * msec;
+    FaultInjector inj(p, 123);
+    mbox.setFaultInjector(&inj);
+    std::vector<std::uint64_t> order;
+    mbox.setReceiver(
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+            order.push_back(w0);
+        });
+    // First message is held back by up to the reorder window; the
+    // second (sent without faults) must be allowed to overtake it.
+    mbox.send(1, 0, 1);
+    mbox.setFaultInjector(nullptr);
+    mbox.send(2, 0, 2);
+    sim.runToCompletion();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Mailbox, OutageWindowSilencesDirection)
+{
+    Simulator sim;
+    Mailbox mbox(sim, 10 * usec, "m");
+    FaultPlanParams p;
+    p.outages.push_back({0, 50 * msec});
+    FaultInjector inj(p, 1);
+    mbox.setFaultInjector(&inj);
+    std::vector<std::uint64_t> got;
+    mbox.setReceiver(
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+            got.push_back(w0);
+        });
+    mbox.send(1, 0, 1); // inside the outage: lost
+    sim.scheduleAt(60 * msec, [&] { mbox.send(2, 0, 2); });
+    sim.runToCompletion();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 2u);
+    EXPECT_EQ(inj.counters().outageDrops.value(), 1u);
+}
