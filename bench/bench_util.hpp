@@ -22,14 +22,25 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "platform/harness.hpp"
 #include "platform/scenarios.hpp"
+#include "sim/log.hpp"
 
 namespace corm::bench {
+
+// The bench JSON report shares one writer with the metrics and trace
+// emitters (obs/json.hpp) so every machine-readable artefact stays
+// format-consistent.
+using corm::obs::JsonWriter;
+using corm::obs::jsonSummary;
 
 /** Print a banner naming the artefact being regenerated. */
 inline void
@@ -77,6 +88,27 @@ inline const PaperTable1Row paperTable1[] = {
 // Command line
 //
 
+/**
+ * Observability capture for a bench run. The trial runners wire
+ * trial 0 — which runs the same seed and configuration regardless of
+ * --jobs, so the captured artefacts are byte-identical for any
+ * parallelism — to fill this in; BenchReport::write() emits it.
+ */
+struct ObsCapture
+{
+    /** --trace destination; empty disables trace capture. */
+    std::string tracePath;
+    /** --metrics: dump + embed the registry snapshot. */
+    bool metrics = false;
+
+    /** Chrome trace-event JSON from trial 0 (filled by the run). */
+    std::string traceJson;
+    /** MetricRegistry JSON snapshot from trial 0. */
+    std::string metricsJson;
+    /** MetricRegistry text dump from trial 0. */
+    std::string metricsText;
+};
+
 /** Options every bench binary accepts. */
 struct BenchOptions
 {
@@ -91,6 +123,11 @@ struct BenchOptions
     bool seedSet = false;
     /** Bench name (set by parseArgs from the binary's artefact id). */
     std::string name;
+    /**
+     * Trace/metrics capture, shared between the trial runners (which
+     * fill it) and the report (which writes it). Always non-null.
+     */
+    std::shared_ptr<ObsCapture> obs = std::make_shared<ObsCapture>();
 };
 
 inline void
@@ -109,6 +146,12 @@ printUsage(const char *bench_name)
         "  --json PATH       write the JSON report to PATH "
         "(default BENCH_%s.json)\n"
         "  --no-json         skip the JSON report\n"
+        "  --trace PATH      write a Perfetto-loadable trace of "
+        "trial 0 to PATH\n"
+        "  --metrics         print trial 0's metric registry and "
+        "embed it in the report\n"
+        "  --log-level SPEC  logging spec "
+        "\"level[,component=level,...]\" (like CORM_LOG)\n"
         "  --help            this text\n",
         bench_name, bench_name);
 }
@@ -157,6 +200,18 @@ parseArgs(int argc, char **argv, const char *bench_name)
             o.jsonPath = numeric(a, i);
         } else if (!std::strcmp(a, "--no-json")) {
             o.writeJson = false;
+        } else if (!std::strcmp(a, "--trace")) {
+            o.obs->tracePath = numeric(a, i);
+        } else if (!std::strcmp(a, "--metrics")) {
+            o.obs->metrics = true;
+        } else if (!std::strcmp(a, "--log-level")) {
+            const char *spec = numeric(a, i);
+            if (!corm::sim::LogConfig::instance().configure(spec)) {
+                std::fprintf(stderr,
+                             "%s: bad --log-level spec '%s'\n",
+                             argv[0], spec);
+                std::exit(2);
+            }
         } else if (!std::strcmp(a, "--help")) {
             printUsage(bench_name);
             std::exit(0);
@@ -186,6 +241,40 @@ applyWindow(const BenchOptions &o, corm::sim::Tick &warmup,
 //
 
 /**
+ * Wire a scenario config for observability capture if @p trial_idx
+ * is 0 and the user asked for --trace or --metrics. The recorder
+ * @p rec must outlive the scenario run (the inspect hook serializes
+ * it after measurement, before teardown). Chains any inspect hook
+ * the bench itself installed.
+ */
+template <typename Config>
+inline void
+attachObsCapture(const BenchOptions &o, int trial_idx, Config &cfg,
+                 corm::obs::TraceRecorder &rec)
+{
+    std::shared_ptr<ObsCapture> obs = o.obs;
+    if (!obs || trial_idx != 0
+        || (obs->tracePath.empty() && !obs->metrics))
+        return;
+    if (!obs->tracePath.empty())
+        cfg.testbed.trace = &rec;
+    auto prev = std::move(cfg.inspect);
+    corm::obs::TraceRecorder *recp = &rec;
+    cfg.inspect = [obs, prev, recp](corm::platform::Testbed &tb) {
+        if (prev)
+            prev(tb);
+        if (obs->metrics) {
+            std::ostringstream text;
+            tb.metrics().writeText(text);
+            obs->metricsText = text.str();
+            obs->metricsJson = tb.metrics().jsonSnapshot();
+        }
+        if (!obs->tracePath.empty())
+            obs->traceJson = recp->json();
+    };
+}
+
+/**
  * Run --trials independent RUBiS trials of @p cfg_template across
  * --jobs threads and merge. Per-trial seeds derive from the master
  * seed; everything else in the template is shared. A default
@@ -199,11 +288,13 @@ runRubisTrials(const corm::platform::RubisScenarioConfig &cfg_template,
 {
     const bool reseed = o.trial.trials > 1 || o.seedSet;
     auto results = corm::platform::runTrials(
-        o.trial, [&](int, std::uint64_t seed) {
+        o.trial, [&](int idx, std::uint64_t seed) {
             corm::platform::RubisScenarioConfig cfg = cfg_template;
             applyWindow(o, cfg.warmup, cfg.measure);
             if (reseed)
                 corm::platform::applyTrialSeed(cfg, seed);
+            corm::obs::TraceRecorder rec;
+            attachObsCapture(o, idx, cfg, rec);
             return corm::platform::runRubisScenario(cfg);
         });
     return corm::platform::mergeRubisResults(results);
@@ -230,9 +321,11 @@ runMplayerTrials(const corm::platform::MplayerQosConfig &cfg_template,
                  const BenchOptions &o)
 {
     auto results = corm::platform::runTrials(
-        o.trial, [&](int, std::uint64_t) {
+        o.trial, [&](int idx, std::uint64_t) {
             corm::platform::MplayerQosConfig cfg = cfg_template;
             applyWindow(o, cfg.warmup, cfg.measure);
+            corm::obs::TraceRecorder rec;
+            attachObsCapture(o, idx, cfg, rec);
             return corm::platform::runMplayerQos(cfg);
         });
     return corm::platform::mergeMplayerResults(results);
@@ -245,138 +338,19 @@ runTriggerTrials(
     const BenchOptions &o)
 {
     auto results = corm::platform::runTrials(
-        o.trial, [&](int, std::uint64_t) {
+        o.trial, [&](int idx, std::uint64_t) {
             corm::platform::TriggerScenarioConfig cfg = cfg_template;
             applyWindow(o, cfg.warmup, cfg.measure);
+            corm::obs::TraceRecorder rec;
+            attachObsCapture(o, idx, cfg, rec);
             return corm::platform::runTriggerScenario(cfg);
         });
     return corm::platform::mergeTriggerResults(results);
 }
 
 //
-// JSON report
+// JSON report (writer and jsonSummary live in obs/json.hpp)
 //
-
-/** Minimal append-only JSON writer (objects/arrays, auto commas). */
-class JsonWriter
-{
-  public:
-    void
-    beginObject(const char *key = nullptr)
-    {
-        open(key, '{');
-    }
-    void
-    endObject()
-    {
-        close('}');
-    }
-    void
-    beginArray(const char *key = nullptr)
-    {
-        open(key, '[');
-    }
-    void
-    endArray()
-    {
-        close(']');
-    }
-
-    void
-    field(const char *key, double v)
-    {
-        prefix(key);
-        char buf[64];
-        // %.17g round-trips doubles; trim to something readable but
-        // byte-stable across runs.
-        std::snprintf(buf, sizeof(buf), "%.10g", v);
-        out << buf;
-    }
-    void
-    field(const char *key, std::uint64_t v)
-    {
-        prefix(key);
-        out << v;
-    }
-    void
-    field(const char *key, int v)
-    {
-        prefix(key);
-        out << v;
-    }
-    void
-    field(const char *key, bool v)
-    {
-        prefix(key);
-        out << (v ? "true" : "false");
-    }
-    void
-    field(const char *key, const std::string &v)
-    {
-        prefix(key);
-        out << '"';
-        for (char c : v) {
-            if (c == '"' || c == '\\')
-                out << '\\' << c;
-            else if (c == '\n')
-                out << "\\n";
-            else
-                out << c;
-        }
-        out << '"';
-    }
-
-    std::string str() const { return out.str(); }
-
-  private:
-    void
-    prefix(const char *key)
-    {
-        if (needComma)
-            out << ",";
-        if (!depthStack.empty())
-            out << "\n" << std::string(depthStack.size() * 2, ' ');
-        if (key)
-            out << '"' << key << "\": ";
-        needComma = true;
-    }
-
-    void
-    open(const char *key, char bracket)
-    {
-        prefix(key);
-        out << bracket;
-        depthStack.push_back(bracket);
-        needComma = false;
-    }
-
-    void
-    close(char bracket)
-    {
-        depthStack.pop_back();
-        out << "\n" << std::string(depthStack.size() * 2, ' ')
-            << bracket;
-        needComma = true;
-    }
-
-    std::ostringstream out;
-    std::vector<char> depthStack;
-    bool needComma = false;
-};
-
-/** Serialize a cross-trial Summary as {mean,stddev,min,max,n}. */
-inline void
-jsonSummary(JsonWriter &j, const char *key,
-            const corm::sim::Summary &s)
-{
-    j.beginObject(key);
-    j.field("mean", s.mean());
-    j.field("stddev", s.stddev());
-    j.field("min", s.min());
-    j.field("max", s.max());
-    j.field("n", s.count());
-    j.endObject();
-}
 
 /**
  * Per-bench JSON report: collects merged results under labels, then
@@ -507,6 +481,8 @@ class BenchReport
             return;
         written = true;
         json.endObject(); // results
+        if (opts.obs && !opts.obs->metricsJson.empty())
+            json.fieldRaw("metrics", opts.obs->metricsJson);
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - started)
@@ -517,6 +493,19 @@ class BenchReport
                    wall > 0.0 ? static_cast<double>(totalEvents) / wall
                               : 0.0);
         json.endObject();
+        // Trace and metrics dumps are independent of --no-json.
+        if (opts.obs) {
+            const ObsCapture &obs = *opts.obs;
+            if (!obs.tracePath.empty() && !obs.traceJson.empty()) {
+                std::ofstream tf(obs.tracePath);
+                tf << obs.traceJson << "\n";
+                std::printf("\n[trace: trial 0 -> %s]\n",
+                            obs.tracePath.c_str());
+            }
+            if (obs.metrics && !obs.metricsText.empty())
+                std::printf("\n--- metrics (trial 0) ---\n%s",
+                            obs.metricsText.c_str());
+        }
         if (!opts.writeJson)
             return;
         const std::string path = opts.jsonPath.empty()

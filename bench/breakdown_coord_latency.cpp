@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tune-to-effect latency decomposition from the causal trace spans.
+ *
+ * Runs the coordinated RUBiS scenario with tracing on and groups the
+ * recorded events by causal span (one span per policy decision) to
+ * attribute every microsecond between "classifier decided to Tune"
+ * and "remote scheduler changed the weight" to a protocol leg:
+ *
+ *     decide -> send        policy/sender-side queueing
+ *     send -> deliver       mailbox transit (the paper's §2.3 PCI
+ *                           coordination-channel latency)
+ *     deliver -> apply      receiver-side translation into scheduler
+ *                           units
+ *     apply -> ack          ack return leg (reliable mode only)
+ *
+ * Three modes: the paper's fire-and-forget Tunes, Tunes over the
+ * ack+retry reliable sender on a clean channel, and reliable Tunes
+ * under seeded loss+duplication weather — showing what delivery
+ * guarantees cost in decision-to-effect latency.
+ *
+ * The decomposition runs one in-process trial per mode with a fixed
+ * seed, so the table is deterministic and independent of --jobs.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using corm::obs::TraceEvent;
+using corm::obs::TraceId;
+using corm::sim::Summary;
+
+/** Per-span timeline reassembled from the recorder's event list. */
+struct Span
+{
+    bool haveDecide = false;
+    corm::sim::Tick decideTs = 0;
+    /** Delivered tune copies as (send, deliver) pairs. */
+    std::vector<std::pair<corm::sim::Tick, corm::sim::Tick>> hops;
+    bool haveApply = false;
+    corm::sim::Tick applyTs = 0;
+    bool haveAck = false;
+    corm::sim::Tick ackEnd = 0;
+    int retries = 0;
+    int duplicates = 0;
+};
+
+/** Aggregated decomposition of one mode's spans. */
+struct Breakdown
+{
+    Summary decideToSend;   ///< us
+    Summary sendToDeliver;  ///< us
+    Summary deliverToApply; ///< us
+    Summary applyToAck;     ///< us
+    Summary total;          ///< us, decide -> apply (or ack return)
+    std::uint64_t spans = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t abandoned = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t events = 0;
+};
+
+double
+usBetween(corm::sim::Tick a, corm::sim::Tick b)
+{
+    return b >= a ? static_cast<double>(b - a) / 1e3
+                  : -static_cast<double>(a - b) / 1e3;
+}
+
+/**
+ * Rebuild spans from the event list. Flow events (s/t/f) are always
+ * emitted immediately after their companion slice/instant on the
+ * same track, so the companion is the preceding event — an invariant
+ * of our own instrumentation, checked here via the companion names.
+ */
+std::map<TraceId, Span>
+collectSpans(const std::vector<TraceEvent> &events)
+{
+    std::map<TraceId, Span> spans;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        if (e.phase != 's' && e.phase != 't' && e.phase != 'f')
+            continue;
+        const TraceEvent &companion = events[i - 1];
+        Span &sp = spans[e.flow];
+        const std::string &n = companion.name;
+        if (n.rfind("decide:", 0) == 0) {
+            sp.haveDecide = true;
+            sp.decideTs = companion.ts;
+        } else if (n == "hop:tune") {
+            sp.hops.emplace_back(companion.ts,
+                                 companion.ts + companion.dur);
+        } else if (n == "tune:apply") {
+            if (!sp.haveApply) {
+                sp.haveApply = true;
+                sp.applyTs = companion.ts;
+            }
+        } else if (n == "hop:ack") {
+            sp.haveAck = true;
+            sp.ackEnd = companion.ts + companion.dur;
+        } else if (n.rfind("retry:", 0) == 0) {
+            ++sp.retries;
+        } else if (n.rfind("hop:dup:", 0) == 0) {
+            ++sp.duplicates;
+        }
+    }
+    return spans;
+}
+
+Breakdown
+decompose(const std::vector<TraceEvent> &events)
+{
+    Breakdown b;
+    b.events = events.size();
+    for (const auto &[id, sp] : collectSpans(events)) {
+        if (!sp.haveDecide)
+            continue; // ack-only stragglers of registration traffic
+        ++b.spans;
+        b.retries += static_cast<std::uint64_t>(sp.retries);
+        b.duplicates += static_cast<std::uint64_t>(sp.duplicates);
+        if (!sp.haveApply || sp.hops.empty()) {
+            ++b.abandoned;
+            continue;
+        }
+        ++b.completed;
+        // The first delivered copy is the one the receiver applied;
+        // later copies are duplicates the endpoint suppressed.
+        const auto &[sendTs, deliverTs] = sp.hops.front();
+        b.decideToSend.record(usBetween(sp.decideTs, sendTs));
+        b.sendToDeliver.record(usBetween(sendTs, deliverTs));
+        b.deliverToApply.record(usBetween(deliverTs, sp.applyTs));
+        corm::sim::Tick effect = sp.applyTs;
+        if (sp.haveAck) {
+            b.applyToAck.record(usBetween(sp.applyTs, sp.ackEnd));
+            effect = sp.ackEnd;
+        }
+        b.total.record(usBetween(sp.decideTs, effect));
+    }
+    return b;
+}
+
+Breakdown
+runMode(const corm::bench::BenchOptions &opts, bool reliable,
+        bool faulty, std::uint64_t &events_executed)
+{
+    corm::platform::RubisScenarioConfig cfg;
+    cfg.coordination = true;
+    cfg.warmup = 5 * corm::sim::sec;
+    cfg.measure = 20 * corm::sim::sec;
+    corm::bench::applyWindow(opts, cfg.warmup, cfg.measure);
+    if (opts.seedSet)
+        corm::platform::applyTrialSeed(cfg, opts.trial.seed);
+    cfg.reliableTunes = reliable;
+    if (faulty) {
+        cfg.testbed.coordFaults.lossProb = 0.10;
+        cfg.testbed.coordFaults.dupProb = 0.05;
+    }
+    corm::obs::TraceRecorder rec;
+    cfg.testbed.trace = &rec;
+    const auto r = corm::platform::runRubisScenario(cfg);
+    events_executed += r.eventsExecuted;
+    return decompose(rec.events());
+}
+
+void
+printLeg(const char *label, const Summary &s)
+{
+    if (s.count() == 0) {
+        std::printf("  %-22s %10s\n", label, "-");
+        return;
+    }
+    std::printf("  %-22s %10.1f %10.1f %10.1f %8llu\n", label,
+                s.mean(), s.min(), s.max(),
+                static_cast<unsigned long long>(s.count()));
+}
+
+void
+printMode(const char *label, const Breakdown &b)
+{
+    std::printf("\n%s:\n", label);
+    std::printf("  %-22s %10s %10s %10s %8s\n", "leg (us)", "mean",
+                "min", "max", "n");
+    printLeg("decide -> send", b.decideToSend);
+    printLeg("send -> deliver", b.sendToDeliver);
+    printLeg("deliver -> apply", b.deliverToApply);
+    printLeg("apply -> ack", b.applyToAck);
+    printLeg("TOTAL decide->effect", b.total);
+    std::printf("  spans %llu, completed %llu, abandoned %llu, "
+                "retries %llu, duplicates %llu\n",
+                static_cast<unsigned long long>(b.spans),
+                static_cast<unsigned long long>(b.completed),
+                static_cast<unsigned long long>(b.abandoned),
+                static_cast<unsigned long long>(b.retries),
+                static_cast<unsigned long long>(b.duplicates));
+}
+
+void
+reportMode(corm::bench::BenchReport &report, const char *label,
+           const Breakdown &b)
+{
+    report.addScalars(
+        label,
+        {{"decide_to_send_us", b.decideToSend.mean()},
+         {"send_to_deliver_us", b.sendToDeliver.mean()},
+         {"deliver_to_apply_us", b.deliverToApply.mean()},
+         {"apply_to_ack_us", b.applyToAck.mean()},
+         {"total_us_mean", b.total.mean()},
+         {"total_us_max", b.total.max()},
+         {"spans", static_cast<double>(b.spans)},
+         {"completed", static_cast<double>(b.completed)},
+         {"abandoned", static_cast<double>(b.abandoned)},
+         {"retries", static_cast<double>(b.retries)},
+         {"duplicates", static_cast<double>(b.duplicates)}});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = corm::bench::parseArgs(
+        argc, argv, "breakdown_coord_latency");
+    corm::bench::banner(
+        "Coordination latency breakdown",
+        "decide -> send -> deliver -> apply decomposition of Tune "
+        "spans (us)");
+
+    corm::bench::BenchReport report(opts);
+    std::uint64_t events = 0;
+    const Breakdown ff = runMode(opts, false, false, events);
+    const Breakdown rel = runMode(opts, true, false, events);
+    const Breakdown relFaulty = runMode(opts, true, true, events);
+
+    printMode("fire-and-forget (paper baseline)", ff);
+    printMode("reliable (ack + retry), clean channel", rel);
+    printMode("reliable, 10% loss + 5% duplication", relFaulty);
+
+    std::printf(
+        "\nReading: the mailbox transit dominates the decide-to-"
+        "effect latency of a fire-and-forget Tune; adding\n"
+        "delivery guarantees costs one ack return on a clean "
+        "channel, and under loss the retry timeout (not the\n"
+        "wire) sets the tail — the coordination channel stays "
+        "usable exactly because Tunes tolerate loss.\n");
+
+    reportMode(report, "fire_and_forget", ff);
+    reportMode(report, "reliable", rel);
+    reportMode(report, "reliable_faulty", relFaulty);
+    report.addScalars("run",
+                      {{"events_executed_total",
+                        static_cast<double>(events)}},
+                      events);
+    report.write();
+    return 0;
+}

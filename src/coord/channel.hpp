@@ -32,6 +32,9 @@
 #include "coord/message.hpp"
 #include "interconnect/faults.hpp"
 #include "interconnect/msgring.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -95,17 +98,25 @@ class CoordChannel
     {
         aToB.setReceiver(
             [this](std::uint64_t w0, std::uint64_t w1,
-                   std::uint64_t tag) {
-                deliver(0, b, CoordMessage::decode(w0, w1), tag);
+                   std::uint64_t tag, std::uint64_t flow) {
+                CoordMessage m = CoordMessage::decode(w0, w1);
+                m.trace = flow; // re-attach the side-band span id
+                deliver(0, b, m, tag);
             });
         bToA.setReceiver(
             [this](std::uint64_t w0, std::uint64_t w1,
-                   std::uint64_t tag) {
-                deliver(1, a, CoordMessage::decode(w0, w1), tag);
+                   std::uint64_t tag, std::uint64_t flow) {
+                CoordMessage m = CoordMessage::decode(w0, w1);
+                m.trace = flow;
+                deliver(1, a, m, tag);
             });
         auto drop = [this](std::uint64_t tag) {
             stats_.dropped.add();
             pendingSendTime.erase(tag);
+            if (CORM_TRACE_ACTIVE(rec_)) {
+                rec_->instant(fabricTrack(), sim.now(), "hop:drop",
+                              "coord");
+            }
         };
         aToB.setDropObserver(drop);
         bToA.setDropObserver(drop);
@@ -125,14 +136,19 @@ class CoordChannel
         stats_.sent.add();
         if (msg.dst == b.id()) {
             aToB.send(msg.encodeWord0(), msg.encodeWord1(),
-                      rememberSend());
+                      rememberSend(), msg.trace);
         } else if (msg.dst == a.id()) {
             bToA.send(msg.encodeWord0(), msg.encodeWord1(),
-                      rememberSend());
+                      rememberSend(), msg.trace);
         } else {
             // Unknown destination: count as dropped. A production
             // fabric would route; the two-island prototype cannot.
             stats_.dropped.add();
+            log.warn("unroutable %s to island %u (endpoints %u, %u)",
+                     msgTypeName(msg.type),
+                     static_cast<unsigned>(msg.dst),
+                     static_cast<unsigned>(a.id()),
+                     static_cast<unsigned>(b.id()));
         }
     }
 
@@ -222,6 +238,25 @@ class CoordChannel
     /** Record a retransmission performed by the reliable layer. */
     void noteRetransmit() { stats_.retries.add(); }
 
+    /**
+     * Attach a trace recorder (nullptr detaches). The channel emits
+     * per-hop transit slices on a fabric track, propagates causal
+     * flow spans across deliveries, and installs the delivered
+     * message's span id around the destination island's apply
+     * dispatch (obs::TraceScope).
+     */
+    void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
+
+    /**
+     * Mirror per-message send-to-apply latency (microseconds) into a
+     * registry-owned histogram (nullptr detaches). The Summary in
+     * stats() is kept for the text report.
+     */
+    void setDeliveryHistogram(corm::obs::Histogram *h)
+    {
+        deliveryHist = h;
+    }
+
     /** Channel statistics. */
     const ChannelStats &stats() const { return stats_; }
 
@@ -267,7 +302,56 @@ class CoordChannel
         ack.dst = msg.src;
         ack.entity = msg.entity;
         ack.seq = msg.seq; // echo: the sender matches pending by seq
+        ack.trace = msg.trace; // the return leg stays on the span
         send(ack);
+    }
+
+    /** Fabric track for per-direction hop slices (lazy). */
+    int
+    fabricTrack()
+    {
+        if (fabricTrk < 0)
+            fabricTrk = rec_->track("fabric", name_);
+        return fabricTrk;
+    }
+
+    /**
+     * Trace one delivery: transit slice (first copies), duplicate
+     * instant, and the message's flow-span hop. Kept out of line
+     * ([[gnu::noinline]]) so deliver() — the per-message hot path —
+     * does not carry this block's string/argument construction code
+     * when tracing is off.
+     */
+    [[gnu::noinline]] void
+    traceDelivery(int dir, const CoordMessage &msg,
+                  corm::sim::Tick sendTick, bool firstCopy)
+    {
+        if (firstCopy) {
+            // Transit slice: send time to delivery time.
+            rec_->complete(
+                fabricTrack(), sendTick, sim.now() - sendTick,
+                std::string("hop:") + msgTypeName(msg.type), "coord",
+                {{"dir", dir == 0 ? "a2b" : "b2a"},
+                 {"entity", static_cast<std::uint64_t>(msg.entity)},
+                 {"seq", static_cast<int>(msg.seq)}});
+        }
+        if (msg.trace == 0)
+            return;
+        if (!firstCopy) {
+            rec_->instant(fabricTrack(), sim.now(),
+                          std::string("hop:dup:")
+                              + msgTypeName(msg.type),
+                          "coord");
+        }
+        if (msg.type == MsgType::ack) {
+            // The ack reaching the original sender is the last hop
+            // of a reliable span.
+            rec_->flowEnd(fabricTrack(), sim.now(), msg.trace,
+                          "coord.span", "coord");
+        } else {
+            rec_->flowStep(fabricTrack(), sim.now(), msg.trace,
+                           "coord.span", "coord");
+        }
     }
 
     void
@@ -277,12 +361,21 @@ class CoordChannel
         stats_.delivered.add();
         // Latency accounting by send tag. A duplicated delivery's
         // second copy misses the (erased) record and is not counted.
+        bool firstCopy = false;
+        corm::sim::Tick sendTick = 0;
         if (auto it = pendingSendTime.find(tag);
             it != pendingSendTime.end()) {
-            stats_.deliveryLatencyUs.record(
-                corm::sim::toMicros(sim.now() - it->second));
+            firstCopy = true;
+            sendTick = it->second;
+            const double us =
+                corm::sim::toMicros(sim.now() - sendTick);
+            stats_.deliveryLatencyUs.record(us);
+            if (deliveryHist)
+                deliveryHist->record(us);
             pendingSendTime.erase(it);
         }
+        if (CORM_TRACE_ACTIVE(rec_))
+            traceDelivery(dir, msg, sendTick, firstCopy);
         // Observed reordering: tags are monotone per direction, so a
         // delivery below the direction's high-water mark overtook.
         if (tag > maxTagDelivered[dir]) {
@@ -300,6 +393,11 @@ class CoordChannel
             sendAckFor(dst, msg);
             return;
         }
+        // The destination island's effect events (weight change,
+        // boost, thread-share change) join the span via the installed
+        // flow context; a fire-and-forget message's apply is the
+        // span's last leg (a reliable one still has the ack return).
+        corm::obs::TraceScope span(rec_, msg.trace, msg.seq == 0);
         switch (msg.type) {
           case MsgType::tune:
             stats_.tunes.add();
@@ -345,6 +443,10 @@ class CoordChannel
     std::map<IslandId, std::function<void(const CoordMessage &)>>
         ackObservers;
     ChannelStats stats_;
+    corm::obs::TraceRecorder *rec_ = nullptr;
+    corm::obs::Histogram *deliveryHist = nullptr;
+    int fabricTrk = -1;
+    corm::sim::Logger log{"coord.channel"};
     std::map<std::uint64_t, corm::sim::Tick> pendingSendTime;
     std::uint64_t sendTag = 0;
     std::array<std::uint64_t, 2> maxTagDelivered{};

@@ -72,6 +72,16 @@ struct CoordMessage
     std::uint8_t seq = 0;
     double value = 0.0;
 
+    /**
+     * Causal span id (obs::TraceId) linking this message to the
+     * policy decision that produced it. Carried out-of-band next to
+     * the wire words (like the mailbox tag), NOT encoded into them:
+     * the wire format stays the paper's two 64-bit words, and
+     * decode() leaves this 0 — the channel re-attaches it from the
+     * mailbox's side-band on delivery. 0 means "untraced".
+     */
+    std::uint64_t trace = 0;
+
     /** Pack header fields into the first wire word. */
     std::uint64_t
     encodeWord0() const

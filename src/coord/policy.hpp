@@ -24,6 +24,8 @@
 
 #include "coord/message.hpp"
 #include "coord/types.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -62,6 +64,24 @@ class CoordinationPolicy
     {
         selfIsland = self;
         sender = std::move(fn);
+    }
+
+    /**
+     * Attach a trace recorder (nullptr detaches): every emitted
+     * Tune/Trigger becomes the root of a causal span — a decision
+     * slice on @p process's "policy" track plus a flow begin whose
+     * id travels with the message (CoordMessage::trace) all the way
+     * to the remote scheduler effect. @p clock stamps the events.
+     */
+    void
+    attachTrace(corm::obs::TraceRecorder *recorder,
+                const std::string &process,
+                const corm::sim::Simulator *clock)
+    {
+        rec = recorder;
+        traceClock = clock;
+        traceTrack = -1;
+        traceProcess = process;
     }
 
     /** A request of class @p request_class was classified for @p vm. */
@@ -116,6 +136,12 @@ class CoordinationPolicy
         m.entity = target.entity;
         m.value = delta;
         tunes.add();
+        // Guard before the call: the TraceArg list (a vector and its
+        // strings) would otherwise be built per Tune even untraced.
+        if (CORM_TRACE_ACTIVE(rec))
+            beginSpan(m,
+                      {{"entity", static_cast<std::uint64_t>(m.entity)},
+                       {"delta", delta}});
         sender(m);
     }
 
@@ -131,13 +157,37 @@ class CoordinationPolicy
         m.dst = target.island;
         m.entity = target.entity;
         triggers.add();
+        if (CORM_TRACE_ACTIVE(rec))
+            beginSpan(
+                m, {{"entity", static_cast<std::uint64_t>(m.entity)}});
         sender(m);
     }
 
   private:
+    /** Root a causal span at this decision (no-op untraced). */
+    void
+    beginSpan(CoordMessage &m, std::vector<corm::obs::TraceArg> args)
+    {
+        if (!CORM_TRACE_ACTIVE(rec) || !traceClock)
+            return;
+        if (traceTrack < 0)
+            traceTrack = rec->track(traceProcess, "policy:" + name_);
+        m.trace = rec->newFlow();
+        const corm::sim::Tick now = traceClock->now();
+        rec->complete(traceTrack, now, 0,
+                      std::string("decide:") + msgTypeName(m.type),
+                      "coord", std::move(args));
+        rec->flowBegin(traceTrack, now, m.trace, "coord.span",
+                       "coord");
+    }
+
     std::string name_;
     IslandId selfIsland = 0;
     SendFn sender;
+    corm::obs::TraceRecorder *rec = nullptr;
+    const corm::sim::Simulator *traceClock = nullptr;
+    std::string traceProcess;
+    int traceTrack = -1;
     corm::sim::Counter tunes;
     corm::sim::Counter triggers;
 };

@@ -33,6 +33,8 @@
 
 #include "coord/channel.hpp"
 #include "coord/message.hpp"
+#include "obs/trace.hpp"
+#include "sim/log.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -144,6 +146,14 @@ class ReliableSender
     /** Endpoint this sender transmits from. */
     IslandId endpoint() const { return selfId; }
 
+    /**
+     * Attach a trace recorder (nullptr detaches): retransmissions
+     * and abandonments become instants on a per-endpoint "coord"
+     * track, stepping the message's causal span so retried legs stay
+     * on one chain.
+     */
+    void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
+
   private:
     struct Pending
     {
@@ -168,6 +178,10 @@ class ReliableSender
         }
         // All 255 seqs pending: reclaim the slot (oldest semantics
         // are moot at this point — the channel is effectively dead).
+        logger.warn("sequence space exhausted at endpoint %u; "
+                    "reclaiming seq %u",
+                    static_cast<unsigned>(selfId),
+                    static_cast<unsigned>(nextSeq));
         auto it = pending.find(nextSeq);
         abandonedCount.add();
         finish(it, Outcome::abandoned);
@@ -194,6 +208,19 @@ class ReliableSender
         Pending &st = it->second;
         if (st.attempts >= cfg.maxAttempts) {
             abandonedCount.add();
+            logger.debug("abandoning %s seq %u to island %u after %d "
+                         "attempts",
+                         msgTypeName(st.msg.type),
+                         static_cast<unsigned>(seq),
+                         static_cast<unsigned>(st.msg.dst),
+                         st.attempts);
+            if (CORM_TRACE_ACTIVE(rec_) && st.msg.trace != 0) {
+                rec_->instant(myTrack(), sim.now(), "abandon", "coord",
+                              {{"seq", static_cast<int>(seq)},
+                               {"attempts", st.attempts}});
+                rec_->flowEnd(myTrack(), sim.now(), st.msg.trace,
+                              "coord.span", "coord");
+            }
             finish(it, Outcome::abandoned);
             return;
         }
@@ -201,6 +228,16 @@ class ReliableSender
         if (st.attempts > 1) {
             retryCount.add();
             chan.noteRetransmit();
+            if (CORM_TRACE_ACTIVE(rec_) && st.msg.trace != 0) {
+                rec_->instant(
+                    myTrack(), sim.now(),
+                    std::string("retry:") + msgTypeName(st.msg.type),
+                    "coord",
+                    {{"seq", static_cast<int>(seq)},
+                     {"attempt", st.attempts}});
+                rec_->flowStep(myTrack(), sim.now(), st.msg.trace,
+                               "coord.span", "coord");
+            }
         }
         chan.send(st.msg);
         st.retryEvent =
@@ -226,10 +263,23 @@ class ReliableSender
         finish(it, Outcome::acked);
     }
 
+    /** Per-endpoint reliable-layer track (lazy). */
+    int
+    myTrack()
+    {
+        if (trk < 0)
+            trk = rec_->track(
+                "coord", "reliable@" + std::to_string(selfId));
+        return trk;
+    }
+
     corm::sim::Simulator &sim;
     CoordChannel &chan;
     IslandId selfId;
     Params cfg;
+    corm::obs::TraceRecorder *rec_ = nullptr;
+    int trk = -1;
+    corm::sim::Logger logger{"coord.reliable"};
     std::map<std::uint8_t, Pending> pending;
     std::uint8_t nextSeq = 0;
     corm::sim::Counter ackedCount;
@@ -308,6 +358,7 @@ class ReliableAnnouncer
             sp.backoffCap = cfg.backoffCap;
             sender = std::make_unique<ReliableSender>(
                 sim, chan, binding.ref.island, sp);
+            sender->setTrace(rec_);
         }
 
         const std::uint64_t k = key(to, binding.ref.entity);
@@ -352,6 +403,15 @@ class ReliableAnnouncer
         return sender ? sender->lateAcks() : 0;
     }
 
+    /** Attach a trace recorder to the underlying sender. */
+    void
+    setTrace(corm::obs::TraceRecorder *recorder)
+    {
+        rec_ = recorder;
+        if (sender)
+            sender->setTrace(recorder);
+    }
+
   private:
     static std::uint64_t
     key(IslandId to, EntityId entity)
@@ -362,6 +422,7 @@ class ReliableAnnouncer
     corm::sim::Simulator &sim;
     CoordChannel &chan;
     Params cfg;
+    corm::obs::TraceRecorder *rec_ = nullptr;
     std::unique_ptr<ReliableSender> sender;
     /** Logical (island, entity) slot -> in-flight sequence number. */
     std::map<std::uint64_t, std::uint8_t> slots;

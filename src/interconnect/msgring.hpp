@@ -190,11 +190,12 @@ class Mailbox
 {
   public:
     /**
-     * Receive handler. @p tag is the sender-side tag passed to
-     * send(); duplicated deliveries repeat the same tag.
+     * Receive handler. @p tag and @p flow are the sender-side
+     * cookies passed to send(); duplicated deliveries repeat both.
      */
     using DeliverFn = std::function<void(
-        std::uint64_t word0, std::uint64_t word1, std::uint64_t tag)>;
+        std::uint64_t word0, std::uint64_t word1, std::uint64_t tag,
+        std::uint64_t flow)>;
     /** Observer of messages consumed by the fault injector. */
     using DropFn = std::function<void(std::uint64_t tag)>;
 
@@ -225,13 +226,14 @@ class Mailbox
     /**
      * Send a two-word message; delivered to the receiver after the
      * mailbox latency. Messages never reorder unless a fault
-     * injector explicitly holds one back. @p tag is an opaque
-     * sender-side cookie handed back on delivery (the channel uses
-     * it for per-message latency accounting).
+     * injector explicitly holds one back. @p tag and @p flow are
+     * opaque sender-side cookies handed back on delivery (the
+     * channel uses them for per-message latency accounting and for
+     * causal trace-span propagation, respectively).
      */
     void
     send(std::uint64_t word0, std::uint64_t word1,
-         std::uint64_t tag = 0)
+         std::uint64_t tag = 0, std::uint64_t flow = 0)
     {
         sent.add();
         FaultAction act;
@@ -249,10 +251,10 @@ class Mailbox
             when = std::max(when, lastDelivery);
             lastDelivery = when;
         }
-        deliverAt(when, word0, word1, tag);
+        deliverAt(when, word0, word1, tag, flow);
         if (act.duplicate)
             deliverAt(when + (faults ? faults->params().dupOffset : 0),
-                      word0, word1, tag);
+                      word0, word1, tag, flow);
     }
 
     /** Adjust latency (ablation sweeps). */
@@ -276,12 +278,13 @@ class Mailbox
   private:
     void
     deliverAt(corm::sim::Tick when, std::uint64_t word0,
-              std::uint64_t word1, std::uint64_t tag)
+              std::uint64_t word1, std::uint64_t tag,
+              std::uint64_t flow)
     {
-        sim.scheduleAt(when, [this, word0, word1, tag] {
+        sim.scheduleAt(when, [this, word0, word1, tag, flow] {
             delivered.add();
             if (receiver)
-                receiver(word0, word1, tag);
+                receiver(word0, word1, tag, flow);
         });
     }
 

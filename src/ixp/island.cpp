@@ -191,16 +191,43 @@ IxpIsland::applyTune(coord::EntityId entity, double delta)
     if (vq == nullptr)
         return;
     stats_.tunesApplied.add();
+    const double before = vq->threads;
     vq->threads = std::clamp(
         vq->threads + delta * cfg.threadsPerTuneUnit,
         cfg.minQueueThreads, cfg.maxQueueThreads);
+    if (CORM_TRACE_ACTIVE(rec)) {
+        const auto flow = rec->currentFlow();
+        rec->complete(
+            islandTrack(), sim.now(), 0, "tune:apply", "ixp",
+            {{"entity", static_cast<std::uint64_t>(entity)},
+             {"delta", delta},
+             {"threads_before", before},
+             {"threads_after", vq->threads}});
+        if (flow.id != 0) {
+            if (flow.final) {
+                rec->flowEnd(islandTrack(), sim.now(), flow.id,
+                             "coord.span", "coord");
+            } else {
+                rec->flowStep(islandTrack(), sim.now(), flow.id,
+                              "coord.span", "coord");
+            }
+        }
+    }
 }
 
 void
 IxpIsland::applyTrigger(coord::EntityId entity)
 {
-    (void)entity;
     stats_.triggersApplied.add();
+    if (CORM_TRACE_ACTIVE(rec)) {
+        const auto flow = rec->currentFlow();
+        rec->instant(islandTrack(), sim.now(), "trigger:noop", "ixp",
+                     {{"entity", static_cast<std::uint64_t>(entity)}});
+        if (flow.id != 0 && flow.final) {
+            rec->flowEnd(islandTrack(), sim.now(), flow.id,
+                         "coord.span", "coord");
+        }
+    }
 }
 
 void
@@ -292,6 +319,12 @@ IxpIsland::monitorTick()
     for (auto &[entity, vq] : queues) {
         vq->occupancy.record(sim.now(),
                              static_cast<double>(vq->q.bytes()));
+        if (CORM_TRACE_ACTIVE(rec)) {
+            rec->counter(islandTrack(), sim.now(),
+                         "queue_bytes:" + std::to_string(entity),
+                         "bytes",
+                         static_cast<double>(vq->q.bytes()));
+        }
         for (auto *p : policies)
             p->onBufferLevel(vq->guest, vq->q.bytes(), sim.now());
     }

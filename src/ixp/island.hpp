@@ -38,6 +38,7 @@
 #include "ixp/stage.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -156,6 +157,18 @@ class IxpIsland : public coord::ResourceIsland
         policies.push_back(&policy);
     }
 
+    /**
+     * Attach a trace recorder (nullptr detaches). Tune applications
+     * become slices on this island's track and the buffer monitor
+     * emits per-entity occupancy counter series.
+     */
+    void
+    setTrace(corm::obs::TraceRecorder *recorder)
+    {
+        rec = recorder;
+        trk = -1;
+    }
+
     coord::IslandId id() const override { return id_; }
     const std::string &name() const override { return name_; }
 
@@ -226,6 +239,14 @@ class IxpIsland : public coord::ResourceIsland
     };
 
     void classify(corm::net::PacketPtr pkt);
+    /** Island-level track for apply/monitor events (lazy). */
+    int
+    islandTrack()
+    {
+        if (trk < 0)
+            trk = rec->track(name_, "coord-adapter");
+        return trk;
+    }
     void pumpQueue(VmQueue &vq);
     void pumpTxQueue(VmQueue &vq);
     VmQueue *queueForEntity(coord::EntityId entity);
@@ -248,6 +269,8 @@ class IxpIsland : public coord::ResourceIsland
     std::map<std::uint32_t, coord::EntityId> ipToEntity;
 
     std::vector<coord::CoordinationPolicy *> policies;
+    corm::obs::TraceRecorder *rec = nullptr;
+    int trk = -1;
     WireTx wireTx;
     std::unique_ptr<corm::sim::PeriodicEvent> monitor;
     IxpStats stats_;

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Shared JSON emission and parsing for the observability layer.
+ *
+ * One writer serves every machine-readable artefact the repo
+ * produces — the BENCH_*.json reports, the MetricRegistry snapshot
+ * and the Chrome trace-event files — so they stay byte-stable and
+ * format-consistent. The reader is a deliberately small
+ * recursive-descent parser used by the trace schema checker and the
+ * obs tests to validate our own output; it is not a general-purpose
+ * JSON library (no surrogate-pair decoding, numbers parsed as
+ * double).
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace corm::obs {
+
+/** Escape @p v for inclusion in a double-quoted JSON string. */
+inline std::string
+jsonEscape(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Minimal append-only JSON writer (objects/arrays, auto commas). */
+class JsonWriter
+{
+  public:
+    void
+    beginObject(const char *key = nullptr)
+    {
+        open(key, '{');
+    }
+    void
+    endObject()
+    {
+        close('}');
+    }
+    void
+    beginArray(const char *key = nullptr)
+    {
+        open(key, '[');
+    }
+    void
+    endArray()
+    {
+        close(']');
+    }
+
+    void
+    field(const char *key, double v)
+    {
+        prefix(key);
+        char buf[64];
+        // %.17g round-trips doubles; trim to something readable but
+        // byte-stable across runs.
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        out << buf;
+    }
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        prefix(key);
+        out << v;
+    }
+    void
+    field(const char *key, int v)
+    {
+        prefix(key);
+        out << v;
+    }
+    void
+    field(const char *key, bool v)
+    {
+        prefix(key);
+        out << (v ? "true" : "false");
+    }
+    void
+    field(const char *key, const std::string &v)
+    {
+        prefix(key);
+        out << '"' << jsonEscape(v) << '"';
+    }
+
+    /**
+     * Splice pre-serialized JSON (an object or array rendered by
+     * another writer) as the value of @p key. The caller guarantees
+     * @p json_text is well formed; indentation is the caller's.
+     */
+    void
+    fieldRaw(const char *key, const std::string &json_text)
+    {
+        prefix(key);
+        out << json_text;
+    }
+
+    std::string str() const { return out.str(); }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (needComma)
+            out << ",";
+        if (!depthStack.empty())
+            out << "\n" << std::string(depthStack.size() * 2, ' ');
+        if (key)
+            out << '"' << key << "\": ";
+        needComma = true;
+    }
+
+    void
+    open(const char *key, char bracket)
+    {
+        prefix(key);
+        out << bracket;
+        depthStack.push_back(bracket);
+        needComma = false;
+    }
+
+    void
+    close(char bracket)
+    {
+        depthStack.pop_back();
+        out << "\n" << std::string(depthStack.size() * 2, ' ')
+            << bracket;
+        needComma = true;
+    }
+
+    std::ostringstream out;
+    std::vector<char> depthStack;
+    bool needComma = false;
+};
+
+/** Serialize a cross-trial Summary as {mean,stddev,min,max,n}. */
+inline void
+jsonSummary(JsonWriter &j, const char *key,
+            const corm::sim::Summary &s)
+{
+    j.beginObject(key);
+    j.field("mean", s.mean());
+    j.field("stddev", s.stddev());
+    j.field("min", s.min());
+    j.field("max", s.max());
+    j.field("n", s.count());
+    j.endObject();
+}
+
+//
+// Parsing (self-validation only; see the file comment)
+//
+
+/** A parsed JSON value. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object
+    };
+
+    Kind kind = Kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;                ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+
+    bool isObject() const { return kind == Kind::object; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *
+    get(std::string_view key) const
+    {
+        if (kind != Kind::object)
+            return nullptr;
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser state. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : in(text) {}
+
+    /** Parse the whole input into @p out; false + error() on failure. */
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos != in.size()) {
+            fail("trailing characters after document");
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &error() const { return err; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < in.size()
+               && (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n'
+                   || in[pos] == '\r'))
+            ++pos;
+    }
+
+    void
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (in.substr(pos, word.size()) != word) {
+            fail("bad literal");
+            return false;
+        }
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    stringBody(std::string &out)
+    {
+        if (pos >= in.size() || in[pos] != '"') {
+            fail("expected string");
+            return false;
+        }
+        ++pos;
+        while (pos < in.size() && in[pos] != '"') {
+            char c = in[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= in.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            char e = in[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > in.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = in[pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                }
+                // ASCII suffices for our own output; others pass
+                // through as '?' rather than UTF-8 encoding.
+                out += v < 0x80 ? static_cast<char>(v) : '?';
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+        if (pos >= in.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= in.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        char c = in[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::object;
+            skipWs();
+            if (pos < in.size() && in[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!stringBody(key))
+                    return false;
+                skipWs();
+                if (pos >= in.size() || in[pos] != ':') {
+                    fail("expected ':'");
+                    return false;
+                }
+                ++pos;
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos < in.size() && in[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < in.size() && in[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                fail("expected ',' or '}'");
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::array;
+            skipWs();
+            if (pos < in.size() && in[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.items.push_back(std::move(v));
+                skipWs();
+                if (pos < in.size() && in[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < in.size() && in[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                fail("expected ',' or ']'");
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::string;
+            return stringBody(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::boolean;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::boolean;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::null;
+            return literal("null");
+        }
+        // Number.
+        const std::size_t start = pos;
+        if (pos < in.size() && (in[pos] == '-' || in[pos] == '+'))
+            ++pos;
+        while (pos < in.size()
+               && (std::isdigit(static_cast<unsigned char>(in[pos]))
+                   || in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E'
+                   || in[pos] == '-' || in[pos] == '+'))
+            ++pos;
+        if (pos == start) {
+            fail("unexpected character");
+            return false;
+        }
+        out.kind = JsonValue::Kind::number;
+        out.num = std::strtod(std::string(in.substr(start, pos - start))
+                                  .c_str(),
+                              nullptr);
+        return true;
+    }
+
+    std::string_view in;
+    std::size_t pos = 0;
+    std::string err;
+};
+
+/** Parse @p text; false + @p error (if non-null) on malformed input. */
+inline bool
+parseJson(std::string_view text, JsonValue &out,
+          std::string *error = nullptr)
+{
+    JsonParser p(text);
+    const bool ok = p.parse(out);
+    if (!ok && error)
+        *error = p.error();
+    return ok;
+}
+
+} // namespace corm::obs

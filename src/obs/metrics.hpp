@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Typed metric registry: counters, gauges and fixed log-scale
+ * histograms behind one names/labels scheme.
+ *
+ * Every subsystem in the repo keeps ad-hoc counter structs
+ * (ChannelStats, SchedStats, IxpStats, ...). Those structs stay — the
+ * tests and scenario extractors read them directly — but the registry
+ * gives them a uniform external face: a metric is a dotted name plus
+ * sorted key=value labels (e.g. `coord.channel.sent{channel=coord.pci}`),
+ * serialized deterministically (sorted by full name) into the text
+ * report and the BENCH_*.json files.
+ *
+ * Two registration styles:
+ *
+ *  * owned metrics (counter()/gauge()/histogram()) for new code that
+ *    wants the registry to hold the storage;
+ *  * callback metrics (counterFn()/gaugeFn()) that sample an existing
+ *    component counter at serialization time, so legacy stats structs
+ *    are exposed without duplicating their accounting.
+ *
+ * Registering the same full name twice with the same type returns the
+ * existing metric (idempotent); with a different type it throws
+ * std::logic_error — a name collision is a programming error, not a
+ * runtime condition.
+ *
+ * Histograms use fixed log2 buckets: bucket 0 holds values < 1,
+ * bucket i (i >= 1) holds values in [2^(i-1), 2^i). Fixed edges make
+ * cross-run and cross-trial comparison trivial and serialization
+ * byte-stable.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace corm::obs {
+
+/** Metric label set: key=value pairs, canonically sorted by key. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Kinds of metric the registry holds. */
+enum class MetricKind : std::uint8_t
+{
+    counter,
+    gauge,
+    histogram
+};
+
+/** Human-readable metric kind. */
+constexpr const char *
+metricKindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::counter: return "counter";
+      case MetricKind::gauge: return "gauge";
+      case MetricKind::histogram: return "histogram";
+    }
+    return "?";
+}
+
+/** A registry-owned monotonic counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { v += n; }
+    std::uint64_t value() const { return v; }
+
+  private:
+    std::uint64_t v = 0;
+};
+
+/** A registry-owned instantaneous gauge. */
+class Gauge
+{
+  public:
+    void set(double value) { v = value; }
+    double value() const { return v; }
+
+  private:
+    double v = 0.0;
+};
+
+/**
+ * A registry-owned histogram with fixed log2 bucket edges: bucket 0
+ * counts values < 1, bucket i counts values in [2^(i-1), 2^i). The
+ * 64 buckets cover the full double range we care about (2^63).
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t bucketCount = 64;
+
+    /** Record one observation (negative values clamp to bucket 0). */
+    void
+    record(double value)
+    {
+        ++total;
+        sum += value;
+        lo = total == 1 ? value : std::min(lo, value);
+        hi = total == 1 ? value : std::max(hi, value);
+        ++buckets_[bucketFor(value)];
+    }
+
+    /** Index of the bucket @p value falls in. */
+    static std::size_t
+    bucketFor(double value)
+    {
+        if (!(value >= 1.0))
+            return 0; // also catches NaN and negatives
+        // floor(log2(v)) + 1: v in [2^(i-1), 2^i) -> bucket i. Read
+        // the exponent straight from the IEEE-754 bits: record() sits
+        // on the coordination channel's per-delivery path, where a
+        // libm log2() call would be the most expensive instruction.
+        std::uint64_t bits;
+        std::memcpy(&bits, &value, sizeof bits);
+        const auto exp =
+            static_cast<std::size_t>((bits >> 52) & 0x7ff);
+        return std::min(exp - 1023 + 1, bucketCount - 1);
+    }
+
+    /** Inclusive upper edge label of bucket @p i (bucket 0 = "<1"). */
+    static double
+    bucketUpperEdge(std::size_t i)
+    {
+        return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+    }
+
+    std::uint64_t count() const { return total; }
+    double mean() const
+    {
+        return total ? sum / static_cast<double>(total) : 0.0;
+    }
+    double min() const { return total ? lo : 0.0; }
+    double max() const { return total ? hi : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Highest non-empty bucket index + 1 (0 when empty). */
+    std::size_t
+    usedBuckets() const
+    {
+        std::size_t n = bucketCount;
+        while (n > 0 && buckets_[n - 1] == 0)
+            --n;
+        return n;
+    }
+
+  private:
+    std::array<std::uint64_t, bucketCount> buckets_{};
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * The registry: a deterministic name -> metric map. Not thread-safe;
+ * each trial owns its registry, like its Simulator.
+ */
+class MetricRegistry
+{
+  public:
+    /** Canonical full name: `name{k1=v1,k2=v2}` with sorted keys. */
+    static std::string
+    fullName(const std::string &name, Labels labels)
+    {
+        std::sort(labels.begin(), labels.end());
+        std::string out = name;
+        if (!labels.empty()) {
+            out += '{';
+            bool first = true;
+            for (const auto &[k, v] : labels) {
+                if (!first)
+                    out += ',';
+                first = false;
+                out += k;
+                out += '=';
+                out += v;
+            }
+            out += '}';
+        }
+        return out;
+    }
+
+    /** Register (or fetch) an owned counter. */
+    Counter &
+    counter(const std::string &name, const Labels &labels = {})
+    {
+        Entry &e = entry(name, labels, MetricKind::counter);
+        if (!e.ownedCounter)
+            e.ownedCounter = std::make_unique<Counter>();
+        return *e.ownedCounter;
+    }
+
+    /** Register (or fetch) an owned gauge. */
+    Gauge &
+    gauge(const std::string &name, const Labels &labels = {})
+    {
+        Entry &e = entry(name, labels, MetricKind::gauge);
+        if (!e.ownedGauge)
+            e.ownedGauge = std::make_unique<Gauge>();
+        return *e.ownedGauge;
+    }
+
+    /** Register (or fetch) an owned histogram. */
+    Histogram &
+    histogram(const std::string &name, const Labels &labels = {})
+    {
+        Entry &e = entry(name, labels, MetricKind::histogram);
+        if (!e.ownedHistogram)
+            e.ownedHistogram = std::make_unique<Histogram>();
+        return *e.ownedHistogram;
+    }
+
+    /**
+     * Register a callback counter sampling an existing component
+     * counter at serialization time. Re-registration replaces the
+     * callback (components may be rebuilt between runs).
+     */
+    void
+    counterFn(const std::string &name, const Labels &labels,
+              std::function<std::uint64_t()> fn)
+    {
+        entry(name, labels, MetricKind::counter).readCounter =
+            std::move(fn);
+    }
+
+    /** Register a callback gauge (see counterFn). */
+    void
+    gaugeFn(const std::string &name, const Labels &labels,
+            std::function<double()> fn)
+    {
+        entry(name, labels, MetricKind::gauge).readGauge = std::move(fn);
+    }
+
+    /** Number of registered metrics. */
+    std::size_t size() const { return metrics.size(); }
+
+    /** True if @p name (canonical form) is registered. */
+    bool
+    has(const std::string &name, const Labels &labels = {}) const
+    {
+        return metrics.count(fullName(name, labels)) != 0;
+    }
+
+    /**
+     * Serialize every metric as text, one `name value` line, sorted
+     * by full name. Histograms render count/mean/min/max plus their
+     * non-empty buckets.
+     */
+    void
+    writeText(std::ostream &out) const
+    {
+        for (const auto &[name, e] : metrics) {
+            switch (e.kind) {
+              case MetricKind::counter:
+                out << name << " " << counterValue(e) << "\n";
+                break;
+              case MetricKind::gauge: {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.10g", gaugeValue(e));
+                out << name << " " << buf << "\n";
+                break;
+              }
+              case MetricKind::histogram: {
+                const Histogram &h = *e.ownedHistogram;
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              " count=%llu mean=%.10g min=%.10g "
+                              "max=%.10g",
+                              static_cast<unsigned long long>(h.count()),
+                              h.mean(), h.min(), h.max());
+                out << name << buf;
+                for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
+                    if (h.bucket(i) == 0)
+                        continue;
+                    std::snprintf(
+                        buf, sizeof(buf), " le(%.10g)=%llu",
+                        Histogram::bucketUpperEdge(i),
+                        static_cast<unsigned long long>(h.bucket(i)));
+                    out << buf;
+                }
+                out << "\n";
+                break;
+              }
+            }
+        }
+    }
+
+    /**
+     * Serialize every metric into @p j as one JSON object keyed by
+     * full metric name (sorted, so the output is byte-stable).
+     */
+    void
+    writeJson(JsonWriter &j) const
+    {
+        j.beginObject();
+        for (const auto &[name, e] : metrics) {
+            switch (e.kind) {
+              case MetricKind::counter:
+                j.field(name.c_str(), counterValue(e));
+                break;
+              case MetricKind::gauge:
+                j.field(name.c_str(), gaugeValue(e));
+                break;
+              case MetricKind::histogram: {
+                const Histogram &h = *e.ownedHistogram;
+                j.beginObject(name.c_str());
+                j.field("count", h.count());
+                j.field("mean", h.mean());
+                j.field("min", h.min());
+                j.field("max", h.max());
+                j.beginArray("buckets");
+                for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
+                    if (h.bucket(i) == 0)
+                        continue;
+                    j.beginObject();
+                    j.field("le", Histogram::bucketUpperEdge(i));
+                    j.field("n", h.bucket(i));
+                    j.endObject();
+                }
+                j.endArray();
+                j.endObject();
+                break;
+              }
+            }
+        }
+        j.endObject();
+    }
+
+    /** JSON snapshot as a string (see writeJson). */
+    std::string
+    jsonSnapshot() const
+    {
+        JsonWriter j;
+        writeJson(j);
+        return j.str();
+    }
+
+  private:
+    struct Entry
+    {
+        MetricKind kind = MetricKind::counter;
+        std::unique_ptr<Counter> ownedCounter;
+        std::unique_ptr<Gauge> ownedGauge;
+        std::unique_ptr<Histogram> ownedHistogram;
+        std::function<std::uint64_t()> readCounter;
+        std::function<double()> readGauge;
+    };
+
+    Entry &
+    entry(const std::string &name, const Labels &labels, MetricKind kind)
+    {
+        const std::string key = fullName(name, labels);
+        auto [it, inserted] = metrics.try_emplace(key);
+        if (inserted) {
+            it->second.kind = kind;
+        } else if (it->second.kind != kind) {
+            throw std::logic_error(
+                "metric '" + key + "' re-registered as "
+                + metricKindName(kind) + " but exists as "
+                + metricKindName(it->second.kind));
+        }
+        return it->second;
+    }
+
+    static std::uint64_t
+    counterValue(const Entry &e)
+    {
+        if (e.readCounter)
+            return e.readCounter();
+        return e.ownedCounter ? e.ownedCounter->value() : 0;
+    }
+
+    static double
+    gaugeValue(const Entry &e)
+    {
+        if (e.readGauge)
+            return e.readGauge();
+        return e.ownedGauge ? e.ownedGauge->value() : 0.0;
+    }
+
+    std::map<std::string, Entry> metrics;
+};
+
+} // namespace corm::obs

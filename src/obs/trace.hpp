@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Deterministic simulated-time event tracing in Chrome trace-event
+ * format (loadable in Perfetto / chrome://tracing).
+ *
+ * Event model (DESIGN.md §8):
+ *
+ *  * **tracks** — each island (and the coordination fabric between
+ *    them) maps to a (process, thread) pair; components register
+ *    their track lazily by name, so the pid/tid assignment follows
+ *    deterministic first-registration order;
+ *  * **slices** ('X') — spans with a simulated-time start and
+ *    duration (e.g. a channel hop: ts = send time, dur = transit);
+ *  * **instants** ('i') and **counters** ('C') — point events and
+ *    sampled series (queue occupancy);
+ *  * **flows** ('s'/'t'/'f') — the causal coordination spans: a
+ *    TraceId allocated at policy decision time is carried with the
+ *    message through the mailbox, retries and the remote island's
+ *    translation into scheduler action, and each leg emits a flow
+ *    event bound to the slice it sits on, so Perfetto draws one
+ *    arrow chain from classifier decision to scheduler effect.
+ *
+ * Overhead policy: tracing costs nothing when off. At compile time,
+ * defining CORM_OBS_NO_TRACE turns every CORM_TRACE_ACTIVE() site
+ * into a constant-false branch the compiler deletes. At run time the
+ * recorder is attached by pointer; a null pointer (the default
+ * everywhere) short-circuits before any argument is evaluated. Hot
+ * paths therefore pay one predictable branch.
+ *
+ * Determinism: all timestamps are simulated Ticks, all ids are
+ * allocated from per-recorder counters, and events serialize in
+ * emission order — so for a fixed (config, seed) the serialized
+ * trace is byte-identical regardless of host threading (--jobs), as
+ * long as each trial owns its recorder (the harness guarantees
+ * this).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/types.hpp"
+
+namespace corm::obs {
+
+/** Causal span id; 0 means "no flow". */
+using TraceId = std::uint64_t;
+
+/** True when tracing is compiled in (see the overhead policy). */
+#ifdef CORM_OBS_NO_TRACE
+inline constexpr bool traceCompiledIn = false;
+#else
+inline constexpr bool traceCompiledIn = true;
+#endif
+
+/** One trace-event argument; numbers serialize unquoted. */
+struct TraceArg
+{
+    std::string key;
+    std::string value;
+    bool quoted = false;
+
+    TraceArg(std::string k, double v) : key(std::move(k))
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        value = buf;
+    }
+    TraceArg(std::string k, std::uint64_t v)
+        : key(std::move(k)), value(std::to_string(v))
+    {}
+    TraceArg(std::string k, int v)
+        : key(std::move(k)), value(std::to_string(v))
+    {}
+    TraceArg(std::string k, std::string v)
+        : key(std::move(k)), value(std::move(v)), quoted(true)
+    {}
+    TraceArg(std::string k, const char *v)
+        : key(std::move(k)), value(v), quoted(true)
+    {}
+};
+
+/** One recorded event (Chrome trace-event phases). */
+struct TraceEvent
+{
+    char phase = 'i';        ///< X, i, C, s, t, f
+    corm::sim::Tick ts = 0;  ///< simulated time
+    corm::sim::Tick dur = 0; ///< X only
+    int track = 0;           ///< index into the recorder's tracks
+    TraceId flow = 0;        ///< s/t/f only
+    std::string name;
+    std::string category;
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Records events and serializes them as Chrome trace-event JSON.
+ * One recorder per trial; never shared across threads.
+ */
+class TraceRecorder
+{
+  public:
+    /** Flow context installed around a message dispatch. */
+    struct FlowContext
+    {
+        TraceId id = 0;
+        /** True when the current dispatch is the flow's last leg. */
+        bool final = false;
+    };
+
+    /** Runtime gate; a disabled recorder records nothing. */
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /**
+     * Register (or fetch) the track for (process, thread). Tracks
+     * map to Perfetto pid/tid pairs; first registration order fixes
+     * the numbering, so call sites must register deterministically
+     * (they do: all registration happens from single-threaded
+     * simulator callbacks).
+     */
+    int
+    track(const std::string &process, const std::string &thread)
+    {
+        for (std::size_t i = 0; i < tracks.size(); ++i) {
+            if (tracks[i].process == process
+                && tracks[i].thread == thread)
+                return static_cast<int>(i);
+        }
+        Track t;
+        t.process = process;
+        t.thread = thread;
+        t.pid = 0;
+        for (const Track &other : tracks) {
+            if (other.process == process) {
+                t.pid = other.pid;
+                break;
+            }
+        }
+        if (t.pid == 0)
+            t.pid = ++nextPid;
+        t.tid = 1;
+        for (const Track &other : tracks) {
+            if (other.process == process)
+                ++t.tid;
+        }
+        tracks.push_back(t);
+        return static_cast<int>(tracks.size() - 1);
+    }
+
+    /** Allocate a fresh causal span id (never 0). */
+    TraceId newFlow() { return ++lastFlow; }
+
+    /** Flow context of the in-progress dispatch (id 0 = none). */
+    const FlowContext &currentFlow() const { return flowCtx; }
+
+    /** Install/clear the dispatch flow context (see TraceScope). */
+    void setCurrentFlow(FlowContext ctx) { flowCtx = ctx; }
+
+    // Emission -----------------------------------------------------
+
+    void
+    complete(int trk, corm::sim::Tick ts, corm::sim::Tick dur,
+             std::string name, std::string category,
+             std::vector<TraceArg> args = {})
+    {
+        if (!enabled_)
+            return;
+        events_.push_back({'X', ts, dur, trk, 0, std::move(name),
+                           std::move(category), std::move(args)});
+    }
+
+    void
+    instant(int trk, corm::sim::Tick ts, std::string name,
+            std::string category, std::vector<TraceArg> args = {})
+    {
+        if (!enabled_)
+            return;
+        events_.push_back({'i', ts, 0, trk, 0, std::move(name),
+                           std::move(category), std::move(args)});
+    }
+
+    /** Counter sample: series @p series of counter @p name. */
+    void
+    counter(int trk, corm::sim::Tick ts, std::string name,
+            std::string series, double value)
+    {
+        if (!enabled_)
+            return;
+        TraceEvent e;
+        e.phase = 'C';
+        e.ts = ts;
+        e.track = trk;
+        e.name = std::move(name);
+        e.args.emplace_back(std::move(series), value);
+        events_.push_back(std::move(e));
+    }
+
+    void
+    flowBegin(int trk, corm::sim::Tick ts, TraceId id, std::string name,
+              std::string category)
+    {
+        flowEvent('s', trk, ts, id, std::move(name),
+                  std::move(category));
+    }
+
+    void
+    flowStep(int trk, corm::sim::Tick ts, TraceId id, std::string name,
+             std::string category)
+    {
+        flowEvent('t', trk, ts, id, std::move(name),
+                  std::move(category));
+    }
+
+    void
+    flowEnd(int trk, corm::sim::Tick ts, TraceId id, std::string name,
+            std::string category)
+    {
+        flowEvent('f', trk, ts, id, std::move(name),
+                  std::move(category));
+    }
+
+    // Introspection ------------------------------------------------
+
+    /** All recorded events, in emission order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Drop all recorded events (tracks and ids are kept). */
+    void
+    clear()
+    {
+        events_.clear();
+        endedFlows.clear();
+    }
+
+    /**
+     * Serialize as Chrome trace-event JSON: process/thread metadata
+     * first, then every event in emission order. ts/dur are
+     * microseconds (fractional; Ticks are nanoseconds).
+     */
+    void
+    writeJson(std::ostream &out) const
+    {
+        JsonWriter j;
+        j.beginObject();
+        j.field("displayTimeUnit", std::string("ms"));
+        j.beginArray("traceEvents");
+        for (const Track &t : tracks) {
+            metaEvent(j, "process_name", t.pid, 0, t.process);
+            metaEvent(j, "thread_name", t.pid, t.tid, t.thread);
+        }
+        for (const TraceEvent &e : events_) {
+            const Track &t =
+                tracks[static_cast<std::size_t>(e.track)];
+            j.beginObject();
+            j.field("name", e.name);
+            if (!e.category.empty())
+                j.field("cat", e.category);
+            j.field("ph", std::string(1, e.phase));
+            j.fieldRaw("ts", micros(e.ts));
+            if (e.phase == 'X')
+                j.fieldRaw("dur", micros(e.dur));
+            j.field("pid", t.pid);
+            j.field("tid", t.tid);
+            if (e.phase == 's' || e.phase == 't' || e.phase == 'f')
+                j.field("id", e.flow);
+            if (e.phase == 'i')
+                j.field("s", std::string("t"));
+            if (!e.args.empty()) {
+                j.beginObject("args");
+                for (const TraceArg &a : e.args) {
+                    if (a.quoted)
+                        j.field(a.key.c_str(), a.value);
+                    else
+                        j.fieldRaw(a.key.c_str(), a.value);
+                }
+                j.endObject();
+            }
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        out << j.str() << "\n";
+    }
+
+    /** JSON trace as a string (see writeJson). */
+    std::string
+    json() const
+    {
+        std::ostringstream out;
+        writeJson(out);
+        return out.str();
+    }
+
+  private:
+    struct Track
+    {
+        std::string process;
+        std::string thread;
+        int pid = 0;
+        int tid = 0;
+    };
+
+    void
+    flowEvent(char phase, int trk, corm::sim::Tick ts, TraceId id,
+              std::string name, std::string category)
+    {
+        if (!enabled_ || id == 0)
+            return;
+        // A span ends exactly once: retransmitted or duplicated final
+        // legs (a re-acked Tune, a duplicated ack) would otherwise
+        // each emit an end, splitting the causal chain. The first end
+        // wins; later ones join the chain as ordinary steps.
+        if (phase == 'f' && !endedFlows.insert(id).second)
+            phase = 't';
+        events_.push_back({phase, ts, 0, trk, id, std::move(name),
+                           std::move(category), {}});
+    }
+
+    /** Ticks (ns) as a microsecond JSON number, byte-stable. */
+    static std::string
+    micros(corm::sim::Tick t)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                      static_cast<unsigned long long>(t / 1000),
+                      static_cast<unsigned long long>(t % 1000));
+        return buf;
+    }
+
+    static void
+    metaEvent(JsonWriter &j, const char *what, int pid, int tid,
+              const std::string &value)
+    {
+        j.beginObject();
+        j.field("name", std::string(what));
+        j.field("ph", std::string("M"));
+        j.field("pid", pid);
+        j.field("tid", tid);
+        j.beginObject("args");
+        j.field("name", value);
+        j.endObject();
+        j.endObject();
+    }
+
+    bool enabled_ = true;
+    std::vector<Track> tracks;
+    std::vector<TraceEvent> events_;
+    std::set<TraceId> endedFlows;
+    TraceId lastFlow = 0;
+    FlowContext flowCtx;
+    int nextPid = 0;
+};
+
+/**
+ * RAII flow context: the channel installs the delivered message's
+ * flow id around the destination island's apply dispatch, so the
+ * island's own effect events (weight change, boost, thread-share
+ * change) can join the causal chain without widening the
+ * ResourceIsland interface.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(TraceRecorder *recorder, TraceId id, bool final_leg)
+        : rec(recorder)
+    {
+        if (rec) {
+            saved = rec->currentFlow();
+            rec->setCurrentFlow({id, final_leg});
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (rec)
+            rec->setCurrentFlow(saved);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceRecorder *rec;
+    TraceRecorder::FlowContext saved;
+};
+
+} // namespace corm::obs
+
+/**
+ * True when tracing is compiled in AND @p rec is attached. Guards
+ * every instrumentation block; with CORM_OBS_NO_TRACE the branch is
+ * constant-false and the block (argument construction included) is
+ * compiled out.
+ */
+#define CORM_TRACE_ACTIVE(rec)                                        \
+    (corm::obs::traceCompiledIn && (rec) != nullptr)

@@ -155,4 +155,19 @@ statusReport(Testbed &tb)
     return out.str();
 }
 
+/**
+ * Render the unified metric registry (obs/metrics.hpp) as text —
+ * the machine-flavoured companion to statusReport(), one
+ * `name{labels} value` line per metric in sorted order.
+ */
+inline std::string
+metricsReport(Testbed &tb)
+{
+    std::ostringstream out;
+    out << "=== CoRM metrics @ "
+        << corm::sim::toSeconds(tb.sim().now()) << " s ===\n";
+    tb.metrics().writeText(out);
+    return out.str();
+}
+
 } // namespace corm::platform

@@ -101,12 +101,28 @@ runRubisScenario(const RubisScenarioConfig &cfg)
                    [&client](const PacketPtr &p) { client.onWirePacket(p); });
 
     coord::RequestTypeTunePolicy policy(cfg.damping);
+    std::unique_ptr<coord::ReliableSender> reliable;
     if (cfg.coordination) {
         tb.x86().setTuneDecay(cfg.tuneDecayTau);
         apps::rubis::installRubisAdjustments(policy, web.ref, app.ref,
                                              db.ref, cfg.tuneDelta,
                                              cfg.gains);
         tb.attachPolicy(policy);
+        if (cfg.reliableTunes) {
+            // Route Tunes through ack + retry instead of
+            // fire-and-forget. The announcer's sender is pinned to
+            // the x86 endpoint, so an IXP-side sender coexists.
+            reliable = std::make_unique<coord::ReliableSender>(
+                tb.sim(), tb.channel(), tb.ixp().id(),
+                cfg.reliableParams);
+            if (cfg.testbed.trace != nullptr)
+                reliable->setTrace(cfg.testbed.trace);
+            policy.attachSender(
+                tb.ixp().id(),
+                [&rel = *reliable](const coord::CoordMessage &m) {
+                    rel.send(m);
+                });
+        }
     }
 
     // Let the entity registrations cross the coordination channel
@@ -182,6 +198,8 @@ runRubisScenario(const RubisScenarioConfig &cfg)
     r.appWeight = app.dom->weight();
     r.dbWeight = db.dom->weight();
     r.eventsExecuted = tb.sim().executedEvents();
+    if (cfg.inspect)
+        cfg.inspect(tb);
     return r;
 }
 
@@ -289,6 +307,8 @@ runMplayerQos(const MplayerQosConfig &cfg)
     r.weight1End = dom1.dom->weight();
     r.weight2End = dom2.dom->weight();
     r.eventsExecuted = tb.sim().executedEvents();
+    if (cfg.inspect)
+        cfg.inspect(tb);
     return r;
 }
 
@@ -393,6 +413,8 @@ runTriggerScenario(const TriggerScenarioConfig &cfg)
         }
     }
     r.eventsExecuted = tb.sim().executedEvents();
+    if (cfg.inspect)
+        cfg.inspect(tb);
     return r;
 }
 

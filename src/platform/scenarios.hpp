@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "apps/mplayer.hpp"
 #include "apps/rubis.hpp"
 #include "coord/policy.hpp"
+#include "coord/reliable.hpp"
 #include "platform/testbed.hpp"
 #include "sim/stats.hpp"
 
@@ -52,6 +54,22 @@ struct RubisScenarioConfig
     corm::sim::Tick tuneDecayTau = 2 * corm::sim::sec;
     /** Optional damping (oscillation ablation; off = paper baseline). */
     coord::RequestTypeTunePolicy::Damping damping;
+
+    /**
+     * Send Tunes through a ReliableSender (ack + retry) instead of
+     * fire-and-forget. Not the paper's configuration — used by the
+     * latency-breakdown bench to expose the full decide → send →
+     * apply → ack chain, and by fault studies.
+     */
+    bool reliableTunes = false;
+    coord::ReliableSender::Params reliableParams;
+
+    /**
+     * Invoked on the live testbed after the measured window, before
+     * teardown — the hook harnesses use to snapshot the metric
+     * registry or other component state.
+     */
+    std::function<void(Testbed &)> inspect;
 
     corm::sim::Tick warmup = 20 * corm::sim::sec;
     corm::sim::Tick measure = 120 * corm::sim::sec;
@@ -163,6 +181,9 @@ struct MplayerQosConfig
     apps::mplayer::DecodeParams decode1;
     apps::mplayer::DecodeParams decode2;
 
+    /** Post-measurement inspection hook (see RubisScenarioConfig). */
+    std::function<void(Testbed &)> inspect;
+
     corm::sim::Tick warmup = 10 * corm::sim::sec;
     corm::sim::Tick measure = 60 * corm::sim::sec;
 
@@ -209,6 +230,9 @@ struct TriggerScenarioConfig
 
     /** Sampling period of the Fig. 7 CPU-utilisation series. */
     corm::sim::Tick cpuSamplePeriod = 1 * corm::sim::sec;
+
+    /** Post-measurement inspection hook (see RubisScenarioConfig). */
+    std::function<void(Testbed &)> inspect;
 
     corm::sim::Tick warmup = 8 * corm::sim::sec;
     corm::sim::Tick measure = 120 * corm::sim::sec;

@@ -31,6 +31,14 @@ Testbed::Testbed(TestbedParams params)
 {
     channel_.installFaultPlan(cfg.coordFaults);
 
+    if (cfg.trace != nullptr) {
+        channel_.setTrace(cfg.trace);
+        x86_.setTrace(cfg.trace);
+        ixp_.setTrace(cfg.trace);
+        announcer_.setTrace(cfg.trace);
+    }
+    registerMetrics();
+
     controller_.registerIsland(x86_);
     controller_.registerIsland(ixp_);
 
@@ -88,6 +96,101 @@ Testbed::attachPolicy(corm::coord::CoordinationPolicy &policy)
     ixp_.attachPolicy(policy);
     policy.attachSender(ixp_.id(), [this](const CoordMessage &m) {
         channel_.send(m);
+    });
+    if (cfg.trace != nullptr)
+        policy.attachTrace(cfg.trace, ixp_.name(), &sim_);
+}
+
+void
+Testbed::registerMetrics()
+{
+    using corm::obs::Labels;
+    auto &m = metrics_;
+
+    const Labels chan{{"channel", channel_.name()}};
+    const auto &cs = channel_.stats();
+    m.counterFn("coord.channel.sent", chan,
+                [&cs] { return cs.sent.value(); });
+    m.counterFn("coord.channel.delivered", chan,
+                [&cs] { return cs.delivered.value(); });
+    m.counterFn("coord.channel.dropped", chan,
+                [&cs] { return cs.dropped.value(); });
+    m.counterFn("coord.channel.tunes", chan,
+                [&cs] { return cs.tunes.value(); });
+    m.counterFn("coord.channel.triggers", chan,
+                [&cs] { return cs.triggers.value(); });
+    m.counterFn("coord.channel.registrations", chan,
+                [&cs] { return cs.registrations.value(); });
+    m.counterFn("coord.channel.duplicates", chan,
+                [&cs] { return cs.duplicates.value(); });
+    m.counterFn("coord.channel.reorders", chan,
+                [&cs] { return cs.reorders.value(); });
+    m.counterFn("coord.channel.retries", chan,
+                [&cs] { return cs.retries.value(); });
+    channel_.setDeliveryHistogram(
+        &m.histogram("coord.channel.delivery_latency_us", chan));
+
+    const Labels x86l{{"island", x86_.name()}};
+    const auto &ss = sched_.stats();
+    m.counterFn("xen.sched.context_switches", x86l,
+                [&ss] { return ss.contextSwitches.value(); });
+    m.counterFn("xen.sched.migrations", x86l,
+                [&ss] { return ss.migrations.value(); });
+    m.counterFn("xen.sched.boosts", x86l,
+                [&ss] { return ss.boosts.value(); });
+    m.counterFn("xen.sched.accountings", x86l,
+                [&ss] { return ss.accountings.value(); });
+    m.counterFn("xen.island.tunes_applied", x86l,
+                [this] { return x86_.totalTunes(); });
+    m.counterFn("xen.island.triggers_applied", x86l,
+                [this] { return x86_.totalTriggers(); });
+    m.counterFn("xen.island.ignored_ops", x86l,
+                [this] { return x86_.totalIgnored(); });
+
+    const Labels ixpl{{"island", ixp_.name()}};
+    const auto &is = ixp_.stats();
+    m.counterFn("ixp.wire_rx", ixpl,
+                [&is] { return is.wireRx.value(); });
+    m.counterFn("ixp.wire_tx", ixpl,
+                [&is] { return is.wireTx.value(); });
+    m.counterFn("ixp.classified", ixpl,
+                [&is] { return is.classified.value(); });
+    m.counterFn("ixp.unknown_dst", ixpl,
+                [&is] { return is.unknownDst.value(); });
+    m.counterFn("ixp.vm_queue_drops", ixpl,
+                [&is] { return is.vmQueueDrops.value(); });
+    m.counterFn("ixp.dma_rejects", ixpl,
+                [&is] { return is.dmaRejects.value(); });
+    m.counterFn("ixp.tunes_applied", ixpl,
+                [&is] { return is.tunesApplied.value(); });
+    m.counterFn("ixp.triggers_applied", ixpl,
+                [&is] { return is.triggersApplied.value(); });
+
+    m.counterFn("driver.polls", {},
+                [this] { return driver_.totalPolls(); });
+    m.counterFn("driver.interrupts", {},
+                [this] { return driver_.totalInterrupts(); });
+    m.counterFn("driver.delivered", {},
+                [this] { return driver_.totalDelivered(); });
+    m.counterFn("driver.transmitted", {},
+                [this] { return driver_.totalTransmitted(); });
+
+    m.counterFn("reg.acked", {},
+                [this] { return announcer_.acked(); });
+    m.counterFn("reg.retries", {},
+                [this] { return announcer_.retries(); });
+    m.counterFn("reg.abandoned", {},
+                [this] { return announcer_.abandoned(); });
+    m.gaugeFn("reg.pending", {}, [this] {
+        return static_cast<double>(announcer_.pendingCount());
+    });
+
+    m.counterFn("hostring.posted", {},
+                [this] { return ring_.totalPosted(); });
+    m.counterFn("hostring.full_rejects", {},
+                [this] { return ring_.totalFullRejects(); });
+    m.gaugeFn("hostring.high_water", {}, [this] {
+        return static_cast<double>(ring_.highWater());
     });
 }
 

@@ -31,6 +31,8 @@
 #include "interconnect/pcie.hpp"
 #include "ixp/island.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/driver.hpp"
 #include "sim/simulator.hpp"
 #include "xen/island.hpp"
@@ -78,6 +80,14 @@ struct TestbedParams
 
     corm::coord::IslandId x86IslandId = 1;
     corm::coord::IslandId ixpIslandId = 2;
+
+    /**
+     * Observability trace recorder (not owned; may be null). When
+     * set, the channel, both islands, the scheduler and the
+     * registration announcer emit simulated-time events into it;
+     * attachPolicy() also roots causal Tune/Trigger spans there.
+     */
+    corm::obs::TraceRecorder *trace = nullptr;
 };
 
 /**
@@ -165,7 +175,18 @@ class Testbed
     MessagingDriver &driver() { return driver_; }
     const TestbedParams &params() const { return cfg; }
 
+    /**
+     * The platform's unified metric registry: every component's
+     * counters and gauges under one name{label}-keyed namespace (see
+     * obs/metrics.hpp). Always available; reads are pull-based, so
+     * an unqueried registry costs nothing.
+     */
+    corm::obs::MetricRegistry &metrics() { return metrics_; }
+
   private:
+    /** Register every component's counters/gauges (ctor tail). */
+    void registerMetrics();
+
     TestbedParams cfg;
     corm::sim::Simulator sim_;
     corm::net::PacketFactory packets_;
@@ -180,6 +201,7 @@ class Testbed
     corm::coord::CoordChannel channel_;
     corm::coord::ReliableAnnouncer announcer_;
     MessagingDriver driver_;
+    corm::obs::MetricRegistry metrics_;
     std::vector<std::unique_ptr<Guest>> guests_;
     std::map<std::uint32_t,
              std::function<void(const corm::net::PacketPtr &)>>

@@ -5,25 +5,66 @@
  * Intended for tracing platform behaviour during development and in
  * the examples; the benchmark harnesses run with logging off so their
  * output is exactly the paper-style tables.
+ *
+ * Thresholds are per component: a component tag like "xen.sched"
+ * matches the most specific configured prefix ("xen.sched" beats
+ * "xen" beats the global default). Configuration comes from
+ * LogConfig::configure() — the same "level[,component=level,...]"
+ * syntax the CORM_LOG environment variable and the benches'
+ * --log-level flag accept, e.g. `CORM_LOG=coord=debug,xen.sched=info`.
+ * Defaults are unchanged from the single-threshold days: global
+ * `warn`, no component overrides.
  */
 
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
+
+/** printf-style format checking (no-op on non-GNU compilers). */
+#if defined(__GNUC__) || defined(__clang__)
+#define CORM_PRINTF(fmt_idx, first_arg)                               \
+    __attribute__((format(printf, fmt_idx, first_arg)))
+#else
+#define CORM_PRINTF(fmt_idx, first_arg)
+#endif
 
 namespace corm::sim {
 
 /** Log severity, in increasing order of importance. */
 enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
+/** Parse a level name; false leaves @p out untouched. */
+inline bool
+parseLogLevel(std::string_view name, LogLevel &out)
+{
+    if (name == "debug")
+        out = LogLevel::debug;
+    else if (name == "info")
+        out = LogLevel::info;
+    else if (name == "warn")
+        out = LogLevel::warn;
+    else if (name == "error")
+        out = LogLevel::error;
+    else if (name == "off")
+        out = LogLevel::off;
+    else
+        return false;
+    return true;
+}
+
 /**
- * Global log configuration. A single threshold applies to all
- * components; the simulator pointer (if set) adds time stamps.
+ * Global log configuration: a default threshold, optional
+ * per-component-prefix overrides, and the simulator clock (if set)
+ * that adds simulated-time stamps.
  */
 class LogConfig
 {
@@ -36,11 +77,100 @@ class LogConfig
         return config;
     }
 
-    /** Current threshold; messages below it are dropped. */
+    /** Global default threshold (components without an override). */
     LogLevel level() const { return threshold; }
 
-    /** Set the threshold. */
-    void setLevel(LogLevel level) { threshold = level; }
+    /** Set the global default threshold. */
+    void
+    setLevel(LogLevel level)
+    {
+        threshold = level;
+        recomputeFloor();
+    }
+
+    /**
+     * Override the threshold for every component whose tag equals
+     * @p component or starts with "@p component." — "coord" covers
+     * "coord.channel" and "coord.reliable"; the most specific
+     * configured prefix wins.
+     */
+    void
+    setComponentLevel(const std::string &component, LogLevel level)
+    {
+        components[component] = level;
+        recomputeFloor();
+    }
+
+    /** Drop all component overrides (global threshold remains). */
+    void
+    clearComponentLevels()
+    {
+        components.clear();
+        recomputeFloor();
+    }
+
+    /**
+     * Apply a "level[,component=level,...]" spec: a bare level sets
+     * the global default, `component=level` adds an override.
+     * Example: "warn,coord=debug,xen.sched=info".
+     * @return false (leaving prior settings partially applied) on
+     * the first malformed entry.
+     */
+    bool
+    configure(std::string_view spec)
+    {
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            std::size_t comma = spec.find(',', start);
+            if (comma == std::string_view::npos)
+                comma = spec.size();
+            std::string_view item = spec.substr(start, comma - start);
+            start = comma + 1;
+            if (item.empty())
+                continue;
+            const std::size_t eq = item.find('=');
+            LogLevel lvl{};
+            if (eq == std::string_view::npos) {
+                if (!parseLogLevel(item, lvl))
+                    return false;
+                setLevel(lvl);
+            } else {
+                std::string_view name = item.substr(0, eq);
+                if (name.empty()
+                    || !parseLogLevel(item.substr(eq + 1), lvl))
+                    return false;
+                setComponentLevel(std::string(name), lvl);
+            }
+        }
+        return true;
+    }
+
+    /** Effective threshold for @p component (longest prefix match). */
+    LogLevel
+    levelFor(std::string_view component) const
+    {
+        const LogLevel *best = nullptr;
+        std::size_t bestLen = 0;
+        for (const auto &[prefix, lvl] : components) {
+            if (prefix.size() < bestLen
+                || component.substr(0, prefix.size()) != prefix)
+                continue;
+            // A prefix matches whole dotted segments only.
+            if (component.size() > prefix.size()
+                && component[prefix.size()] != '.')
+                continue;
+            best = &lvl;
+            bestLen = prefix.size();
+        }
+        return best ? *best : threshold;
+    }
+
+    /**
+     * The lowest threshold any component could see — the fast-path
+     * gate: a message below this level is dropped without a
+     * component lookup.
+     */
+    LogLevel floorLevel() const { return floor; }
 
     /** Simulator whose clock stamps messages (may be null). */
     const Simulator *clock() const { return sim; }
@@ -49,13 +179,32 @@ class LogConfig
     void setClock(const Simulator *simulator) { sim = simulator; }
 
   private:
+    LogConfig()
+    {
+        if (const char *env = std::getenv("CORM_LOG"))
+            configure(env);
+    }
+
+    void
+    recomputeFloor()
+    {
+        floor = threshold;
+        for (const auto &[prefix, lvl] : components) {
+            if (lvl < floor)
+                floor = lvl;
+        }
+    }
+
     LogLevel threshold = LogLevel::warn;
+    LogLevel floor = LogLevel::warn;
+    std::map<std::string, LogLevel> components;
     const Simulator *sim = nullptr;
 };
 
 /**
  * Per-component logger; cheap to construct and copy. Formatting uses
- * printf-style varargs for zero dependencies.
+ * printf-style varargs for zero dependencies; format strings are
+ * compiler-checked against their arguments (CORM_PRINTF).
  */
 class Logger
 {
@@ -65,61 +214,87 @@ class Logger
         : tag(std::move(component))
     {}
 
-    /** True if messages at @p level would currently be emitted. */
+    /** True if any component would currently emit at @p level. */
     static bool
     enabled(LogLevel level)
     {
-        return level >= LogConfig::instance().level();
+        return level >= LogConfig::instance().floorLevel();
+    }
+
+    /** True if THIS component would currently emit at @p level. */
+    bool
+    enabledFor(LogLevel level) const
+    {
+        return level >= LogConfig::instance().levelFor(tag);
     }
 
     /** Emit a debug-level message. */
-    template <typename... Args>
     void
-    debug(const char *fmt, Args... args) const
+    debug(const char *fmt, ...) const CORM_PRINTF(2, 3)
     {
-        emit(LogLevel::debug, fmt, args...);
+        if (!shouldEmit(LogLevel::debug))
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        vemit(LogLevel::debug, fmt, ap);
+        va_end(ap);
     }
 
     /** Emit an info-level message. */
-    template <typename... Args>
     void
-    info(const char *fmt, Args... args) const
+    info(const char *fmt, ...) const CORM_PRINTF(2, 3)
     {
-        emit(LogLevel::info, fmt, args...);
+        if (!shouldEmit(LogLevel::info))
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        vemit(LogLevel::info, fmt, ap);
+        va_end(ap);
     }
 
     /** Emit a warning. */
-    template <typename... Args>
     void
-    warn(const char *fmt, Args... args) const
+    warn(const char *fmt, ...) const CORM_PRINTF(2, 3)
     {
-        emit(LogLevel::warn, fmt, args...);
+        if (!shouldEmit(LogLevel::warn))
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        vemit(LogLevel::warn, fmt, ap);
+        va_end(ap);
     }
 
     /** Emit an error message. */
-    template <typename... Args>
     void
-    error(const char *fmt, Args... args) const
+    error(const char *fmt, ...) const CORM_PRINTF(2, 3)
     {
-        emit(LogLevel::error, fmt, args...);
+        if (!shouldEmit(LogLevel::error))
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        vemit(LogLevel::error, fmt, ap);
+        va_end(ap);
     }
 
   private:
-    template <typename... Args>
-    void
-    emit(LogLevel level, const char *fmt, Args... args) const
+    bool
+    shouldEmit(LogLevel level) const
     {
-        if (!enabled(level))
-            return;
+        // Two-stage gate: the global floor first (one comparison,
+        // the common all-off case), the per-component prefix lookup
+        // only when something might be on.
+        return enabled(level) && enabledFor(level);
+    }
+
+    void
+    vemit(LogLevel level, const char *fmt, va_list ap) const
+    {
         static const char *names[] = {"DBG", "INF", "WRN", "ERR"};
         const auto *clk = LogConfig::instance().clock();
         const double t = clk ? toMillis(clk->now()) : 0.0;
         std::fprintf(stderr, "[%12.3f ms] %s %-16s ", t,
                      names[static_cast<int>(level)], tag.c_str());
-        if constexpr (sizeof...(Args) == 0)
-            std::fprintf(stderr, "%s", fmt);
-        else
-            std::fprintf(stderr, fmt, args...);
+        std::vfprintf(stderr, fmt, ap);
         std::fputc('\n', stderr);
     }
 

@@ -21,6 +21,7 @@
 
 #include "coord/island.hpp"
 #include "coord/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "xen/sched.hpp"
@@ -146,6 +147,20 @@ class XenIsland : public coord::ResourceIsland
     /** The XenCtrl tuning interface. */
     XenCtl &xenctl() { return ctl; }
 
+    /**
+     * Attach a trace recorder to the island and its scheduler
+     * (nullptr detaches). Tune/Trigger applications become slices on
+     * this island's track, joined to the causal span the channel
+     * installed around the dispatch.
+     */
+    void
+    setTrace(corm::obs::TraceRecorder *recorder)
+    {
+        rec = recorder;
+        trk = -1;
+        sched.setTrace(recorder, name_);
+    }
+
     /** The underlying scheduler. */
     CreditScheduler &scheduler() { return sched; }
 
@@ -170,7 +185,35 @@ class XenIsland : public coord::ResourceIsland
             return;
         }
         tunesApplied.add();
+        const double before = dom->weight();
         ctl.adjustWeight(*dom, delta);
+        if (CORM_TRACE_ACTIVE(rec))
+            traceTuneApplied(*dom, delta, before);
+    }
+
+    /** Out of line so the untraced applyTune stays lean (it is on
+     *  the per-Tune hot path measured by BM_TuneSendToApply). */
+    [[gnu::noinline]] void
+    traceTuneApplied(Domain &dom, double delta, double before)
+    {
+        const auto flow = rec->currentFlow();
+        rec->complete(islandTrack(), sim.now(), 0, "tune:apply",
+                      "xen",
+                      {{"dom", static_cast<std::uint64_t>(dom.id())},
+                       {"delta", delta},
+                       {"weight_before", before},
+                       {"weight_after", dom.weight()}});
+        if (flow.id != 0) {
+            // A fire-and-forget tune ends its span here; a reliable
+            // one still has the ack's return hop.
+            if (flow.final) {
+                rec->flowEnd(islandTrack(), sim.now(), flow.id,
+                             "coord.span", "coord");
+            } else {
+                rec->flowStep(islandTrack(), sim.now(), flow.id,
+                              "coord.span", "coord");
+            }
+        }
     }
 
     /** Trigger: boost the entity's VCPUs in the run queue. */
@@ -183,6 +226,17 @@ class XenIsland : public coord::ResourceIsland
             return;
         }
         triggersApplied.add();
+        if (CORM_TRACE_ACTIVE(rec)) {
+            const auto flow = rec->currentFlow();
+            rec->complete(islandTrack(), sim.now(), 0,
+                          "trigger:apply", "xen",
+                          {{"dom", static_cast<std::uint64_t>(
+                                       dom->id())}});
+            // Always a step: the span finishes when the boosted VCPU
+            // reaches a PCPU (CreditScheduler::dispatch).
+            rec->flowStep(islandTrack(), sim.now(), flow.id,
+                          "coord.span", "coord");
+        }
         ctl.boost(*dom);
     }
 
@@ -247,10 +301,21 @@ class XenIsland : public coord::ResourceIsland
     std::uint64_t totalIgnored() const { return ignoredOps.value(); }
 
   private:
+    /** Island-level track for apply events (lazy). */
+    int
+    islandTrack()
+    {
+        if (trk < 0)
+            trk = rec->track(name_, "coord-adapter");
+        return trk;
+    }
+
     corm::sim::Simulator &sim;
     coord::IslandId id_;
     std::string name_;
     CreditScheduler &sched;
+    corm::obs::TraceRecorder *rec = nullptr;
+    int trk = -1;
     XenCtl ctl;
     PowerModel powerModel;
     std::map<coord::EntityId, Domain *> entities;

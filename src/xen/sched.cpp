@@ -144,6 +144,14 @@ void
 CreditScheduler::boost(Domain &dom)
 {
     stats_.boosts.add();
+    // The traced variant lives out of line: keeping the recorder
+    // calls (and their argument construction) out of this function
+    // preserves the untraced path's codegen — boost() sits on the
+    // Trigger fast path and is microbenchmarked (BM_TriggerBoost).
+    if (CORM_TRACE_ACTIVE(rec_)) {
+        boostTraced(dom);
+        return;
+    }
     for (auto &vc : dom.vcpus) {
         traceEvent(SchedEvent::Kind::boost, *vc, vc->assignedPcpu);
         switch (vc->st) {
@@ -162,6 +170,53 @@ CreditScheduler::boost(Domain &dom)
           }
           case VcpuState::running:
             break; // already has the CPU
+        }
+    }
+}
+
+void
+CreditScheduler::boostTraced(Domain &dom)
+{
+    // Adopt the causal span of the Trigger being dispatched (the
+    // channel installs it around applyTrigger; see obs::TraceScope):
+    // the span finishes when the boosted VCPU actually reaches a
+    // PCPU, which is the effect the Trigger asked for. The span is
+    // parked in the boostFlows side table (not in Vcpu) so the
+    // untraced scheduler pays neither the field nor these calls.
+    const auto flow = rec_->currentFlow();
+    for (auto &vc : dom.vcpus) {
+        traceEvent(SchedEvent::Kind::boost, *vc, vc->assignedPcpu);
+        switch (vc->st) {
+          case VcpuState::blocked:
+            vc->pendingBoost = true;
+            noteBoostFlow(*vc, flow);
+            break;
+          case VcpuState::runnable: {
+            removeFromRunq(*vc);
+            vc->prio = Priority::boost;
+            vc->wakeTick = sim.now();
+            noteBoostFlow(*vc, flow);
+            PCpu &pc = pcpus[static_cast<std::size_t>(vc->assignedPcpu)];
+            enqueue(pc, *vc, /*at_front=*/true);
+            preemptIfNeeded(pc);
+            break;
+          }
+          case VcpuState::running:
+            // Already has the CPU: the Trigger's effect is immediate.
+            if (flow.id != 0) {
+                if (flow.final) {
+                    rec_->flowEnd(obsTrack(), sim.now(), flow.id,
+                                  "coord.span", "coord");
+                } else {
+                    rec_->flowStep(obsTrack(), sim.now(), flow.id,
+                                   "coord.span", "coord");
+                }
+                rec_->instant(obsTrack(), sim.now(),
+                              "boost:already-running", "xen",
+                              {{"dom", static_cast<std::uint64_t>(
+                                           dom.id())}});
+            }
+            break;
         }
     }
 }
@@ -304,6 +359,10 @@ CreditScheduler::dispatch(PCpu &pc)
     if (next->prio == Priority::boost && next->wakeTick != 0) {
         stats_.boostDispatchUs.record(
             corm::sim::toMicros(sim.now() - next->wakeTick));
+        // Out of line so dispatch() — the scheduler's hottest
+        // function — keeps its untraced codegen.
+        if (CORM_TRACE_ACTIVE(rec_))
+            traceBoostDispatch(*next, pc);
         next->wakeTick = 0;
     }
     pc.current = next;
@@ -311,6 +370,25 @@ CreditScheduler::dispatch(PCpu &pc)
     pc.segStart = sim.now();
     pc.sliceEnd = sim.now() + cfg.sliceLimit;
     startSegment(pc);
+}
+
+void
+CreditScheduler::traceBoostDispatch(Vcpu &vc, PCpu &pc)
+{
+    rec_->complete(obsTrack(), vc.wakeTick, sim.now() - vc.wakeTick,
+                   "boost:dispatch-wait", "xen",
+                   {{"dom", static_cast<std::uint64_t>(vc.dom.id())},
+                    {"pcpu", pc.index}});
+    if (auto it = boostFlows.find(&vc); it != boostFlows.end()) {
+        if (it->second.final) {
+            rec_->flowEnd(obsTrack(), sim.now(), it->second.id,
+                          "coord.span", "coord");
+        } else {
+            rec_->flowStep(obsTrack(), sim.now(), it->second.id,
+                           "coord.span", "coord");
+        }
+        boostFlows.erase(it);
+    }
 }
 
 void

@@ -50,10 +50,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -357,6 +359,21 @@ class CreditScheduler
     /** The recorded trace, oldest first. */
     const std::deque<SchedEvent> &trace() const { return traceRing; }
 
+    /**
+     * Attach an observability trace recorder (nullptr detaches);
+     * independent of the xentrace-style ring above. Boost dispatches
+     * emit wake-to-dispatch slices on @p process's "sched" thread,
+     * finishing the causal span of the Trigger that requested them.
+     */
+    void
+    setTrace(corm::obs::TraceRecorder *recorder,
+             std::string process = "x86-xen")
+    {
+        rec_ = recorder;
+        obsProcess = std::move(process);
+        obsTrk = -1;
+    }
+
     /** Reset PCPU busy accounting (end of warm-up). */
     void resetBusy();
 
@@ -388,6 +405,10 @@ class CreditScheduler
     void enqueue(PCpu &pc, Vcpu &vcpu, bool at_front = false);
     void removeFromRunq(Vcpu &vcpu);
     void dispatch(PCpu &pc);
+    /** Traced boost()/dispatch() slow paths, kept out of line so the
+     *  untraced hot paths keep their codegen (see boost()). */
+    void boostTraced(Domain &dom);
+    void traceBoostDispatch(Vcpu &vc, PCpu &pc);
     void startSegment(PCpu &pc);
     void accrue(PCpu &pc);
     void onSegmentEnd(PCpu &pc);
@@ -414,7 +435,39 @@ class CreditScheduler
             traceRing.pop_front();
     }
 
+    /** Observability track for scheduler events (lazy). */
+    int
+    obsTrack()
+    {
+        if (obsTrk < 0)
+            obsTrk = rec_->track(obsProcess, "sched");
+        return obsTrk;
+    }
+
+    /** Park (or clear) the Trigger span a boost handed this VCPU. */
+    void
+    noteBoostFlow(const Vcpu &vc,
+                  corm::obs::TraceRecorder::FlowContext flow)
+    {
+        if (flow.id != 0)
+            boostFlows[&vc] = flow;
+        else
+            boostFlows.erase(&vc);
+    }
+
     SchedStats stats_;
+    corm::obs::TraceRecorder *rec_ = nullptr;
+    std::string obsProcess = "x86-xen";
+    int obsTrk = -1;
+    /**
+     * Causal span of the Trigger that boosted each VCPU, keyed by
+     * VCPU. A side table rather than a Vcpu field so the untraced
+     * scheduler pays nothing — Vcpu stays two cache lines, and both
+     * writers and the dispatch-side lookup sit behind
+     * CORM_TRACE_ACTIVE.
+     */
+    std::map<const Vcpu *, corm::obs::TraceRecorder::FlowContext>
+        boostFlows;
     std::size_t traceCap = 0;
     std::deque<SchedEvent> traceRing;
     int nextPcpu = 0; ///< round-robin initial placement

@@ -172,7 +172,7 @@ TEST(Mailbox, DeliversAfterLatency)
     Tick delivered = 0;
     std::uint64_t got0 = 0, got1 = 0;
     mbox.setReceiver([&](std::uint64_t w0, std::uint64_t w1,
-                         std::uint64_t) {
+                         std::uint64_t, std::uint64_t) {
         delivered = sim.now();
         got0 = w0;
         got1 = w1;
@@ -192,7 +192,8 @@ TEST(Mailbox, NeverReordersAcrossLatencyChange)
     Mailbox mbox(sim, 100 * usec, "m");
     std::vector<std::uint64_t> got;
     mbox.setReceiver(
-        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
+            std::uint64_t) {
             got.push_back(w0);
         });
     mbox.send(1, 0);
@@ -324,7 +325,8 @@ TEST(Mailbox, FaultLossDropsAndNotifiesObserver)
     int deliveries = 0;
     std::uint64_t droppedTag = 0;
     mbox.setReceiver(
-        [&](std::uint64_t, std::uint64_t, std::uint64_t) {
+        [&](std::uint64_t, std::uint64_t, std::uint64_t,
+            std::uint64_t) {
             ++deliveries;
         });
     mbox.setDropObserver([&](std::uint64_t tag) { droppedTag = tag; });
@@ -348,7 +350,8 @@ TEST(Mailbox, FaultDuplicateDeliversSameTagTwice)
     mbox.setFaultInjector(&inj);
     std::vector<std::pair<std::uint64_t, Tick>> got;
     mbox.setReceiver(
-        [&](std::uint64_t, std::uint64_t, std::uint64_t tag) {
+        [&](std::uint64_t, std::uint64_t, std::uint64_t tag,
+            std::uint64_t) {
             got.emplace_back(tag, sim.now());
         });
     mbox.send(1, 2, 9);
@@ -371,7 +374,8 @@ TEST(Mailbox, ReorderedMessageIsOvertaken)
     mbox.setFaultInjector(&inj);
     std::vector<std::uint64_t> order;
     mbox.setReceiver(
-        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
+            std::uint64_t) {
             order.push_back(w0);
         });
     // First message is held back by up to the reorder window; the
@@ -395,7 +399,8 @@ TEST(Mailbox, OutageWindowSilencesDirection)
     mbox.setFaultInjector(&inj);
     std::vector<std::uint64_t> got;
     mbox.setReceiver(
-        [&](std::uint64_t w0, std::uint64_t, std::uint64_t) {
+        [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
+            std::uint64_t) {
             got.push_back(w0);
         });
     mbox.send(1, 0, 1); // inside the outage: lost

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the observability subsystem: the typed MetricRegistry
+ * (names/labels, kind collisions, histogram bucket edges), the
+ * TraceRecorder (JSON well-formedness against our own parser, flow
+ * dedup, determinism), causal span propagation across a faulty
+ * coordination channel, and the per-component log configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coord/channel.hpp"
+#include "coord/reliable.hpp"
+#include "interconnect/faults.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "platform/scenarios.hpp"
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+
+using namespace corm::sim;
+using namespace corm::obs;
+using namespace corm::coord;
+
+// Counter and Histogram exist in both corm::sim (component stats)
+// and corm::obs (registry-owned metrics); these tests exercise the
+// obs ones.
+using ObsCounter = corm::obs::Counter;
+using ObsHistogram = corm::obs::Histogram;
+
+//
+// MetricRegistry
+//
+
+TEST(Metrics, FullNameSortsLabels)
+{
+    EXPECT_EQ(MetricRegistry::fullName("a.b", {}), "a.b");
+    EXPECT_EQ(MetricRegistry::fullName(
+                  "a.b", {{"z", "1"}, {"island", "ixp"}}),
+              "a.b{island=ixp,z=1}");
+}
+
+TEST(Metrics, OwnedMetricsAreIdempotent)
+{
+    MetricRegistry m;
+    ObsCounter &c1 = m.counter("x.count", {{"k", "v"}});
+    c1.add(3);
+    ObsCounter &c2 = m.counter("x.count", {{"k", "v"}});
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(c2.value(), 3u);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.has("x.count", {{"k", "v"}}));
+    EXPECT_FALSE(m.has("x.count"));
+}
+
+TEST(Metrics, KindCollisionThrows)
+{
+    MetricRegistry m;
+    m.counter("x");
+    EXPECT_THROW(m.gauge("x"), std::logic_error);
+    EXPECT_THROW(m.histogram("x"), std::logic_error);
+    EXPECT_THROW(m.gaugeFn("x", {}, [] { return 0.0; }),
+                 std::logic_error);
+    // Same kind is fine; callback re-registration replaces.
+    std::uint64_t v = 7;
+    m.counterFn("x", {}, [&v] { return v; });
+    std::ostringstream out;
+    m.writeText(out);
+    EXPECT_EQ(out.str(), "x 7\n");
+}
+
+TEST(Metrics, HistogramBucketEdges)
+{
+    // Bucket 0 holds values < 1 (and negatives/NaN); bucket i holds
+    // [2^(i-1), 2^i).
+    EXPECT_EQ(ObsHistogram::bucketFor(-5.0), 0u);
+    EXPECT_EQ(ObsHistogram::bucketFor(0.0), 0u);
+    EXPECT_EQ(ObsHistogram::bucketFor(0.999), 0u);
+    EXPECT_EQ(ObsHistogram::bucketFor(1.0), 1u);
+    EXPECT_EQ(ObsHistogram::bucketFor(1.999), 1u);
+    EXPECT_EQ(ObsHistogram::bucketFor(2.0), 2u);
+    EXPECT_EQ(ObsHistogram::bucketFor(3.999), 2u);
+    EXPECT_EQ(ObsHistogram::bucketFor(4.0), 3u);
+    EXPECT_EQ(ObsHistogram::bucketFor(1024.0), 11u);
+    EXPECT_EQ(ObsHistogram::bucketFor(1e300), ObsHistogram::bucketCount - 1);
+
+    EXPECT_EQ(ObsHistogram::bucketUpperEdge(0), 1.0);
+    EXPECT_EQ(ObsHistogram::bucketUpperEdge(1), 2.0);
+    EXPECT_EQ(ObsHistogram::bucketUpperEdge(11), 2048.0);
+
+    ObsHistogram h;
+    h.record(0.5);
+    h.record(1.0);
+    h.record(1.5);
+    h.record(100.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(7), 1u); // 100 in [64, 128)
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_EQ(h.usedBuckets(), 8u);
+}
+
+TEST(Metrics, SerializationIsSortedAndParses)
+{
+    MetricRegistry m;
+    m.counter("b.second").add(2);
+    m.counter("a.first").add(1);
+    m.gauge("c.gauge").set(1.5);
+    m.histogram("d.hist").record(3.0);
+
+    std::ostringstream out;
+    m.writeText(out);
+    const std::string text = out.str();
+    EXPECT_LT(text.find("a.first 1"), text.find("b.second 2"));
+    EXPECT_NE(text.find("c.gauge 1.5"), std::string::npos);
+    EXPECT_NE(text.find("d.hist count=1"), std::string::npos);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(m.jsonSnapshot(), doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_NE(doc.get("a.first"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.get("a.first")->num, 1.0);
+    const JsonValue *hist = doc.get("d.hist");
+    ASSERT_NE(hist, nullptr);
+    ASSERT_TRUE(hist->isObject());
+    EXPECT_DOUBLE_EQ(hist->get("count")->num, 1.0);
+}
+
+//
+// TraceRecorder
+//
+
+TEST(Trace, JsonWellFormedAgainstOwnParser)
+{
+    TraceRecorder rec;
+    const int t1 = rec.track("islandA", "sched");
+    const int t2 = rec.track("islandB", "policy");
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(rec.track("islandA", "sched"), t1);
+
+    const TraceId id = rec.newFlow();
+    rec.complete(t1, 1000, 500, "work", "cat",
+                 {{"k", std::uint64_t(7)}, {"s", "va\"lue"}});
+    rec.instant(t2, 1500, "mark", "cat");
+    rec.counter(t2, 2000, "queue", "bytes", 42.0);
+    rec.flowBegin(t1, 1000, id, "span", "cat");
+    rec.flowStep(t2, 1500, id, "span", "cat");
+    rec.flowEnd(t2, 2000, id, "span", "cat");
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(rec.json(), doc, &err)) << err;
+    const JsonValue *events = doc.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // 4 metadata (2 tracks x process+thread names) + 6 events.
+    EXPECT_EQ(events->items.size(), 10u);
+    std::size_t flows = 0;
+    for (const auto &e : events->items) {
+        const std::string &ph = e.get("ph")->str;
+        if (ph == "s" || ph == "t" || ph == "f") {
+            ++flows;
+            EXPECT_DOUBLE_EQ(e.get("id")->num,
+                             static_cast<double>(id));
+        }
+        if (ph == "X")
+            ASSERT_NE(e.get("dur"), nullptr);
+    }
+    EXPECT_EQ(flows, 3u);
+    ASSERT_NE(doc.get("displayTimeUnit"), nullptr);
+}
+
+TEST(Trace, DisabledRecorderRecordsNothing)
+{
+    TraceRecorder rec;
+    rec.setEnabled(false);
+    const int trk = rec.track("p", "t");
+    rec.complete(trk, 0, 1, "x", "c");
+    rec.flowBegin(trk, 0, rec.newFlow(), "s", "c");
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_FALSE(CORM_TRACE_ACTIVE(
+        static_cast<TraceRecorder *>(nullptr)));
+}
+
+TEST(Trace, DuplicateFlowEndsDowngradeToSteps)
+{
+    TraceRecorder rec;
+    const int trk = rec.track("p", "t");
+    const TraceId id = rec.newFlow();
+    rec.flowBegin(trk, 0, id, "s", "c");
+    rec.flowEnd(trk, 10, id, "s", "c");
+    rec.flowEnd(trk, 20, id, "s", "c"); // duplicated final leg
+    ASSERT_EQ(rec.events().size(), 3u);
+    EXPECT_EQ(rec.events()[1].phase, 'f');
+    EXPECT_EQ(rec.events()[2].phase, 't');
+}
+
+TEST(Trace, ScopeSavesAndRestoresFlowContext)
+{
+    TraceRecorder rec;
+    EXPECT_EQ(rec.currentFlow().id, 0u);
+    {
+        TraceScope outer(&rec, 5, false);
+        EXPECT_EQ(rec.currentFlow().id, 5u);
+        EXPECT_FALSE(rec.currentFlow().final);
+        {
+            TraceScope inner(&rec, 9, true);
+            EXPECT_EQ(rec.currentFlow().id, 9u);
+            EXPECT_TRUE(rec.currentFlow().final);
+        }
+        EXPECT_EQ(rec.currentFlow().id, 5u);
+    }
+    EXPECT_EQ(rec.currentFlow().id, 0u);
+}
+
+//
+// Causal spans across a faulty channel
+//
+
+namespace {
+
+class StubIsland : public ResourceIsland
+{
+  public:
+    StubIsland(IslandId island_id, std::string island_name)
+        : id_(island_id), name_(std::move(island_name))
+    {}
+
+    IslandId id() const override { return id_; }
+    const std::string &name() const override { return name_; }
+    void applyTune(EntityId e, double d) override
+    {
+        tunes.emplace_back(e, d);
+    }
+    void applyTrigger(EntityId e) override { triggers.push_back(e); }
+    void learnBinding(const EntityBinding &) override {}
+
+    std::vector<std::pair<EntityId, double>> tunes;
+    std::vector<EntityId> triggers;
+
+  private:
+    IslandId id_;
+    std::string name_;
+};
+
+} // namespace
+
+TEST(TraceSpans, OneCausalChainAcrossFaultyChannel)
+{
+    Simulator sim;
+    StubIsland x86(1, "x86"), ixp(2, "ixp");
+    CoordChannel ch(sim, ixp, x86, 100 * usec);
+    corm::interconnect::FaultPlanParams faults;
+    faults.seed = 77;
+    faults.lossProb = 0.4; // force retransmissions
+    faults.dupProb = 0.4;  // force duplicate deliveries
+    ch.installFaultPlan(faults);
+
+    TraceRecorder rec;
+    ch.setTrace(&rec);
+    ReliableSender::Params params;
+    params.retryTimeout = 2 * msec;
+    params.maxAttempts = 32;
+    ReliableSender sender(sim, ch, ixp.id(), params);
+    sender.setTrace(&rec);
+
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = ixp.id();
+    m.dst = x86.id();
+    m.entity = 4;
+    m.value = 2.5;
+    m.trace = rec.newFlow();
+    const int policyTrk = rec.track("ixp", "policy");
+    rec.complete(policyTrk, sim.now(), 0, "decide:tune", "coord");
+    rec.flowBegin(policyTrk, sim.now(), m.trace, "coord.span",
+                  "coord");
+    sender.send(m);
+    sim.runFor(1 * sec);
+
+    // Delivered exactly once despite loss-driven retries and
+    // fault-injected duplicates.
+    ASSERT_EQ(x86.tunes.size(), 1u);
+    EXPECT_EQ(x86.tunes[0].first, EntityId{4});
+    EXPECT_DOUBLE_EQ(x86.tunes[0].second, 2.5);
+
+    int begins = 0, steps = 0, ends = 0;
+    Tick lastTs = 0;
+    for (const auto &e : rec.events()) {
+        if (e.phase != 's' && e.phase != 't' && e.phase != 'f')
+            continue;
+        EXPECT_EQ(e.flow, m.trace); // single chain, single id
+        EXPECT_GE(e.ts, lastTs);
+        lastTs = e.ts;
+        if (e.phase == 's')
+            ++begins;
+        else if (e.phase == 't')
+            ++steps;
+        else
+            ++ends;
+    }
+    EXPECT_EQ(begins, 1);
+    EXPECT_EQ(ends, 1); // ack return ends the span exactly once
+    EXPECT_GE(steps, 1);
+
+    // The weather actually fired: at least one retry or duplicate
+    // marker joined the chain.
+    bool sawRecovery = false;
+    for (const auto &e : rec.events()) {
+        if (e.name.rfind("retry:", 0) == 0
+            || e.name.rfind("hop:dup:", 0) == 0)
+            sawRecovery = true;
+    }
+    EXPECT_TRUE(sawRecovery);
+}
+
+TEST(TraceSpans, RubisTraceIsDeterministic)
+{
+    auto run = [] {
+        corm::platform::RubisScenarioConfig cfg;
+        cfg.coordination = true;
+        cfg.warmup = corm::sim::sec / 2;
+        cfg.measure = 2 * corm::sim::sec;
+        TraceRecorder rec;
+        cfg.testbed.trace = &rec;
+        corm::platform::runRubisScenario(cfg);
+        return rec.json();
+    };
+    const std::string a = run();
+    const std::string b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(a, doc, &err)) << err;
+    // At least one complete classifier -> Tune -> apply span.
+    std::map<double, std::pair<int, int>> chains; // id -> (s, f)
+    for (const auto &e : doc.get("traceEvents")->items) {
+        const std::string &ph = e.get("ph")->str;
+        if (ph == "s")
+            ++chains[e.get("id")->num].first;
+        else if (ph == "f")
+            ++chains[e.get("id")->num].second;
+    }
+    bool complete = false;
+    for (const auto &[id, sf] : chains) {
+        EXPECT_LE(sf.second, 1);
+        if (sf.first == 1 && sf.second == 1)
+            complete = true;
+    }
+    EXPECT_TRUE(complete);
+}
+
+//
+// Per-component log configuration
+//
+
+namespace {
+
+/** Restores the global LogConfig on scope exit. */
+struct LogConfigGuard
+{
+    ~LogConfigGuard()
+    {
+        corm::sim::LogConfig::instance().clearComponentLevels();
+        corm::sim::LogConfig::instance().setLevel(
+            corm::sim::LogLevel::warn);
+    }
+};
+
+} // namespace
+
+TEST(LogConfig, ComponentPrefixOverrides)
+{
+    LogConfigGuard guard;
+    auto &cfg = corm::sim::LogConfig::instance();
+    ASSERT_TRUE(cfg.configure("warn,coord=debug,xen.sched=info"));
+
+    using corm::sim::LogLevel;
+    EXPECT_EQ(cfg.levelFor("coord"), LogLevel::debug);
+    EXPECT_EQ(cfg.levelFor("coord.channel"), LogLevel::debug);
+    EXPECT_EQ(cfg.levelFor("xen.sched"), LogLevel::info);
+    EXPECT_EQ(cfg.levelFor("xen.sched.credit"), LogLevel::info);
+    // Prefixes match whole dotted segments only.
+    EXPECT_EQ(cfg.levelFor("xen.scheduler"), LogLevel::warn);
+    EXPECT_EQ(cfg.levelFor("xen"), LogLevel::warn);
+    EXPECT_EQ(cfg.levelFor("net"), LogLevel::warn);
+    EXPECT_EQ(cfg.floorLevel(), LogLevel::debug);
+
+    // The most specific prefix wins.
+    cfg.setComponentLevel("xen", LogLevel::error);
+    EXPECT_EQ(cfg.levelFor("xen.sched"), LogLevel::info);
+    EXPECT_EQ(cfg.levelFor("xen.island"), LogLevel::error);
+
+    corm::sim::Logger logger("coord.channel");
+    EXPECT_TRUE(logger.enabledFor(LogLevel::debug));
+    corm::sim::Logger other("net.packet");
+    EXPECT_FALSE(other.enabledFor(LogLevel::info));
+}
+
+TEST(LogConfig, MalformedSpecsRejected)
+{
+    LogConfigGuard guard;
+    auto &cfg = corm::sim::LogConfig::instance();
+    EXPECT_FALSE(cfg.configure("verbose"));
+    EXPECT_FALSE(cfg.configure("coord=loud"));
+    EXPECT_FALSE(cfg.configure("=debug"));
+    EXPECT_TRUE(cfg.configure("error"));
+    EXPECT_EQ(cfg.level(), corm::sim::LogLevel::error);
+    EXPECT_TRUE(cfg.configure("")); // empty spec is a no-op
+}
