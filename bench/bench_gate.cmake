@@ -1,0 +1,38 @@
+# Bench regression gate, run as a ctest.
+#
+# Reruns one bench binary with the committed fast configuration and
+# gates its JSON report against the checked-in baseline
+# (bench/baselines/*.json) via the bench_gate comparator. Then
+# self-tests the gate: a synthetic 2x response-time regression
+# (--scale) must be caught, otherwise the gate itself is broken.
+
+execute_process(
+    COMMAND ${BENCH_BIN} --trials 1 --warmup-sec 0.5 --measure-sec 2
+        --json ${WORK_DIR}/gate_fresh.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gate bench run failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/gate_fresh.json
+    RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench regression gate failed against ${BASELINE} "
+        "(rc=${gate_rc}); if the change is intentional, refresh the "
+        "baseline with scripts/check_bench.sh --update")
+endif()
+
+execute_process(
+    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/gate_fresh.json
+        --scale results.coord.mean_response_ms.mean=2.0 --expect-fail
+    RESULT_VARIABLE self_rc OUTPUT_QUIET)
+if(NOT self_rc EQUAL 0)
+    message(FATAL_ERROR
+        "gate self-test failed: a synthetic 2x latency regression "
+        "was not caught (rc=${self_rc})")
+endif()
+
+message(STATUS "bench_gate: baseline holds; synthetic regression caught")

@@ -100,6 +100,10 @@ struct ObsCapture
     std::string tracePath;
     /** --metrics: dump + embed the registry snapshot. */
     bool metrics = false;
+    /** --monitor: arm the online health monitor on trial 0. */
+    bool monitor = false;
+    /** --dashboard destination; empty disables (implies monitor). */
+    std::string dashboardPath;
 
     /** Chrome trace-event JSON from trial 0 (filled by the run). */
     std::string traceJson;
@@ -107,6 +111,16 @@ struct ObsCapture
     std::string metricsJson;
     /** MetricRegistry text dump from trial 0. */
     std::string metricsText;
+    /** Health monitor log from trial 0 (--monitor). */
+    std::string healthReport;
+    /** Unhealthy events observed on trial 0. */
+    std::uint64_t healthBreaches = 0;
+    /** Flight-recorder dump around the first incident, if any. */
+    std::string flightJson;
+    /** What triggered the flight dump. */
+    std::string flightReason;
+    /** Rendered time-series dashboard (--dashboard). */
+    std::string dashboardHtml;
 };
 
 /** Options every bench binary accepts. */
@@ -150,6 +164,10 @@ printUsage(const char *bench_name)
         "trial 0 to PATH\n"
         "  --metrics         print trial 0's metric registry and "
         "embed it in the report\n"
+        "  --monitor         arm the online health monitor (SLO "
+        "watchdogs + flight recorder) on trial 0\n"
+        "  --dashboard PATH  write trial 0's time-series dashboard "
+        "as HTML (implies --monitor)\n"
         "  --log-level SPEC  logging spec "
         "\"level[,component=level,...]\" (like CORM_LOG)\n"
         "  --help            this text\n",
@@ -204,6 +222,11 @@ parseArgs(int argc, char **argv, const char *bench_name)
             o.obs->tracePath = numeric(a, i);
         } else if (!std::strcmp(a, "--metrics")) {
             o.obs->metrics = true;
+        } else if (!std::strcmp(a, "--monitor")) {
+            o.obs->monitor = true;
+        } else if (!std::strcmp(a, "--dashboard")) {
+            o.obs->dashboardPath = numeric(a, i);
+            o.obs->monitor = true;
         } else if (!std::strcmp(a, "--log-level")) {
             const char *spec = numeric(a, i);
             if (!corm::sim::LogConfig::instance().configure(spec)) {
@@ -221,6 +244,16 @@ parseArgs(int argc, char **argv, const char *bench_name)
             printUsage(bench_name);
             std::exit(2);
         }
+    }
+    // Observability capture is wired to trial 0 only (the one trial
+    // whose seed and schedule are --jobs-independent); make the
+    // narrowing explicit instead of silently dropping trials 2..N.
+    if (o.trial.trials > 1
+        && (!o.obs->tracePath.empty() || o.obs->monitor)) {
+        std::fprintf(stderr,
+                     "%s: note: --trace/--monitor capture trial 0 "
+                     "only; trials 2..%d run unobserved\n",
+                     argv[0], o.trial.trials);
     }
     return o;
 }
@@ -254,10 +287,12 @@ attachObsCapture(const BenchOptions &o, int trial_idx, Config &cfg,
 {
     std::shared_ptr<ObsCapture> obs = o.obs;
     if (!obs || trial_idx != 0
-        || (obs->tracePath.empty() && !obs->metrics))
+        || (obs->tracePath.empty() && !obs->metrics && !obs->monitor))
         return;
     if (!obs->tracePath.empty())
         cfg.testbed.trace = &rec;
+    if (obs->monitor)
+        cfg.testbed.monitor = true;
     auto prev = std::move(cfg.inspect);
     corm::obs::TraceRecorder *recp = &rec;
     cfg.inspect = [obs, prev, recp](corm::platform::Testbed &tb) {
@@ -271,6 +306,17 @@ attachObsCapture(const BenchOptions &o, int trial_idx, Config &cfg,
         }
         if (!obs->tracePath.empty())
             obs->traceJson = recp->json();
+        if (corm::obs::HealthMonitor *mon = tb.monitor()) {
+            obs->healthReport = mon->healthReport();
+            obs->healthBreaches = mon->breaches();
+            if (mon->flight().hasSnapshot()) {
+                obs->flightJson = mon->flight().snapshotJson();
+                obs->flightReason = mon->flight().snapshotReason();
+            }
+            if (!obs->dashboardPath.empty())
+                obs->dashboardHtml = mon->sampler().dashboardHtml(
+                    "CoRM trial 0");
+        }
     };
 }
 
@@ -483,6 +529,12 @@ class BenchReport
         json.endObject(); // results
         if (opts.obs && !opts.obs->metricsJson.empty())
             json.fieldRaw("metrics", opts.obs->metricsJson);
+        if (opts.obs && !opts.obs->healthReport.empty()) {
+            json.beginObject("health");
+            json.field("breaches", opts.obs->healthBreaches);
+            json.field("flight_reason", opts.obs->flightReason);
+            json.endObject();
+        }
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - started)
@@ -505,6 +557,24 @@ class BenchReport
             if (obs.metrics && !obs.metricsText.empty())
                 std::printf("\n--- metrics (trial 0) ---\n%s",
                             obs.metricsText.c_str());
+            if (!obs.healthReport.empty())
+                std::printf("\n--- health (trial 0) ---\n%s",
+                            obs.healthReport.c_str());
+            if (!obs.flightJson.empty()) {
+                const std::string fpath =
+                    "BENCH_" + opts.name + "_flight.json";
+                std::ofstream ff(fpath);
+                ff << obs.flightJson << "\n";
+                std::printf("[flight dump (%s) -> %s]\n",
+                            obs.flightReason.c_str(), fpath.c_str());
+            }
+            if (!obs.dashboardPath.empty()
+                && !obs.dashboardHtml.empty()) {
+                std::ofstream df(obs.dashboardPath);
+                df << obs.dashboardHtml;
+                std::printf("[dashboard: trial 0 -> %s]\n",
+                            obs.dashboardPath.c_str());
+            }
         }
         if (!opts.writeJson)
             return;

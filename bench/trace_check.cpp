@@ -1,17 +1,10 @@
 /**
  * @file
- * Schema checker for the Chrome trace-event JSON our TraceRecorder
- * emits (and Perfetto loads). Used by the trace_smoke ctest to
- * validate a real bench-produced trace, and handy interactively:
+ * CLI wrapper around the shared trace schema checker
+ * (obs/tracecheck.hpp). Used by the trace_smoke ctest to validate a
+ * real bench-produced trace, and handy interactively:
  *
  *   trace_check FILE [--require-flow]
- *
- * Checks structural invariants Perfetto relies on: a traceEvents
- * array, per-event ph/name/pid/tid, ts on timed events, dur on
- * complete events, ids on flow events — and, with --require-flow,
- * that at least one causal span forms a complete begin → step → end
- * chain in timestamp order (the classifier → Tune → apply path the
- * tracing tentpole exists to show).
  *
  * Exit status: 0 on a valid trace, 1 on violations (each printed),
  * 2 on usage/IO errors.
@@ -20,35 +13,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "obs/json.hpp"
-
-namespace {
-
-struct FlowChain
-{
-    int begins = 0;
-    int steps = 0;
-    int ends = 0;
-    double firstTs = 0.0;
-    double lastTs = 0.0;
-    bool ordered = true; ///< events appeared in non-decreasing ts
-};
-
-int failures = 0;
-
-void
-violation(const char *what, std::size_t index)
-{
-    std::fprintf(stderr, "trace_check: event %zu: %s\n", index, what);
-    ++failures;
-}
-
-} // namespace
+#include "obs/tracecheck.hpp"
 
 int
 main(int argc, char **argv)
@@ -79,119 +47,15 @@ main(int argc, char **argv)
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string text = buf.str();
 
-    corm::obs::JsonValue doc;
-    std::string err;
-    if (!corm::obs::parseJson(text, doc, &err)) {
-        std::fprintf(stderr, "trace_check: %s: malformed JSON: %s\n",
-                     path, err.c_str());
-        return 1;
-    }
-    if (!doc.isObject()) {
-        std::fprintf(stderr, "trace_check: top level is not an object\n");
-        return 1;
-    }
-    const corm::obs::JsonValue *events = doc.get("traceEvents");
-    if (!events || !events->isArray()) {
-        std::fprintf(stderr,
-                     "trace_check: missing traceEvents array\n");
-        return 1;
-    }
-
-    std::map<double, FlowChain> chains;
-    std::size_t timed = 0;
-    for (std::size_t i = 0; i < events->items.size(); ++i) {
-        const corm::obs::JsonValue &e = events->items[i];
-        if (!e.isObject()) {
-            violation("not an object", i);
-            continue;
-        }
-        const corm::obs::JsonValue *ph = e.get("ph");
-        if (!ph || !ph->isString() || ph->str.size() != 1) {
-            violation("missing/odd ph", i);
-            continue;
-        }
-        const char p = ph->str[0];
-        const corm::obs::JsonValue *name = e.get("name");
-        if (!name || !name->isString() || name->str.empty())
-            violation("missing name", i);
-        const corm::obs::JsonValue *pid = e.get("pid");
-        const corm::obs::JsonValue *tid = e.get("tid");
-        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
-            violation("missing pid/tid", i);
-
-        if (p == 'M') // metadata carries no timestamp
-            continue;
-        ++timed;
-        const corm::obs::JsonValue *ts = e.get("ts");
-        if (!ts || !ts->isNumber()) {
-            violation("timed event without numeric ts", i);
-            continue;
-        }
-        if (p == 'X') {
-            const corm::obs::JsonValue *dur = e.get("dur");
-            if (!dur || !dur->isNumber() || dur->num < 0)
-                violation("complete event without dur", i);
-        } else if (p == 's' || p == 't' || p == 'f') {
-            const corm::obs::JsonValue *id = e.get("id");
-            if (!id || !id->isNumber() || id->num <= 0) {
-                violation("flow event without positive id", i);
-                continue;
-            }
-            FlowChain &c = chains[id->num];
-            const bool first = c.begins + c.steps + c.ends == 0;
-            if (first)
-                c.firstTs = ts->num;
-            else if (ts->num < c.lastTs)
-                c.ordered = false;
-            c.lastTs = ts->num;
-            if (p == 's')
-                ++c.begins;
-            else if (p == 't')
-                ++c.steps;
-            else
-                ++c.ends;
-        } else if (p != 'i' && p != 'C') {
-            violation("unknown phase", i);
-        }
-    }
-
-    std::size_t complete = 0;
-    std::size_t completeWithSteps = 0;
-    for (const auto &[id, c] : chains) {
-        if (c.begins != 1)
-            std::fprintf(stderr,
-                         "trace_check: flow %.0f has %d begins\n", id,
-                         c.begins),
-                ++failures;
-        if (c.ends > 1)
-            std::fprintf(stderr,
-                         "trace_check: flow %.0f has %d ends\n", id,
-                         c.ends),
-                ++failures;
-        if (!c.ordered)
-            std::fprintf(
-                stderr,
-                "trace_check: flow %.0f events out of ts order\n", id),
-                ++failures;
-        if (c.begins == 1 && c.ends == 1) {
-            ++complete;
-            if (c.steps > 0)
-                ++completeWithSteps;
-        }
-    }
-
-    if (requireFlow && completeWithSteps == 0) {
-        std::fprintf(stderr,
-                     "trace_check: no complete multi-hop flow "
-                     "(begin -> step -> end) found\n");
-        ++failures;
-    }
+    const corm::obs::TraceCheckResult r =
+        corm::obs::checkTraceText(buf.str(), requireFlow);
+    for (const std::string &v : r.violations)
+        std::fprintf(stderr, "trace_check: %s\n", v.c_str());
 
     std::printf("trace_check: %s: %zu events (%zu timed), %zu flows "
-                "(%zu complete, %zu multi-hop), %d violation(s)\n",
-                path, events->items.size(), timed, chains.size(),
-                complete, completeWithSteps, failures);
-    return failures == 0 ? 0 : 1;
+                "(%zu complete, %zu multi-hop), %zu violation(s)\n",
+                path, r.events, r.timed, r.flows, r.complete,
+                r.multiHop, r.violations.size());
+    return r.ok() ? 0 : 1;
 }

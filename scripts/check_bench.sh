@@ -1,0 +1,56 @@
+#!/bin/sh
+# Run the bench regression gate by hand, outside ctest.
+#
+#   scripts/check_bench.sh [BUILD_DIR]            gate against baselines
+#   scripts/check_bench.sh [BUILD_DIR] --update   refresh the baselines
+#
+# The gate reruns table2_rubis_throughput with the committed fast
+# configuration (1 trial, 0.5 s warm-up, 2 s measure — the same
+# window the bench_gate_check ctest uses) and compares the gated
+# metrics in its JSON report against bench/baselines/*.json.
+# --update recaptures the baseline from the fresh run, preserving the
+# per-metric tolerance list below; commit the result when a metric
+# shift is intentional.
+
+set -e
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-$repo/build}
+case "$build" in
+  --update) build=$repo/build; update=1 ;;
+esac
+[ "$2" = "--update" ] && update=1
+
+bench=$build/bench/table2_rubis_throughput
+gate=$build/bench/bench_gate
+baseline=$repo/bench/baselines/table2_rubis_throughput.json
+
+for bin in "$bench" "$gate"; do
+    if [ ! -x "$bin" ]; then
+        echo "check_bench: missing $bin (build first: cmake --build $build)" >&2
+        exit 2
+    fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+(cd "$tmp" && "$bench" --trials 1 --warmup-sec 0.5 --measure-sec 2 \
+    --json "$tmp/fresh.json" > /dev/null)
+
+if [ -n "$update" ]; then
+    # The gated metric list and its tolerances. Structural counters
+    # (events, tunes) are tighter than the latency aggregates.
+    "$gate" --init "$tmp/fresh.json" --out "$baseline" \
+        results.base.throughput_rps.mean=0.15 \
+        results.coord.throughput_rps.mean=0.15 \
+        results.base.mean_response_ms.mean=0.20 \
+        results.coord.mean_response_ms.mean=0.20 \
+        results.coord.tunes_sent=0.25 \
+        results.base.events_executed=0.10 \
+        results.coord.events_executed=0.10
+    echo "check_bench: baseline refreshed -> $baseline"
+else
+    "$gate" "$baseline" "$tmp/fresh.json"
+    echo "check_bench: gate passed"
+fi

@@ -239,6 +239,18 @@ class CoordChannel
     void noteRetransmit() { stats_.retries.add(); }
 
     /**
+     * Observe lane activity on one direction (0 = a→b, 1 = b→a) —
+     * the heartbeat feed for a health monitor's stall watchdog.
+     * nullptr-able; replaces any previous observer.
+     */
+    void
+    setActivityObserver(int dir,
+                        corm::interconnect::Mailbox::ActivityFn fn)
+    {
+        (dir == 0 ? aToB : bToA).setActivityObserver(std::move(fn));
+    }
+
+    /**
      * Attach a trace recorder (nullptr detaches). The channel emits
      * per-hop transit slices on a fabric track, propagates causal
      * flow spans across deliveries, and installs the delivered

@@ -154,6 +154,17 @@ class ReliableSender
      */
     void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
 
+    /**
+     * Observer of abandoned sends (for a health monitor): invoked
+     * with a short description when a message runs out of attempts.
+     * nullptr-able; replaces any previous observer.
+     */
+    using AbandonFn = std::function<void(const CoordMessage &)>;
+    void setAbandonObserver(AbandonFn fn)
+    {
+        onAbandon = std::move(fn);
+    }
+
   private:
     struct Pending
     {
@@ -184,6 +195,8 @@ class ReliableSender
                     static_cast<unsigned>(nextSeq));
         auto it = pending.find(nextSeq);
         abandonedCount.add();
+        if (onAbandon)
+            onAbandon(it->second.msg);
         finish(it, Outcome::abandoned);
         return nextSeq;
     }
@@ -221,6 +234,8 @@ class ReliableSender
                 rec_->flowEnd(myTrack(), sim.now(), st.msg.trace,
                               "coord.span", "coord");
             }
+            if (onAbandon)
+                onAbandon(st.msg);
             finish(it, Outcome::abandoned);
             return;
         }
@@ -278,6 +293,7 @@ class ReliableSender
     IslandId selfId;
     Params cfg;
     corm::obs::TraceRecorder *rec_ = nullptr;
+    AbandonFn onAbandon;
     int trk = -1;
     corm::sim::Logger logger{"coord.reliable"};
     std::map<std::uint8_t, Pending> pending;
@@ -359,6 +375,7 @@ class ReliableAnnouncer
             sender = std::make_unique<ReliableSender>(
                 sim, chan, binding.ref.island, sp);
             sender->setTrace(rec_);
+            sender->setAbandonObserver(onAbandon);
         }
 
         const std::uint64_t k = key(to, binding.ref.entity);
@@ -412,6 +429,15 @@ class ReliableAnnouncer
             sender->setTrace(recorder);
     }
 
+    /** Observe abandoned announcements (forwarded to the sender). */
+    void
+    setAbandonObserver(ReliableSender::AbandonFn fn)
+    {
+        onAbandon = std::move(fn);
+        if (sender)
+            sender->setAbandonObserver(onAbandon);
+    }
+
   private:
     static std::uint64_t
     key(IslandId to, EntityId entity)
@@ -423,6 +449,7 @@ class ReliableAnnouncer
     CoordChannel &chan;
     Params cfg;
     corm::obs::TraceRecorder *rec_ = nullptr;
+    ReliableSender::AbandonFn onAbandon;
     std::unique_ptr<ReliableSender> sender;
     /** Logical (island, entity) slot -> in-flight sequence number. */
     std::map<std::uint64_t, std::uint8_t> slots;

@@ -199,6 +199,14 @@ class Mailbox
     /** Observer of messages consumed by the fault injector. */
     using DropFn = std::function<void(std::uint64_t tag)>;
 
+    /** Liveness activity on this direction, as a health monitor
+     *  sees it: a send enters the lane even when faults silently eat
+     *  it (the sender cannot know), a delivery proves the lane moved.
+     */
+    enum class Activity : std::uint8_t { sent, dropped, delivered };
+    /** Observer of lane activity (heartbeats for stall detection). */
+    using ActivityFn = std::function<void(Activity)>;
+
     /**
      * @param simulator Event engine.
      * @param one_way_latency Send-to-deliver latency per message.
@@ -215,6 +223,12 @@ class Mailbox
 
     /** Observe sends the fault injector drops (for accounting). */
     void setDropObserver(DropFn fn) { onDrop = std::move(fn); }
+
+    /** Observe lane activity (nullptr-able; replaces previous). */
+    void setActivityObserver(ActivityFn fn)
+    {
+        onActivity = std::move(fn);
+    }
 
     /**
      * Subject this direction to @p injector's weather (nullptr
@@ -236,6 +250,8 @@ class Mailbox
          std::uint64_t tag = 0, std::uint64_t flow = 0)
     {
         sent.add();
+        if (onActivity)
+            onActivity(Activity::sent);
         FaultAction act;
         if (faults)
             act = faults->apply(sim.now());
@@ -243,6 +259,8 @@ class Mailbox
             dropped.add();
             if (onDrop)
                 onDrop(tag);
+            if (onActivity)
+                onActivity(Activity::dropped);
             return;
         }
         corm::sim::Tick when = sim.now() + latency + act.extraDelay;
@@ -283,6 +301,8 @@ class Mailbox
     {
         sim.scheduleAt(when, [this, word0, word1, tag, flow] {
             delivered.add();
+            if (onActivity)
+                onActivity(Activity::delivered);
             if (receiver)
                 receiver(word0, word1, tag, flow);
         });
@@ -293,6 +313,7 @@ class Mailbox
     std::string name_;
     DeliverFn receiver;
     DropFn onDrop;
+    ActivityFn onActivity;
     FaultInjector *faults = nullptr;
     corm::sim::Tick lastDelivery = 0;
     corm::sim::Counter sent;

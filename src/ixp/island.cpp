@@ -319,7 +319,7 @@ IxpIsland::monitorTick()
     for (auto &[entity, vq] : queues) {
         vq->occupancy.record(sim.now(),
                              static_cast<double>(vq->q.bytes()));
-        if (CORM_TRACE_ACTIVE(rec)) {
+        if (CORM_TRACE_ACTIVE(rec) && rec->detail()) {
             rec->counter(islandTrack(), sim.now(),
                          "queue_bytes:" + std::to_string(entity),
                          "bytes",

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The flight recorder: an always-on, bounded trace of the recent
+ * past.
+ *
+ * Full tracing (--trace) records every event of a run — fine for a
+ * debugging session, wrong as a default: the vector grows without
+ * bound and nobody asked for the file. The flight recorder flips the
+ * trade: it keeps a TraceRecorder with a small ring capacity
+ * (obs/trace.hpp setCapacity) attached to the same component hooks,
+ * so steady-state cost is a fixed-size window of recent events — and
+ * when the health watchdog (obs/monitor.hpp) fires, the window around
+ * the incident is serialized immediately into a Perfetto-loadable
+ * snapshot, *without* --trace ever having been requested. Black box,
+ * not film camera.
+ *
+ * The snapshot is taken at breach time (not at dump-to-disk time)
+ * because the ring keeps rotating: by run end the stall the watchdog
+ * saw would have scrolled out of the window.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "sim/types.hpp"
+
+namespace corm::obs {
+
+/** Bounded trace ring + first-incident snapshot. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity = 4096)
+    {
+        rec_.setCapacity(capacity);
+        // Incident forensics wants the coordination story, not every
+        // dispatch slice and queue sample; detail-off keeps the
+        // always-on cost down (measured in DESIGN.md §9).
+        rec_.setDetail(false);
+    }
+
+    /**
+     * The underlying recorder; attach it wherever a TraceRecorder*
+     * is accepted (channel, islands, announcer, policies).
+     */
+    TraceRecorder &recorder() { return rec_; }
+    const TraceRecorder &recorder() const { return rec_; }
+
+    /**
+     * Serialize the retained window now, labelled with @p reason.
+     * Only the first snapshot sticks (the incident that tripped the
+     * watchdog); later calls are counted but ignored, so a breach
+     * storm costs one serialization.
+     */
+    void
+    snapshot(const std::string &reason, corm::sim::Tick now)
+    {
+        ++snapshotRequests_;
+        if (!snapshotJson_.empty())
+            return;
+        snapshotReason_ = reason;
+        snapshotAt_ = now;
+        snapshotJson_ = rec_.json();
+    }
+
+    bool hasSnapshot() const { return !snapshotJson_.empty(); }
+    const std::string &snapshotJson() const { return snapshotJson_; }
+    const std::string &snapshotReason() const { return snapshotReason_; }
+    corm::sim::Tick snapshotAt() const { return snapshotAt_; }
+
+    /** snapshot() calls, including ignored ones. */
+    std::uint64_t snapshotRequests() const { return snapshotRequests_; }
+
+    /** Events currently retained in the window. */
+    std::size_t retained() const { return rec_.events().size(); }
+
+    /** Events that scrolled out of the window. */
+    std::uint64_t dropped() const { return rec_.droppedEvents(); }
+
+  private:
+    TraceRecorder rec_;
+    std::string snapshotJson_;
+    std::string snapshotReason_;
+    corm::sim::Tick snapshotAt_ = 0;
+    std::uint64_t snapshotRequests_ = 0;
+};
+
+} // namespace corm::obs

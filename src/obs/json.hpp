@@ -134,8 +134,12 @@ class JsonWriter
             out << ",";
         if (!depthStack.empty())
             out << "\n" << std::string(depthStack.size() * 2, ' ');
+        // Keys are escaped like values: metric full names carry label
+        // values verbatim, so a label containing '"', '\' or a newline
+        // must still produce well-formed JSON that parses back to the
+        // same key.
         if (key)
-            out << '"' << key << "\": ";
+            out << '"' << jsonEscape(key) << "\": ";
         needComma = true;
     }
 

@@ -149,6 +149,43 @@ class Histogram
     double max() const { return total ? hi : 0.0; }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
 
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) from the log2 buckets:
+     * find the bucket holding the target rank and interpolate
+     * linearly between its edges by rank position. The estimate is
+     * clamped to the recorded [min, max], so p0/p100 are exact and a
+     * single-observation histogram reports that observation for
+     * every quantile.
+     */
+    double
+    quantile(double q) const
+    {
+        if (total == 0)
+            return 0.0;
+        q = std::clamp(q, 0.0, 1.0);
+        const double want = q * static_cast<double>(total);
+        std::uint64_t target =
+            static_cast<std::uint64_t>(std::ceil(want));
+        target = std::clamp<std::uint64_t>(target, 1, total);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < bucketCount; ++i) {
+            if (buckets_[i] == 0)
+                continue;
+            cum += buckets_[i];
+            if (cum < target)
+                continue;
+            const double lower =
+                i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i - 1));
+            const double upper = bucketUpperEdge(i);
+            const std::uint64_t rank =
+                target - (cum - buckets_[i]); // 1-based within bucket
+            const double frac = static_cast<double>(rank)
+                / static_cast<double>(buckets_[i]);
+            return std::clamp(lower + (upper - lower) * frac, lo, hi);
+        }
+        return hi;
+    }
+
     /** Highest non-empty bucket index + 1 (0 when empty). */
     std::size_t
     usedBuckets() const
@@ -258,6 +295,87 @@ class MetricRegistry
     }
 
     /**
+     * One metric as seen by a consumer: identity plus the sampled
+     * scalar (counters/gauges: the value; histograms: the count) and,
+     * for histograms, the distribution itself.
+     */
+    struct Sample
+    {
+        const std::string &fullName;
+        const std::string &name;     ///< bare name, labels stripped
+        const Labels &labels;
+        MetricKind kind;
+        double value = 0.0;
+        const Histogram *hist = nullptr; ///< histograms only
+    };
+
+    /**
+     * Visit every metric in sorted full-name order with its current
+     * value. The callback-metric reads happen here, so forEach is the
+     * sampling point the time-series layer (obs/series.hpp) polls on
+     * a simulated cadence.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[key, e] : metrics) {
+            Sample s{key, e.name, e.labels, e.kind, 0.0, nullptr};
+            switch (e.kind) {
+              case MetricKind::counter:
+                s.value = static_cast<double>(counterValue(e));
+                break;
+              case MetricKind::gauge:
+                s.value = gaugeValue(e);
+                break;
+              case MetricKind::histogram:
+                s.hist = e.ownedHistogram.get();
+                s.value = static_cast<double>(s.hist->count());
+                break;
+            }
+            fn(s);
+        }
+    }
+
+    /**
+     * Current scalar value of the metric registered under canonical
+     * @p full_name (histograms: observation count). False when the
+     * name is unknown — the watchdog treats that as a rule error, not
+     * a crash.
+     */
+    bool
+    value(const std::string &full_name, double &out) const
+    {
+        auto it = metrics.find(full_name);
+        if (it == metrics.end())
+            return false;
+        const Entry &e = it->second;
+        switch (e.kind) {
+          case MetricKind::counter:
+            out = static_cast<double>(counterValue(e));
+            return true;
+          case MetricKind::gauge:
+            out = gaugeValue(e);
+            return true;
+          case MetricKind::histogram:
+            out = static_cast<double>(e.ownedHistogram->count());
+            return true;
+        }
+        return false;
+    }
+
+    /** Histogram registered under @p full_name, or nullptr. */
+    const Histogram *
+    findHistogram(const std::string &full_name) const
+    {
+        auto it = metrics.find(full_name);
+        if (it == metrics.end()
+            || it->second.kind != MetricKind::histogram)
+            return nullptr;
+        return it->second.ownedHistogram.get();
+    }
+
+    /**
      * Serialize every metric as text, one `name value` line, sorted
      * by full name. Histograms render count/mean/min/max plus their
      * non-empty buckets.
@@ -277,24 +395,18 @@ class MetricRegistry
                 break;
               }
               case MetricKind::histogram: {
+                // Quantile estimates, not raw bucket dumps: the
+                // log2 buckets stay available in the JSON snapshot,
+                // but a human reading the text report wants the tail.
                 const Histogram &h = *e.ownedHistogram;
-                char buf[160];
+                char buf[192];
                 std::snprintf(buf, sizeof(buf),
                               " count=%llu mean=%.10g min=%.10g "
-                              "max=%.10g",
+                              "max=%.10g p50=%.10g p99=%.10g\n",
                               static_cast<unsigned long long>(h.count()),
-                              h.mean(), h.min(), h.max());
+                              h.mean(), h.min(), h.max(),
+                              h.quantile(0.50), h.quantile(0.99));
                 out << name << buf;
-                for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
-                    if (h.bucket(i) == 0)
-                        continue;
-                    std::snprintf(
-                        buf, sizeof(buf), " le(%.10g)=%llu",
-                        Histogram::bucketUpperEdge(i),
-                        static_cast<unsigned long long>(h.bucket(i)));
-                    out << buf;
-                }
-                out << "\n";
                 break;
               }
             }
@@ -324,6 +436,8 @@ class MetricRegistry
                 j.field("mean", h.mean());
                 j.field("min", h.min());
                 j.field("max", h.max());
+                j.field("p50", h.quantile(0.50));
+                j.field("p99", h.quantile(0.99));
                 j.beginArray("buckets");
                 for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
                     if (h.bucket(i) == 0)
@@ -351,10 +465,140 @@ class MetricRegistry
         return j.str();
     }
 
+    /**
+     * Sanitize a dotted metric name into the Prometheus identifier
+     * charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots (and anything else
+     * outside the charset) become underscores.
+     */
+    static std::string
+    promName(const std::string &name)
+    {
+        std::string out = name;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            char &c = out[i];
+            const bool alpha = (c >= 'a' && c <= 'z')
+                || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+            const bool digit = c >= '0' && c <= '9';
+            if (!(alpha || (digit && i > 0)))
+                c = '_';
+        }
+        return out;
+    }
+
+    /** Escape a Prometheus label value: \ , " and newline. */
+    static std::string
+    promEscape(const std::string &v)
+    {
+        std::string out;
+        out.reserve(v.size());
+        for (char c : v) {
+            if (c == '\\')
+                out += "\\\\";
+            else if (c == '"')
+                out += "\\\"";
+            else if (c == '\n')
+                out += "\\n";
+            else
+                out += c;
+        }
+        return out;
+    }
+
+    /**
+     * Serialize as Prometheus text exposition format. Counters and
+     * gauges become one sample each; histograms expand into the
+     * conventional cumulative `_bucket{le=...}` series plus `_sum`
+     * and `_count`. Label values are escaped, so values containing
+     * '"', '\' or newlines round-trip through a Prometheus parser.
+     */
+    void
+    writeProm(std::ostream &out) const
+    {
+        char buf[96];
+        auto labelBlock = [&](const Labels &labels,
+                              const char *extra_key = nullptr,
+                              const std::string &extra_val = {}) {
+            std::string s;
+            if (labels.empty() && !extra_key)
+                return s;
+            s += '{';
+            bool first = true;
+            for (const auto &[k, v] : labels) {
+                if (!first)
+                    s += ',';
+                first = false;
+                s += promName(k);
+                s += "=\"";
+                s += promEscape(v);
+                s += '"';
+            }
+            if (extra_key) {
+                if (!first)
+                    s += ',';
+                s += extra_key;
+                s += "=\"";
+                s += promEscape(extra_val);
+                s += '"';
+            }
+            s += '}';
+            return s;
+        };
+        for (const auto &[key, e] : metrics) {
+            const std::string pn = promName(e.name);
+            out << "# TYPE " << pn << ' ' << metricKindName(e.kind)
+                << '\n';
+            switch (e.kind) {
+              case MetricKind::counter:
+                out << pn << labelBlock(e.labels) << ' '
+                    << counterValue(e) << '\n';
+                break;
+              case MetricKind::gauge:
+                std::snprintf(buf, sizeof(buf), "%.10g", gaugeValue(e));
+                out << pn << labelBlock(e.labels) << ' ' << buf << '\n';
+                break;
+              case MetricKind::histogram: {
+                const Histogram &h = *e.ownedHistogram;
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
+                    if (h.bucket(i) == 0)
+                        continue;
+                    cum += h.bucket(i);
+                    std::snprintf(buf, sizeof(buf), "%.10g",
+                                  Histogram::bucketUpperEdge(i));
+                    out << pn << "_bucket"
+                        << labelBlock(e.labels, "le", buf) << ' ' << cum
+                        << '\n';
+                }
+                out << pn << "_bucket"
+                    << labelBlock(e.labels, "le", "+Inf") << ' '
+                    << h.count() << '\n';
+                std::snprintf(buf, sizeof(buf), "%.10g",
+                              h.mean() * static_cast<double>(h.count()));
+                out << pn << "_sum" << labelBlock(e.labels) << ' ' << buf
+                    << '\n';
+                out << pn << "_count" << labelBlock(e.labels) << ' '
+                    << h.count() << '\n';
+                break;
+              }
+            }
+        }
+    }
+
+    /** Prometheus text snapshot as a string (see writeProm). */
+    std::string
+    promSnapshot() const
+    {
+        std::ostringstream out;
+        writeProm(out);
+        return out.str();
+    }
+
   private:
     struct Entry
     {
         MetricKind kind = MetricKind::counter;
+        std::string name; ///< bare name (no labels)
+        Labels labels;    ///< sorted
         std::unique_ptr<Counter> ownedCounter;
         std::unique_ptr<Gauge> ownedGauge;
         std::unique_ptr<Histogram> ownedHistogram;
@@ -369,6 +613,10 @@ class MetricRegistry
         auto [it, inserted] = metrics.try_emplace(key);
         if (inserted) {
             it->second.kind = kind;
+            it->second.name = name;
+            it->second.labels = labels;
+            std::sort(it->second.labels.begin(),
+                      it->second.labels.end());
         } else if (it->second.kind != kind) {
             throw std::logic_error(
                 "metric '" + key + "' re-registered as "

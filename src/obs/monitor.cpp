@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Health-monitor implementation (see obs/monitor.hpp).
+ */
+
+#include "obs/monitor.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace corm::obs {
+
+namespace {
+
+const char *
+aggName(SloRule::Agg a)
+{
+    switch (a) {
+      case SloRule::Agg::value: return "value";
+      case SloRule::Agg::rate: return "rate";
+      case SloRule::Agg::mean: return "mean";
+      case SloRule::Agg::p50: return "p50";
+      case SloRule::Agg::p99: return "p99";
+    }
+    return "?";
+}
+
+const char *
+opName(SloRule::Op o)
+{
+    switch (o) {
+      case SloRule::Op::lt: return "<";
+      case SloRule::Op::le: return "<=";
+      case SloRule::Op::gt: return ">";
+      case SloRule::Op::ge: return ">=";
+    }
+    return "?";
+}
+
+bool
+compare(SloRule::Op o, double observed, double threshold)
+{
+    switch (o) {
+      case SloRule::Op::lt: return observed < threshold;
+      case SloRule::Op::le: return observed <= threshold;
+      case SloRule::Op::gt: return observed > threshold;
+      case SloRule::Op::ge: return observed >= threshold;
+    }
+    return false;
+}
+
+/** Split on runs of spaces/tabs. */
+std::vector<std::string>
+tokenize(std::string_view text)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+        std::size_t j = i;
+        while (j < text.size() && text[j] != ' ' && text[j] != '\t')
+            ++j;
+        if (j > i)
+            out.emplace_back(text.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+/** Parse "<number><unit>" with unit ns/us/ms/s into Ticks. */
+bool
+parseDuration(const std::string &tok, corm::sim::Tick &out)
+{
+    char *end = nullptr;
+    const double n = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || n < 0)
+        return false;
+    const std::string unit(end);
+    double scale = 0;
+    if (unit == "ns")
+        scale = 1.0;
+    else if (unit == "us")
+        scale = static_cast<double>(corm::sim::usec);
+    else if (unit == "ms")
+        scale = static_cast<double>(corm::sim::msec);
+    else if (unit == "s")
+        scale = static_cast<double>(corm::sim::sec);
+    else
+        return false;
+    out = static_cast<corm::sim::Tick>(n * scale);
+    return true;
+}
+
+/** Render @p t with the largest unit that divides it evenly. */
+std::string
+formatDuration(corm::sim::Tick t)
+{
+    char buf[40];
+    if (t % corm::sim::sec == 0)
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "s",
+                      t / corm::sim::sec);
+    else if (t % corm::sim::msec == 0)
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "ms",
+                      t / corm::sim::msec);
+    else if (t % corm::sim::usec == 0)
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "us",
+                      t / corm::sim::usec);
+    else
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", t);
+    return buf;
+}
+
+} // namespace
+
+bool
+SloRule::parse(std::string_view text, SloRule &out, std::string *err)
+{
+    auto fail = [&](const char *what) {
+        if (err)
+            *err = std::string(what) + " in rule '"
+                + std::string(text) + "'";
+        return false;
+    };
+    const auto tok = tokenize(text);
+    if (tok.size() != 4 && tok.size() != 6)
+        return fail("expected <metric> <agg> <op> <threshold> "
+                    "[window <duration>]");
+    SloRule r;
+    r.metric = tok[0];
+    if (tok[1] == "value")
+        r.agg = Agg::value;
+    else if (tok[1] == "rate")
+        r.agg = Agg::rate;
+    else if (tok[1] == "mean")
+        r.agg = Agg::mean;
+    else if (tok[1] == "p50")
+        r.agg = Agg::p50;
+    else if (tok[1] == "p99")
+        r.agg = Agg::p99;
+    else
+        return fail("unknown aggregation");
+    if (tok[2] == "<")
+        r.op = Op::lt;
+    else if (tok[2] == "<=")
+        r.op = Op::le;
+    else if (tok[2] == ">")
+        r.op = Op::gt;
+    else if (tok[2] == ">=")
+        r.op = Op::ge;
+    else
+        return fail("unknown comparison");
+    char *end = nullptr;
+    r.threshold = std::strtod(tok[3].c_str(), &end);
+    if (end == tok[3].c_str() || *end != '\0')
+        return fail("bad threshold");
+    if (tok.size() == 6) {
+        if (tok[4] != "window")
+            return fail("expected 'window'");
+        if (!parseDuration(tok[5], r.window) || r.window == 0)
+            return fail("bad window duration");
+    }
+    out = r;
+    return true;
+}
+
+std::string
+SloRule::str() const
+{
+    char num[48];
+    std::snprintf(num, sizeof(num), "%.10g", threshold);
+    return metric + " " + aggName(agg) + " " + opName(op) + " " + num
+        + " window " + formatDuration(window);
+}
+
+const char *
+healthEventKindName(HealthEvent::Kind k)
+{
+    switch (k) {
+      case HealthEvent::Kind::breach: return "breach";
+      case HealthEvent::Kind::recover: return "recover";
+      case HealthEvent::Kind::stall: return "stall";
+      case HealthEvent::Kind::stallRecover: return "stall-recover";
+      case HealthEvent::Kind::abandon: return "abandon";
+    }
+    return "?";
+}
+
+std::string
+HealthEvent::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "t=%.6fs %-13s observed=%.10g threshold=%.10g ",
+                  corm::sim::toSeconds(when),
+                  healthEventKindName(kind), observed, threshold);
+    return buf + subject;
+}
+
+std::vector<std::string>
+defaultHealthRules()
+{
+    return {
+        // The paper's coordination premise: a Tune must land fast.
+        // 5 ms p99 leaves ~40x headroom over the 120 us mailbox.
+        "coord.channel.delivery_latency_us{channel=coord.pci} p99 "
+        "< 5000",
+        // A retry storm means the channel is eating messages.
+        "coord.channel.retries{channel=coord.pci} rate < 100 "
+        "window 500ms",
+        // An abandoned registration blinds the classifier forever.
+        "reg.abandoned value < 1",
+    };
+}
+
+HealthMonitor::HealthMonitor(corm::sim::Simulator &simulator,
+                             const MetricRegistry &registry)
+    : HealthMonitor(simulator, registry, Params())
+{}
+
+HealthMonitor::HealthMonitor(corm::sim::Simulator &simulator,
+                             const MetricRegistry &registry,
+                             Params params)
+    : sim(simulator), reg(registry), cfg(std::move(params)),
+      sampler_(registry, {cfg.seriesCapacity}),
+      flight_(cfg.flightCapacity)
+{
+    for (const std::string &text : cfg.rules) {
+        std::string err;
+        if (!addRule(text, &err))
+            ruleErrors_.push_back(err);
+    }
+}
+
+HealthMonitor::~HealthMonitor() = default;
+
+void
+HealthMonitor::addRule(const SloRule &rule)
+{
+    RuleState rs;
+    rs.rule = rule;
+    rs.text = rule.str();
+    ruleStates_.push_back(std::move(rs));
+    rules_.push_back(rule);
+}
+
+bool
+HealthMonitor::addRule(std::string_view text, std::string *err)
+{
+    SloRule r;
+    if (!SloRule::parse(text, r, err))
+        return false;
+    addRule(r);
+    return true;
+}
+
+void
+HealthMonitor::start()
+{
+    if (ticker_)
+        return;
+    ticker_ = std::make_unique<corm::sim::PeriodicEvent>(
+        sim, cfg.samplePeriod, [this] { tick(); });
+}
+
+void
+HealthMonitor::stop()
+{
+    ticker_.reset();
+}
+
+int
+HealthMonitor::lane(const std::string &name)
+{
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (lanes_[i].name == name)
+            return static_cast<int>(i);
+    }
+    Lane l;
+    l.name = name;
+    lanes_.push_back(std::move(l));
+    return static_cast<int>(lanes_.size() - 1);
+}
+
+void
+HealthMonitor::laneSent(int id)
+{
+    Lane &l = lanes_[static_cast<std::size_t>(id)];
+    ++l.sends;
+    if (l.oldestUnanswered == 0)
+        l.oldestUnanswered = sim.now();
+}
+
+void
+HealthMonitor::laneDelivered(int id)
+{
+    Lane &l = lanes_[static_cast<std::size_t>(id)];
+    ++l.deliveries;
+    const corm::sim::Tick now = sim.now();
+    if (l.stalled) {
+        // Ongoing stall (found by tick()) just healed.
+        l.stalled = false;
+        HealthEvent ev;
+        ev.kind = HealthEvent::Kind::stallRecover;
+        ev.when = now;
+        ev.subject = "lane " + l.name;
+        ev.observed = corm::sim::toMicros(now - l.oldestUnanswered)
+            / 1000.0;
+        ev.threshold =
+            corm::sim::toMicros(cfg.stallTimeout) / 1000.0;
+        emit(std::move(ev));
+    } else if (l.oldestUnanswered != 0
+               && now - l.oldestUnanswered > cfg.stallTimeout) {
+        // Retroactive detection: the gap straddled two sampler
+        // ticks, but the delivery itself proves how long the lane
+        // was dark. Fires regardless of samplePeriod, so short
+        // outages are never missed between ticks.
+        HealthEvent ev;
+        ev.kind = HealthEvent::Kind::stall;
+        ev.when = now;
+        ev.subject = "lane " + l.name;
+        ev.observed = corm::sim::toMicros(now - l.oldestUnanswered)
+            / 1000.0;
+        ev.threshold =
+            corm::sim::toMicros(cfg.stallTimeout) / 1000.0;
+        emit(std::move(ev));
+    }
+    l.oldestUnanswered = 0;
+}
+
+void
+HealthMonitor::noteAbandon(const std::string &who)
+{
+    HealthEvent ev;
+    ev.kind = HealthEvent::Kind::abandon;
+    ev.when = sim.now();
+    ev.subject = who;
+    emit(std::move(ev));
+}
+
+bool
+HealthMonitor::evaluate(RuleState &rs, double &observed)
+{
+    const SloRule &r = rs.rule;
+    const corm::sim::Tick now = sim.now();
+    const Histogram *hist = reg.findHistogram(r.metric);
+    const SeriesRing *ring = sampler_.series(r.metric);
+
+    double current = 0.0;
+    if (!reg.value(r.metric, current)) {
+        if (!rs.reportedMissing) {
+            rs.reportedMissing = true;
+            ruleErrors_.push_back("rule '" + rs.text
+                                  + "' references unknown metric '"
+                                  + r.metric + "'");
+        }
+        observed = 0.0;
+        return true; // an unknown metric never breaches
+    }
+
+    switch (r.agg) {
+      case SloRule::Agg::value:
+        observed = current;
+        break;
+      case SloRule::Agg::rate:
+        observed = ring ? ring->rate(now, r.window) : 0.0;
+        break;
+      case SloRule::Agg::mean:
+        observed = hist ? hist->mean()
+                        : (ring ? ring->windowMean(now, r.window)
+                                : current);
+        break;
+      case SloRule::Agg::p50:
+      case SloRule::Agg::p99: {
+        const double q = r.agg == SloRule::Agg::p50 ? 0.50 : 0.99;
+        // Histogram metrics answer from the full distribution;
+        // scalar metrics from the sampled window.
+        if (hist)
+            observed = hist->count() ? hist->quantile(q) : 0.0;
+        else
+            observed =
+                ring ? ring->percentile(q, now, r.window) : 0.0;
+        break;
+      }
+    }
+    return compare(r.op, observed, r.threshold);
+}
+
+void
+HealthMonitor::tick()
+{
+    const corm::sim::Tick now = sim.now();
+    sampler_.sample(now);
+
+    for (RuleState &rs : ruleStates_) {
+        ++evaluations_;
+        double observed = 0.0;
+        const bool ok = evaluate(rs, observed);
+        if (!ok && !rs.breached) {
+            rs.breached = true;
+            HealthEvent ev;
+            ev.kind = HealthEvent::Kind::breach;
+            ev.when = now;
+            ev.subject = rs.text;
+            ev.observed = observed;
+            ev.threshold = rs.rule.threshold;
+            emit(std::move(ev));
+        } else if (ok && rs.breached) {
+            rs.breached = false;
+            HealthEvent ev;
+            ev.kind = HealthEvent::Kind::recover;
+            ev.when = now;
+            ev.subject = rs.text;
+            ev.observed = observed;
+            ev.threshold = rs.rule.threshold;
+            emit(std::move(ev));
+        }
+    }
+
+    for (Lane &l : lanes_) {
+        if (!l.stalled && l.oldestUnanswered != 0
+            && now - l.oldestUnanswered > cfg.stallTimeout) {
+            l.stalled = true;
+            HealthEvent ev;
+            ev.kind = HealthEvent::Kind::stall;
+            ev.when = now;
+            ev.subject = "lane " + l.name;
+            ev.observed =
+                corm::sim::toMicros(now - l.oldestUnanswered)
+                / 1000.0;
+            ev.threshold =
+                corm::sim::toMicros(cfg.stallTimeout) / 1000.0;
+            emit(std::move(ev));
+        }
+    }
+}
+
+int
+HealthMonitor::monitorTrack()
+{
+    if (trk_ < 0)
+        trk_ = flight_.recorder().track("monitor", "health");
+    return trk_;
+}
+
+void
+HealthMonitor::emit(HealthEvent ev)
+{
+    const bool bad = ev.unhealthy();
+    if (bad)
+        ++breaches_;
+
+    // Instant into the flight ring first, so the snapshot below
+    // contains the event that triggered it; mirror into the full
+    // trace when one is attached.
+    const std::string name =
+        std::string(healthEventKindName(ev.kind)) + ":" + ev.subject;
+    flight_.recorder().instant(monitorTrack(), ev.when, name, "health",
+                               {{"observed", ev.observed},
+                                {"threshold", ev.threshold}});
+    if (CORM_TRACE_ACTIVE(mirror_)) {
+        if (mirrorTrk_ < 0)
+            mirrorTrk_ = mirror_->track("monitor", "health");
+        mirror_->instant(mirrorTrk_, ev.when, name, "health",
+                         {{"observed", ev.observed},
+                          {"threshold", ev.threshold}});
+    }
+    if (bad)
+        flight_.snapshot(name, ev.when);
+
+    events_.push_back(ev);
+    if (bad && policyCb_)
+        policyCb_(events_.back());
+}
+
+std::string
+HealthMonitor::healthReport() const
+{
+    std::ostringstream out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[health] rules %zu, lanes %zu, events %zu "
+                  "(unhealthy %" PRIu64 "), flight retained %zu "
+                  "(dropped %" PRIu64 ")\n",
+                  rules_.size(), lanes_.size(), events_.size(),
+                  breaches_, flight_.retained(), flight_.dropped());
+    out << buf;
+    for (const std::string &e : ruleErrors_)
+        out << "  rule-error: " << e << "\n";
+    for (const HealthEvent &ev : events_)
+        out << "  " << ev.str() << "\n";
+    return out.str();
+}
+
+} // namespace corm::obs

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Time-series sampling of the metric registry.
+ *
+ * The registry (obs/metrics.hpp) is a snapshot: values as of "now".
+ * The online monitor needs trajectories — is the retry counter
+ * *accelerating*, what was the p99 *over the last 500 ms* — so the
+ * RegistrySampler polls every registered metric on a simulated-time
+ * cadence into fixed-capacity ring buffers (SeriesRing) that support
+ * windowed rate, min/max/mean and percentile views.
+ *
+ * Memory is bounded by construction: capacity × metrics samples,
+ * regardless of run length. Sampling is pull-based and runs from a
+ * simulator callback, so for a fixed (config, seed) the sampled
+ * series are deterministic like everything else.
+ *
+ * The sampler also renders a self-contained HTML dashboard (inline
+ * SVG sparklines, no external assets or scripts) so a bench run can
+ * drop a browsable view of its own telemetry next to BENCH_*.json.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace corm::obs {
+
+/**
+ * Fixed-capacity ring of (tick, value) samples with windowed views.
+ * Pushes past the capacity overwrite the oldest sample.
+ */
+class SeriesRing
+{
+  public:
+    struct Sample
+    {
+        corm::sim::Tick when = 0;
+        double value = 0.0;
+    };
+
+    explicit SeriesRing(std::size_t capacity = 256)
+        : cap(capacity == 0 ? 1 : capacity)
+    {}
+
+    void
+    push(corm::sim::Tick when, double value)
+    {
+        if (buf.size() < cap) {
+            buf.push_back({when, value});
+        } else {
+            buf[head] = {when, value};
+            head = (head + 1) % cap;
+        }
+        ++pushed_;
+    }
+
+    /** Samples currently retained. */
+    std::size_t size() const { return buf.size(); }
+
+    /** Samples ever pushed (retained or not). */
+    std::uint64_t pushed() const { return pushed_; }
+
+    std::size_t capacity() const { return cap; }
+
+    /** Sample @p i with 0 = oldest retained. */
+    const Sample &
+    at(std::size_t i) const
+    {
+        return buf[(head + i) % buf.size()];
+    }
+
+    /** Newest sample; size() must be > 0. */
+    const Sample &latest() const { return at(buf.size() - 1); }
+
+    /**
+     * Per-second rate of change over [now - window, now], for
+     * cumulative counters: the value delta between the newest sample
+     * and the window's base sample, divided by their time span. The
+     * base is the last sample at or before the window start when one
+     * is retained (so short windows still straddle the boundary), the
+     * oldest retained sample otherwise. 0 with fewer than two
+     * samples.
+     */
+    double
+    rate(corm::sim::Tick now, corm::sim::Tick window) const
+    {
+        if (buf.size() < 2)
+            return 0.0;
+        const corm::sim::Tick start =
+            now >= window ? now - window : 0;
+        std::size_t base = 0;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            if (at(i).when <= start)
+                base = i;
+            else
+                break;
+        }
+        const Sample &b = at(base);
+        const Sample &h = latest();
+        if (h.when <= b.when)
+            return 0.0;
+        return (h.value - b.value)
+            / corm::sim::toSeconds(h.when - b.when);
+    }
+
+    /** Mean of the sampled values in (now - window, now]. */
+    double
+    windowMean(corm::sim::Tick now, corm::sim::Tick window) const
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+        eachInWindow(now, window, [&](double v) {
+            sum += v;
+            ++n;
+        });
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    /**
+     * The @p q quantile (q in [0, 1]) of the sampled values in
+     * (now - window, now]; 0 when the window holds no samples.
+     */
+    double
+    percentile(double q, corm::sim::Tick now,
+               corm::sim::Tick window) const
+    {
+        std::vector<double> vals;
+        vals.reserve(buf.size());
+        eachInWindow(now, window, [&](double v) { vals.push_back(v); });
+        if (vals.empty())
+            return 0.0;
+        q = std::clamp(q, 0.0, 1.0);
+        const std::size_t idx = std::min(
+            vals.size() - 1,
+            static_cast<std::size_t>(
+                q * static_cast<double>(vals.size() - 1) + 0.5));
+        std::nth_element(vals.begin(),
+                         vals.begin() + static_cast<std::ptrdiff_t>(idx),
+                         vals.end());
+        return vals[idx];
+    }
+
+    /** Min and max of the retained samples (0,0 when empty). */
+    double
+    minRetained() const
+    {
+        double m = 0.0;
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            m = i == 0 ? at(i).value : std::min(m, at(i).value);
+        return m;
+    }
+    double
+    maxRetained() const
+    {
+        double m = 0.0;
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            m = i == 0 ? at(i).value : std::max(m, at(i).value);
+        return m;
+    }
+
+  private:
+    // Half-open (start, now]: a window of length W at cadence W/k
+    // holds exactly k samples. The boundary sample itself still
+    // serves as rate()'s base, which wants the straddling pair.
+    template <typename Fn>
+    void
+    eachInWindow(corm::sim::Tick now, corm::sim::Tick window,
+                 Fn &&fn) const
+    {
+        const corm::sim::Tick start =
+            now >= window ? now - window : 0;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            const Sample &s = at(i);
+            if ((s.when > start || start == 0) && s.when <= now)
+                fn(s.value);
+        }
+    }
+
+    std::size_t cap;
+    std::size_t head = 0; ///< index of the oldest sample once full
+    std::uint64_t pushed_ = 0;
+    std::vector<Sample> buf;
+};
+
+/**
+ * Polls every metric in a MetricRegistry into per-metric SeriesRings.
+ * Counters and gauges record their value; histograms record their
+ * running p50/p99 (and observation count under the bare name) so the
+ * dashboard and the rate()-style rules see scalar series uniformly.
+ *
+ * Drive sample() from a sim::PeriodicEvent — the sampler itself owns
+ * no simulator state, which keeps it testable in isolation.
+ */
+class RegistrySampler
+{
+  public:
+    struct Params
+    {
+        /** Ring capacity per series (bounds memory). */
+        std::size_t capacity = 256;
+    };
+
+    // Two ctors rather than `Params params = {}`: GCC rejects a
+    // brace default for a nested struct with member initializers
+    // (same workaround as ReliableSender).
+    explicit RegistrySampler(const MetricRegistry &registry)
+        : RegistrySampler(registry, Params())
+    {}
+
+    RegistrySampler(const MetricRegistry &registry, Params params)
+        : reg(registry), cfg(params)
+    {}
+
+    /** Poll every registered metric at simulated time @p now. */
+    void
+    sample(corm::sim::Tick now)
+    {
+        ++samples_;
+        reg.forEach([&](const MetricRegistry::Sample &s) {
+            ring(s.fullName).push(now, s.value);
+            if (s.hist != nullptr && s.hist->count() > 0) {
+                ring(s.fullName + ":p50")
+                    .push(now, s.hist->quantile(0.50));
+                ring(s.fullName + ":p99")
+                    .push(now, s.hist->quantile(0.99));
+            }
+        });
+    }
+
+    /** Times sample() ran. */
+    std::uint64_t samplesTaken() const { return samples_; }
+
+    /** Series for canonical @p full_name, or nullptr before data. */
+    const SeriesRing *
+    series(const std::string &full_name) const
+    {
+        auto it = rings.find(full_name);
+        return it == rings.end() ? nullptr : &it->second;
+    }
+
+    /** Number of distinct series collected so far. */
+    std::size_t seriesCount() const { return rings.size(); }
+
+    /** Visit every series in sorted name order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[name, r] : rings)
+            fn(name, r);
+    }
+
+    /**
+     * Render all series as one self-contained HTML page: a table of
+     * latest/min/max per series plus an inline SVG sparkline each.
+     * No scripts, no external assets — open the file, see the run.
+     */
+    void
+    writeDashboard(std::ostream &out, const std::string &title) const
+    {
+        out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            << "<title>" << htmlEscape(title) << "</title>\n"
+            << "<style>\n"
+            << "body{font-family:monospace;background:#fafafa;"
+            << "margin:1em}\n"
+            << "h1{font-size:1.2em}\n"
+            << "table{border-collapse:collapse}\n"
+            << "td,th{border:1px solid #ccc;padding:2px 8px;"
+            << "text-align:right}\n"
+            << "td.name{text-align:left}\n"
+            << "polyline{fill:none;stroke:#07c;stroke-width:1}\n"
+            << "</style></head><body>\n"
+            << "<h1>" << htmlEscape(title) << "</h1>\n"
+            << "<table><tr><th>series</th><th>latest</th><th>min</th>"
+            << "<th>max</th><th>samples</th><th>sparkline</th></tr>\n";
+        for (const auto &[name, r] : rings) {
+            if (r.size() == 0)
+                continue;
+            char buf[64];
+            out << "<tr><td class=\"name\">" << htmlEscape(name)
+                << "</td>";
+            std::snprintf(buf, sizeof(buf), "%.6g", r.latest().value);
+            out << "<td>" << buf << "</td>";
+            std::snprintf(buf, sizeof(buf), "%.6g", r.minRetained());
+            out << "<td>" << buf << "</td>";
+            std::snprintf(buf, sizeof(buf), "%.6g", r.maxRetained());
+            out << "<td>" << buf << "</td>";
+            out << "<td>" << r.pushed() << "</td><td>";
+            sparkline(out, r);
+            out << "</td></tr>\n";
+        }
+        out << "</table></body></html>\n";
+    }
+
+    /** Dashboard HTML as a string (see writeDashboard). */
+    std::string
+    dashboardHtml(const std::string &title) const
+    {
+        std::ostringstream out;
+        writeDashboard(out, title);
+        return out.str();
+    }
+
+  private:
+    SeriesRing &
+    ring(const std::string &name)
+    {
+        auto it = rings.find(name);
+        if (it == rings.end())
+            it = rings
+                     .emplace(name,
+                              SeriesRing(cfg.capacity))
+                     .first;
+        return it->second;
+    }
+
+    static std::string
+    htmlEscape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '<')
+                out += "&lt;";
+            else if (c == '>')
+                out += "&gt;";
+            else if (c == '&')
+                out += "&amp;";
+            else if (c == '"')
+                out += "&quot;";
+            else
+                out += c;
+        }
+        return out;
+    }
+
+    static void
+    sparkline(std::ostream &out, const SeriesRing &r)
+    {
+        constexpr double w = 240.0, h = 28.0, pad = 2.0;
+        const double lo = r.minRetained(), hi = r.maxRetained();
+        const double span = hi > lo ? hi - lo : 1.0;
+        const corm::sim::Tick t0 = r.at(0).when;
+        const corm::sim::Tick t1 = r.latest().when;
+        const double tspan =
+            t1 > t0 ? static_cast<double>(t1 - t0) : 1.0;
+        out << "<svg width=\"" << static_cast<int>(w) << "\" height=\""
+            << static_cast<int>(h) << "\"><polyline points=\"";
+        char buf[48];
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            const auto &s = r.at(i);
+            const double x = pad
+                + (w - 2 * pad) * static_cast<double>(s.when - t0)
+                    / tspan;
+            const double y = h - pad
+                - (h - 2 * pad) * (s.value - lo) / span;
+            std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+            out << buf;
+        }
+        out << "\"/></svg>";
+    }
+
+    const MetricRegistry &reg;
+    Params cfg;
+    std::uint64_t samples_ = 0;
+    std::map<std::string, SeriesRing> rings;
+};
+
+} // namespace corm::obs

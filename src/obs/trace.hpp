@@ -37,6 +37,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
@@ -120,6 +121,38 @@ class TraceRecorder
     void setEnabled(bool on) { enabled_ = on; }
 
     /**
+     * Two-level verbosity. With detail off, instrumentation sites
+     * tagged as dataplane detail — per-dispatch scheduler slices,
+     * per-entity queue counter series — skip emission; coordination
+     * spans, hops, applies and health events still record. The
+     * flight recorder (obs/flight.hpp) runs with detail off so its
+     * always-on window costs a fraction of full tracing; --trace
+     * keeps the default (on) and records everything.
+     */
+    bool detail() const { return detail_; }
+    void setDetail(bool on) { detail_ = on; }
+
+    /**
+     * Bound the retained window: keep (at least) the last @p cap
+     * events, discarding the oldest beyond that. 0 (the default)
+     * retains everything. The flight recorder (obs/flight.hpp) runs
+     * every component's tracing into a small bounded window so it can
+     * stay attached for a whole run at a fixed memory cost.
+     *
+     * Implementation note: the ring is an amortized vector — when the
+     * buffer reaches 2×cap, the oldest half is erased in one move, so
+     * steady-state cost stays O(1) per event and events() remains a
+     * plain chronological vector.
+     */
+    void setCapacity(std::size_t cap) { capacity_ = cap; }
+
+    /** Retained-window bound (0 = unbounded). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events discarded past the retained window. */
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /**
      * Register (or fetch) the track for (process, thread). Tracks
      * map to Perfetto pid/tid pairs; first registration order fixes
      * the numbering, so call sites must register deterministically
@@ -173,8 +206,8 @@ class TraceRecorder
     {
         if (!enabled_)
             return;
-        events_.push_back({'X', ts, dur, trk, 0, std::move(name),
-                           std::move(category), std::move(args)});
+        push({'X', ts, dur, trk, 0, std::move(name),
+              std::move(category), std::move(args)});
     }
 
     void
@@ -183,8 +216,8 @@ class TraceRecorder
     {
         if (!enabled_)
             return;
-        events_.push_back({'i', ts, 0, trk, 0, std::move(name),
-                           std::move(category), std::move(args)});
+        push({'i', ts, 0, trk, 0, std::move(name),
+              std::move(category), std::move(args)});
     }
 
     /** Counter sample: series @p series of counter @p name. */
@@ -200,7 +233,7 @@ class TraceRecorder
         e.track = trk;
         e.name = std::move(name);
         e.args.emplace_back(std::move(series), value);
-        events_.push_back(std::move(e));
+        push(std::move(e));
     }
 
     void
@@ -320,8 +353,20 @@ class TraceRecorder
         // wins; later ones join the chain as ordinary steps.
         if (phase == 'f' && !endedFlows.insert(id).second)
             phase = 't';
-        events_.push_back({phase, ts, 0, trk, id, std::move(name),
-                           std::move(category), {}});
+        push({phase, ts, 0, trk, id, std::move(name),
+              std::move(category), {}});
+    }
+
+    void
+    push(TraceEvent &&e)
+    {
+        events_.push_back(std::move(e));
+        if (capacity_ != 0 && events_.size() >= capacity_ * 2) {
+            dropped_ += events_.size() - capacity_;
+            events_.erase(events_.begin(),
+                          events_.end()
+                              - static_cast<std::ptrdiff_t>(capacity_));
+        }
     }
 
     /** Ticks (ns) as a microsecond JSON number, byte-stable. */
@@ -351,6 +396,9 @@ class TraceRecorder
     }
 
     bool enabled_ = true;
+    bool detail_ = true;
+    std::size_t capacity_ = 0;
+    std::uint64_t dropped_ = 0;
     std::vector<Track> tracks;
     std::vector<TraceEvent> events_;
     std::set<TraceId> endedFlows;

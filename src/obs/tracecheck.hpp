@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Structural validation of the Chrome trace-event JSON our
+ * TraceRecorder emits (and Perfetto loads).
+ *
+ * Shared between the `trace_check` CLI (bench/trace_check.cpp, used
+ * by the trace_smoke ctest against real bench output) and the unit
+ * tests, which exercise the edge cases a healthy bench never
+ * produces: empty traces, flows missing their ack leg, double
+ * begins.
+ *
+ * Checked invariants: a traceEvents array; per-event ph/name/pid/tid;
+ * ts on timed events; dur on complete events; positive ids on flow
+ * events; per-flow exactly one begin, at most one end, events in
+ * non-decreasing timestamp order — and, when @p require_flow is set,
+ * at least one complete begin → step → end chain (the causal
+ * coordination span the tracing tentpole exists to show).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace corm::obs {
+
+/** Result of one trace validation. */
+struct TraceCheckResult
+{
+    std::size_t events = 0;        ///< entries in traceEvents
+    std::size_t timed = 0;         ///< non-metadata events
+    std::size_t flows = 0;         ///< distinct flow ids
+    std::size_t complete = 0;      ///< flows with begin and end
+    std::size_t multiHop = 0;      ///< complete flows with >= 1 step
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/**
+ * Validate a parsed trace document. @p require_flow additionally
+ * demands one complete multi-hop causal chain.
+ */
+inline TraceCheckResult
+checkTrace(const JsonValue &doc, bool require_flow)
+{
+    TraceCheckResult r;
+    auto violation = [&r](const std::string &what) {
+        r.violations.push_back(what);
+    };
+    auto eventViolation = [&](const char *what, std::size_t index) {
+        violation("event " + std::to_string(index) + ": " + what);
+    };
+
+    if (!doc.isObject()) {
+        violation("top level is not an object");
+        return r;
+    }
+    const JsonValue *events = doc.get("traceEvents");
+    if (!events || !events->isArray()) {
+        violation("missing traceEvents array");
+        return r;
+    }
+    r.events = events->items.size();
+
+    struct FlowChain
+    {
+        int begins = 0;
+        int steps = 0;
+        int ends = 0;
+        double lastTs = 0.0;
+        bool ordered = true; ///< events appeared in non-decreasing ts
+    };
+    std::map<double, FlowChain> chains;
+
+    for (std::size_t i = 0; i < events->items.size(); ++i) {
+        const JsonValue &e = events->items[i];
+        if (!e.isObject()) {
+            eventViolation("not an object", i);
+            continue;
+        }
+        const JsonValue *ph = e.get("ph");
+        if (!ph || !ph->isString() || ph->str.size() != 1) {
+            eventViolation("missing/odd ph", i);
+            continue;
+        }
+        const char p = ph->str[0];
+        const JsonValue *name = e.get("name");
+        if (!name || !name->isString() || name->str.empty())
+            eventViolation("missing name", i);
+        const JsonValue *pid = e.get("pid");
+        const JsonValue *tid = e.get("tid");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            eventViolation("missing pid/tid", i);
+
+        if (p == 'M') // metadata carries no timestamp
+            continue;
+        ++r.timed;
+        const JsonValue *ts = e.get("ts");
+        if (!ts || !ts->isNumber()) {
+            eventViolation("timed event without numeric ts", i);
+            continue;
+        }
+        if (p == 'X') {
+            const JsonValue *dur = e.get("dur");
+            if (!dur || !dur->isNumber() || dur->num < 0)
+                eventViolation("complete event without dur", i);
+        } else if (p == 's' || p == 't' || p == 'f') {
+            const JsonValue *id = e.get("id");
+            if (!id || !id->isNumber() || id->num <= 0) {
+                eventViolation("flow event without positive id", i);
+                continue;
+            }
+            FlowChain &c = chains[id->num];
+            const bool first = c.begins + c.steps + c.ends == 0;
+            if (!first && ts->num < c.lastTs)
+                c.ordered = false;
+            c.lastTs = ts->num;
+            if (p == 's')
+                ++c.begins;
+            else if (p == 't')
+                ++c.steps;
+            else
+                ++c.ends;
+        } else if (p != 'i' && p != 'C') {
+            eventViolation("unknown phase", i);
+        }
+    }
+
+    r.flows = chains.size();
+    char idbuf[40];
+    for (const auto &[id, c] : chains) {
+        std::snprintf(idbuf, sizeof(idbuf), "%.0f", id);
+        if (c.begins != 1)
+            violation("flow " + std::string(idbuf) + " has "
+                      + std::to_string(c.begins) + " begins");
+        if (c.ends > 1)
+            violation("flow " + std::string(idbuf) + " has "
+                      + std::to_string(c.ends) + " ends");
+        if (!c.ordered)
+            violation("flow " + std::string(idbuf)
+                      + " events out of ts order");
+        if (c.begins == 1 && c.ends == 1) {
+            ++r.complete;
+            if (c.steps > 0)
+                ++r.multiHop;
+        }
+    }
+
+    if (require_flow && r.multiHop == 0)
+        violation("no complete multi-hop flow "
+                  "(begin -> step -> end) found");
+    return r;
+}
+
+/** Parse @p text and validate; malformed JSON is a violation. */
+inline TraceCheckResult
+checkTraceText(std::string_view text, bool require_flow)
+{
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(text, doc, &err)) {
+        TraceCheckResult r;
+        r.violations.push_back("malformed JSON: " + err);
+        return r;
+    }
+    return checkTrace(doc, require_flow);
+}
+
+} // namespace corm::obs

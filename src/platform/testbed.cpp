@@ -31,13 +31,19 @@ Testbed::Testbed(TestbedParams params)
 {
     channel_.installFaultPlan(cfg.coordFaults);
 
-    if (cfg.trace != nullptr) {
-        channel_.setTrace(cfg.trace);
-        x86_.setTrace(cfg.trace);
-        ixp_.setTrace(cfg.trace);
-        announcer_.setTrace(cfg.trace);
-    }
     registerMetrics();
+    if (cfg.monitor)
+        armMonitor();
+
+    // Components trace into the full recorder when one is attached;
+    // with only the monitor armed they trace into its bounded flight
+    // ring, so an incident dump carries real platform events.
+    if (corm::obs::TraceRecorder *tr = effectiveTrace()) {
+        channel_.setTrace(tr);
+        x86_.setTrace(tr);
+        ixp_.setTrace(tr);
+        announcer_.setTrace(tr);
+    }
 
     controller_.registerIsland(x86_);
     controller_.registerIsland(ixp_);
@@ -97,8 +103,49 @@ Testbed::attachPolicy(corm::coord::CoordinationPolicy &policy)
     policy.attachSender(ixp_.id(), [this](const CoordMessage &m) {
         channel_.send(m);
     });
-    if (cfg.trace != nullptr)
-        policy.attachTrace(cfg.trace, ixp_.name(), &sim_);
+    if (corm::obs::TraceRecorder *tr = effectiveTrace())
+        policy.attachTrace(tr, ixp_.name(), &sim_);
+}
+
+void
+Testbed::armMonitor()
+{
+    corm::obs::HealthMonitor::Params mp = cfg.monitorParams;
+    if (mp.rules.empty())
+        mp.rules = corm::obs::defaultHealthRules();
+    monitor_ =
+        std::make_unique<corm::obs::HealthMonitor>(sim_, metrics_, mp);
+    monitor_->setMirrorTrace(cfg.trace);
+
+    // Heartbeat lanes: one per mailbox direction. Every send enters
+    // the lane (even when fault weather silently eats it — that is
+    // exactly the outage signature the stall watchdog exists for);
+    // a delivery proves the lane moved.
+    using Activity = corm::interconnect::Mailbox::Activity;
+    for (int dir = 0; dir < 2; ++dir) {
+        const int id = monitor_->lane(channel_.name()
+                                      + (dir == 0 ? ".a2b" : ".b2a"));
+        channel_.setActivityObserver(dir, [this, id](Activity act) {
+            if (act == Activity::sent)
+                monitor_->laneSent(id);
+            else if (act == Activity::delivered)
+                monitor_->laneDelivered(id);
+        });
+    }
+
+    announcer_.setAbandonObserver([this](const CoordMessage &m) {
+        monitor_->noteAbandon(
+            "reg:entity=" + std::to_string(m.entity) + ",dst="
+            + std::to_string(static_cast<unsigned>(m.dst)));
+    });
+
+    metrics_.counterFn("health.breaches", {},
+                       [this] { return monitor_->breaches(); });
+    metrics_.counterFn("health.events", {}, [this] {
+        return static_cast<std::uint64_t>(monitor_->events().size());
+    });
+
+    monitor_->start();
 }
 
 void

@@ -32,6 +32,7 @@
 #include "ixp/island.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "platform/driver.hpp"
 #include "sim/simulator.hpp"
@@ -88,6 +89,21 @@ struct TestbedParams
      * attachPolicy() also roots causal Tune/Trigger spans there.
      */
     corm::obs::TraceRecorder *trace = nullptr;
+
+    /**
+     * Arm the online health monitor (obs/monitor.hpp): SLO
+     * watchdogs over the metric registry, per-direction mailbox
+     * stall detection, and an always-on flight recorder that
+     * snapshots a Perfetto window around the first incident even
+     * when no full trace recorder is attached.
+     */
+    bool monitor = false;
+
+    /**
+     * Health-monitor tuning. An empty rules list means
+     * obs::defaultHealthRules().
+     */
+    corm::obs::HealthMonitor::Params monitorParams;
 };
 
 /**
@@ -183,7 +199,30 @@ class Testbed
      */
     corm::obs::MetricRegistry &metrics() { return metrics_; }
 
+    /** The health monitor, or nullptr unless params.monitor. */
+    corm::obs::HealthMonitor *monitor() { return monitor_.get(); }
+    const corm::obs::HealthMonitor *monitor() const
+    {
+        return monitor_.get();
+    }
+
+    /**
+     * The recorder components actually trace into: the configured
+     * full recorder when one was given, else the monitor's bounded
+     * flight ring, else nullptr.
+     */
+    corm::obs::TraceRecorder *
+    effectiveTrace()
+    {
+        if (cfg.trace != nullptr)
+            return cfg.trace;
+        return monitor_ ? monitor_->flightTrace() : nullptr;
+    }
+
   private:
+    /** Build and wire the health monitor (ctor tail). */
+    void armMonitor();
+
     /** Register every component's counters/gauges (ctor tail). */
     void registerMetrics();
 
@@ -202,6 +241,7 @@ class Testbed
     corm::coord::ReliableAnnouncer announcer_;
     MessagingDriver driver_;
     corm::obs::MetricRegistry metrics_;
+    std::unique_ptr<corm::obs::HealthMonitor> monitor_;
     std::vector<std::unique_ptr<Guest>> guests_;
     std::map<std::uint32_t,
              std::function<void(const corm::net::PacketPtr &)>>

@@ -375,10 +375,15 @@ CreditScheduler::dispatch(PCpu &pc)
 void
 CreditScheduler::traceBoostDispatch(Vcpu &vc, PCpu &pc)
 {
-    rec_->complete(obsTrack(), vc.wakeTick, sim.now() - vc.wakeTick,
-                   "boost:dispatch-wait", "xen",
-                   {{"dom", static_cast<std::uint64_t>(vc.dom.id())},
-                    {"pcpu", pc.index}});
+    // The per-dispatch slice is dataplane detail (the trace-densest
+    // event in the system); span legs below must record regardless.
+    if (rec_->detail()) {
+        rec_->complete(
+            obsTrack(), vc.wakeTick, sim.now() - vc.wakeTick,
+            "boost:dispatch-wait", "xen",
+            {{"dom", static_cast<std::uint64_t>(vc.dom.id())},
+             {"pcpu", pc.index}});
+    }
     if (auto it = boostFlows.find(&vc); it != boostFlows.end()) {
         if (it->second.final) {
             rec_->flowEnd(obsTrack(), sim.now(), it->second.id,

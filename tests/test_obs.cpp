@@ -20,7 +20,10 @@
 #include "interconnect/faults.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
+#include "obs/tracecheck.hpp"
 #include "platform/scenarios.hpp"
 #include "sim/log.hpp"
 #include "sim/simulator.hpp"
@@ -419,4 +422,318 @@ TEST(LogConfig, MalformedSpecsRejected)
     EXPECT_TRUE(cfg.configure("error"));
     EXPECT_EQ(cfg.level(), corm::sim::LogLevel::error);
     EXPECT_TRUE(cfg.configure("")); // empty spec is a no-op
+}
+
+//
+// Escaping (PR 4 satellite): metric names and label values carrying
+// '"', '\' or newlines must survive both machine exports.
+//
+
+TEST(Metrics, HostileLabelValuesRoundTripThroughJson)
+{
+    const Labels hostile{{"path", "C:\\tmp\"x\"\nend"}};
+    MetricRegistry m;
+    m.counter("weird.total", hostile).add(5);
+
+    const std::string snap = m.jsonSnapshot();
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(snap, doc, &err)) << err;
+
+    // The canonical full name (label value verbatim) must come back
+    // as exactly one key of the parsed object.
+    const std::string full =
+        MetricRegistry::fullName("weird.total", hostile);
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *v = doc.get(full);
+    ASSERT_NE(v, nullptr) << snap;
+    EXPECT_TRUE(v->isNumber());
+    EXPECT_DOUBLE_EQ(v->num, 5.0);
+}
+
+TEST(Metrics, PrometheusExpositionEscapesLabelValues)
+{
+    MetricRegistry m;
+    m.counter("weird.total", {{"path", "a\\b\"c\nd"}}).add(2);
+    m.gauge("plain.gauge").set(1.5);
+
+    std::ostringstream out;
+    m.writeProm(out);
+    const std::string prom = out.str();
+
+    // Dotted names sanitize to the Prometheus charset; the hostile
+    // label value is escaped per the exposition format.
+    EXPECT_NE(prom.find("# TYPE weird_total counter"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("weird_total{path=\"a\\\\b\\\"c\\nd\"} 2"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("plain_gauge 1.5"), std::string::npos);
+    // The raw (unescaped) forms must not appear.
+    EXPECT_EQ(prom.find("a\\b\"c\nd"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHistogramIsCumulative)
+{
+    MetricRegistry m;
+    ObsHistogram &h = m.histogram("lat.us");
+    h.record(0.5);
+    h.record(1.5);
+    h.record(3.0);
+
+    std::ostringstream out;
+    m.writeProm(out);
+    const std::string prom = out.str();
+    EXPECT_NE(prom.find("lat_us_bucket{le=\"1\"} 1"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("lat_us_bucket{le=\"2\"} 2"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lat_us_bucket{le=\"4\"} 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lat_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lat_us_count 3"), std::string::npos);
+}
+
+//
+// Histogram percentile estimation (PR 4 satellite)
+//
+
+TEST(Metrics, HistogramQuantiles)
+{
+    ObsHistogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty
+
+    // One value: every quantile is that value (clamped to [min,max]).
+    h.record(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+
+    // Uniform 1..1000: log2 buckets give coarse but ordered
+    // estimates; p50 must sit well below p99 and both inside range.
+    ObsHistogram u;
+    for (int i = 1; i <= 1000; ++i)
+        u.record(static_cast<double>(i));
+    const double p50 = u.quantile(0.50);
+    const double p99 = u.quantile(0.99);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_GT(p99, p50);
+    EXPECT_LE(p99, 1000.0);
+    EXPECT_GE(u.quantile(0.0), 1.0);
+    // Monotone in q.
+    EXPECT_LE(u.quantile(0.25), u.quantile(0.75));
+}
+
+TEST(Metrics, TextReportCarriesPercentilesNotBuckets)
+{
+    MetricRegistry m;
+    ObsHistogram &h = m.histogram("d.hist");
+    for (int i = 0; i < 100; ++i)
+        h.record(8.0);
+    std::ostringstream out;
+    m.writeText(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("p50="), std::string::npos) << text;
+    EXPECT_NE(text.find("p99="), std::string::npos);
+    EXPECT_EQ(text.find("buckets"), std::string::npos);
+}
+
+//
+// Trace schema checker edge cases (PR 4 satellite): the shared
+// checker (obs/tracecheck.hpp) on inputs a healthy bench never emits.
+//
+
+TEST(TraceCheck, EmptyTraceIsValidUnlessFlowRequired)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    const std::string json = rec.json();
+
+    const TraceCheckResult lax = checkTraceText(json, false);
+    EXPECT_TRUE(lax.ok()) << (lax.violations.empty()
+                                  ? ""
+                                  : lax.violations.front());
+    EXPECT_EQ(lax.flows, 0u);
+
+    const TraceCheckResult strict = checkTraceText(json, true);
+    EXPECT_FALSE(strict.ok());
+    ASSERT_EQ(strict.violations.size(), 1u);
+    EXPECT_NE(strict.violations[0].find("no complete multi-hop flow"),
+              std::string::npos);
+}
+
+TEST(TraceCheck, FlowMissingAckLegIsIncomplete)
+{
+    // A coordination span whose ack never arrived: begin + step but
+    // no end. Structurally legal, but not a complete chain — so
+    // --require-flow must reject it.
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    const int t = rec.track("island", "ixp");
+    rec.flowBegin(t, 100, 7, "coord.span", "coord");
+    rec.flowStep(t, 200, 7, "coord.span", "coord");
+
+    const TraceCheckResult r = checkTraceText(rec.json(), false);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.flows, 1u);
+    EXPECT_EQ(r.complete, 0u);
+    EXPECT_EQ(r.multiHop, 0u);
+
+    const TraceCheckResult strict = checkTraceText(rec.json(), true);
+    EXPECT_FALSE(strict.ok());
+}
+
+TEST(TraceCheck, DoubleBeginAndDisorderAreViolations)
+{
+    // Hand-built JSON: two begins on one flow, plus a time-travelling
+    // step. The recorder never emits this; the checker must still
+    // catch it (it also guards third-party traces).
+    const std::string bad = R"({"traceEvents":[
+        {"ph":"s","name":"x","pid":1,"tid":1,"ts":100,"id":7},
+        {"ph":"s","name":"x","pid":1,"tid":1,"ts":150,"id":7},
+        {"ph":"t","name":"x","pid":1,"tid":1,"ts":50,"id":7},
+        {"ph":"f","name":"x","pid":1,"tid":1,"ts":200,"id":7}
+    ]})";
+    const TraceCheckResult r = checkTraceText(bad, false);
+    EXPECT_FALSE(r.ok());
+    bool sawBegins = false, sawOrder = false;
+    for (const std::string &v : r.violations) {
+        if (v.find("2 begins") != std::string::npos)
+            sawBegins = true;
+        if (v.find("out of ts order") != std::string::npos)
+            sawOrder = true;
+    }
+    EXPECT_TRUE(sawBegins);
+    EXPECT_TRUE(sawOrder);
+
+    const TraceCheckResult garbage = checkTraceText("{nope", false);
+    EXPECT_FALSE(garbage.ok());
+    EXPECT_NE(garbage.violations[0].find("malformed JSON"),
+              std::string::npos);
+}
+
+//
+// SLO rule grammar (PR 4 satellite): parse(str()) round-trips.
+//
+
+TEST(SloRules, ParseAndRoundTrip)
+{
+    SloRule r;
+    std::string err;
+    ASSERT_TRUE(SloRule::parse(
+        "coord.channel.delivery_latency_us{channel=coord.pci} "
+        "p99 < 5000",
+        r, &err))
+        << err;
+    EXPECT_EQ(r.metric,
+              "coord.channel.delivery_latency_us{channel=coord.pci}");
+    EXPECT_EQ(r.agg, SloRule::Agg::p99);
+    EXPECT_EQ(r.op, SloRule::Op::lt);
+    EXPECT_DOUBLE_EQ(r.threshold, 5000.0);
+    EXPECT_EQ(r.window, 1 * corm::sim::sec); // default
+
+    SloRule again;
+    ASSERT_TRUE(SloRule::parse(r.str(), again, &err)) << err;
+    EXPECT_EQ(r, again);
+
+    // Explicit window, every agg and op spelling.
+    ASSERT_TRUE(SloRule::parse(
+        "coord.channel.retries rate >= 12.5 window 500ms", r, &err))
+        << err;
+    EXPECT_EQ(r.agg, SloRule::Agg::rate);
+    EXPECT_EQ(r.op, SloRule::Op::ge);
+    EXPECT_DOUBLE_EQ(r.threshold, 12.5);
+    EXPECT_EQ(r.window, 500 * corm::sim::msec);
+    ASSERT_TRUE(SloRule::parse(r.str(), again, &err)) << err;
+    EXPECT_EQ(r, again);
+
+    for (const char *text :
+         {"m value < 1", "m rate <= 2 window 250us", "m mean > 3",
+          "m p50 >= 4 window 2s", "m p99 < 5 window 10ns"}) {
+        ASSERT_TRUE(SloRule::parse(text, r, &err)) << text << err;
+        ASSERT_TRUE(SloRule::parse(r.str(), again, &err))
+            << r.str() << err;
+        EXPECT_EQ(r, again) << text;
+    }
+
+    // Every default platform rule must parse.
+    for (const std::string &text : defaultHealthRules()) {
+        EXPECT_TRUE(SloRule::parse(text, r, &err)) << text << err;
+    }
+}
+
+TEST(SloRules, MalformedRulesRejected)
+{
+    SloRule r;
+    std::string err;
+    EXPECT_FALSE(SloRule::parse("", r, &err));
+    EXPECT_FALSE(SloRule::parse("metric", r, &err));
+    EXPECT_FALSE(SloRule::parse("m value < ", r, &err));
+    EXPECT_FALSE(SloRule::parse("m middling < 5", r, &err));
+    EXPECT_FALSE(SloRule::parse("m value ~ 5", r, &err));
+    EXPECT_FALSE(SloRule::parse("m value < 5 window", r, &err));
+    EXPECT_FALSE(SloRule::parse("m value < 5 window 10", r, &err));
+    EXPECT_FALSE(SloRule::parse("m value < 5 window 10fortnights",
+                                r, &err));
+    EXPECT_FALSE(SloRule::parse("m value < five", r, &err));
+    EXPECT_FALSE(
+        SloRule::parse("m value < 5 window 1s extra", r, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+//
+// SeriesRing + RegistrySampler
+//
+
+TEST(Series, RingWindowsAndRates)
+{
+    SeriesRing ring(4);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_DOUBLE_EQ(ring.rate(corm::sim::sec, corm::sim::sec), 0.0);
+
+    // Counter-like series: +10 per 100ms sample.
+    using corm::sim::msec;
+    for (int i = 1; i <= 6; ++i)
+        ring.push(i * 100 * msec, 10.0 * i);
+    EXPECT_EQ(ring.size(), 4u); // oldest two overwritten
+    EXPECT_DOUBLE_EQ(ring.at(0).value, 30.0);
+    EXPECT_DOUBLE_EQ(ring.latest().value, 60.0);
+
+    // Rate over the last 300ms: (60-30)/0.3s = 100/s.
+    const double r = ring.rate(600 * msec, 300 * msec);
+    EXPECT_NEAR(r, 100.0, 1e-9);
+
+    EXPECT_NEAR(ring.windowMean(600 * msec, 300 * msec),
+                (40.0 + 50.0 + 60.0) / 3.0, 1e-9);
+    EXPECT_NEAR(ring.percentile(0.5, 600 * msec, 400 * msec), 50.0,
+                1e-9);
+}
+
+TEST(Series, SamplerPollsRegistryAndDerivesPercentiles)
+{
+    MetricRegistry m;
+    m.counter("c.total").add(4);
+    ObsHistogram &h = m.histogram("lat.us");
+    for (int i = 0; i < 100; ++i)
+        h.record(10.0);
+
+    RegistrySampler s(m);
+    s.sample(1 * corm::sim::msec);
+    m.counter("c.total").add(6);
+    s.sample(2 * corm::sim::msec);
+
+    ASSERT_NE(s.series("c.total"), nullptr);
+    EXPECT_DOUBLE_EQ(s.series("c.total")->latest().value, 10.0);
+    // Histograms additionally expose derived :p50/:p99 series.
+    ASSERT_NE(s.series("lat.us:p50"), nullptr);
+    EXPECT_GT(s.series("lat.us:p50")->latest().value, 0.0);
+    ASSERT_NE(s.series("lat.us:p99"), nullptr);
+
+    const std::string html = s.dashboardHtml("t");
+    EXPECT_NE(html.find("c.total"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
 }
