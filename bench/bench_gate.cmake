@@ -3,8 +3,14 @@
 # Reruns one bench binary with the committed fast configuration and
 # gates its JSON report against the checked-in baseline
 # (bench/baselines/*.json) via the bench_gate comparator. Then
-# self-tests the gate: a synthetic 2x response-time regression
+# self-tests the gate: a synthetic 2x regression at SCALE_PATH
 # (--scale) must be caught, otherwise the gate itself is broken.
+# SCALE_PATH defaults to the RUBiS throughput bench's latency metric;
+# gates for other benches pass their own gated path.
+
+if(NOT SCALE_PATH)
+    set(SCALE_PATH results.coord.mean_response_ms.mean)
+endif()
 
 execute_process(
     COMMAND ${BENCH_BIN} --trials 1 --warmup-sec 0.5 --measure-sec 2
@@ -27,7 +33,7 @@ endif()
 
 execute_process(
     COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/gate_fresh.json
-        --scale results.coord.mean_response_ms.mean=2.0 --expect-fail
+        --scale ${SCALE_PATH}=2.0 --expect-fail
     RESULT_VARIABLE self_rc OUTPUT_QUIET)
 if(NOT self_rc EQUAL 0)
     message(FATAL_ERROR

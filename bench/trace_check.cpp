@@ -4,13 +4,21 @@
  * (obs/tracecheck.hpp). Used by the trace_smoke ctest to validate a
  * real bench-produced trace, and handy interactively:
  *
- *   trace_check FILE [--require-flow]
+ *   trace_check FILE [--require-flow] [--min-steps N]
+ *
+ * --min-steps N demands at least one complete flow with >= N steps
+ * (implies --require-flow's chain requirement only when that flag is
+ * also given; on its own it still validates the deepest chain) — the
+ * multi-hop fabric check: a span relayed across an N-link tree path
+ * carries one step per relay, so fabric scenarios assert deeper
+ * chains than the two-island channel produces.
  *
  * Exit status: 0 on a valid trace, 1 on violations (each printed),
  * 2 on usage/IO errors.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -23,19 +31,33 @@ main(int argc, char **argv)
 {
     const char *path = nullptr;
     bool requireFlow = false;
+    std::size_t minSteps = 1;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--require-flow"))
+        if (!std::strcmp(argv[i], "--require-flow")) {
             requireFlow = true;
-        else if (!path)
+        } else if (!std::strcmp(argv[i], "--min-steps")
+                   && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "trace_check: --min-steps wants >= 1\n");
+                return 2;
+            }
+            minSteps = static_cast<std::size_t>(n);
+            requireFlow = true; // a depth bar implies the chain check
+        } else if (!path) {
             path = argv[i];
-        else {
-            std::fprintf(stderr,
-                         "usage: %s FILE [--require-flow]\n", argv[0]);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s FILE [--require-flow] [--min-steps N]\n",
+                argv[0]);
             return 2;
         }
     }
     if (!path) {
-        std::fprintf(stderr, "usage: %s FILE [--require-flow]\n",
+        std::fprintf(stderr,
+                     "usage: %s FILE [--require-flow] [--min-steps N]\n",
                      argv[0]);
         return 2;
     }
@@ -49,13 +71,15 @@ main(int argc, char **argv)
     buf << in.rdbuf();
 
     const corm::obs::TraceCheckResult r =
-        corm::obs::checkTraceText(buf.str(), requireFlow);
+        corm::obs::checkTraceText(buf.str(), requireFlow, minSteps);
     for (const std::string &v : r.violations)
         std::fprintf(stderr, "trace_check: %s\n", v.c_str());
 
     std::printf("trace_check: %s: %zu events (%zu timed), %zu flows "
-                "(%zu complete, %zu multi-hop), %zu violation(s)\n",
+                "(%zu complete, %zu multi-hop, max %zu steps, "
+                "%zu dangling), %zu violation(s)\n",
                 path, r.events, r.timed, r.flows, r.complete,
-                r.multiHop, r.violations.size());
+                r.multiHop, r.maxSteps, r.dangling,
+                r.violations.size());
     return r.ok() ? 0 : 1;
 }

@@ -4,10 +4,11 @@
 #   scripts/check_bench.sh [BUILD_DIR]            gate against baselines
 #   scripts/check_bench.sh [BUILD_DIR] --update   refresh the baselines
 #
-# The gate reruns table2_rubis_throughput with the committed fast
-# configuration (1 trial, 0.5 s warm-up, 2 s measure — the same
-# window the bench_gate_check ctest uses) and compares the gated
-# metrics in its JSON report against bench/baselines/*.json.
+# The gate reruns table2_rubis_throughput (1 trial, 0.5 s warm-up,
+# 2 s measure) and fabric_scale (default sweep) with the committed
+# fast configurations — the same windows the bench_gate_check and
+# fabric_gate_check ctests use — and compares the gated metrics in
+# their JSON reports against bench/baselines/*.json.
 # --update recaptures the baseline from the fresh run, preserving the
 # per-metric tolerance list below; commit the result when a metric
 # shift is intentional.
@@ -22,10 +23,12 @@ esac
 [ "$2" = "--update" ] && update=1
 
 bench=$build/bench/table2_rubis_throughput
+fabric=$build/bench/fabric_scale
 gate=$build/bench/bench_gate
 baseline=$repo/bench/baselines/table2_rubis_throughput.json
+fabric_baseline=$repo/bench/baselines/fabric_scale.json
 
-for bin in "$bench" "$gate"; do
+for bin in "$bench" "$fabric" "$gate"; do
     if [ ! -x "$bin" ]; then
         echo "check_bench: missing $bin (build first: cmake --build $build)" >&2
         exit 2
@@ -37,6 +40,8 @@ trap 'rm -rf "$tmp"' EXIT
 
 (cd "$tmp" && "$bench" --trials 1 --warmup-sec 0.5 --measure-sec 2 \
     --json "$tmp/fresh.json" > /dev/null)
+(cd "$tmp" && "$fabric" --trials 1 \
+    --json "$tmp/fabric_fresh.json" > /dev/null)
 
 if [ -n "$update" ]; then
     # The gated metric list and its tolerances. Structural counters
@@ -50,7 +55,21 @@ if [ -n "$update" ]; then
         results.base.events_executed=0.10 \
         results.coord.events_executed=0.10
     echo "check_bench: baseline refreshed -> $baseline"
+    # Fabric gate: structural message counts are exact replays, so
+    # they run tight; the derived ratios get a little headroom.
+    "$gate" --init "$tmp/fabric_fresh.json" --out "$fabric_baseline" \
+        results.tree_n16_faulty.hub_messages_per_applied_tune=0.15 \
+        results.tree_n16_faulty.messages_per_applied_tune=0.15 \
+        results.tree_n16_faulty.applied_tunes=0.05 \
+        results.tree_n16_faulty.hub_queue_depth=0.50 \
+        results.tree_n16_faulty.convergence_ms=0.25 \
+        results.star_n16_faulty.hub_messages_per_applied_tune=0.15 \
+        results.star_n16_faulty.applied_tunes=0.05 \
+        results.tree_n16_clean.hub_messages_per_applied_tune=0.15 \
+        results.star_n16_clean.hub_messages_per_applied_tune=0.15
+    echo "check_bench: baseline refreshed -> $fabric_baseline"
 else
     "$gate" "$baseline" "$tmp/fresh.json"
+    "$gate" "$fabric_baseline" "$tmp/fabric_fresh.json"
     echo "check_bench: gate passed"
 fi

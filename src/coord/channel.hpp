@@ -30,6 +30,7 @@
 
 #include "coord/island.hpp"
 #include "coord/message.hpp"
+#include "coord/transport.hpp"
 #include "interconnect/faults.hpp"
 #include "interconnect/msgring.hpp"
 #include "obs/metrics.hpp"
@@ -77,7 +78,7 @@ struct ChannelHealth
  * endpoint may send(); messages are delivered to the *other* island's
  * ResourceIsland interface after the channel latency.
  */
-class CoordChannel
+class CoordChannel : public CoordTransport
 {
   public:
     /**
@@ -131,7 +132,7 @@ class CoordChannel
      * counted as dropped (the two-island prototype cannot route).
      */
     void
-    send(CoordMessage msg)
+    send(CoordMessage msg) override
     {
         stats_.sent.add();
         if (msg.dst == b.id()) {
@@ -230,13 +231,13 @@ class CoordChannel
      */
     void
     setAckObserver(IslandId endpoint,
-                   std::function<void(const CoordMessage &)> fn)
+                   std::function<void(const CoordMessage &)> fn) override
     {
         ackObservers[endpoint] = std::move(fn);
     }
 
     /** Record a retransmission performed by the reliable layer. */
-    void noteRetransmit() { stats_.retries.add(); }
+    void noteRetransmit() override { stats_.retries.add(); }
 
     /**
      * Observe lane activity on one direction (0 = a→b, 1 = b→a) —

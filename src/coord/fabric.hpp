@@ -7,7 +7,7 @@
  * of the scalability of such mechanisms to large-scale multicore
  * platforms ... distributed coordination algorithms across multiple
  * island resource managers" — needs an N-island transport. The
- * fabric provides two topologies:
+ * fabric provides three topologies:
  *
  *  * **star** — every message relays through a hub island (the
  *    global controller's home, Dom0-style). Two hops for any
@@ -15,118 +15,866 @@
  *  * **mesh** — direct island-to-island delivery, one hop. What
  *    §3.3's "hardware-supported queues / fast on-chip shared memory"
  *    would provide.
+ *  * **tree** — a fanout-k hierarchy rooted at the hub. Messages
+ *    relay along the unique tree path; hub (non-leaf) nodes
+ *    additionally *aggregate* fire-and-forget Tune deltas per
+ *    (destination, entity) within a configurable window and forward
+ *    one batch message whose value is the exact sum (coalesced
+ *    counts track how many logical Tunes it stands for). Triggers,
+ *    registrations and sequenced messages bypass aggregation on the
+ *    low-latency path.
  *
- * Semantics match CoordChannel: Tune/Trigger dispatch to the
- * destination island, registrations install bindings and are
- * acknowledged.
+ * Unlike the earlier toy fabric, every edge is a real pair of
+ * interconnect Mailboxes: per-link FaultPlan weather applies below
+ * the message semantics, a link-layer replay budget (modelling PCIe
+ * DLLP ACK/NAK retry) re-sends fault-eaten wire messages with
+ * exponential backoff, causal trace spans are carried hop by hop,
+ * and the mailboxes' activity observers feed health-monitor stall
+ * watchdogs (see forEachLane). Delivery semantics match
+ * CoordChannel: Tune/Trigger dispatch to the destination island,
+ * sequenced messages are acknowledged and deduplicated at the
+ * endpoint, registrations install bindings and are always acked.
  */
 
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "coord/island.hpp"
 #include "coord/message.hpp"
+#include "coord/transport.hpp"
+#include "interconnect/faults.hpp"
+#include "interconnect/msgring.hpp"
+#include "obs/trace.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
 namespace corm::coord {
 
 /** Fabric topology. */
-enum class FabricTopology { star, mesh };
+enum class FabricTopology { star, mesh, tree };
+
+/** Human-readable topology name. */
+constexpr const char *
+fabricTopologyName(FabricTopology t)
+{
+    switch (t) {
+      case FabricTopology::star: return "star";
+      case FabricTopology::mesh: return "mesh";
+      case FabricTopology::tree: return "tree";
+    }
+    return "?";
+}
+
+/** Parse a topology name; returns false on an unknown name. */
+inline bool
+parseFabricTopology(const std::string &name, FabricTopology &out)
+{
+    if (name == "star") { out = FabricTopology::star; return true; }
+    if (name == "mesh") { out = FabricTopology::mesh; return true; }
+    if (name == "tree") { out = FabricTopology::tree; return true; }
+    return false;
+}
+
+/** Fabric construction parameters. */
+struct FabricParams
+{
+    FabricTopology topology = FabricTopology::mesh;
+    /** One-way latency of every link. */
+    corm::sim::Tick hopLatency = 120 * corm::sim::usec;
+    /**
+     * Hub island: the star centre / tree root. 0 (or an unattached
+     * id) falls back to the lowest attached island id.
+     */
+    IslandId hub = 0;
+    /** Children per node of the tree topology. */
+    int treeFanout = 4;
+    /**
+     * Tune-aggregation window of tree hub nodes; 0 disables
+     * aggregation. Only fire-and-forget (seq == 0) tunes aggregate.
+     */
+    corm::sim::Tick aggWindow = 0;
+    /**
+     * Link weather, applied to every link when any() — each link
+     * derives its own pair of deterministic fault streams from
+     * faults.seed and the link's endpoint ids, so runs replay
+     * bit-identically under any --jobs fan-out.
+     */
+    corm::interconnect::FaultPlanParams faults;
+    /**
+     * Link-layer replay budget (PCIe DLLP ACK/NAK retry model): a
+     * wire message eaten by link weather is re-sent on the same link
+     * up to replayAttempts times, the first after replayTimeout and
+     * exponentially backed off by replayBackoff up to replayCap;
+     * exhausting the budget abandons the message (see
+     * setAbandonObserver). 0 disables replay.
+     */
+    int replayAttempts = 4;
+    corm::sim::Tick replayTimeout = 500 * corm::sim::usec;
+    double replayBackoff = 2.0;
+    corm::sim::Tick replayCap = 8 * corm::sim::msec;
+    /** Name prefix of the per-link mailboxes (stats, logs, lanes). */
+    std::string name = "fabric";
+};
 
 /** Aggregate fabric statistics. */
 struct FabricStats
 {
+    /** Logical send() calls accepted. */
     corm::sim::Counter sent;
+    /** Dispatches at a final destination (dedup-suppressed incl.). */
     corm::sim::Counter delivered;
-    corm::sim::Counter dropped; ///< unknown destination
-    corm::sim::Counter hubRelays;
-    /** Send-to-apply latency (microseconds). */
+    corm::sim::Counter dropped; ///< unknown destination (unroutable)
+    corm::sim::Counter hubRelays; ///< hops forwarded by a relay node
+    /** Wire messages put on a link (relays and replays included). */
+    corm::sim::Counter wireMessages;
+    /** Wire messages that were tunes (the per-applied-Tune cost). */
+    corm::sim::Counter wireTunes;
+    /** Logical tunes applied at destinations (coalesced counts). */
+    corm::sim::Counter appliedTunes;
+    corm::sim::Counter linkDrops;   ///< wire sends eaten by weather
+    corm::sim::Counter linkReplays; ///< link-layer retransmissions
+    /** Wire messages abandoned after the replay budget. */
+    corm::sim::Counter abandoned;
+    /** Duplicate deliveries suppressed (wire dups + endpoint dedup). */
+    corm::sim::Counter duplicates;
+    /** Logical tunes folded into an already-open aggregation bucket. */
+    corm::sim::Counter aggFolded;
+    /** Aggregated batch messages emitted by hub nodes. */
+    corm::sim::Counter aggBatches;
+    /** Triggers relayed past an aggregating hub un-delayed. */
+    corm::sim::Counter triggerBypass;
+    /** Retransmissions performed by the reliable layer above. */
+    corm::sim::Counter retries;
+    /** Send-to-apply latency (microseconds), end to end. */
     corm::sim::Summary deliveryLatencyUs;
+    /** Link hops per first-copy delivery. */
+    corm::sim::Summary hopsPerDelivery;
 };
 
 /**
- * An N-island coordination transport with configurable topology and
- * per-hop latency.
+ * An N-island coordination transport with configurable topology,
+ * per-link fault weather, link-layer replay and (tree) hub-side
+ * Tune aggregation. Implements CoordTransport, so ReliableSender /
+ * ReliableAnnouncer run over it unchanged.
  */
-class CoordFabric
+class CoordFabric : public CoordTransport
 {
   public:
-    /**
-     * @param simulator Event engine.
-     * @param topology star (hub relay) or mesh (direct).
-     * @param hop_latency One-way latency per hop.
-     * @param hub Hub island id (star topology only).
-     */
+    /** Compatibility constructor (star/mesh call sites). */
     CoordFabric(corm::sim::Simulator &simulator, FabricTopology topology,
                 corm::sim::Tick hop_latency, IslandId hub = 0)
-        : sim(simulator), topo(topology), hopLatency(hop_latency),
-          hubId(hub)
+        : CoordFabric(simulator, makeParams(topology, hop_latency, hub))
     {}
 
-    /** Attach an island to the fabric. */
-    void attach(ResourceIsland &island) { islands[island.id()] = &island; }
+    CoordFabric(corm::sim::Simulator &simulator, FabricParams params)
+        : sim(simulator), cfg(std::move(params))
+    {}
+
+    CoordFabric(const CoordFabric &) = delete;
+    CoordFabric &operator=(const CoordFabric &) = delete;
+
+    /** Attach an island to the fabric (before traffic, ideally). */
+    void
+    attach(ResourceIsland &island)
+    {
+        islands[island.id()] = &island;
+        dirty = true;
+    }
 
     /** Number of attached islands. */
     std::size_t islandCount() const { return islands.size(); }
 
-    /** Observe delivered acks (for ReliableAnnouncer-style use). */
+    /** Parameters in force. */
+    const FabricParams &params() const { return cfg; }
+
+    /** Per-hop latency. */
+    corm::sim::Tick perHopLatency() const { return cfg.hopLatency; }
+
+    /**
+     * Send a message toward msg.dst, relaying along the topology's
+     * path. Messages to an unknown destination (or from an
+     * unattached source) are counted as dropped.
+     */
+    void
+    send(CoordMessage msg) override
+    {
+        ensureBuilt();
+        stats_.sent.add();
+        if (!islands.count(msg.dst) || !islands.count(msg.src)) {
+            stats_.dropped.add();
+            logger.warn("unroutable %s %u -> %u (%zu islands attached)",
+                        msgTypeName(msg.type),
+                        static_cast<unsigned>(msg.src),
+                        static_cast<unsigned>(msg.dst),
+                        islands.size());
+            return;
+        }
+        if (msg.dst == msg.src) {
+            // Loopback: no link; model one hop of latency.
+            sim.schedule(cfg.hopLatency, [this, msg] {
+                finalDeliver(msg, sim.now() - cfg.hopLatency, 1);
+            });
+            return;
+        }
+        forwardFrom(msg.src, msg, sim.now(), 0);
+    }
+
+    /** Observe delivered acks at one endpoint (CoordTransport). */
+    void
+    setAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn) override
+    {
+        ackObservers[endpoint] = std::move(fn);
+    }
+
+    /** Legacy catch-all ack observer (sees acks at every endpoint). */
     void
     setAckObserver(std::function<void(const CoordMessage &)> fn)
     {
-        ackObserver = std::move(fn);
+        catchAllAckObserver = std::move(fn);
     }
 
+    /** Record a retransmission performed by the reliable layer. */
+    void noteRetransmit() override { stats_.retries.add(); }
+
     /**
-     * Send a message toward msg.dst. Star topology relays through
-     * the hub unless source or destination is the hub itself.
+     * Observe wire messages abandoned after the link replay budget
+     * (the fabric's "this delta is really gone" signal — scenarios
+     * subtract abandoned deltas from the convergence intent).
+     */
+    using AbandonFn = std::function<void(const CoordMessage &)>;
+    void setAbandonObserver(AbandonFn fn) { onAbandon = std::move(fn); }
+
+    /**
+     * Attach a trace recorder (nullptr detaches): per-link hop
+     * slices, relay flow steps, aggregation fold/flush markers and
+     * drop/replay/abandon instants. Spans survive multi-hop relays
+     * because the id rides each mailbox's side-band.
+     */
+    void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
+
+    /**
+     * Visit every link mailbox as (lane name, mailbox). The health
+     * monitor wiring registers one stall-watchdog lane per direction
+     * through this (see platform/scenarios.cpp); lane names are
+     * "<name>.<from>-<to>".
      */
     void
-    send(const CoordMessage &msg)
+    forEachLane(
+        const std::function<void(const std::string &,
+                                 corm::interconnect::Mailbox &)> &fn)
     {
-        stats_.sent.add();
-        auto it = islands.find(msg.dst);
-        if (it == islands.end()) {
-            stats_.dropped.add();
-            return;
+        ensureBuilt();
+        for (auto &[key, link] : links) {
+            fn(link->loToHi.name(), link->loToHi);
+            fn(link->hiToLo.name(), link->hiToLo);
         }
-        int hops = 1;
-        if (topo == FabricTopology::star && msg.src != hubId
-            && msg.dst != hubId) {
-            hops = 2;
-            stats_.hubRelays.add();
-        }
-        const corm::sim::Tick sent_at = sim.now();
-        ResourceIsland *dst = it->second;
-        sim.schedule(hopLatency * static_cast<corm::sim::Tick>(hops),
-                     [this, dst, msg, sent_at] {
-                         stats_.delivered.add();
-                         stats_.deliveryLatencyUs.record(
-                             corm::sim::toMicros(sim.now() - sent_at));
-                         dispatch(*dst, msg);
-                     });
     }
 
     /** Fabric statistics. */
     const FabricStats &stats() const { return stats_; }
 
-    /** Per-hop latency. */
-    corm::sim::Tick perHopLatency() const { return hopLatency; }
+    /** Link fault counters summed over every link and direction. */
+    corm::interconnect::FaultPlanParams faultParams() const
+    {
+        return cfg.faults;
+    }
+
+    /** Aggregation buckets currently open (all hubs). */
+    std::size_t aggPending() const { return aggBuckets.size(); }
+
+    /** High-water mark of open buckets at any single hub node. */
+    std::size_t aggPendingHighWater() const { return aggHighWater; }
+
+    /** Wire messages originated or forwarded by @p island. */
+    std::uint64_t
+    wireSendsFrom(IslandId island) const
+    {
+        auto it = wireFrom.find(island);
+        return it == wireFrom.end() ? 0 : it->second;
+    }
+
+    /** Wire messages arriving at @p island (terminal or relayed). */
+    std::uint64_t
+    wireReceivedAt(IslandId island) const
+    {
+        auto it = wireInto.find(island);
+        return it == wireInto.end() ? 0 : it->second;
+    }
+
+    /**
+     * Total wire messages handled by @p island (sent + received):
+     * the per-node load metric behind the hub-bottleneck claim.
+     */
+    std::uint64_t
+    wireHandledAt(IslandId island) const
+    {
+        return wireSendsFrom(island) + wireReceivedAt(island);
+    }
+
+    /** Highest per-island wire-send load (the hub bottleneck). */
+    std::uint64_t
+    maxWireSends() const
+    {
+        std::uint64_t m = 0;
+        for (const auto &[id, n] : wireFrom)
+            m = std::max(m, n);
+        return m;
+    }
+
+    /** Highest in-flight queue depth seen on any link direction. */
+    std::size_t
+    maxLaneQueueHighWater()
+    {
+        ensureBuilt();
+        std::size_t m = 0;
+        for (auto &[key, link] : links) {
+            m = std::max(m, link->loToHi.pendingHighWater());
+            m = std::max(m, link->hiToLo.pendingHighWater());
+        }
+        return m;
+    }
+
+    /** Parent of @p island in the built tree (root maps to itself). */
+    IslandId
+    parentOf(IslandId island)
+    {
+        ensureBuilt();
+        auto it = parent.find(island);
+        return it == parent.end() ? island : it->second;
+    }
+
+    /** Link hops between two attached islands (0 for self). */
+    int
+    hopCount(IslandId from, IslandId to)
+    {
+        ensureBuilt();
+        int hops = 0;
+        IslandId at = from;
+        while (at != to && hops <= 2 * static_cast<int>(islands.size())) {
+            at = nextHopFrom(at, to);
+            ++hops;
+        }
+        return hops;
+    }
 
   private:
-    void
-    dispatch(ResourceIsland &dst, const CoordMessage &msg)
+    struct Link
     {
+        IslandId lo, hi;
+        corm::interconnect::Mailbox loToHi;
+        corm::interconnect::Mailbox hiToLo;
+        std::unique_ptr<corm::interconnect::FaultPlan> weather;
+
+        Link(corm::sim::Simulator &s, corm::sim::Tick lat, IslandId l,
+             IslandId h, const std::string &prefix)
+            : lo(l), hi(h),
+              loToHi(s, lat,
+                     prefix + "." + std::to_string(l) + "-"
+                         + std::to_string(h)),
+              hiToLo(s, lat,
+                     prefix + "." + std::to_string(h) + "-"
+                         + std::to_string(l))
+        {}
+
+        corm::interconnect::Mailbox &
+        dir(IslandId from)
+        {
+            return from == lo ? loToHi : hiToLo;
+        }
+    };
+
+    /** One wire message in flight on one link. */
+    struct Flight
+    {
+        CoordMessage msg;
+        corm::sim::Tick originSentAt = 0; ///< logical send time
+        corm::sim::Tick hopSentAt = 0;    ///< this hop's (re)send time
+        IslandId from = 0, to = 0;
+        int hopsSoFar = 0; ///< link hops completed before this one
+        int attempts = 1;  ///< wire attempts on this link
+        corm::sim::Tick timeout = 0;
+    };
+
+    /** An open hub aggregation bucket. */
+    struct AggBucket
+    {
+        CoordMessage proto; ///< dst/entity template; value = sum
+        IslandId node = 0, next = 0;
+        corm::sim::Tick earliestOrigin = 0;
+    };
+
+    static FabricParams
+    makeParams(FabricTopology topology, corm::sim::Tick hop_latency,
+               IslandId hub)
+    {
+        FabricParams p;
+        p.topology = topology;
+        p.hopLatency = hop_latency;
+        p.hub = hub;
+        return p;
+    }
+
+    static std::uint16_t
+    linkKey(IslandId a, IslandId b)
+    {
+        const IslandId lo = std::min(a, b), hi = std::max(a, b);
+        return static_cast<std::uint16_t>((lo << 8) | hi);
+    }
+
+    void
+    ensureBuilt()
+    {
+        if (!dirty)
+            return;
+        dirty = false;
+        // Retire (don't destroy) old links: their mailboxes may
+        // still hold scheduled deliveries referencing themselves.
+        for (auto &[key, link] : links)
+            retired.push_back(std::move(link));
+        links.clear();
+        nextHop.clear();
+        parent.clear();
+        children.clear();
+        if (islands.empty())
+            return;
+
+        std::vector<IslandId> ids;
+        for (const auto &[id, isl] : islands)
+            ids.push_back(id);
+        hubId = islands.count(cfg.hub) ? cfg.hub : ids.front();
+
+        switch (cfg.topology) {
+          case FabricTopology::mesh:
+            for (std::size_t i = 0; i < ids.size(); ++i)
+                for (std::size_t j = i + 1; j < ids.size(); ++j)
+                    makeLink(ids[i], ids[j]);
+            break;
+          case FabricTopology::star:
+            for (IslandId id : ids)
+                if (id != hubId)
+                    makeLink(hubId, id);
+            break;
+          case FabricTopology::tree: {
+            // BFS-heap layout over the sorted ids, root first.
+            std::vector<IslandId> order;
+            order.push_back(hubId);
+            for (IslandId id : ids)
+                if (id != hubId)
+                    order.push_back(id);
+            const int k = std::max(1, cfg.treeFanout);
+            for (std::size_t i = 1; i < order.size(); ++i) {
+                const IslandId p = order[(i - 1) / k];
+                parent[order[i]] = p;
+                children[p].push_back(order[i]);
+                makeLink(p, order[i]);
+            }
+            parent[hubId] = hubId;
+            break;
+          }
+        }
+        buildRoutes(ids);
+    }
+
+    void
+    makeLink(IslandId a, IslandId b)
+    {
+        auto link = std::make_unique<Link>(sim, cfg.hopLatency,
+                                           std::min(a, b),
+                                           std::max(a, b), cfg.name);
+        if (cfg.faults.any()) {
+            // Per-link deterministic weather: the link's stream pair
+            // derives from the master seed and the (lo, hi) ids, so
+            // it is independent of construction order.
+            corm::interconnect::FaultPlanParams p = cfg.faults;
+            p.seed = corm::sim::SplitMix64(
+                         cfg.faults.seed
+                         ^ (0x9e3779b97f4a7c15ULL
+                            * (static_cast<std::uint64_t>(
+                                   linkKey(a, b))
+                               + 1)))
+                         .next();
+            link->weather =
+                std::make_unique<corm::interconnect::FaultPlan>(p);
+            link->loToHi.setFaultInjector(&link->weather->aToB());
+            link->hiToLo.setFaultInjector(&link->weather->bToA());
+        }
+        for (int d = 0; d < 2; ++d) {
+            corm::interconnect::Mailbox &mb =
+                d == 0 ? link->loToHi : link->hiToLo;
+            const IslandId receiver = d == 0 ? link->hi : link->lo;
+            mb.setReceiver([this, receiver](std::uint64_t w0,
+                                            std::uint64_t w1,
+                                            std::uint64_t tag,
+                                            std::uint64_t flow) {
+                onWireDeliver(receiver, w0, w1, tag, flow);
+            });
+            mb.setDropObserver(
+                [this](std::uint64_t tag) { onWireDrop(tag); });
+        }
+        links[linkKey(a, b)] = std::move(link);
+    }
+
+    void
+    buildRoutes(const std::vector<IslandId> &ids)
+    {
+        for (IslandId from : ids) {
+            for (IslandId to : ids) {
+                if (from == to)
+                    continue;
+                IslandId next = to;
+                switch (cfg.topology) {
+                  case FabricTopology::mesh:
+                    next = to;
+                    break;
+                  case FabricTopology::star:
+                    next = (from == hubId) ? to : hubId;
+                    break;
+                  case FabricTopology::tree:
+                    next = treeNextHop(from, to);
+                    break;
+                }
+                nextHop[routeKey(from, to)] = next;
+            }
+        }
+    }
+
+    static std::uint16_t
+    routeKey(IslandId from, IslandId to)
+    {
+        return static_cast<std::uint16_t>((from << 8) | to);
+    }
+
+    IslandId
+    nextHopFrom(IslandId from, IslandId to) const
+    {
+        auto it = nextHop.find(routeKey(from, to));
+        return it == nextHop.end() ? to : it->second;
+    }
+
+    /** Next hop from @p from toward @p to along the tree path. */
+    IslandId
+    treeNextHop(IslandId from, IslandId to)
+    {
+        // Climb from `to` toward the root; if we pass `from`, the
+        // hop below it is the downward next hop. Otherwise `to` is
+        // not in from's subtree and the next hop is from's parent.
+        IslandId at = to;
+        IslandId below = to;
+        while (at != hubId) {
+            const IslandId p = parent.at(at);
+            if (p == from)
+                return at;
+            below = at;
+            at = p;
+        }
+        if (from == hubId)
+            return below;
+        return parent.at(from);
+    }
+
+    bool isTreeHub(IslandId node) const { return children.count(node); }
+
+    /**
+     * Forward @p msg from @p node toward msg.dst: fold eligible
+     * tunes into the node's aggregation bucket, everything else
+     * straight onto the next link.
+     */
+    void
+    forwardFrom(IslandId node, const CoordMessage &msg,
+                corm::sim::Tick origin, int hopsSoFar)
+    {
+        const IslandId next = nextHopFrom(node, msg.dst);
+        if (cfg.topology == FabricTopology::tree && cfg.aggWindow > 0
+            && isTreeHub(node)) {
+            if (msg.type == MsgType::tune && msg.seq == 0) {
+                foldInto(node, next, msg, origin);
+                return;
+            }
+            if (msg.type == MsgType::trigger)
+                stats_.triggerBypass.add();
+        }
+        wireSend(node, next, msg, origin, hopsSoFar);
+    }
+
+    void
+    foldInto(IslandId node, IslandId next, const CoordMessage &msg,
+             corm::sim::Tick origin)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(node) << 56)
+            | (static_cast<std::uint64_t>(next) << 48)
+            | (static_cast<std::uint64_t>(msg.dst) << 40)
+            | msg.entity;
+        auto it = aggBuckets.find(key);
+        if (it == aggBuckets.end()) {
+            AggBucket &b = aggBuckets[key];
+            b.proto = msg;
+            b.proto.src = node; // the batch originates at the hub
+            b.node = node;
+            b.next = next;
+            b.earliestOrigin = origin;
+            const std::size_t depth = ++aggPerNode[node];
+            aggHighWater = std::max(aggHighWater, depth);
+            if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0) {
+                rec_->instant(nodeTrack(node), sim.now(), "agg:open",
+                              "coord",
+                              {{"entity",
+                                static_cast<std::uint64_t>(msg.entity)},
+                               {"dst", static_cast<int>(msg.dst)}});
+            }
+            sim.schedule(cfg.aggWindow,
+                         [this, key] { flushBucket(key); });
+            return;
+        }
+        AggBucket &b = it->second;
+        stats_.aggFolded.add();
+        b.proto.value += msg.value;
+        b.proto.coalesced += msg.coalesced;
+        b.earliestOrigin = std::min(b.earliestOrigin, origin);
+        if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0
+            && msg.trace != b.proto.trace) {
+            // The folded contributor's span ends here; the batch
+            // carries the first contributor's span onward.
+            rec_->instant(nodeTrack(node), sim.now(), "agg:fold",
+                          "coord",
+                          {{"entity",
+                            static_cast<std::uint64_t>(msg.entity)}});
+            rec_->flowEnd(nodeTrack(node), sim.now(), msg.trace,
+                          "coord.span", "coord");
+        }
+    }
+
+    void
+    flushBucket(std::uint64_t key)
+    {
+        auto it = aggBuckets.find(key);
+        if (it == aggBuckets.end())
+            return;
+        AggBucket b = std::move(it->second);
+        aggBuckets.erase(it);
+        if (auto n = aggPerNode.find(b.node); n != aggPerNode.end()
+                                              && n->second > 0)
+            --n->second;
+        stats_.aggBatches.add();
+        if (CORM_TRACE_ACTIVE(rec_) && b.proto.trace != 0) {
+            rec_->instant(
+                nodeTrack(b.node), sim.now(), "agg:flush", "coord",
+                {{"coalesced",
+                  static_cast<std::uint64_t>(b.proto.coalesced)},
+                 {"entity",
+                  static_cast<std::uint64_t>(b.proto.entity)}});
+        }
+        wireSend(b.node, b.next, b.proto, b.earliestOrigin, 0);
+    }
+
+    void
+    wireSend(IslandId from, IslandId to, const CoordMessage &msg,
+             corm::sim::Tick origin, int hopsSoFar)
+    {
+        auto lk = links.find(linkKey(from, to));
+        if (lk == links.end()) {
+            // Topology was rebuilt under an in-flight message.
+            stats_.dropped.add();
+            return;
+        }
+        const std::uint64_t tag = ++nextTag;
+        Flight &f = flights[tag];
+        f.msg = msg;
+        f.originSentAt = origin;
+        f.hopSentAt = sim.now();
+        f.from = from;
+        f.to = to;
+        f.hopsSoFar = hopsSoFar;
+        f.attempts = 1;
+        f.timeout = cfg.replayTimeout;
+        stats_.wireMessages.add();
+        if (msg.type == MsgType::tune)
+            stats_.wireTunes.add();
+        ++wireFrom[from];
+        lk->second->dir(from).send(msg.encodeWord0(), msg.encodeWord1(),
+                                   tag, msg.trace);
+    }
+
+    void
+    onWireDrop(std::uint64_t tag)
+    {
+        auto it = flights.find(tag);
+        if (it == flights.end())
+            return; // a duplicate copy was eaten; nothing pending
+        Flight &f = it->second;
+        stats_.linkDrops.add();
+        if (CORM_TRACE_ACTIVE(rec_)) {
+            rec_->instant(linkTrack(f.from, f.to), sim.now(),
+                          "hop:drop", "coord");
+        }
+        if (f.attempts > cfg.replayAttempts) {
+            abandonFlight(it);
+            return;
+        }
+        const corm::sim::Tick wait = f.timeout;
+        const double next = static_cast<double>(f.timeout)
+            * (cfg.replayBackoff > 1.0 ? cfg.replayBackoff : 1.0);
+        f.timeout = std::min(
+            cfg.replayCap, static_cast<corm::sim::Tick>(next));
+        sim.schedule(wait, [this, tag] { replayFlight(tag); });
+    }
+
+    void
+    replayFlight(std::uint64_t tag)
+    {
+        auto it = flights.find(tag);
+        if (it == flights.end())
+            return;
+        Flight &f = it->second;
+        auto lk = links.find(linkKey(f.from, f.to));
+        if (lk == links.end()) {
+            abandonFlight(it);
+            return;
+        }
+        ++f.attempts;
+        f.hopSentAt = sim.now();
+        stats_.linkReplays.add();
+        stats_.wireMessages.add();
+        if (f.msg.type == MsgType::tune)
+            stats_.wireTunes.add();
+        ++wireFrom[f.from];
+        if (CORM_TRACE_ACTIVE(rec_)) {
+            rec_->instant(linkTrack(f.from, f.to), sim.now(),
+                          std::string("replay:")
+                              + msgTypeName(f.msg.type),
+                          "coord", {{"attempt", f.attempts}});
+            if (f.msg.trace != 0)
+                rec_->flowStep(linkTrack(f.from, f.to), sim.now(),
+                               f.msg.trace, "coord.span", "coord");
+        }
+        lk->second->dir(f.from).send(f.msg.encodeWord0(),
+                                     f.msg.encodeWord1(), tag,
+                                     f.msg.trace);
+    }
+
+    void
+    abandonFlight(std::map<std::uint64_t, Flight>::iterator it)
+    {
+        const CoordMessage msg = it->second.msg;
+        const IslandId from = it->second.from, to = it->second.to;
+        flights.erase(it);
+        stats_.abandoned.add();
+        logger.debug("abandoning %s for island %u on link %u-%u "
+                     "after replay budget",
+                     msgTypeName(msg.type),
+                     static_cast<unsigned>(msg.dst),
+                     static_cast<unsigned>(from),
+                     static_cast<unsigned>(to));
+        if (CORM_TRACE_ACTIVE(rec_)) {
+            // Deliberately no flowEnd: an abandoned message's span
+            // dangles (begin/steps without end), which is exactly
+            // what the trace shows for information that was lost.
+            rec_->instant(linkTrack(from, to), sim.now(), "abandon",
+                          "coord",
+                          {{"entity",
+                            static_cast<std::uint64_t>(msg.entity)}});
+        }
+        if (onAbandon)
+            onAbandon(msg);
+    }
+
+    void
+    onWireDeliver(IslandId node, std::uint64_t w0, std::uint64_t w1,
+                  std::uint64_t tag, std::uint64_t flow)
+    {
+        auto it = flights.find(tag);
+        if (it == flights.end()) {
+            // Second copy of a duplicated wire message: the first
+            // copy consumed the flight record.
+            stats_.duplicates.add();
+            if (CORM_TRACE_ACTIVE(rec_)) {
+                CoordMessage m = CoordMessage::decode(w0, w1);
+                m.trace = flow;
+                rec_->instant(nodeTrack(node), sim.now(),
+                              std::string("hop:dup:")
+                                  + msgTypeName(m.type),
+                              "coord");
+            }
+            return;
+        }
+        Flight f = std::move(it->second);
+        flights.erase(it);
+        ++wireInto[node];
+        const int hops = f.hopsSoFar + 1;
+        CoordMessage msg = f.msg; // wire words + out-of-band fields
+        if (CORM_TRACE_ACTIVE(rec_)) {
+            rec_->complete(
+                linkTrack(f.from, f.to), f.hopSentAt,
+                sim.now() - f.hopSentAt,
+                std::string("hop:") + msgTypeName(msg.type), "coord",
+                {{"entity", static_cast<std::uint64_t>(msg.entity)},
+                 {"seq", static_cast<int>(msg.seq)},
+                 {"hop", hops}});
+        }
+        if (node != msg.dst) {
+            stats_.hubRelays.add();
+            if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0)
+                rec_->flowStep(nodeTrack(node), sim.now(),
+                               msg.trace, "coord.span", "coord");
+            forwardFrom(node, msg, f.originSentAt, hops);
+            return;
+        }
+        if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0) {
+            // Final hop of the span: an ack ending a reliable chain
+            // or a fire-and-forget apply both terminate here; a
+            // sequenced request still has its ack leg ahead.
+            if (msg.type == MsgType::ack || msg.seq == 0)
+                rec_->flowEnd(nodeTrack(node), sim.now(), msg.trace,
+                              "coord.span", "coord");
+            else
+                rec_->flowStep(nodeTrack(node), sim.now(), msg.trace,
+                               "coord.span", "coord");
+        }
+        finalDeliver(msg, f.originSentAt, hops);
+    }
+
+    void
+    finalDeliver(const CoordMessage &msg, corm::sim::Tick origin,
+                 int hops)
+    {
+        ResourceIsland &dst = *islands.at(msg.dst);
+        stats_.delivered.add();
+        stats_.deliveryLatencyUs.record(
+            corm::sim::toMicros(sim.now() - origin));
+        stats_.hopsPerDelivery.record(static_cast<double>(hops));
+        // Idempotent endpoint dedup of sequenced messages: a
+        // reliable retransmission whose original got through applies
+        // at most once but is re-acked so the sender stops retrying.
+        if (msg.seq != 0 && msg.type != MsgType::ack
+            && seenRecently(msg.dst, msg)) {
+            stats_.duplicates.add();
+            sendAckFor(dst, msg);
+            return;
+        }
+        corm::obs::TraceScope span(rec_, msg.trace, msg.seq == 0);
         switch (msg.type) {
           case MsgType::tune:
+            stats_.appliedTunes.add(msg.coalesced);
             dst.applyTune(msg.entity, msg.value);
+            if (msg.seq != 0)
+                sendAckFor(dst, msg);
             break;
           case MsgType::trigger:
             dst.applyTrigger(msg.entity);
+            if (msg.seq != 0)
+                sendAckFor(dst, msg);
             break;
           case MsgType::registerEntity: {
             EntityBinding binding;
@@ -135,27 +883,117 @@ class CoordFabric
                 static_cast<std::uint32_t>(
                     std::bit_cast<std::uint64_t>(msg.value)));
             dst.learnBinding(binding);
-            CoordMessage ack;
-            ack.type = MsgType::ack;
-            ack.src = dst.id();
-            ack.dst = msg.src;
-            ack.entity = msg.entity;
-            send(ack);
+            // Registrations are acknowledged even without a seq so
+            // the announcer can retry losses.
+            sendAckFor(dst, msg);
             break;
           }
-          case MsgType::ack:
-            if (ackObserver)
-                ackObserver(msg);
+          case MsgType::ack: {
+            auto it = ackObservers.find(msg.dst);
+            if (it != ackObservers.end() && it->second)
+                it->second(msg);
+            if (catchAllAckObserver)
+                catchAllAckObserver(msg);
             break;
+          }
         }
     }
 
+    void
+    sendAckFor(ResourceIsland &learner, const CoordMessage &msg)
+    {
+        CoordMessage ack;
+        ack.type = MsgType::ack;
+        ack.src = learner.id();
+        ack.dst = msg.src;
+        ack.entity = msg.entity;
+        ack.seq = msg.seq;     // echo: the sender matches by seq
+        ack.trace = msg.trace; // the return legs stay on the span
+        send(ack);
+    }
+
+    /** True if (type, src, seq) was recently applied at @p endpoint. */
+    bool
+    seenRecently(IslandId endpoint, const CoordMessage &msg)
+    {
+        // The type is part of the key: two reliable senders sharing
+        // a source endpoint (an announcer and a trigger sender, say)
+        // each start their sequence space at 1, and a window keyed on
+        // (src, seq) alone would eat the second sender's first
+        // messages as replays of the first's.
+        const std::uint32_t key =
+            (static_cast<std::uint32_t>(msg.type) << 16)
+            | (static_cast<std::uint32_t>(msg.src) << 8) | msg.seq;
+        SeenWindow &w = seen[endpoint];
+        for (std::uint32_t k : w.keys) {
+            if (k == key)
+                return true;
+        }
+        w.keys[w.head++ % w.keys.size()] = key;
+        return false;
+    }
+
+    /** Per-link trace track (lazy). */
+    int
+    linkTrack(IslandId a, IslandId b)
+    {
+        const std::uint16_t key = linkKey(a, b);
+        auto it = linkTracks.find(key);
+        if (it != linkTracks.end())
+            return it->second;
+        const int trk = rec_->track(
+            "fabric", cfg.name + "."
+                          + std::to_string(std::min(a, b)) + "-"
+                          + std::to_string(std::max(a, b)));
+        linkTracks[key] = trk;
+        return trk;
+    }
+
+    /** Per-island trace track (lazy): relays, aggregation, applies. */
+    int
+    nodeTrack(IslandId node)
+    {
+        auto it = nodeTracks.find(node);
+        if (it != nodeTracks.end())
+            return it->second;
+        const int trk = rec_->track(
+            "fabric", cfg.name + "@" + std::to_string(node));
+        nodeTracks[node] = trk;
+        return trk;
+    }
+
+    struct SeenWindow
+    {
+        std::array<std::uint32_t, 64> keys{};
+        std::size_t head = 0;
+    };
+
     corm::sim::Simulator &sim;
-    FabricTopology topo;
-    corm::sim::Tick hopLatency;
-    IslandId hubId;
+    FabricParams cfg;
+    IslandId hubId = 0;
+    bool dirty = true;
     std::map<IslandId, ResourceIsland *> islands;
-    std::function<void(const CoordMessage &)> ackObserver;
+    std::map<std::uint16_t, std::unique_ptr<Link>> links;
+    std::vector<std::unique_ptr<Link>> retired;
+    std::map<std::uint16_t, IslandId> nextHop;
+    std::map<IslandId, IslandId> parent;
+    std::map<IslandId, std::vector<IslandId>> children;
+    std::map<std::uint64_t, Flight> flights;
+    std::map<std::uint64_t, AggBucket> aggBuckets;
+    std::map<IslandId, std::size_t> aggPerNode;
+    std::size_t aggHighWater = 0;
+    std::map<IslandId, std::uint64_t> wireFrom;
+    std::map<IslandId, std::uint64_t> wireInto;
+    std::map<IslandId, SeenWindow> seen;
+    std::map<IslandId, std::function<void(const CoordMessage &)>>
+        ackObservers;
+    std::function<void(const CoordMessage &)> catchAllAckObserver;
+    AbandonFn onAbandon;
+    corm::obs::TraceRecorder *rec_ = nullptr;
+    std::map<std::uint16_t, int> linkTracks;
+    std::map<IslandId, int> nodeTracks;
+    std::uint64_t nextTag = 0;
+    corm::sim::Logger logger{"coord.fabric"};
     FabricStats stats_;
 };
 

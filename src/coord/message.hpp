@@ -82,6 +82,16 @@ struct CoordMessage
      */
     std::uint64_t trace = 0;
 
+    /**
+     * Number of logical messages this one stands for. The fabric's
+     * hub aggregation (coord/fabric.hpp) folds N same-entity Tune
+     * deltas into one batch whose value is the exact sum and whose
+     * coalesced count is the sum of the contributors' counts, so the
+     * applied-Tune accounting stays exact across re-aggregation.
+     * Out-of-band like `trace`: decode() leaves it 1.
+     */
+    std::uint32_t coalesced = 1;
+
     /** Pack header fields into the first wire word. */
     std::uint64_t
     encodeWord0() const

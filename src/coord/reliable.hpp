@@ -31,8 +31,8 @@
 #include <memory>
 #include <utility>
 
-#include "coord/channel.hpp"
 #include "coord/message.hpp"
+#include "coord/transport.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 #include "sim/simulator.hpp"
@@ -67,17 +67,18 @@ class ReliableSender
 
     /**
      * @param simulator Event engine.
-     * @param channel Channel the messages travel.
+     * @param channel Transport the messages travel (channel or
+     *                fabric; see coord/transport.hpp).
      * @param self Source endpoint island; acks to it are observed.
      * @param params Retry parameters.
      */
     ReliableSender(corm::sim::Simulator &simulator,
-                   CoordChannel &channel, IslandId self)
+                   CoordTransport &channel, IslandId self)
         : ReliableSender(simulator, channel, self, Params{})
     {}
 
     ReliableSender(corm::sim::Simulator &simulator,
-                   CoordChannel &channel, IslandId self, Params params)
+                   CoordTransport &channel, IslandId self, Params params)
         : sim(simulator), chan(channel), selfId(self), cfg(params)
     {
         chan.setAckObserver(
@@ -289,7 +290,7 @@ class ReliableSender
     }
 
     corm::sim::Simulator &sim;
-    CoordChannel &chan;
+    CoordTransport &chan;
     IslandId selfId;
     Params cfg;
     corm::obs::TraceRecorder *rec_ = nullptr;
@@ -333,16 +334,16 @@ class ReliableAnnouncer
 
     /**
      * @param simulator Event engine.
-     * @param channel Channel the announcements travel.
+     * @param channel Transport the announcements travel.
      * @param params Retry parameters.
      */
     ReliableAnnouncer(corm::sim::Simulator &simulator,
-                      CoordChannel &channel)
+                      CoordTransport &channel)
         : ReliableAnnouncer(simulator, channel, Params{})
     {}
 
     ReliableAnnouncer(corm::sim::Simulator &simulator,
-                      CoordChannel &channel, Params params)
+                      CoordTransport &channel, Params params)
         : sim(simulator), chan(channel), cfg(params)
     {}
 
@@ -446,7 +447,7 @@ class ReliableAnnouncer
     }
 
     corm::sim::Simulator &sim;
-    CoordChannel &chan;
+    CoordTransport &chan;
     Params cfg;
     corm::obs::TraceRecorder *rec_ = nullptr;
     ReliableSender::AbandonFn onAbandon;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The coordination transport interface.
+ *
+ * The reliable-delivery layer (coord/reliable.hpp) was written
+ * against the two-island CoordChannel; the N-island CoordFabric
+ * needs the same ack/retry machinery. Both expose the same small
+ * surface — send a message toward msg.dst, observe acks arriving at
+ * an endpoint, account retransmissions — so ReliableSender and
+ * ReliableAnnouncer are written against this interface and work
+ * unchanged over either transport.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "coord/message.hpp"
+
+namespace corm::coord {
+
+/**
+ * Abstract message transport between islands. Implementations route
+ * by msg.dst, acknowledge sequenced messages at the receiving
+ * endpoint, and deliver acks to the per-endpoint observers.
+ */
+class CoordTransport
+{
+  public:
+    virtual ~CoordTransport() = default;
+
+    /** Send @p msg toward msg.dst. */
+    virtual void send(CoordMessage msg) = 0;
+
+    /**
+     * Observe acks delivered to @p endpoint. Installing a new
+     * observer for the same endpoint replaces the old one; a null
+     * function uninstalls it.
+     */
+    virtual void
+    setAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn) = 0;
+
+    /** Record a retransmission performed by the reliable layer. */
+    virtual void noteRetransmit() = 0;
+};
+
+} // namespace corm::coord

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -290,6 +291,12 @@ class Mailbox
     /** Messages consumed by the fault injector. */
     std::uint64_t totalDropped() const { return dropped.value(); }
 
+    /** Copies accepted but not yet delivered (the wire queue). */
+    std::size_t pendingDeliveries() const { return inFlight; }
+
+    /** High-water mark of the in-flight queue depth. */
+    std::size_t pendingHighWater() const { return inFlightHigh; }
+
     /** Mailbox name. */
     const std::string &name() const { return name_; }
 
@@ -299,7 +306,10 @@ class Mailbox
               std::uint64_t word1, std::uint64_t tag,
               std::uint64_t flow)
     {
+        ++inFlight;
+        inFlightHigh = std::max(inFlightHigh, inFlight);
         sim.scheduleAt(when, [this, word0, word1, tag, flow] {
+            --inFlight;
             delivered.add();
             if (onActivity)
                 onActivity(Activity::delivered);
@@ -319,6 +329,8 @@ class Mailbox
     corm::sim::Counter sent;
     corm::sim::Counter delivered;
     corm::sim::Counter dropped;
+    std::size_t inFlight = 0;
+    std::size_t inFlightHigh = 0;
 };
 
 } // namespace corm::interconnect

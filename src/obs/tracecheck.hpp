@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
 #include <map>
@@ -38,6 +39,8 @@ struct TraceCheckResult
     std::size_t flows = 0;         ///< distinct flow ids
     std::size_t complete = 0;      ///< flows with begin and end
     std::size_t multiHop = 0;      ///< complete flows with >= 1 step
+    std::size_t maxSteps = 0;      ///< most steps in any complete flow
+    std::size_t dangling = 0;      ///< begun flows that never ended
     std::vector<std::string> violations;
 
     bool ok() const { return violations.empty(); }
@@ -45,10 +48,16 @@ struct TraceCheckResult
 
 /**
  * Validate a parsed trace document. @p require_flow additionally
- * demands one complete multi-hop causal chain.
+ * demands one complete multi-hop causal chain; @p min_steps raises
+ * the bar from "at least one step" to "at least one complete flow
+ * with >= min_steps steps" — the multi-hop relay check: a span that
+ * crossed an N-link fabric path shows one step per intermediate
+ * relay, so a tree scenario's trace must contain deeper chains than
+ * the two-island channel's begin -> step -> end.
  */
 inline TraceCheckResult
-checkTrace(const JsonValue &doc, bool require_flow)
+checkTrace(const JsonValue &doc, bool require_flow,
+           std::size_t min_steps = 1)
 {
     TraceCheckResult r;
     auto violation = [&r](const std::string &what) {
@@ -150,18 +159,31 @@ checkTrace(const JsonValue &doc, bool require_flow)
             ++r.complete;
             if (c.steps > 0)
                 ++r.multiHop;
+            r.maxSteps = std::max(
+                r.maxSteps, static_cast<std::size_t>(c.steps));
+        } else if (c.begins >= 1 && c.ends == 0) {
+            // Begun but never ended: not a violation (a message
+            // abandoned at a hub legitimately leaves its span
+            // dangling), but surfaced so callers can assert on it.
+            ++r.dangling;
         }
     }
 
     if (require_flow && r.multiHop == 0)
         violation("no complete multi-hop flow "
                   "(begin -> step -> end) found");
+    if (require_flow && min_steps > 1 && r.maxSteps < min_steps)
+        violation("deepest complete flow has "
+                  + std::to_string(r.maxSteps) + " steps, need >= "
+                  + std::to_string(min_steps)
+                  + " (multi-hop relay chain missing)");
     return r;
 }
 
 /** Parse @p text and validate; malformed JSON is a violation. */
 inline TraceCheckResult
-checkTraceText(std::string_view text, bool require_flow)
+checkTraceText(std::string_view text, bool require_flow,
+               std::size_t min_steps = 1)
 {
     JsonValue doc;
     std::string err;
@@ -170,7 +192,7 @@ checkTraceText(std::string_view text, bool require_flow)
         r.violations.push_back("malformed JSON: " + err);
         return r;
     }
-    return checkTrace(doc, require_flow);
+    return checkTrace(doc, require_flow, min_steps);
 }
 
 } // namespace corm::obs

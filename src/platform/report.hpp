@@ -14,9 +14,57 @@
 #include <sstream>
 #include <string>
 
+#include "coord/fabric.hpp"
 #include "platform/testbed.hpp"
 
 namespace corm::platform {
+
+/**
+ * Render a coordination-fabric report: the channel-health-style view
+ * of an N-island fabric. Notably surfaces FabricStats::dropped — the
+ * unroutable-destination count that the two-island report never had
+ * a line for (a misconfigured binding silently vanished before).
+ */
+inline std::string
+fabricReport(const corm::coord::CoordFabric &fabric)
+{
+    std::ostringstream out;
+    char line[256];
+    const auto &fs = fabric.stats();
+    std::snprintf(
+        line, sizeof(line),
+        "[coord fabric] %s, %zu islands; sent %llu, delivered %llu, "
+        "unroutable-dropped %llu, relays %llu\n",
+        fabricTopologyName(fabric.params().topology),
+        fabric.islandCount(),
+        static_cast<unsigned long long>(fs.sent.value()),
+        static_cast<unsigned long long>(fs.delivered.value()),
+        static_cast<unsigned long long>(fs.dropped.value()),
+        static_cast<unsigned long long>(fs.hubRelays.value()));
+    out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "[fabric wire] messages %llu (tunes %llu), link drops %llu, "
+        "replays %llu, abandoned %llu, dup-suppressed %llu\n",
+        static_cast<unsigned long long>(fs.wireMessages.value()),
+        static_cast<unsigned long long>(fs.wireTunes.value()),
+        static_cast<unsigned long long>(fs.linkDrops.value()),
+        static_cast<unsigned long long>(fs.linkReplays.value()),
+        static_cast<unsigned long long>(fs.abandoned.value()),
+        static_cast<unsigned long long>(fs.duplicates.value()));
+    out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "[fabric agg] batches %llu, folded %llu, trigger bypass %llu; "
+        "applied tunes %llu; latency mean %.0f us, hops mean %.1f\n",
+        static_cast<unsigned long long>(fs.aggBatches.value()),
+        static_cast<unsigned long long>(fs.aggFolded.value()),
+        static_cast<unsigned long long>(fs.triggerBypass.value()),
+        static_cast<unsigned long long>(fs.appliedTunes.value()),
+        fs.deliveryLatencyUs.mean(), fs.hopsPerDelivery.mean());
+    out << line;
+    return out.str();
+}
 
 /** Render a full platform report into a string. */
 inline std::string

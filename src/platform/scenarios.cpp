@@ -7,7 +7,11 @@
 
 #include "platform/scenarios.hpp"
 
+#include <map>
 #include <memory>
+#include <set>
+
+#include "obs/monitor.hpp"
 
 namespace corm::platform {
 
@@ -415,6 +419,376 @@ runTriggerScenario(const TriggerScenarioConfig &cfg)
     r.eventsExecuted = tb.sim().executedEvents();
     if (cfg.inspect)
         cfg.inspect(tb);
+    return r;
+}
+
+//
+// Scale-out fabric scenario
+//
+
+namespace {
+
+/**
+ * A shard island: hosts per-tier weight state (a slice of a sharded
+ * RUBiS deployment) and counts what the fabric delivers to it. The
+ * root instance doubles as the classifier island, accumulating the
+ * shards' upward load reports into the same per-tier weights.
+ */
+class ShardIsland final : public coord::ResourceIsland
+{
+  public:
+    ShardIsland(coord::IslandId island_id, std::string island_name)
+        : id_(island_id), name_(std::move(island_name))
+    {}
+
+    coord::IslandId id() const override { return id_; }
+    const std::string &name() const override { return name_; }
+
+    void
+    applyTune(coord::EntityId entity, double delta) override
+    {
+        weights[entity] += delta;
+        tunes.add();
+    }
+
+    void applyTrigger(coord::EntityId entity) override
+    {
+        (void)entity;
+        triggers.add();
+    }
+
+    void learnBinding(const coord::EntityBinding &binding) override
+    {
+        learned.insert(binding.ref.entity);
+    }
+
+    double currentPowerWatts() const override { return 5.0; }
+
+    double
+    weight(coord::EntityId entity) const
+    {
+        auto it = weights.find(entity);
+        return it == weights.end() ? 0.0 : it->second;
+    }
+
+    std::map<coord::EntityId, double> weights;
+    std::set<coord::EntityId> learned;
+    corm::sim::Counter tunes;
+    corm::sim::Counter triggers;
+
+  private:
+    coord::IslandId id_;
+    std::string name_;
+};
+
+} // namespace
+
+FabricScenarioResult
+runFabricScenario(const FabricScenarioConfig &cfg)
+{
+    FabricScenarioResult r;
+    const int n = std::max(2, cfg.islands);
+    r.islands = n;
+    const coord::IslandId rootId = 1;
+    const coord::EntityId tierBase = 100;
+
+    corm::sim::Simulator sim;
+    coord::FabricParams fp = cfg.fabric;
+    fp.hub = rootId;
+    coord::CoordFabric fabric(sim, fp);
+    fabric.setTrace(cfg.trace);
+
+    std::vector<std::unique_ptr<ShardIsland>> islands;
+    for (int i = 0; i < n; ++i) {
+        const auto id = static_cast<coord::IslandId>(rootId + i);
+        islands.push_back(std::make_unique<ShardIsland>(
+            id, (i == 0 ? "classifier" : "shard")
+                    + std::to_string(static_cast<int>(id))));
+        fabric.attach(*islands.back());
+    }
+    ShardIsland &root = *islands.front();
+
+    // Per-lane stall watchdogs: one heartbeat lane per mailbox
+    // direction, fed from the mailboxes' activity observers.
+    corm::obs::MetricRegistry registry;
+    std::unique_ptr<corm::obs::HealthMonitor> monitor;
+    if (cfg.monitorLanes) {
+        monitor = std::make_unique<corm::obs::HealthMonitor>(
+            sim, registry);
+        fabric.forEachLane([&](const std::string &lane_name,
+                               corm::interconnect::Mailbox &mb) {
+            const int lane = monitor->lane(lane_name);
+            mb.setActivityObserver(
+                [mon = monitor.get(),
+                 lane](corm::interconnect::Mailbox::Activity a) {
+                    using A = corm::interconnect::Mailbox::Activity;
+                    if (a == A::sent)
+                        mon->laneSent(lane);
+                    else if (a == A::delivered)
+                        mon->laneDelivered(lane);
+                });
+        });
+        monitor->start();
+    }
+    if (cfg.wire)
+        cfg.wire(fabric);
+
+    // Policy intent: the exact weight every (island, tier) should
+    // settle at — adjusted down when the fabric reports a delta as
+    // abandoned, so convergence targets what the fabric still owes.
+    std::map<std::uint64_t, double> intent;
+    const auto intentKey = [](coord::IslandId island,
+                              coord::EntityId entity) {
+        return (static_cast<std::uint64_t>(island) << 32) | entity;
+    };
+    std::uint64_t abandonedLogicalTunes = 0;
+    fabric.setAbandonObserver([&](const coord::CoordMessage &m) {
+        if (m.type == coord::MsgType::tune) {
+            abandonedLogicalTunes += m.coalesced;
+            intent[intentKey(m.dst, m.entity)] -= m.value;
+        }
+        if (monitor)
+            monitor->noteAbandon(
+                std::string("fabric:") + coord::msgTypeName(m.type)
+                + ",dst=" + std::to_string(static_cast<int>(m.dst)));
+    });
+
+    // Phase 1 — registration bring-up: the root announces every
+    // tier binding to every shard through the reliable announcer
+    // (which owns the root's ack observer until it is retired).
+    const Tick bringup = 150 * msec;
+    std::uint64_t regsAcked = 0, regsAbandoned = 0, regsPending = 0;
+    {
+        coord::ReliableAnnouncer::Params ap;
+        ap.retryTimeout = 2 * msec;
+        ap.maxAttempts = 6;
+        coord::ReliableAnnouncer announcer(sim, fabric, ap);
+        announcer.setTrace(cfg.trace);
+        for (int i = 1; i < n; ++i) {
+            for (int t = 0; t < cfg.tiers; ++t) {
+                coord::EntityBinding b;
+                b.ref = coord::EntityRef{
+                    rootId, tierBase + static_cast<coord::EntityId>(t)};
+                b.name = "tier" + std::to_string(t);
+                b.ip = corm::net::IpAddr(10, 0,
+                                         static_cast<std::uint8_t>(i),
+                                         static_cast<std::uint8_t>(t));
+                announcer.announce(
+                    static_cast<coord::IslandId>(rootId + i), b);
+                ++r.bindingsAnnounced;
+            }
+        }
+        sim.runFor(bringup);
+        regsAcked = announcer.acked();
+        regsAbandoned = announcer.abandoned();
+        regsPending = announcer.pendingCount();
+    } // announcer retires; the trigger sender may now own the root
+
+    // Phase 2 — workload, scheduled up front from one seeded stream
+    // so replays are identical under any --jobs fan-out. Integer
+    // deltas keep every aggregated sum exact in double arithmetic.
+    corm::sim::Rng rng(cfg.seed);
+    coord::ReliableSender triggerSender(sim, fabric, rootId,
+                                        cfg.reliable);
+    triggerSender.setTrace(cfg.trace);
+    std::uint64_t triggersSent = 0;
+    const Tick span = std::max<Tick>(cfg.workloadSpan, 1);
+    // Tunes fire in policy epochs (the paper's managers evaluate
+    // periodically), with a small per-sender skew. Bursting is what
+    // gives tree hubs something to aggregate: every shard's load
+    // report for one tier lands within the same window.
+    const Tick epochPeriod = std::max<Tick>(
+        span / static_cast<Tick>(std::max(cfg.tunesPerPair, 1)), 1);
+    const Tick jitter =
+        std::min<Tick>(cfg.epochJitter, epochPeriod - 1);
+    for (int i = 1; i < n; ++i) {
+        const auto shard = static_cast<coord::IslandId>(rootId + i);
+        for (int t = 0; t < cfg.tiers; ++t) {
+            const auto tier =
+                tierBase + static_cast<coord::EntityId>(t);
+            for (int k = 0; k < cfg.tunesPerPair; ++k) {
+                // Root -> shard allocation tune (aggregates at tree
+                // hubs along the downward path, per shard + tier).
+                {
+                    const Tick at = sim.now()
+                        + static_cast<Tick>(k) * epochPeriod
+                        + rng.uniformInt(jitter + 1);
+                    double d = static_cast<double>(
+                        1 + rng.uniformInt(8));
+                    if (rng.chance(0.5))
+                        d = -d;
+                    coord::CoordMessage m;
+                    m.type = coord::MsgType::tune;
+                    m.src = rootId;
+                    m.dst = shard;
+                    m.entity = tier;
+                    m.value = d;
+                    intent[intentKey(shard, tier)] += d;
+                    ++r.logicalTunes;
+                    sim.scheduleAt(at, [&fabric, m] {
+                        auto msg = m;
+                        fabric.send(msg);
+                    });
+                }
+                // Shard -> root load report for the same shared tier
+                // entity (aggregates across shards at hubs).
+                {
+                    const Tick at = sim.now()
+                        + static_cast<Tick>(k) * epochPeriod
+                        + rng.uniformInt(jitter + 1);
+                    double d = static_cast<double>(
+                        1 + rng.uniformInt(8));
+                    if (rng.chance(0.5))
+                        d = -d;
+                    coord::CoordMessage m;
+                    m.type = coord::MsgType::tune;
+                    m.src = shard;
+                    m.dst = rootId;
+                    m.entity = tier;
+                    m.value = d;
+                    intent[intentKey(rootId, tier)] += d;
+                    ++r.logicalTunes;
+                    sim.scheduleAt(at, [&fabric, m] {
+                        auto msg = m;
+                        fabric.send(msg);
+                    });
+                }
+                // Occasionally the classifier needs a shard serviced
+                // right now: a Trigger on the reliable low-latency
+                // path (bypasses aggregation).
+                if (rng.chance(cfg.triggerProb)) {
+                    const Tick at = sim.now() + rng.uniformInt(span);
+                    coord::CoordMessage m;
+                    m.type = coord::MsgType::trigger;
+                    m.src = rootId;
+                    m.dst = shard;
+                    m.entity = tier;
+                    ++triggersSent;
+                    sim.scheduleAt(at, [&triggerSender, m] {
+                        triggerSender.send(m);
+                    });
+                }
+            }
+        }
+    }
+
+    // Convergence probe: the first poll tick (after which no later
+    // poll disagrees) where every island's applied weights equal the
+    // policy intent, exactly.
+    const Tick workloadEnd = sim.now() + span;
+    const Tick deadline = workloadEnd + cfg.settleLimit;
+    Tick convergedAt = 0;
+    bool haveConverged = false;
+    const auto converged = [&] {
+        for (const auto &[key, want] : intent) {
+            const auto island = static_cast<std::size_t>(key >> 32);
+            const auto entity =
+                static_cast<coord::EntityId>(key & 0xffffffffu);
+            if (islands[island - rootId]->weight(entity) != want)
+                return false;
+        }
+        return true;
+    };
+    corm::sim::PeriodicEvent poll(
+        sim, std::max<Tick>(cfg.convergencePoll, 1), [&] {
+            if (sim.now() > deadline)
+                return;
+            if (converged()) {
+                if (!haveConverged) {
+                    haveConverged = true;
+                    convergedAt = sim.now();
+                }
+            } else {
+                haveConverged = false;
+            }
+        });
+    sim.runFor(span + cfg.settleLimit);
+    poll.stop();
+
+    // Harvest.
+    const coord::FabricStats &fs = fabric.stats();
+    r.appliedTunes = fs.appliedTunes.value();
+    r.abandonedTunes = abandonedLogicalTunes;
+    r.wireTuneMessages = fs.wireTunes.value();
+    r.wireMessages = fs.wireMessages.value();
+    r.msgsPerAppliedTune = r.appliedTunes
+        ? static_cast<double>(r.wireTuneMessages)
+            / static_cast<double>(r.appliedTunes)
+        : 0.0;
+    r.hubWireMessages = fabric.wireHandledAt(rootId);
+    r.hubMsgsPerAppliedTune = r.appliedTunes
+        ? static_cast<double>(r.hubWireMessages)
+            / static_cast<double>(r.appliedTunes)
+        : 0.0;
+    r.hubRelays = fs.hubRelays.value();
+    r.aggBatches = fs.aggBatches.value();
+    r.aggFolded = fs.aggFolded.value();
+    r.triggerBypass = fs.triggerBypass.value();
+    r.linkDrops = fs.linkDrops.value();
+    r.linkReplays = fs.linkReplays.value();
+    r.abandonedWire = fs.abandoned.value();
+    r.duplicates = fs.duplicates.value();
+    r.fabricDropped = fs.dropped.value();
+    r.meanDeliveryUs = fs.deliveryLatencyUs.mean();
+    r.meanHops = fs.hopsPerDelivery.mean();
+
+    r.triggersSent = triggersSent;
+    r.triggersAcked = triggerSender.acked();
+    r.triggersAbandoned = triggerSender.abandoned();
+    std::uint64_t shardTriggers = 0;
+    for (int i = 1; i < n; ++i)
+        shardTriggers += islands[i]->triggers.value();
+    r.triggersApplied = shardTriggers;
+    r.triggersAccounted =
+        triggerSender.pendingCount() == 0
+        && r.triggersAcked + r.triggersAbandoned == r.triggersSent
+        && r.triggersApplied >= r.triggersAcked;
+
+    std::uint64_t learnedBindings = 0;
+    for (int i = 1; i < n; ++i)
+        learnedBindings += islands[i]->learned.size();
+    r.bindingsLearned = learnedBindings;
+    r.bindingsAbandoned = regsAbandoned;
+    r.bindingsOk = regsPending == 0
+        && regsAcked + regsAbandoned == r.bindingsAnnounced
+        && r.bindingsLearned >= regsAcked;
+
+    r.hubQueueHighWater = fabric.maxLaneQueueHighWater();
+    r.aggOpenHighWater = fabric.aggPendingHighWater();
+    r.maxIslandWireSends = fabric.maxWireSends();
+    r.healthBreaches = monitor ? monitor->breaches() : 0;
+
+    r.converged = haveConverged;
+    r.convergenceMs = haveConverged
+        ? corm::sim::toSeconds(convergedAt - (bringup)) * 1000.0
+        : corm::sim::toSeconds(deadline - bringup) * 1000.0;
+
+    // Exact-sum invariant: every applied weight equals the intent
+    // (which already excludes abandoned deltas), and the logical
+    // tune count balances applied + abandoned.
+    r.deltaSumsExact = converged()
+        && r.appliedTunes + r.abandonedTunes == r.logicalTunes;
+
+    // Replay-identity digest over final weights and counters.
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (const auto &isl : islands) {
+        mix(isl->id());
+        for (const auto &[entity, w] : isl->weights) {
+            mix(entity);
+            mix(std::bit_cast<std::uint64_t>(w));
+        }
+        mix(isl->tunes.value());
+        mix(isl->triggers.value());
+        for (coord::EntityId e : isl->learned)
+            mix(e);
+    }
+    mix(root.tunes.value());
+    r.digest = h;
+    r.eventsExecuted = sim.executedEvents();
     return r;
 }
 

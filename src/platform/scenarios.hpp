@@ -19,6 +19,7 @@
 
 #include "apps/mplayer.hpp"
 #include "apps/rubis.hpp"
+#include "coord/fabric.hpp"
 #include "coord/policy.hpp"
 #include "coord/reliable.hpp"
 #include "platform/testbed.hpp"
@@ -263,6 +264,141 @@ struct TriggerScenarioResult
 
 /** Run one Fig. 7 / Table 3 configuration. */
 TriggerScenarioResult runTriggerScenario(const TriggerScenarioConfig &cfg);
+
+//
+// Scale-out coordination fabric (§5: "scalability of such
+// mechanisms to large-scale multicore platforms")
+//
+
+/**
+ * Configuration of one many-island fabric run: a classifier island
+ * at the fabric root plus N-1 islands hosting sharded RUBiS tiers.
+ * The root drives per-(island, tier) Tune streams downward (these
+ * aggregate at tree hubs); every shard island reports per-tier load
+ * Tunes upward to the same root tier entities (these aggregate
+ * across shards at intermediate hubs); Triggers ride the reliable
+ * low-latency path and bypass aggregation.
+ */
+struct FabricScenarioConfig
+{
+    /** Total islands including the root classifier (>= 2). */
+    int islands = 8;
+
+    /**
+     * Fabric parameters: topology, hop latency, aggregation window,
+     * link fault weather, replay budget. The hub is forced to the
+     * root island's id.
+     */
+    coord::FabricParams fabric;
+
+    /** Shared tier entities (web/app/db by default). */
+    int tiers = 3;
+    /** Tunes per (shard island, tier), in each direction. */
+    int tunesPerPair = 20;
+    /** Probability a downward tune round also fires a Trigger. */
+    double triggerProb = 0.1;
+
+    /** Workload seed (drives send times, deltas, trigger picks). */
+    std::uint64_t seed = 1;
+
+    /** Window over which the workload sends are spread. */
+    corm::sim::Tick workloadSpan = 200 * corm::sim::msec;
+    /**
+     * Per-sender skew within a policy epoch. Tune k of every
+     * (shard, tier) pair fires at k * (workloadSpan / tunesPerPair)
+     * plus up to this much jitter — the bursty cadence of periodic
+     * policy managers, and what hub aggregation feeds on.
+     */
+    corm::sim::Tick epochJitter = 100 * corm::sim::usec;
+    /** Extra time allowed after the span for convergence. */
+    corm::sim::Tick settleLimit = 2 * corm::sim::sec;
+    /** Convergence polling cadence. */
+    corm::sim::Tick convergencePoll = 500 * corm::sim::usec;
+
+    /** Reliable-delivery knobs of the Trigger path. */
+    coord::ReliableSender::Params reliable;
+
+    /** Register per-lane stall watchdogs with a health monitor. */
+    bool monitorLanes = true;
+
+    /** Optional trace recorder (multi-hop coordination spans). */
+    corm::obs::TraceRecorder *trace = nullptr;
+
+    /** Invoked after islands attach, before the workload starts. */
+    std::function<void(coord::CoordFabric &)> wire;
+};
+
+/** Results and invariant verdicts of one fabric run. */
+struct FabricScenarioResult
+{
+    int islands = 0;
+
+    // Tune accounting (logical = un-aggregated deltas).
+    std::uint64_t logicalTunes = 0;
+    std::uint64_t appliedTunes = 0;   ///< Σ coalesced at destinations
+    std::uint64_t abandonedTunes = 0; ///< logical, after replay budget
+    std::uint64_t wireTuneMessages = 0;
+    std::uint64_t wireMessages = 0;
+    /** The scale-out cost metric: wire tunes per applied tune. */
+    double msgsPerAppliedTune = 0.0;
+
+    /** Wire messages the hub island handled (sent + received). */
+    std::uint64_t hubWireMessages = 0;
+    /**
+     * The hub-bottleneck metric: hub wire messages per applied
+     * tune. A star's hub touches every message; a tree offloads
+     * relaying and folds incast load reports at intermediate hubs.
+     */
+    double hubMsgsPerAppliedTune = 0.0;
+
+    std::uint64_t hubRelays = 0;
+    std::uint64_t aggBatches = 0;
+    std::uint64_t aggFolded = 0;
+    std::uint64_t triggerBypass = 0;
+    std::uint64_t linkDrops = 0;
+    std::uint64_t linkReplays = 0;
+    std::uint64_t abandonedWire = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t fabricDropped = 0; ///< unroutable destinations
+
+    // Trigger delivered-or-abandoned accounting.
+    std::uint64_t triggersSent = 0;
+    std::uint64_t triggersAcked = 0;
+    std::uint64_t triggersAbandoned = 0;
+    std::uint64_t triggersApplied = 0;
+
+    // Binding propagation root -> shards.
+    std::uint64_t bindingsAnnounced = 0;
+    std::uint64_t bindingsLearned = 0;
+    std::uint64_t bindingsAbandoned = 0;
+
+    /** Deepest in-flight queue on any lane (hub pressure). */
+    std::size_t hubQueueHighWater = 0;
+    /** Most aggregation buckets open at one hub. */
+    std::size_t aggOpenHighWater = 0;
+    /** Highest per-island wire-send load (hub bottleneck). */
+    std::uint64_t maxIslandWireSends = 0;
+
+    /** Sim-time until every island's weights match policy intent. */
+    double convergenceMs = 0.0;
+    bool converged = false;
+
+    // Invariant verdicts (the fuzz harness asserts these).
+    bool deltaSumsExact = false; ///< Σ applied == intent, exactly
+    bool bindingsOk = false;     ///< learned + abandoned == announced
+    bool triggersAccounted = false; ///< acked+abandoned == sent
+
+    std::uint64_t healthBreaches = 0; ///< lane stalls + abandons seen
+    double meanDeliveryUs = 0.0;
+    double meanHops = 0.0;
+
+    /** FNV-1a digest of final weights + counters (replay identity). */
+    std::uint64_t digest = 0;
+    std::uint64_t eventsExecuted = 0;
+};
+
+/** Run one scale-out fabric experiment end to end. */
+FabricScenarioResult runFabricScenario(const FabricScenarioConfig &cfg);
 
 //
 // Shared helpers

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "coord/message.hpp"
+#include "platform/harness.hpp"
+#include "platform/scenarios.hpp"
 #include "platform/testbed.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -178,6 +181,128 @@ TEST(ChannelFuzz, RandomMessagesNeverCrashIslands)
     for (const auto *dom : tb.scheduler().domains()) {
         EXPECT_GE(dom->weight(), tb.scheduler().params().minWeight);
         EXPECT_LE(dom->weight(), tb.scheduler().params().maxWeight);
+    }
+}
+
+namespace {
+
+/**
+ * Derive a random multi-island fabric configuration from one seed:
+ * random topology over 2–32 islands, random fault plan, random
+ * Tune/Trigger workload. Everything downstream (send times, deltas,
+ * link weather) is a pure function of the seed, so a failing seed
+ * reproduces exactly.
+ */
+corm::platform::FabricScenarioConfig
+fabricConfigFromSeed(std::uint64_t seed)
+{
+    Rng r(SplitMix64(seed).next());
+    corm::platform::FabricScenarioConfig c;
+    c.islands = 2 + static_cast<int>(r.uniformInt(31)); // 2..32
+    switch (r.uniformInt(3)) {
+      case 0: c.fabric.topology = corm::coord::FabricTopology::star; break;
+      case 1: c.fabric.topology = corm::coord::FabricTopology::mesh; break;
+      default: c.fabric.topology = corm::coord::FabricTopology::tree; break;
+    }
+    c.fabric.treeFanout = 2 + static_cast<int>(r.uniformInt(3));
+    c.fabric.hopLatency = (20 + r.uniformInt(200)) * usec;
+    c.fabric.aggWindow =
+        r.chance(0.5) ? (100 + r.uniformInt(900)) * usec : 0;
+    if (r.chance(0.6)) {
+        c.fabric.faults.lossProb = r.uniform(0.0, 0.05);
+        c.fabric.faults.dupProb = r.uniform(0.0, 0.03);
+        c.fabric.faults.reorderProb = r.uniform(0.0, 0.03);
+        c.fabric.faults.seed = SplitMix64(seed ^ 0xfab41cULL).next();
+    }
+    c.tiers = 1 + static_cast<int>(r.uniformInt(3));
+    c.tunesPerPair = 3 + static_cast<int>(r.uniformInt(8));
+    c.triggerProb = r.uniform(0.0, 0.3);
+    c.seed = seed;
+    c.workloadSpan = 50 * msec;
+    c.settleLimit = 1 * sec;
+    c.monitorLanes = false; // pure-fabric invariants, fastest path
+    return c;
+}
+
+/** Seed count: default quick; the `slow` ctest profile sets
+ *  CORM_FUZZ_SEEDS=100 for the convergence-proof sweep. */
+int
+fuzzSeedCount()
+{
+    if (const char *env = std::getenv("CORM_FUZZ_SEEDS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 6;
+}
+
+} // namespace
+
+TEST(FabricFuzz, RandomTopologiesUnderFaultsHoldInvariants)
+{
+    const int seeds = fuzzSeedCount();
+    for (int i = 1; i <= seeds; ++i) {
+        const std::uint64_t seed = 0x5ca1e0u + 7919ull * i;
+        SCOPED_TRACE("failing seed: " + std::to_string(seed));
+        const auto cfg = fabricConfigFromSeed(seed);
+        const auto r = corm::platform::runFabricScenario(cfg);
+
+        // Aggregated deltas sum exactly to the un-aggregated deltas
+        // per entity: final weights equal intent bit-for-bit, and the
+        // logical-tune ledger balances applied + abandoned.
+        EXPECT_TRUE(r.deltaSumsExact)
+            << "applied=" << r.appliedTunes
+            << " abandoned=" << r.abandonedTunes
+            << " logical=" << r.logicalTunes;
+        EXPECT_TRUE(r.converged)
+            << "not converged after " << r.convergenceMs << " ms";
+
+        // No lost entity binding: every announcement was learned or
+        // explicitly abandoned (with an abandon note at the sender).
+        EXPECT_TRUE(r.bindingsOk)
+            << "announced=" << r.bindingsAnnounced
+            << " learned=" << r.bindingsLearned
+            << " abandoned=" << r.bindingsAbandoned;
+
+        // Every Trigger delivered-or-abandoned, nothing in limbo.
+        EXPECT_TRUE(r.triggersAccounted)
+            << "sent=" << r.triggersSent
+            << " acked=" << r.triggersAcked
+            << " abandoned=" << r.triggersAbandoned;
+
+        // All workload destinations exist, so nothing may have been
+        // dropped as unroutable.
+        EXPECT_EQ(r.fabricDropped, 0u);
+    }
+}
+
+TEST(FabricFuzz, ReplaysAreIdenticalAcrossJobsFanOut)
+{
+    // The same seeds replayed under --jobs 1 and --jobs 4 must
+    // produce bit-identical final weights (digest covers weights,
+    // counters and learned bindings per island).
+    corm::platform::TrialOptions j1;
+    j1.trials = 4;
+    j1.jobs = 1;
+    j1.seed = 0xfab51deed5ULL;
+    corm::platform::TrialOptions j4 = j1;
+    j4.jobs = 4;
+
+    const auto run = [](int, std::uint64_t seed) {
+        return corm::platform::runFabricScenario(
+            fabricConfigFromSeed(seed));
+    };
+    const auto a = corm::platform::runTrials(j1, run);
+    const auto b = corm::platform::runTrials(j4, run);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("trial " + std::to_string(i));
+        EXPECT_EQ(a[i].digest, b[i].digest);
+        EXPECT_EQ(a[i].appliedTunes, b[i].appliedTunes);
+        EXPECT_EQ(a[i].wireMessages, b[i].wireMessages);
+        EXPECT_EQ(a[i].convergenceMs, b[i].convergenceMs);
+        EXPECT_EQ(a[i].eventsExecuted, b[i].eventsExecuted);
     }
 }
 
