@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Sharded-engine sweep: islands x shard count on a tree fabric.
+ *
+ * The repo's trial harness already fans independent trials across
+ * cores (--jobs); this bench measures the new axis — intra-trial
+ * parallelism from the sharded event loop (sim/sharded.hpp). Each
+ * cell runs the fabric scenario on a tree topology with the islands
+ * partitioned across K shard simulators and reports wall time,
+ * window/boundary accounting and the scenario's deterministic
+ * counters.
+ *
+ * Two claims are self-checked (exit non-zero on violation):
+ *
+ *  1. Determinism: for a given island count and seed, the scenario
+ *     digest — and the window/boundary-message counts, which are
+ *     pure functions of the global event set — are bit-identical
+ *     for every swept shard count. Always enforced.
+ *  2. Speedup: at the largest swept island count, 4 shards must be
+ *     at least 3x faster than 1 shard. Only enforced when the host
+ *     has >= 4 hardware threads (a 1-core CI box cannot exhibit
+ *     parallel speedup); override the threshold with
+ *     CORM_SHARD_SPEEDUP_MIN (0 disables).
+ *
+ * Custom flags, consumed before the shared bench CLI:
+ *
+ *   --islands N[,N...]   island counts to sweep (default 64,256)
+ *   --shards K[,K...]    shard counts to sweep (default 1,2,4)
+ *
+ * The workload is deliberately dense (many tunes per epoch, a
+ * 500 us hop latency) so each lookahead window carries enough
+ * events to amortise the barrier. The workload window is fixed by
+ * the scenario (not --warmup-sec/--measure-sec) so the gated
+ * baseline stays comparable across invocations.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "coord/fabric.hpp"
+
+namespace {
+
+/** Split "1,2,4" into integers within [lo, hi]; exits on garbage. */
+std::vector<int>
+parseIntList(const char *arg, const char *flag, long lo, long hi)
+{
+    std::vector<int> out;
+    const char *p = arg;
+    while (*p != '\0') {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < lo || v > hi) {
+            std::fprintf(stderr,
+                         "shard_scale: bad %s value in '%s' "
+                         "(want %ld..%ld)\n",
+                         flag, arg, lo, hi);
+            std::exit(2);
+        }
+        out.push_back(static_cast<int>(v));
+        p = (*end == ',') ? end + 1 : end;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "shard_scale: empty %s list\n", flag);
+        std::exit(2);
+    }
+    return out;
+}
+
+/** Per-cell deterministic fingerprint, compared across shard counts. */
+struct CellIdentity
+{
+    std::vector<std::uint64_t> digests; // per trial
+    std::uint64_t shardWindows = 0;
+    std::uint64_t boundaryMessages = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<int> islandCounts = {64, 256};
+    std::vector<int> shardCounts = {1, 2, 4};
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--islands") && i + 1 < argc) {
+            islandCounts =
+                parseIntList(argv[++i], "--islands", 2, 256);
+        } else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
+            shardCounts = parseIntList(argv[++i], "--shards", 1, 16);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    const auto opts = corm::bench::parseArgs(
+        static_cast<int>(passthrough.size()), passthrough.data(),
+        "shard_scale");
+
+    corm::bench::banner("Shard scale",
+                        "one trial, K concurrent event-loop shards: "
+                        "islands x shards on a tree fabric");
+    corm::bench::BenchReport report(opts);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("host: %u hardware thread(s)\n", hw);
+    std::printf("%-14s | %8s %8s | %9s %9s %8s | %7s %7s\n", "cell",
+                "wall s", "speedup", "windows", "boundary", "applied",
+                "conv ms", "ev/us");
+
+    int largestN = 0;
+    for (int n : islandCounts)
+        largestN = std::max(largestN, n);
+
+    bool invariantsHold = true;
+    bool identityHolds = true;
+    double wall1Largest = 0.0, wall4Largest = 0.0;
+    for (int n : islandCounts) {
+        CellIdentity baseline;
+        bool haveBaseline = false;
+        int baselineShards = 0;
+        double wallBase = 0.0;
+        for (int k : shardCounts) {
+            corm::platform::FabricScenarioConfig cfg;
+            cfg.islands = n;
+            cfg.shards = k;
+            // Ids 0..n-1 so 256 islands still fit IslandId.
+            cfg.firstIslandId = 0;
+            cfg.fabric.topology = corm::coord::FabricTopology::tree;
+            cfg.fabric.treeFanout = 4;
+            // A coarse hop gives the conservative lookahead fat
+            // windows; dense epochs fill them with parallel work.
+            cfg.fabric.hopLatency = 500 * corm::sim::usec;
+            cfg.fabric.aggWindow = 300 * corm::sim::usec;
+            cfg.tunesPerPair = 150;
+            // No Triggers: the reliable layer's 8-bit seq space caps
+            // one sender at 255 outstanding-distinct messages, and
+            // this sweep is dense enough to wrap it (the endpoint
+            // dedup window would then eat re-used seqs as replays).
+            // Trigger semantics are covered by fabric_scale and the
+            // fuzz suite; this bench measures tune throughput.
+            cfg.triggerProb = 0.0;
+            cfg.settleLimit = 500 * corm::sim::msec;
+            cfg.convergencePoll = 2 * corm::sim::msec;
+            cfg.monitorLanes = false;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            auto results = corm::platform::runTrials(
+                opts.trial, [&](int, std::uint64_t seed) {
+                    corm::platform::FabricScenarioConfig c = cfg;
+                    c.seed = seed;
+                    return corm::platform::runFabricScenario(c);
+                });
+            const double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            using R = corm::platform::FabricScenarioResult;
+            CellIdentity id;
+            std::uint64_t events = 0;
+            double applied = 0.0, convMs = 0.0;
+            for (const R &r : results) {
+                id.digests.push_back(r.digest);
+                id.shardWindows = r.shardWindows;
+                id.boundaryMessages = r.boundaryMessages;
+                events += r.eventsExecuted;
+                applied += static_cast<double>(r.appliedTunes);
+                convMs += r.convergenceMs;
+                if (!r.deltaSumsExact || !r.converged || !r.bindingsOk
+                    || !r.triggersAccounted || r.fabricDropped != 0) {
+                    invariantsHold = false;
+                    std::fprintf(stderr,
+                                 "shard_scale: INVARIANT VIOLATION "
+                                 "n=%d shards=%d (exact=%d conv=%d "
+                                 "bind=%d trig=%d dropped=%llu)\n",
+                                 n, k, r.deltaSumsExact, r.converged,
+                                 r.bindingsOk, r.triggersAccounted,
+                                 static_cast<unsigned long long>(
+                                     r.fabricDropped));
+                }
+            }
+            const auto trials =
+                static_cast<double>(results.size() ? results.size()
+                                                   : 1);
+            applied /= trials;
+            convMs /= trials;
+
+            if (!haveBaseline) {
+                baseline = id;
+                haveBaseline = true;
+                baselineShards = k;
+                wallBase = wall;
+            } else if (id.digests != baseline.digests
+                       || id.shardWindows != baseline.shardWindows
+                       || id.boundaryMessages
+                           != baseline.boundaryMessages) {
+                identityHolds = false;
+                std::fprintf(
+                    stderr,
+                    "shard_scale: DETERMINISM VIOLATION n=%d: "
+                    "shards=%d disagrees with shards=%d "
+                    "(digest0 %016llx vs %016llx, windows %llu vs "
+                    "%llu, boundary %llu vs %llu)\n",
+                    n, k, baselineShards,
+                    static_cast<unsigned long long>(id.digests[0]),
+                    static_cast<unsigned long long>(
+                        baseline.digests[0]),
+                    static_cast<unsigned long long>(id.shardWindows),
+                    static_cast<unsigned long long>(
+                        baseline.shardWindows),
+                    static_cast<unsigned long long>(
+                        id.boundaryMessages),
+                    static_cast<unsigned long long>(
+                        baseline.boundaryMessages));
+            }
+            const double speedup = wall > 0.0 ? wallBase / wall : 0.0;
+            if (n == largestN && k == 1)
+                wall1Largest = wall;
+            if (n == largestN && k == 4)
+                wall4Largest = wall;
+
+            char label[48];
+            std::snprintf(label, sizeof(label), "tree_n%d_s%d", n, k);
+            std::printf("%-14s | %8.3f %8.2f | %9llu %9llu %8.0f | "
+                        "%7.1f %7.2f\n",
+                        label, wall, speedup,
+                        static_cast<unsigned long long>(
+                            id.shardWindows),
+                        static_cast<unsigned long long>(
+                            id.boundaryMessages),
+                        applied, convMs,
+                        wall > 0.0 ? static_cast<double>(events) / wall
+                                / 1e6
+                                   : 0.0);
+
+            // wall_seconds is reported for humans but never
+            // baselined (machine-dependent), and the smoke test's
+            // jobs-determinism diff filters it out; the speedup
+            // ratio stays out of the JSON for the same reason.
+            report.addScalars(
+                label,
+                {
+                    {"digest_hi",
+                     static_cast<double>(id.digests[0] >> 32)},
+                    {"digest_lo",
+                     static_cast<double>(id.digests[0]
+                                         & 0xffffffffULL)},
+                    {"shard_windows",
+                     static_cast<double>(id.shardWindows)},
+                    {"boundary_messages",
+                     static_cast<double>(id.boundaryMessages)},
+                    {"applied_tunes", applied},
+                    {"convergence_ms", convMs},
+                    {"wall_seconds", wall},
+                },
+                events);
+        }
+    }
+
+    report.write();
+
+    double speedupMin = 3.0;
+    if (const char *env = std::getenv("CORM_SHARD_SPEEDUP_MIN"))
+        speedupMin = std::atof(env);
+    bool speedupHolds = true;
+    if (wall1Largest > 0.0 && wall4Largest > 0.0) {
+        const double s = wall1Largest / wall4Largest;
+        const bool enforce = hw >= 4 && speedupMin > 0.0;
+        std::printf("[shard speedup @ n=%d] 4 shards %.2fx vs 1 shard "
+                    "(%s, need >= %.2f)\n",
+                    largestN, s,
+                    enforce ? (s >= speedupMin ? "OK" : "TOO SLOW")
+                            : "not enforced on this host",
+                    speedupMin);
+        if (enforce && s < speedupMin)
+            speedupHolds = false;
+    }
+
+    if (!invariantsHold) {
+        std::fprintf(stderr,
+                     "shard_scale: FAILED (invariant violations)\n");
+        return 1;
+    }
+    if (!identityHolds) {
+        std::fprintf(stderr,
+                     "shard_scale: FAILED (results differ across "
+                     "shard counts)\n");
+        return 1;
+    }
+    if (!speedupHolds) {
+        std::fprintf(stderr,
+                     "shard_scale: FAILED (4-shard speedup below "
+                     "threshold)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -5,10 +5,12 @@
 #   scripts/check_bench.sh [BUILD_DIR] --update   refresh the baselines
 #
 # The gate reruns table2_rubis_throughput (1 trial, 0.5 s warm-up,
-# 2 s measure) and fabric_scale (default sweep) with the committed
-# fast configurations — the same windows the bench_gate_check and
-# fabric_gate_check ctests use — and compares the gated metrics in
-# their JSON reports against bench/baselines/*.json.
+# 2 s measure), fabric_scale (default sweep) and shard_scale
+# (default islands x shards sweep) with the committed fast
+# configurations — the same windows the bench_gate_check,
+# fabric_gate_check and shard_gate_check ctests use — and compares
+# the gated metrics in their JSON reports against
+# bench/baselines/*.json.
 # --update recaptures the baseline from the fresh run, preserving the
 # per-metric tolerance list below; commit the result when a metric
 # shift is intentional.
@@ -24,11 +26,13 @@ esac
 
 bench=$build/bench/table2_rubis_throughput
 fabric=$build/bench/fabric_scale
+shard=$build/bench/shard_scale
 gate=$build/bench/bench_gate
 baseline=$repo/bench/baselines/table2_rubis_throughput.json
 fabric_baseline=$repo/bench/baselines/fabric_scale.json
+shard_baseline=$repo/bench/baselines/shard_scale.json
 
-for bin in "$bench" "$fabric" "$gate"; do
+for bin in "$bench" "$fabric" "$shard" "$gate"; do
     if [ ! -x "$bin" ]; then
         echo "check_bench: missing $bin (build first: cmake --build $build)" >&2
         exit 2
@@ -42,6 +46,8 @@ trap 'rm -rf "$tmp"' EXIT
     --json "$tmp/fresh.json" > /dev/null)
 (cd "$tmp" && "$fabric" --trials 1 \
     --json "$tmp/fabric_fresh.json" > /dev/null)
+(cd "$tmp" && "$shard" --trials 1 \
+    --json "$tmp/shard_fresh.json" > /dev/null)
 
 if [ -n "$update" ]; then
     # The gated metric list and its tolerances. Structural counters
@@ -68,8 +74,32 @@ if [ -n "$update" ]; then
         results.tree_n16_clean.hub_messages_per_applied_tune=0.15 \
         results.star_n16_clean.hub_messages_per_applied_tune=0.15
     echo "check_bench: baseline refreshed -> $fabric_baseline"
+    # Shard gate: everything pinned here is a pure function of the
+    # seed and the global event set — digests, window/boundary
+    # counts, per-cell event totals — so the tolerances are zero
+    # (exact replay). Wall time is deliberately not gated.
+    "$gate" --init "$tmp/shard_fresh.json" --out "$shard_baseline" \
+        results.tree_n64_s1.digest_hi=0 \
+        results.tree_n64_s1.digest_lo=0 \
+        results.tree_n64_s1.shard_windows=0 \
+        results.tree_n64_s1.boundary_messages=0 \
+        results.tree_n64_s1.applied_tunes=0 \
+        results.tree_n64_s1.convergence_ms=0 \
+        results.tree_n64_s1.events_executed=0 \
+        results.tree_n64_s4.digest_hi=0 \
+        results.tree_n64_s4.digest_lo=0 \
+        results.tree_n64_s4.events_executed=0 \
+        results.tree_n256_s4.digest_hi=0 \
+        results.tree_n256_s4.digest_lo=0 \
+        results.tree_n256_s4.shard_windows=0 \
+        results.tree_n256_s4.boundary_messages=0 \
+        results.tree_n256_s4.applied_tunes=0 \
+        results.tree_n256_s4.convergence_ms=0 \
+        results.tree_n256_s4.events_executed=0
+    echo "check_bench: baseline refreshed -> $shard_baseline"
 else
     "$gate" "$baseline" "$tmp/fresh.json"
     "$gate" "$fabric_baseline" "$tmp/fabric_fresh.json"
+    "$gate" "$shard_baseline" "$tmp/shard_fresh.json"
     echo "check_bench: gate passed"
 fi

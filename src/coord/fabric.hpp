@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -56,6 +57,7 @@
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -210,9 +212,10 @@ class CoordFabric : public CoordTransport
     send(CoordMessage msg) override
     {
         ensureBuilt();
-        stats_.sent.add();
+        ShardState &st = stateFor(msg.src);
+        st.stats.sent.add();
         if (!islands.count(msg.dst) || !islands.count(msg.src)) {
-            stats_.dropped.add();
+            st.stats.dropped.add();
             logger.warn("unroutable %s %u -> %u (%zu islands attached)",
                         msgTypeName(msg.type),
                         static_cast<unsigned>(msg.src),
@@ -221,13 +224,16 @@ class CoordFabric : public CoordTransport
             return;
         }
         if (msg.dst == msg.src) {
-            // Loopback: no link; model one hop of latency.
-            sim.schedule(cfg.hopLatency, [this, msg] {
-                finalDeliver(msg, sim.now() - cfg.hopLatency, 1);
+            // Loopback: no link; model one hop of latency. Stays on
+            // the source's own simulator in sharded mode (a node is
+            // never split across shards), so no boundary crossing.
+            corm::sim::Simulator &s = simFor(msg.src);
+            s.schedule(cfg.hopLatency, [this, msg, &s] {
+                finalDeliver(msg, s.now() - cfg.hopLatency, 1);
             });
             return;
         }
-        forwardFrom(msg.src, msg, sim.now(), 0);
+        forwardFrom(msg.src, msg, simFor(msg.src).now(), 0);
     }
 
     /** Observe delivered acks at one endpoint (CoordTransport). */
@@ -245,8 +251,12 @@ class CoordFabric : public CoordTransport
         catchAllAckObserver = std::move(fn);
     }
 
-    /** Record a retransmission performed by the reliable layer. */
-    void noteRetransmit() override { stats_.retries.add(); }
+    /**
+     * Record a retransmission performed by the reliable layer. In
+     * sharded mode the reliable senders all live at the hub (shard
+     * 0), so charging shard 0's counter is race-free.
+     */
+    void noteRetransmit() override { states[0].stats.retries.add(); }
 
     /**
      * Observe wire messages abandoned after the link replay budget
@@ -263,6 +273,70 @@ class CoordFabric : public CoordTransport
      * because the id rides each mailbox's side-band.
      */
     void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
+
+    /**
+     * Switch the fabric into sharded-parallel mode: islands are
+     * partitioned across the engine's shard simulators per
+     * @p shardOfNode (indexed by island id), and every wire hop is
+     * carried as a boundary message through the engine instead of a
+     * Mailbox — including same-shard hops, so the event-ordering
+     * structure (and therefore every scenario digest) is identical
+     * for any shard count. Call after every island is attached and
+     * before any traffic. Constraints in sharded mode:
+     *
+     *  - the engine's lookahead must not exceed hopLatency (a hop is
+     *    the minimum cross-shard interaction latency);
+     *  - trace recording and mailbox lane monitoring are
+     *    unsupported (no Mailboxes are exercised, and the recorder
+     *    is not thread-safe);
+     *  - send(msg) must execute on the shard owning msg.src, which
+     *    falls out naturally when workload events are scheduled on
+     *    the source island's shard simulator;
+     *  - abandon notifications are queued per shard and handed to
+     *    the abandon observer only at drainAbandoned(), which the
+     *    runner must call from the engine's barrier probe.
+     */
+    void
+    enableSharding(corm::sim::ShardedEngine &engine,
+                   const std::vector<int> &shardOfNode)
+    {
+        engine_ = &engine;
+        shardOf = shardOfNode;
+        states.clear();
+        states.resize(static_cast<std::size_t>(engine.shardCount()));
+        ensureBuilt();
+        // One hop is the minimum cross-shard latency; a larger
+        // lookahead would let a shard run past an incoming message.
+        assert(engine.lookahead() <= cfg.hopLatency);
+        assert(rec_ == nullptr && "trace unsupported in sharded mode");
+        for (int i = 0; i < engine.shardCount(); ++i) {
+            engine.setSink(i, [this](const corm::sim::ShardMessage &m) {
+                onLaneDeliver(m);
+            });
+        }
+    }
+
+    /** True once enableSharding() has been called. */
+    bool sharded() const { return engine_ != nullptr; }
+
+    /**
+     * Sharded mode: deliver queued abandon notifications to the
+     * abandon observer, in shard-index order (within a shard, in
+     * source program order). Runs on the coordinator thread at a
+     * window barrier; observers must be commutative across shards,
+     * which the convergence-intent adjustment is (a sum).
+     */
+    void
+    drainAbandoned()
+    {
+        for (auto &st : states) {
+            for (const CoordMessage &m : st.abandonedQueue) {
+                if (onAbandon)
+                    onAbandon(m);
+            }
+            st.abandonedQueue.clear();
+        }
+    }
 
     /**
      * Visit every link mailbox as (lane name, mailbox). The health
@@ -282,8 +356,21 @@ class CoordFabric : public CoordTransport
         }
     }
 
-    /** Fabric statistics. */
-    const FabricStats &stats() const { return stats_; }
+    /**
+     * Fabric statistics. In sharded mode the per-shard counters are
+     * folded into one view on each call (harvest-time cost only);
+     * call from the coordinator with no window in flight.
+     */
+    const FabricStats &
+    stats() const
+    {
+        if (states.size() == 1)
+            return states[0].stats;
+        merged_ = FabricStats{};
+        for (const ShardState &st : states)
+            foldStats(merged_, st.stats);
+        return merged_;
+    }
 
     /** Link fault counters summed over every link and direction. */
     corm::interconnect::FaultPlanParams faultParams() const
@@ -292,25 +379,37 @@ class CoordFabric : public CoordTransport
     }
 
     /** Aggregation buckets currently open (all hubs). */
-    std::size_t aggPending() const { return aggBuckets.size(); }
+    std::size_t
+    aggPending() const
+    {
+        std::size_t n = 0;
+        for (const ShardState &st : states)
+            n += st.aggBuckets.size();
+        return n;
+    }
 
     /** High-water mark of open buckets at any single hub node. */
-    std::size_t aggPendingHighWater() const { return aggHighWater; }
+    std::size_t
+    aggPendingHighWater() const
+    {
+        std::size_t m = 0;
+        for (const ShardState &st : states)
+            m = std::max(m, st.aggHighWater);
+        return m;
+    }
 
     /** Wire messages originated or forwarded by @p island. */
     std::uint64_t
     wireSendsFrom(IslandId island) const
     {
-        auto it = wireFrom.find(island);
-        return it == wireFrom.end() ? 0 : it->second;
+        return wireFrom[island];
     }
 
     /** Wire messages arriving at @p island (terminal or relayed). */
     std::uint64_t
     wireReceivedAt(IslandId island) const
     {
-        auto it = wireInto.find(island);
-        return it == wireInto.end() ? 0 : it->second;
+        return wireInto[island];
     }
 
     /**
@@ -328,8 +427,8 @@ class CoordFabric : public CoordTransport
     maxWireSends() const
     {
         std::uint64_t m = 0;
-        for (const auto &[id, n] : wireFrom)
-            m = std::max(m, n);
+        for (const auto &[id, isl] : islands)
+            m = std::max(m, wireFrom[id]);
         return m;
     }
 
@@ -370,12 +469,30 @@ class CoordFabric : public CoordTransport
     }
 
   private:
+    /**
+     * One link direction in sharded mode: the Mailbox's wire
+     * semantics (fault stream, in-order clamp) reproduced over the
+     * engine's boundary queues. The lane id is derived from the
+     * endpoint ids alone — placement-independent, so the engine's
+     * canonical (when, lane, seq) injection order does not change
+     * with the shard count.
+     */
+    struct Lane
+    {
+        std::uint32_t id = 0;
+        IslandId from = 0, to = 0;
+        corm::interconnect::FaultInjector *faults = nullptr;
+        corm::sim::Tick lastDelivery = 0; ///< in-order clamp
+        std::uint64_t nextSeq = 0;        ///< per-lane send counter
+    };
+
     struct Link
     {
         IslandId lo, hi;
         corm::interconnect::Mailbox loToHi;
         corm::interconnect::Mailbox hiToLo;
         std::unique_ptr<corm::interconnect::FaultPlan> weather;
+        Lane laneLoHi, laneHiLo; ///< sharded-mode wire directions
 
         Link(corm::sim::Simulator &s, corm::sim::Tick lat, IslandId l,
              IslandId h, const std::string &prefix)
@@ -392,6 +509,12 @@ class CoordFabric : public CoordTransport
         dir(IslandId from)
         {
             return from == lo ? loToHi : hiToLo;
+        }
+
+        Lane &
+        laneFrom(IslandId from)
+        {
+            return from == lo ? laneLoHi : laneHiLo;
         }
     };
 
@@ -413,6 +536,26 @@ class CoordFabric : public CoordTransport
         CoordMessage proto; ///< dst/entity template; value = sum
         IslandId node = 0, next = 0;
         corm::sim::Tick earliestOrigin = 0;
+    };
+
+    /**
+     * Mutable fabric state owned by one shard. In legacy
+     * (single-threaded) mode there is exactly one state, index 0,
+     * and behaviour is unchanged from the pre-sharding fabric. In
+     * sharded mode each shard's worker touches only its own state:
+     * flights and aggregation buckets are keyed by nodes the shard
+     * owns, tags only need to be unique within a shard, and the
+     * stats counters are folded at harvest (see stats()).
+     */
+    struct ShardState
+    {
+        std::map<std::uint64_t, Flight> flights;
+        std::map<std::uint64_t, AggBucket> aggBuckets;
+        std::uint64_t nextTag = 0;
+        std::size_t aggHighWater = 0;
+        /** Abandons awaiting drainAbandoned() (sharded mode only). */
+        std::vector<CoordMessage> abandonedQueue;
+        FabricStats stats;
     };
 
     static FabricParams
@@ -509,7 +652,19 @@ class CoordFabric : public CoordTransport
                 std::make_unique<corm::interconnect::FaultPlan>(p);
             link->loToHi.setFaultInjector(&link->weather->aToB());
             link->hiToLo.setFaultInjector(&link->weather->bToA());
+            link->laneLoHi.faults = &link->weather->aToB();
+            link->laneHiLo.faults = &link->weather->bToA();
         }
+        // Sharded-mode lane ids: (linkKey << 1) | direction bit —
+        // a pure function of the endpoint ids.
+        link->laneLoHi.id =
+            (static_cast<std::uint32_t>(linkKey(a, b)) << 1);
+        link->laneLoHi.from = link->lo;
+        link->laneLoHi.to = link->hi;
+        link->laneHiLo.id =
+            (static_cast<std::uint32_t>(linkKey(a, b)) << 1) | 1u;
+        link->laneHiLo.from = link->hi;
+        link->laneHiLo.to = link->lo;
         for (int d = 0; d < 2; ++d) {
             corm::interconnect::Mailbox &mb =
                 d == 0 ? link->loToHi : link->hiToLo;
@@ -603,7 +758,7 @@ class CoordFabric : public CoordTransport
                 return;
             }
             if (msg.type == MsgType::trigger)
-                stats_.triggerBypass.add();
+                stateFor(node).stats.triggerBypass.add();
         }
         wireSend(node, next, msg, origin, hopsSoFar);
     }
@@ -612,21 +767,22 @@ class CoordFabric : public CoordTransport
     foldInto(IslandId node, IslandId next, const CoordMessage &msg,
              corm::sim::Tick origin)
     {
+        ShardState &sst = stateFor(node);
         const std::uint64_t key =
             (static_cast<std::uint64_t>(node) << 56)
             | (static_cast<std::uint64_t>(next) << 48)
             | (static_cast<std::uint64_t>(msg.dst) << 40)
             | msg.entity;
-        auto it = aggBuckets.find(key);
-        if (it == aggBuckets.end()) {
-            AggBucket &b = aggBuckets[key];
+        auto it = sst.aggBuckets.find(key);
+        if (it == sst.aggBuckets.end()) {
+            AggBucket &b = sst.aggBuckets[key];
             b.proto = msg;
             b.proto.src = node; // the batch originates at the hub
             b.node = node;
             b.next = next;
             b.earliestOrigin = origin;
-            const std::size_t depth = ++aggPerNode[node];
-            aggHighWater = std::max(aggHighWater, depth);
+            const std::size_t depth = ++aggDepth[node];
+            sst.aggHighWater = std::max(sst.aggHighWater, depth);
             if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0) {
                 rec_->instant(nodeTrack(node), sim.now(), "agg:open",
                               "coord",
@@ -634,12 +790,12 @@ class CoordFabric : public CoordTransport
                                 static_cast<std::uint64_t>(msg.entity)},
                                {"dst", static_cast<int>(msg.dst)}});
             }
-            sim.schedule(cfg.aggWindow,
-                         [this, key] { flushBucket(key); });
+            simFor(node).schedule(cfg.aggWindow,
+                                  [this, key] { flushBucket(key); });
             return;
         }
         AggBucket &b = it->second;
-        stats_.aggFolded.add();
+        sst.stats.aggFolded.add();
         b.proto.value += msg.value;
         b.proto.coalesced += msg.coalesced;
         b.earliestOrigin = std::min(b.earliestOrigin, origin);
@@ -659,15 +815,18 @@ class CoordFabric : public CoordTransport
     void
     flushBucket(std::uint64_t key)
     {
-        auto it = aggBuckets.find(key);
-        if (it == aggBuckets.end())
+        // The owning node rides in the key's top byte, locating the
+        // shard state on whichever thread the flush timer fires.
+        const IslandId node = static_cast<IslandId>(key >> 56);
+        ShardState &sst = stateFor(node);
+        auto it = sst.aggBuckets.find(key);
+        if (it == sst.aggBuckets.end())
             return;
         AggBucket b = std::move(it->second);
-        aggBuckets.erase(it);
-        if (auto n = aggPerNode.find(b.node); n != aggPerNode.end()
-                                              && n->second > 0)
-            --n->second;
-        stats_.aggBatches.add();
+        sst.aggBuckets.erase(it);
+        if (aggDepth[b.node] > 0)
+            --aggDepth[b.node];
+        sst.stats.aggBatches.add();
         if (CORM_TRACE_ACTIVE(rec_) && b.proto.trace != 0) {
             rec_->instant(
                 nodeTrack(b.node), sim.now(), "agg:flush", "coord",
@@ -683,14 +842,19 @@ class CoordFabric : public CoordTransport
     wireSend(IslandId from, IslandId to, const CoordMessage &msg,
              corm::sim::Tick origin, int hopsSoFar)
     {
-        auto lk = links.find(linkKey(from, to));
-        if (lk == links.end()) {
-            // Topology was rebuilt under an in-flight message.
-            stats_.dropped.add();
+        if (sharded()) {
+            shardWireSend(from, to, msg, origin, hopsSoFar);
             return;
         }
-        const std::uint64_t tag = ++nextTag;
-        Flight &f = flights[tag];
+        auto lk = links.find(linkKey(from, to));
+        ShardState &st = states[0];
+        if (lk == links.end()) {
+            // Topology was rebuilt under an in-flight message.
+            st.stats.dropped.add();
+            return;
+        }
+        const std::uint64_t tag = ++st.nextTag;
+        Flight &f = st.flights[tag];
         f.msg = msg;
         f.originSentAt = origin;
         f.hopSentAt = sim.now();
@@ -699,22 +863,194 @@ class CoordFabric : public CoordTransport
         f.hopsSoFar = hopsSoFar;
         f.attempts = 1;
         f.timeout = cfg.replayTimeout;
-        stats_.wireMessages.add();
+        st.stats.wireMessages.add();
         if (msg.type == MsgType::tune)
-            stats_.wireTunes.add();
+            st.stats.wireTunes.add();
         ++wireFrom[from];
         lk->second->dir(from).send(msg.encodeWord0(), msg.encodeWord1(),
                                    tag, msg.trace);
     }
 
+    /**
+     * Sharded replacement of wireSend + Mailbox::send: same flight
+     * bookkeeping and fault semantics, but the delivery is a
+     * boundary message posted through the engine. A successfully
+     * transmitted flight is erased immediately — the flight record
+     * only exists to feed drop/replay chains, and the payload rides
+     * the boundary message itself, so the receiving shard never
+     * touches this shard's flight map.
+     */
+    void
+    shardWireSend(IslandId from, IslandId to, const CoordMessage &msg,
+                  corm::sim::Tick origin, int hopsSoFar)
+    {
+        ShardState &st = stateFor(from);
+        auto lk = links.find(linkKey(from, to));
+        if (lk == links.end()) {
+            st.stats.dropped.add();
+            return;
+        }
+        const std::uint64_t tag = ++st.nextTag;
+        Flight &f = st.flights[tag];
+        f.msg = msg;
+        f.originSentAt = origin;
+        f.hopSentAt = simFor(from).now();
+        f.from = from;
+        f.to = to;
+        f.hopsSoFar = hopsSoFar;
+        f.attempts = 1;
+        f.timeout = cfg.replayTimeout;
+        st.stats.wireMessages.add();
+        if (msg.type == MsgType::tune)
+            st.stats.wireTunes.add();
+        ++wireFrom[from];
+        shardTransmit(st, *lk->second, tag);
+    }
+
+    /** One wire attempt of a sharded flight (first send or replay). */
+    void
+    shardTransmit(ShardState &st, Link &link, std::uint64_t tag)
+    {
+        auto it = st.flights.find(tag);
+        Flight &f = it->second;
+        Lane &lane = link.laneFrom(f.from);
+        corm::sim::Simulator &s = simFor(f.from);
+        corm::interconnect::FaultAction act;
+        if (lane.faults)
+            act = lane.faults->apply(s.now());
+        if (act.drop) {
+            shardDrop(st, it);
+            return;
+        }
+        // Mirror Mailbox::send: base latency plus weather delay,
+        // clamped to in-order delivery unless reordering was drawn.
+        corm::sim::Tick when =
+            s.now() + cfg.hopLatency + act.extraDelay;
+        if (!act.reorder) {
+            when = std::max(when, lane.lastDelivery);
+            lane.lastDelivery = when;
+        }
+        corm::sim::ShardMessage e;
+        e.when = when;
+        e.seq = ++lane.nextSeq;
+        e.lane = lane.id;
+        e.node = f.to;
+        e.hops = static_cast<std::uint16_t>(f.hopsSoFar);
+        e.w0 = f.msg.encodeWord0();
+        e.w1 = f.msg.encodeWord1();
+        e.origin = f.originSentAt;
+        e.flow = f.msg.trace;
+        e.aux = f.msg.coalesced;
+        engine_->post(shardOfNode(f.from), shardOfNode(f.to), e);
+        if (act.duplicate && lane.faults) {
+            // Second copy; the receiver counts it and drops it, the
+            // same way a legacy duplicate finds its flight consumed.
+            corm::sim::ShardMessage d = e;
+            d.when = when + lane.faults->params().dupOffset;
+            d.seq = ++lane.nextSeq;
+            d.flags |= corm::sim::ShardMessage::flagDuplicate;
+            engine_->post(shardOfNode(f.from), shardOfNode(f.to), d);
+        }
+        st.flights.erase(it);
+    }
+
+    /** Weather ate a sharded wire attempt: back off or abandon. */
+    void
+    shardDrop(ShardState &st,
+              std::map<std::uint64_t, Flight>::iterator it)
+    {
+        Flight &f = it->second;
+        st.stats.linkDrops.add();
+        if (f.attempts > cfg.replayAttempts) {
+            shardAbandon(st, it);
+            return;
+        }
+        const corm::sim::Tick wait = f.timeout;
+        const double next = static_cast<double>(f.timeout)
+            * (cfg.replayBackoff > 1.0 ? cfg.replayBackoff : 1.0);
+        f.timeout = std::min(
+            cfg.replayCap, static_cast<corm::sim::Tick>(next));
+        const IslandId from = f.from;
+        const std::uint64_t tag = it->first;
+        simFor(from).schedule(
+            wait, [this, from, tag] { shardReplay(from, tag); });
+    }
+
+    void
+    shardReplay(IslandId from, std::uint64_t tag)
+    {
+        ShardState &st = stateFor(from);
+        auto it = st.flights.find(tag);
+        if (it == st.flights.end())
+            return;
+        Flight &f = it->second;
+        auto lk = links.find(linkKey(f.from, f.to));
+        if (lk == links.end()) {
+            shardAbandon(st, it);
+            return;
+        }
+        ++f.attempts;
+        f.hopSentAt = simFor(from).now();
+        st.stats.linkReplays.add();
+        st.stats.wireMessages.add();
+        if (f.msg.type == MsgType::tune)
+            st.stats.wireTunes.add();
+        ++wireFrom[f.from];
+        shardTransmit(st, *lk->second, tag);
+    }
+
+    /**
+     * Replay budget exhausted on a sharded flight. The notification
+     * is queued, not delivered: abandon observers mutate scenario
+     * state and must only run on the coordinator (drainAbandoned).
+     */
+    void
+    shardAbandon(ShardState &st,
+                 std::map<std::uint64_t, Flight>::iterator it)
+    {
+        const CoordMessage msg = it->second.msg;
+        st.flights.erase(it);
+        st.stats.abandoned.add();
+        if (onAbandon)
+            st.abandonedQueue.push_back(msg);
+    }
+
+    /**
+     * Sharded delivery sink: a boundary message reached its
+     * destination shard. Runs on that shard's thread; the decoded
+     * message rejoins the normal relay / final-delivery path.
+     */
+    void
+    onLaneDeliver(const corm::sim::ShardMessage &e)
+    {
+        const IslandId node = e.node;
+        ShardState &st = stateFor(node);
+        if (e.flags & corm::sim::ShardMessage::flagDuplicate) {
+            st.stats.duplicates.add();
+            return;
+        }
+        ++wireInto[node];
+        CoordMessage msg = CoordMessage::decode(e.w0, e.w1);
+        msg.trace = e.flow;
+        msg.coalesced = e.aux;
+        const int hops = e.hops + 1;
+        if (node != msg.dst) {
+            st.stats.hubRelays.add();
+            forwardFrom(node, msg, e.origin, hops);
+            return;
+        }
+        finalDeliver(msg, e.origin, hops);
+    }
+
     void
     onWireDrop(std::uint64_t tag)
     {
-        auto it = flights.find(tag);
-        if (it == flights.end())
+        ShardState &st = states[0];
+        auto it = st.flights.find(tag);
+        if (it == st.flights.end())
             return; // a duplicate copy was eaten; nothing pending
         Flight &f = it->second;
-        stats_.linkDrops.add();
+        st.stats.linkDrops.add();
         if (CORM_TRACE_ACTIVE(rec_)) {
             rec_->instant(linkTrack(f.from, f.to), sim.now(),
                           "hop:drop", "coord");
@@ -734,8 +1070,9 @@ class CoordFabric : public CoordTransport
     void
     replayFlight(std::uint64_t tag)
     {
-        auto it = flights.find(tag);
-        if (it == flights.end())
+        ShardState &st = states[0];
+        auto it = st.flights.find(tag);
+        if (it == st.flights.end())
             return;
         Flight &f = it->second;
         auto lk = links.find(linkKey(f.from, f.to));
@@ -745,10 +1082,10 @@ class CoordFabric : public CoordTransport
         }
         ++f.attempts;
         f.hopSentAt = sim.now();
-        stats_.linkReplays.add();
-        stats_.wireMessages.add();
+        st.stats.linkReplays.add();
+        st.stats.wireMessages.add();
         if (f.msg.type == MsgType::tune)
-            stats_.wireTunes.add();
+            st.stats.wireTunes.add();
         ++wireFrom[f.from];
         if (CORM_TRACE_ACTIVE(rec_)) {
             rec_->instant(linkTrack(f.from, f.to), sim.now(),
@@ -769,8 +1106,8 @@ class CoordFabric : public CoordTransport
     {
         const CoordMessage msg = it->second.msg;
         const IslandId from = it->second.from, to = it->second.to;
-        flights.erase(it);
-        stats_.abandoned.add();
+        states[0].flights.erase(it);
+        states[0].stats.abandoned.add();
         logger.debug("abandoning %s for island %u on link %u-%u "
                      "after replay budget",
                      msgTypeName(msg.type),
@@ -794,11 +1131,12 @@ class CoordFabric : public CoordTransport
     onWireDeliver(IslandId node, std::uint64_t w0, std::uint64_t w1,
                   std::uint64_t tag, std::uint64_t flow)
     {
-        auto it = flights.find(tag);
-        if (it == flights.end()) {
+        ShardState &st = states[0];
+        auto it = st.flights.find(tag);
+        if (it == st.flights.end()) {
             // Second copy of a duplicated wire message: the first
             // copy consumed the flight record.
-            stats_.duplicates.add();
+            st.stats.duplicates.add();
             if (CORM_TRACE_ACTIVE(rec_)) {
                 CoordMessage m = CoordMessage::decode(w0, w1);
                 m.trace = flow;
@@ -810,7 +1148,7 @@ class CoordFabric : public CoordTransport
             return;
         }
         Flight f = std::move(it->second);
-        flights.erase(it);
+        st.flights.erase(it);
         ++wireInto[node];
         const int hops = f.hopsSoFar + 1;
         CoordMessage msg = f.msg; // wire words + out-of-band fields
@@ -824,7 +1162,7 @@ class CoordFabric : public CoordTransport
                  {"hop", hops}});
         }
         if (node != msg.dst) {
-            stats_.hubRelays.add();
+            st.stats.hubRelays.add();
             if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0)
                 rec_->flowStep(nodeTrack(node), sim.now(),
                                msg.trace, "coord.span", "coord");
@@ -850,23 +1188,24 @@ class CoordFabric : public CoordTransport
                  int hops)
     {
         ResourceIsland &dst = *islands.at(msg.dst);
-        stats_.delivered.add();
-        stats_.deliveryLatencyUs.record(
-            corm::sim::toMicros(sim.now() - origin));
-        stats_.hopsPerDelivery.record(static_cast<double>(hops));
+        ShardState &sst = stateFor(msg.dst);
+        sst.stats.delivered.add();
+        sst.stats.deliveryLatencyUs.record(
+            corm::sim::toMicros(simFor(msg.dst).now() - origin));
+        sst.stats.hopsPerDelivery.record(static_cast<double>(hops));
         // Idempotent endpoint dedup of sequenced messages: a
         // reliable retransmission whose original got through applies
         // at most once but is re-acked so the sender stops retrying.
         if (msg.seq != 0 && msg.type != MsgType::ack
             && seenRecently(msg.dst, msg)) {
-            stats_.duplicates.add();
+            sst.stats.duplicates.add();
             sendAckFor(dst, msg);
             return;
         }
         corm::obs::TraceScope span(rec_, msg.trace, msg.seq == 0);
         switch (msg.type) {
           case MsgType::tune:
-            stats_.appliedTunes.add(msg.coalesced);
+            sst.stats.appliedTunes.add(msg.coalesced);
             dst.applyTune(msg.entity, msg.value);
             if (msg.seq != 0)
                 sendAckFor(dst, msg);
@@ -968,6 +1307,51 @@ class CoordFabric : public CoordTransport
         std::size_t head = 0;
     };
 
+    /** Shard owning @p node (0 in legacy mode). */
+    int
+    shardOfNode(IslandId node) const
+    {
+        return static_cast<std::size_t>(node) < shardOf.size()
+                   ? shardOf[node]
+                   : 0;
+    }
+
+    ShardState &
+    stateFor(IslandId node)
+    {
+        return states[static_cast<std::size_t>(shardOfNode(node))];
+    }
+
+    /** Simulator that @p node's events run on. */
+    corm::sim::Simulator &
+    simFor(IslandId node)
+    {
+        return engine_ ? engine_->sim(shardOfNode(node)) : sim;
+    }
+
+    /** Fold @p s into @p into (counter sums, Summary merges). */
+    static void
+    foldStats(FabricStats &into, const FabricStats &s)
+    {
+        into.sent.add(s.sent.value());
+        into.delivered.add(s.delivered.value());
+        into.dropped.add(s.dropped.value());
+        into.hubRelays.add(s.hubRelays.value());
+        into.wireMessages.add(s.wireMessages.value());
+        into.wireTunes.add(s.wireTunes.value());
+        into.appliedTunes.add(s.appliedTunes.value());
+        into.linkDrops.add(s.linkDrops.value());
+        into.linkReplays.add(s.linkReplays.value());
+        into.abandoned.add(s.abandoned.value());
+        into.duplicates.add(s.duplicates.value());
+        into.aggFolded.add(s.aggFolded.value());
+        into.aggBatches.add(s.aggBatches.value());
+        into.triggerBypass.add(s.triggerBypass.value());
+        into.retries.add(s.retries.value());
+        into.deliveryLatencyUs.merge(s.deliveryLatencyUs);
+        into.hopsPerDelivery.merge(s.hopsPerDelivery);
+    }
+
     corm::sim::Simulator &sim;
     FabricParams cfg;
     IslandId hubId = 0;
@@ -978,13 +1362,17 @@ class CoordFabric : public CoordTransport
     std::map<std::uint16_t, IslandId> nextHop;
     std::map<IslandId, IslandId> parent;
     std::map<IslandId, std::vector<IslandId>> children;
-    std::map<std::uint64_t, Flight> flights;
-    std::map<std::uint64_t, AggBucket> aggBuckets;
-    std::map<IslandId, std::size_t> aggPerNode;
-    std::size_t aggHighWater = 0;
-    std::map<IslandId, std::uint64_t> wireFrom;
-    std::map<IslandId, std::uint64_t> wireInto;
-    std::map<IslandId, SeenWindow> seen;
+    /** Per-shard mutable state; exactly one entry in legacy mode. */
+    std::vector<ShardState> states = std::vector<ShardState>(1);
+    mutable FabricStats merged_; ///< stats() scratch (sharded)
+    corm::sim::ShardedEngine *engine_ = nullptr;
+    std::vector<int> shardOf; ///< island id -> shard (sharded mode)
+    // Node-indexed tallies: IslandId is 8 bits, so flat arrays are
+    // small, and each entry has a single writer (the owner shard).
+    std::array<std::uint64_t, 256> wireFrom{};
+    std::array<std::uint64_t, 256> wireInto{};
+    std::array<std::size_t, 256> aggDepth{};
+    std::vector<SeenWindow> seen = std::vector<SeenWindow>(256);
     std::map<IslandId, std::function<void(const CoordMessage &)>>
         ackObservers;
     std::function<void(const CoordMessage &)> catchAllAckObserver;
@@ -992,9 +1380,7 @@ class CoordFabric : public CoordTransport
     corm::obs::TraceRecorder *rec_ = nullptr;
     std::map<std::uint16_t, int> linkTracks;
     std::map<IslandId, int> nodeTracks;
-    std::uint64_t nextTag = 0;
     corm::sim::Logger logger{"coord.fabric"};
-    FabricStats stats_;
 };
 
 } // namespace corm::coord

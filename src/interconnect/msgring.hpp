@@ -21,6 +21,7 @@
 #include "interconnect/faults.hpp"
 #include "interconnect/pcie.hpp"
 #include "net/packet.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -69,9 +70,11 @@ class DescriptorRing
     /**
      * Install a post notification (the device-side doorbell that an
      * interrupt-mode host driver hooks; polling drivers leave it
-     * unset).
+     * unset). SmallCallback, not std::function: the doorbell fires
+     * once per posted descriptor, and the typical [this]-capturing
+     * handler stays inside the inline buffer with no heap traffic.
      */
-    void setPostCallback(std::function<void()> fn)
+    void setPostCallback(corm::sim::SmallCallback fn)
     {
         onPost = std::move(fn);
     }
@@ -113,7 +116,7 @@ class DescriptorRing
     std::size_t cap;
     std::string name_;
     std::deque<corm::net::PacketPtr> ring;
-    std::function<void()> onPost;
+    corm::sim::SmallCallback onPost;
     corm::sim::Counter posted;
     corm::sim::Counter fullRejects;
     std::size_t occupancyHigh = 0;

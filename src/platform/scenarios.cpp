@@ -7,11 +7,13 @@
 
 #include "platform/scenarios.hpp"
 
+#include <cassert>
 #include <map>
 #include <memory>
 #include <set>
 
 #include "obs/monitor.hpp"
+#include "sim/sharded.hpp"
 
 namespace corm::platform {
 
@@ -489,14 +491,42 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     FabricScenarioResult r;
     const int n = std::max(2, cfg.islands);
     r.islands = n;
-    const coord::IslandId rootId = 1;
+    assert(cfg.firstIslandId >= 0 && cfg.firstIslandId + n <= 256
+           && "island ids must fit IslandId");
+    const auto rootId = static_cast<coord::IslandId>(cfg.firstIslandId);
     const coord::EntityId tierBase = 100;
+    const int K = cfg.shards > 0 ? std::min(cfg.shards, n) : 0;
 
-    corm::sim::Simulator sim;
     coord::FabricParams fp = cfg.fabric;
     fp.hub = rootId;
+
+    // Sharded mode: one Simulator per shard advancing concurrently
+    // under a one-hop conservative lookahead. The fabric's primary
+    // simulator is shard 0's — the root classifier always lives
+    // there, so the reliable senders and the announcer (which keep
+    // per-message state) stay single-shard and race-free.
+    std::unique_ptr<corm::sim::ShardedEngine> engine;
+    std::unique_ptr<corm::sim::Simulator> soloSim;
+    std::vector<int> shardOf;
+    if (K > 0) {
+        engine = std::make_unique<corm::sim::ShardedEngine>(
+            K, fp.hopLatency, cfg.seed);
+        shardOf.assign(
+            static_cast<std::size_t>(cfg.firstIslandId + n), 0);
+        // Contiguous id-ordered placement: island index i lands on
+        // shard i*K/n, so the root (i == 0) is always on shard 0.
+        for (int i = 0; i < n; ++i)
+            shardOf[static_cast<std::size_t>(cfg.firstIslandId + i)] =
+                static_cast<int>(static_cast<long long>(i) * K / n);
+    } else {
+        soloSim = std::make_unique<corm::sim::Simulator>();
+    }
+    corm::sim::Simulator &sim = engine ? engine->sim(0) : *soloSim;
+    // Trace recording and mailbox lane monitoring are legacy-only
+    // (see CoordFabric::enableSharding constraints).
+    corm::obs::TraceRecorder *const trace = engine ? nullptr : cfg.trace;
     coord::CoordFabric fabric(sim, fp);
-    fabric.setTrace(cfg.trace);
+    fabric.setTrace(trace);
 
     std::vector<std::unique_ptr<ShardIsland>> islands;
     for (int i = 0; i < n; ++i) {
@@ -512,7 +542,7 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     // direction, fed from the mailboxes' activity observers.
     corm::obs::MetricRegistry registry;
     std::unique_ptr<corm::obs::HealthMonitor> monitor;
-    if (cfg.monitorLanes) {
+    if (cfg.monitorLanes && !engine) {
         monitor = std::make_unique<corm::obs::HealthMonitor>(
             sim, registry);
         fabric.forEachLane([&](const std::string &lane_name,
@@ -532,6 +562,21 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     }
     if (cfg.wire)
         cfg.wire(fabric);
+    if (engine)
+        fabric.enableSharding(*engine, shardOf);
+
+    // Event-scheduling seams: in sharded mode an island's events must
+    // land on its own shard's simulator, and runs go through the
+    // engine's windowed loop.
+    const auto simOf = [&](coord::IslandId id) -> corm::sim::Simulator & {
+        return engine ? engine->sim(shardOf[id]) : sim;
+    };
+    const auto runFor = [&](Tick d) {
+        if (engine)
+            engine->runFor(d);
+        else
+            sim.runFor(d);
+    };
 
     // Policy intent: the exact weight every (island, tier) should
     // settle at — adjusted down when the fabric reports a delta as
@@ -563,7 +608,7 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         ap.retryTimeout = 2 * msec;
         ap.maxAttempts = 6;
         coord::ReliableAnnouncer announcer(sim, fabric, ap);
-        announcer.setTrace(cfg.trace);
+        announcer.setTrace(trace);
         for (int i = 1; i < n; ++i) {
             for (int t = 0; t < cfg.tiers; ++t) {
                 coord::EntityBinding b;
@@ -578,7 +623,7 @@ runFabricScenario(const FabricScenarioConfig &cfg)
                 ++r.bindingsAnnounced;
             }
         }
-        sim.runFor(bringup);
+        runFor(bringup);
         regsAcked = announcer.acked();
         regsAbandoned = announcer.abandoned();
         regsPending = announcer.pendingCount();
@@ -590,8 +635,20 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     corm::sim::Rng rng(cfg.seed);
     coord::ReliableSender triggerSender(sim, fabric, rootId,
                                         cfg.reliable);
-    triggerSender.setTrace(cfg.trace);
+    triggerSender.setTrace(trace);
     std::uint64_t triggersSent = 0;
+
+    // Pre-size the event queues for the up-front scheduled workload,
+    // so heap growth never lands mid-run (Simulator::reserve).
+    const std::size_t expectedSends =
+        static_cast<std::size_t>(std::max(n - 1, 1))
+        * static_cast<std::size_t>(std::max(cfg.tiers, 1))
+        * static_cast<std::size_t>(std::max(cfg.tunesPerPair, 1)) * 2;
+    if (engine)
+        engine->reserve(
+            expectedSends / static_cast<std::size_t>(K) + 256);
+    else
+        sim.reserve(expectedSends + 256);
     const Tick span = std::max<Tick>(cfg.workloadSpan, 1);
     // Tunes fire in policy epochs (the paper's managers evaluate
     // periodically), with a small per-sender skew. Bursting is what
@@ -648,7 +705,8 @@ runFabricScenario(const FabricScenarioConfig &cfg)
                     m.value = d;
                     intent[intentKey(rootId, tier)] += d;
                     ++r.logicalTunes;
-                    sim.scheduleAt(at, [&fabric, m] {
+                    // A send must run on the shard owning its source.
+                    simOf(shard).scheduleAt(at, [&fabric, m] {
                         auto msg = m;
                         fabric.send(msg);
                     });
@@ -689,21 +747,51 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         }
         return true;
     };
-    corm::sim::PeriodicEvent poll(
-        sim, std::max<Tick>(cfg.convergencePoll, 1), [&] {
-            if (sim.now() > deadline)
-                return;
-            if (converged()) {
-                if (!haveConverged) {
-                    haveConverged = true;
-                    convergedAt = sim.now();
-                }
-            } else {
-                haveConverged = false;
+    const auto pollCheck = [&](Tick at) {
+        if (at > deadline)
+            return;
+        if (converged()) {
+            if (!haveConverged) {
+                haveConverged = true;
+                convergedAt = at;
             }
+        } else {
+            haveConverged = false;
+        }
+    };
+    const Tick pollPeriod = std::max<Tick>(cfg.convergencePoll, 1);
+    std::unique_ptr<corm::sim::PeriodicEvent> poll;
+    if (engine) {
+        // The convergence check reads weights across every shard, so
+        // it may only run at a window barrier (all shards parked) —
+        // the engine's probe. A no-op heartbeat on shard 0 keeps
+        // windows (and therefore probes) coming at poll cadence even
+        // after the workload's own events dry out; gating the check
+        // on nextPollAt keeps its cost off the per-window path. The
+        // window sequence is a pure function of the global event set,
+        // so every probe decision replays identically under any
+        // shard count.
+        poll = std::make_unique<corm::sim::PeriodicEvent>(
+            sim, pollPeriod, [] {});
+        Tick nextPollAt = sim.now() + pollPeriod;
+        engine->setProbe([&, nextPollAt](Tick windowEnd) mutable {
+            fabric.drainAbandoned();
+            if (windowEnd >= nextPollAt) {
+                pollCheck(windowEnd);
+                nextPollAt = windowEnd + pollPeriod;
+            }
+            return false;
         });
-    sim.runFor(span + cfg.settleLimit);
-    poll.stop();
+    } else {
+        poll = std::make_unique<corm::sim::PeriodicEvent>(
+            sim, pollPeriod, [&] { pollCheck(sim.now()); });
+    }
+    runFor(span + cfg.settleLimit);
+    poll->stop();
+    if (engine) {
+        engine->setProbe({});
+        fabric.drainAbandoned(); // abandons queued after the last window
+    }
 
     // Harvest.
     const coord::FabricStats &fs = fabric.stats();
@@ -788,7 +876,16 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     }
     mix(root.tunes.value());
     r.digest = h;
-    r.eventsExecuted = sim.executedEvents();
+    if (engine) {
+        r.eventsExecuted = engine->eventsExecuted();
+        const corm::sim::ShardEngineStats &es = engine->stats();
+        r.shardWindows = es.windows;
+        r.boundaryMessages = es.messages;
+        r.boundaryBatches = es.batches;
+        r.boundaryDepthHighWater = es.maxBoundaryDepth;
+    } else {
+        r.eventsExecuted = sim.executedEvents();
+    }
     return r;
 }
 

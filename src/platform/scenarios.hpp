@@ -285,6 +285,27 @@ struct FabricScenarioConfig
     int islands = 8;
 
     /**
+     * Event-loop shards running concurrently within the trial.
+     * 0 = the legacy single-threaded event loop (byte-identical to
+     * the pre-sharding scenario). >= 1 partitions the islands
+     * contiguously by id across that many ShardedEngine simulators
+     * (clamped to the island count); every wire hop then crosses a
+     * window barrier, so results are digest-identical for ANY shard
+     * count >= 1 (but intentionally distinct from the legacy loop,
+     * whose same-tick interleavings differ). Sharded runs ignore
+     * monitorLanes and require trace == nullptr.
+     */
+    int shards = 0;
+
+    /**
+     * Id of the root/classifier island; islands occupy ids
+     * [firstIslandId, firstIslandId + islands). Default 1 preserves
+     * historical digests; 256-island runs need 0 so the top id still
+     * fits IslandId (uint8).
+     */
+    int firstIslandId = 1;
+
+    /**
      * Fabric parameters: topology, hop latency, aggregation window,
      * link fault weather, replay budget. The hub is forced to the
      * root island's id.
@@ -395,6 +416,15 @@ struct FabricScenarioResult
     /** FNV-1a digest of final weights + counters (replay identity). */
     std::uint64_t digest = 0;
     std::uint64_t eventsExecuted = 0;
+
+    // Sharded-engine accounting (all zero in legacy mode). Windows
+    // and boundary messages are pure functions of the global event
+    // set, so they are identical for every shard count >= 1 — the
+    // bench gate pins them; batches and depth depend on placement.
+    std::uint64_t shardWindows = 0;
+    std::uint64_t boundaryMessages = 0;
+    std::uint64_t boundaryBatches = 0;
+    std::size_t boundaryDepthHighWater = 0;
 };
 
 /** Run one scale-out fabric experiment end to end. */

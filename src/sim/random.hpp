@@ -91,6 +91,23 @@ class Rng
      */
     Rng fork() { return Rng((*this)()); }
 
+    /**
+     * Stateless stream splitting: stream @p streamId under master
+     * @p seed. Unlike fork(), any stream is computable without
+     * drawing the others, which is what per-shard RNG streams in the
+     * sharded engine need — stream k must not depend on how many
+     * shards exist or in what order they were constructed. Uses the
+     * same golden-ratio keying as harness::trialSeed so stream ids
+     * and trial indices perturb the seed identically but over
+     * disjoint inputs (callers pick disjoint id spaces).
+     */
+    static Rng
+    stream(std::uint64_t seed, std::uint64_t streamId)
+    {
+        SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (streamId + 1)));
+        return Rng(sm.next());
+    }
+
     /** Uniform double in [0, 1). */
     double
     uniform()

@@ -120,6 +120,42 @@ class Simulator
     /** Number of scheduled-and-not-yet-fired (nor cancelled) events. */
     std::size_t pendingEvents() const { return liveEvents; }
 
+    /**
+     * Pre-size the heap and slot table for @p events concurrently
+     * pending events, so large scenarios don't pay repeated
+     * reallocation mid-run. Growing past the reservation stays legal.
+     */
+    void
+    reserve(std::size_t events)
+    {
+        heap.reserve(events);
+        slots.reserve(events);
+        freeSlots.reserve(events);
+        if (batch.capacity() < 64)
+            batch.reserve(64);
+    }
+
+    /**
+     * Time of the earliest live (non-cancelled) pending event, or
+     * maxTick when none is pending. Tombstoned entries at the top of
+     * the heap are retired on the way, so the answer never depends on
+     * compaction timing — sharded window planning (sim/sharded.hpp)
+     * relies on this being a pure function of the live event set.
+     */
+    Tick
+    nextEventAt()
+    {
+        while (!heap.empty()) {
+            const HeapEntry &top = heap.front();
+            if (slots[top.slot].state != SlotState::cancelled)
+                return top.when;
+            freeSlot(top.slot);
+            --deadEntries;
+            popTop();
+        }
+        return maxTick;
+    }
+
     /** Total events dispatched since construction (tombstones excluded). */
     std::uint64_t executedEvents() const { return executed; }
 

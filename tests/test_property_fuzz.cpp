@@ -306,6 +306,45 @@ TEST(FabricFuzz, ReplaysAreIdenticalAcrossJobsFanOut)
     }
 }
 
+TEST(FabricFuzz, ShardCountNeverChangesTheDigest)
+{
+    // The sharded engine's determinism contract, fuzzed: any random
+    // topology/fault/workload configuration must produce the same
+    // digest (and the same shard-count-invariant counters) whether
+    // the islands run on 1 shard or are partitioned across a
+    // seed-chosen 2..4. eventsExecuted is deliberately NOT compared:
+    // boundary-injection bookkeeping events depend on the partition.
+    const int seeds = fuzzSeedCount();
+    for (int i = 1; i <= seeds; ++i) {
+        const std::uint64_t seed = 0x5a4dedu + 6271ull * i;
+        SCOPED_TRACE("failing seed: " + std::to_string(seed));
+        auto cfg = fabricConfigFromSeed(seed);
+        cfg.shards = 1;
+        const auto base = corm::platform::runFabricScenario(cfg);
+        EXPECT_TRUE(base.deltaSumsExact);
+        EXPECT_TRUE(base.converged);
+        EXPECT_TRUE(base.bindingsOk);
+        EXPECT_TRUE(base.triggersAccounted);
+
+        cfg.shards = 2 + static_cast<int>(seed % 3); // 2..4
+        SCOPED_TRACE("shards=" + std::to_string(cfg.shards));
+        const auto r = corm::platform::runFabricScenario(cfg);
+        EXPECT_EQ(r.digest, base.digest);
+        EXPECT_EQ(r.appliedTunes, base.appliedTunes);
+        EXPECT_EQ(r.wireMessages, base.wireMessages);
+        EXPECT_EQ(r.linkDrops, base.linkDrops);
+        EXPECT_EQ(r.duplicates, base.duplicates);
+        EXPECT_EQ(r.abandonedWire, base.abandonedWire);
+        EXPECT_EQ(r.convergenceMs, base.convergenceMs);
+        EXPECT_EQ(r.shardWindows, base.shardWindows);
+        EXPECT_EQ(r.boundaryMessages, base.boundaryMessages);
+        EXPECT_TRUE(r.deltaSumsExact);
+        EXPECT_TRUE(r.converged);
+        EXPECT_TRUE(r.bindingsOk);
+        EXPECT_TRUE(r.triggersAccounted);
+    }
+}
+
 TEST(SimulatorFuzz, RandomCancellationsKeepQueueConsistent)
 {
     Simulator sim;
