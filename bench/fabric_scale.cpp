@@ -56,10 +56,10 @@ parseIntList(const char *arg, const char *flag)
     while (*p != '\0') {
         char *end = nullptr;
         const long v = std::strtol(p, &end, 10);
-        if (end == p || v < 2 || v > 256) {
+        if (end == p || v < 2 || v > 4096) {
             std::fprintf(stderr,
                          "fabric_scale: bad %s value in '%s' "
-                         "(want 2..256)\n",
+                         "(want 2..4096)\n",
                          flag, arg);
             std::exit(2);
         }

@@ -141,7 +141,8 @@ BM_MessageEncodeDecode(benchmark::State &state)
     for (auto _ : state) {
         const auto w0 = m.encodeWord0();
         const auto w1 = m.encodeWord1();
-        auto d = coord::CoordMessage::decode(w0, w1);
+        const auto w2 = m.encodeWord2();
+        auto d = coord::CoordMessage::decode(w0, w1, w2);
         benchmark::DoNotOptimize(d);
     }
 }

@@ -92,7 +92,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--islands") && i + 1 < argc) {
             islandCounts =
-                parseIntList(argv[++i], "--islands", 2, 256);
+                parseIntList(argv[++i], "--islands", 2, 4096);
         } else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
             shardCounts = parseIntList(argv[++i], "--shards", 1, 16);
         } else {
@@ -130,7 +130,7 @@ main(int argc, char **argv)
             corm::platform::FabricScenarioConfig cfg;
             cfg.islands = n;
             cfg.shards = k;
-            // Ids 0..n-1 so 256 islands still fit IslandId.
+            // Ids 0..n-1; the 16-bit IslandId holds 65536 of them.
             cfg.firstIslandId = 0;
             cfg.fabric.topology = corm::coord::FabricTopology::tree;
             cfg.fabric.treeFanout = 4;
@@ -139,13 +139,12 @@ main(int argc, char **argv)
             cfg.fabric.hopLatency = 500 * corm::sim::usec;
             cfg.fabric.aggWindow = 300 * corm::sim::usec;
             cfg.tunesPerPair = 150;
-            // No Triggers: the reliable layer's 8-bit seq space caps
-            // one sender at 255 outstanding-distinct messages, and
-            // this sweep is dense enough to wrap it (the endpoint
-            // dedup window would then eat re-used seqs as replays).
-            // Trigger semantics are covered by fabric_scale and the
-            // fuzz suite; this bench measures tune throughput.
-            cfg.triggerProb = 0.0;
+            // Triggers ride the reliable low-latency path. The old
+            // 8-bit seq space wrapped under this density (the
+            // endpoint dedup window ate re-used seqs as replays);
+            // the 32-bit space never wraps, so the dense sweep now
+            // exercises the full Tune + Trigger protocol.
+            cfg.triggerProb = 0.02;
             cfg.settleLimit = 500 * corm::sim::msec;
             cfg.convergencePoll = 2 * corm::sim::msec;
             cfg.monitorLanes = false;

@@ -98,16 +98,16 @@ class CoordChannel : public CoordTransport
           name_(std::move(channel_name))
     {
         aToB.setReceiver(
-            [this](std::uint64_t w0, std::uint64_t w1,
+            [this](std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
                    std::uint64_t tag, std::uint64_t flow) {
-                CoordMessage m = CoordMessage::decode(w0, w1);
+                CoordMessage m = CoordMessage::decode(w0, w1, w2);
                 m.trace = flow; // re-attach the side-band span id
                 deliver(0, b, m, tag);
             });
         bToA.setReceiver(
-            [this](std::uint64_t w0, std::uint64_t w1,
+            [this](std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
                    std::uint64_t tag, std::uint64_t flow) {
-                CoordMessage m = CoordMessage::decode(w0, w1);
+                CoordMessage m = CoordMessage::decode(w0, w1, w2);
                 m.trace = flow;
                 deliver(1, a, m, tag);
             });
@@ -137,10 +137,10 @@ class CoordChannel : public CoordTransport
         stats_.sent.add();
         if (msg.dst == b.id()) {
             aToB.send(msg.encodeWord0(), msg.encodeWord1(),
-                      rememberSend(), msg.trace);
+                      msg.encodeWord2(), rememberSend(), msg.trace);
         } else if (msg.dst == a.id()) {
             bToA.send(msg.encodeWord0(), msg.encodeWord1(),
-                      rememberSend(), msg.trace);
+                      msg.encodeWord2(), rememberSend(), msg.trace);
         } else {
             // Unknown destination: count as dropped. A production
             // fabric would route; the two-island prototype cannot.
@@ -295,10 +295,16 @@ class CoordChannel : public CoordTransport
     bool
     seenRecently(int dir, const CoordMessage &msg)
     {
-        const std::uint32_t key =
-            (static_cast<std::uint32_t>(msg.src) << 8) | msg.seq;
+        // 16-bit src and 32-bit seq no longer fit a packed 32-bit
+        // key; a uint64 holds (type, src, seq) with room to spare.
+        // Callers guarantee seq != 0, so the key never collides with
+        // an empty (zero-initialised) window slot.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(msg.type) << 48)
+            | (static_cast<std::uint64_t>(msg.src) << 32)
+            | static_cast<std::uint64_t>(msg.seq);
         auto &window = seenWindow[dir];
-        for (std::uint32_t k : window) {
+        for (std::uint64_t k : window) {
             if (k == key)
                 return true;
         }
@@ -463,8 +469,8 @@ class CoordChannel : public CoordTransport
     std::map<std::uint64_t, corm::sim::Tick> pendingSendTime;
     std::uint64_t sendTag = 0;
     std::array<std::uint64_t, 2> maxTagDelivered{};
-    /** Per-endpoint window of recently applied (src, seq) keys. */
-    std::array<std::array<std::uint32_t, 64>, 2> seenWindow{};
+    /** Per-endpoint window of recently applied (type, src, seq) keys. */
+    std::array<std::array<std::uint64_t, 64>, 2> seenWindow{};
     std::array<std::size_t, 2> seenHead{};
 };
 

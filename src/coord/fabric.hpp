@@ -402,14 +402,14 @@ class CoordFabric : public CoordTransport
     std::uint64_t
     wireSendsFrom(IslandId island) const
     {
-        return wireFrom[island];
+        return island < wireFrom.size() ? wireFrom[island] : 0;
     }
 
     /** Wire messages arriving at @p island (terminal or relayed). */
     std::uint64_t
     wireReceivedAt(IslandId island) const
     {
-        return wireInto[island];
+        return island < wireInto.size() ? wireInto[island] : 0;
     }
 
     /**
@@ -428,7 +428,7 @@ class CoordFabric : public CoordTransport
     {
         std::uint64_t m = 0;
         for (const auto &[id, isl] : islands)
-            m = std::max(m, wireFrom[id]);
+            m = std::max(m, wireSendsFrom(id));
         return m;
     }
 
@@ -479,7 +479,7 @@ class CoordFabric : public CoordTransport
      */
     struct Lane
     {
-        std::uint32_t id = 0;
+        std::uint64_t id = 0;
         IslandId from = 0, to = 0;
         corm::interconnect::FaultInjector *faults = nullptr;
         corm::sim::Tick lastDelivery = 0; ///< in-order clamp
@@ -569,11 +569,11 @@ class CoordFabric : public CoordTransport
         return p;
     }
 
-    static std::uint16_t
+    static std::uint32_t
     linkKey(IslandId a, IslandId b)
     {
         const IslandId lo = std::min(a, b), hi = std::max(a, b);
-        return static_cast<std::uint16_t>((lo << 8) | hi);
+        return (static_cast<std::uint32_t>(lo) << 16) | hi;
     }
 
     void
@@ -597,6 +597,19 @@ class CoordFabric : public CoordTransport
         for (const auto &[id, isl] : islands)
             ids.push_back(id);
         hubId = islands.count(cfg.hub) ? cfg.hub : ids.front();
+
+        // Size the node-indexed tables from the topology (islands is
+        // an ordered map, so ids.back() is the highest attached id).
+        // Grow-only: re-attachment rebuilds must not discard the
+        // accumulated per-node tallies or dedup windows.
+        const std::size_t nodeSpan =
+            static_cast<std::size_t>(ids.back()) + 1;
+        if (wireFrom.size() < nodeSpan) {
+            wireFrom.resize(nodeSpan, 0);
+            wireInto.resize(nodeSpan, 0);
+            aggDepth.resize(nodeSpan, 0);
+            seen.resize(nodeSpan);
+        }
 
         switch (cfg.topology) {
           case FabricTopology::mesh:
@@ -656,13 +669,14 @@ class CoordFabric : public CoordTransport
             link->laneHiLo.faults = &link->weather->bToA();
         }
         // Sharded-mode lane ids: (linkKey << 1) | direction bit —
-        // a pure function of the endpoint ids.
+        // a pure function of the endpoint ids, 64-bit so the 32-bit
+        // link key shifts without truncation.
         link->laneLoHi.id =
-            (static_cast<std::uint32_t>(linkKey(a, b)) << 1);
+            (static_cast<std::uint64_t>(linkKey(a, b)) << 1);
         link->laneLoHi.from = link->lo;
         link->laneLoHi.to = link->hi;
         link->laneHiLo.id =
-            (static_cast<std::uint32_t>(linkKey(a, b)) << 1) | 1u;
+            (static_cast<std::uint64_t>(linkKey(a, b)) << 1) | 1u;
         link->laneHiLo.from = link->hi;
         link->laneHiLo.to = link->lo;
         for (int d = 0; d < 2; ++d) {
@@ -671,9 +685,10 @@ class CoordFabric : public CoordTransport
             const IslandId receiver = d == 0 ? link->hi : link->lo;
             mb.setReceiver([this, receiver](std::uint64_t w0,
                                             std::uint64_t w1,
+                                            std::uint64_t w2,
                                             std::uint64_t tag,
                                             std::uint64_t flow) {
-                onWireDeliver(receiver, w0, w1, tag, flow);
+                onWireDeliver(receiver, w0, w1, w2, tag, flow);
             });
             mb.setDropObserver(
                 [this](std::uint64_t tag) { onWireDrop(tag); });
@@ -705,10 +720,10 @@ class CoordFabric : public CoordTransport
         }
     }
 
-    static std::uint16_t
+    static std::uint32_t
     routeKey(IslandId from, IslandId to)
     {
-        return static_cast<std::uint16_t>((from << 8) | to);
+        return (static_cast<std::uint32_t>(from) << 16) | to;
     }
 
     IslandId
@@ -768,10 +783,13 @@ class CoordFabric : public CoordTransport
              corm::sim::Tick origin)
     {
         ShardState &sst = stateFor(node);
+        // (node:16, dst:16, entity:32). The next hop needs no key
+        // lane: routing is deterministic, so one (node, dst) pair
+        // always forwards through the same next hop (kept in the
+        // bucket for the flush).
         const std::uint64_t key =
-            (static_cast<std::uint64_t>(node) << 56)
-            | (static_cast<std::uint64_t>(next) << 48)
-            | (static_cast<std::uint64_t>(msg.dst) << 40)
+            (static_cast<std::uint64_t>(node) << 48)
+            | (static_cast<std::uint64_t>(msg.dst) << 32)
             | msg.entity;
         auto it = sst.aggBuckets.find(key);
         if (it == sst.aggBuckets.end()) {
@@ -815,9 +833,9 @@ class CoordFabric : public CoordTransport
     void
     flushBucket(std::uint64_t key)
     {
-        // The owning node rides in the key's top byte, locating the
-        // shard state on whichever thread the flush timer fires.
-        const IslandId node = static_cast<IslandId>(key >> 56);
+        // The owning node rides in the key's top 16 bits, locating
+        // the shard state on whichever thread the flush timer fires.
+        const IslandId node = static_cast<IslandId>(key >> 48);
         ShardState &sst = stateFor(node);
         auto it = sst.aggBuckets.find(key);
         if (it == sst.aggBuckets.end())
@@ -868,7 +886,7 @@ class CoordFabric : public CoordTransport
             st.stats.wireTunes.add();
         ++wireFrom[from];
         lk->second->dir(from).send(msg.encodeWord0(), msg.encodeWord1(),
-                                   tag, msg.trace);
+                                   msg.encodeWord2(), tag, msg.trace);
     }
 
     /**
@@ -938,6 +956,7 @@ class CoordFabric : public CoordTransport
         e.hops = static_cast<std::uint16_t>(f.hopsSoFar);
         e.w0 = f.msg.encodeWord0();
         e.w1 = f.msg.encodeWord1();
+        e.w2 = f.msg.encodeWord2();
         e.origin = f.originSentAt;
         e.flow = f.msg.trace;
         e.aux = f.msg.coalesced;
@@ -1030,7 +1049,7 @@ class CoordFabric : public CoordTransport
             return;
         }
         ++wireInto[node];
-        CoordMessage msg = CoordMessage::decode(e.w0, e.w1);
+        CoordMessage msg = CoordMessage::decode(e.w0, e.w1, e.w2);
         msg.trace = e.flow;
         msg.coalesced = e.aux;
         const int hops = e.hops + 1;
@@ -1097,7 +1116,8 @@ class CoordFabric : public CoordTransport
                                f.msg.trace, "coord.span", "coord");
         }
         lk->second->dir(f.from).send(f.msg.encodeWord0(),
-                                     f.msg.encodeWord1(), tag,
+                                     f.msg.encodeWord1(),
+                                     f.msg.encodeWord2(), tag,
                                      f.msg.trace);
     }
 
@@ -1129,7 +1149,8 @@ class CoordFabric : public CoordTransport
 
     void
     onWireDeliver(IslandId node, std::uint64_t w0, std::uint64_t w1,
-                  std::uint64_t tag, std::uint64_t flow)
+                  std::uint64_t w2, std::uint64_t tag,
+                  std::uint64_t flow)
     {
         ShardState &st = states[0];
         auto it = st.flights.find(tag);
@@ -1138,7 +1159,7 @@ class CoordFabric : public CoordTransport
             // copy consumed the flight record.
             st.stats.duplicates.add();
             if (CORM_TRACE_ACTIVE(rec_)) {
-                CoordMessage m = CoordMessage::decode(w0, w1);
+                CoordMessage m = CoordMessage::decode(w0, w1, w2);
                 m.trace = flow;
                 rec_->instant(nodeTrack(node), sim.now(),
                               std::string("hop:dup:")
@@ -1259,12 +1280,15 @@ class CoordFabric : public CoordTransport
         // a source endpoint (an announcer and a trigger sender, say)
         // each start their sequence space at 1, and a window keyed on
         // (src, seq) alone would eat the second sender's first
-        // messages as replays of the first's.
-        const std::uint32_t key =
-            (static_cast<std::uint32_t>(msg.type) << 16)
-            | (static_cast<std::uint32_t>(msg.src) << 8) | msg.seq;
+        // messages as replays of the first's. The packed lanes are
+        // (type:8 << 48) | (src:16 << 32) | seq:32 — full-width, so
+        // no two distinct (type, src, seq) triples ever alias.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(msg.type) << 48)
+            | (static_cast<std::uint64_t>(msg.src) << 32)
+            | static_cast<std::uint64_t>(msg.seq);
         SeenWindow &w = seen[endpoint];
-        for (std::uint32_t k : w.keys) {
+        for (std::uint64_t k : w.keys) {
             if (k == key)
                 return true;
         }
@@ -1276,7 +1300,7 @@ class CoordFabric : public CoordTransport
     int
     linkTrack(IslandId a, IslandId b)
     {
-        const std::uint16_t key = linkKey(a, b);
+        const std::uint32_t key = linkKey(a, b);
         auto it = linkTracks.find(key);
         if (it != linkTracks.end())
             return it->second;
@@ -1303,7 +1327,7 @@ class CoordFabric : public CoordTransport
 
     struct SeenWindow
     {
-        std::array<std::uint32_t, 64> keys{};
+        std::array<std::uint64_t, 64> keys{};
         std::size_t head = 0;
     };
 
@@ -1357,9 +1381,9 @@ class CoordFabric : public CoordTransport
     IslandId hubId = 0;
     bool dirty = true;
     std::map<IslandId, ResourceIsland *> islands;
-    std::map<std::uint16_t, std::unique_ptr<Link>> links;
+    std::map<std::uint32_t, std::unique_ptr<Link>> links;
     std::vector<std::unique_ptr<Link>> retired;
-    std::map<std::uint16_t, IslandId> nextHop;
+    std::map<std::uint32_t, IslandId> nextHop;
     std::map<IslandId, IslandId> parent;
     std::map<IslandId, std::vector<IslandId>> children;
     /** Per-shard mutable state; exactly one entry in legacy mode. */
@@ -1367,18 +1391,21 @@ class CoordFabric : public CoordTransport
     mutable FabricStats merged_; ///< stats() scratch (sharded)
     corm::sim::ShardedEngine *engine_ = nullptr;
     std::vector<int> shardOf; ///< island id -> shard (sharded mode)
-    // Node-indexed tallies: IslandId is 8 bits, so flat arrays are
-    // small, and each entry has a single writer (the owner shard).
-    std::array<std::uint64_t, 256> wireFrom{};
-    std::array<std::uint64_t, 256> wireInto{};
-    std::array<std::size_t, 256> aggDepth{};
-    std::vector<SeenWindow> seen = std::vector<SeenWindow>(256);
+    // Node-indexed tallies, sized from the attached topology at
+    // ensureBuilt() (highest island id + 1): the 16-bit id space is
+    // too large for fixed flat tables, and small runs shouldn't pay
+    // for islands they never attach. Each entry has a single writer
+    // (the owner shard), and the vectors only grow, never shrink.
+    std::vector<std::uint64_t> wireFrom;
+    std::vector<std::uint64_t> wireInto;
+    std::vector<std::size_t> aggDepth;
+    std::vector<SeenWindow> seen;
     std::map<IslandId, std::function<void(const CoordMessage &)>>
         ackObservers;
     std::function<void(const CoordMessage &)> catchAllAckObserver;
     AbandonFn onAbandon;
     corm::obs::TraceRecorder *rec_ = nullptr;
-    std::map<std::uint16_t, int> linkTracks;
+    std::map<std::uint32_t, int> linkTracks;
     std::map<IslandId, int> nodeTracks;
     corm::sim::Logger logger{"coord.fabric"};
 };

@@ -16,15 +16,25 @@
  * Registration messages implement the §2.3 protocol by which islands
  * and entities make themselves known to the global controller.
  *
- * Messages are deliberately tiny — two 64-bit words — matching the
+ * Messages are deliberately tiny — three 64-bit words — matching the
  * paper's observation that coordination state fits in the "small
  * additional amounts of information" that future hardware-level
- * signalling could carry.
+ * signalling could carry. The wire layout:
+ *
+ *     word0  [63:32] seq (32)   [31:16] src (16)   [15:0] dst (16)
+ *     word1  [63:56] type (8)   [55:32] reserved   [31:0] entity (32)
+ *     word2  value (IEEE-754 double bits)
+ *
+ * The 16-bit island ids and 32-bit sequence space exist so dense
+ * fabrics (1024+ islands, long reliable bursts) never wrap an id or
+ * seq lane; the reserved byte lanes in word1 leave room for future
+ * header growth without another re-lay.
  */
 
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #include "coord/types.hpp"
@@ -69,14 +79,14 @@ struct CoordMessage
     IslandId src = 0;
     IslandId dst = 0;
     EntityId entity = invalidEntity;
-    std::uint8_t seq = 0;
+    SeqNum seq = 0;
     double value = 0.0;
 
     /**
      * Causal span id (obs::TraceId) linking this message to the
      * policy decision that produced it. Carried out-of-band next to
      * the wire words (like the mailbox tag), NOT encoded into them:
-     * the wire format stays the paper's two 64-bit words, and
+     * the wire format stays the paper's few small words, and
      * decode() leaves this 0 — the channel re-attaches it from the
      * mailbox's side-band on delivery. 0 means "untraced".
      */
@@ -92,37 +102,52 @@ struct CoordMessage
      */
     std::uint32_t coalesced = 1;
 
-    /** Pack header fields into the first wire word. */
+    /** Pack seq/src/dst into the first wire word. */
     std::uint64_t
     encodeWord0() const
     {
-        return (static_cast<std::uint64_t>(seq) << 56)
-            | (static_cast<std::uint64_t>(type) << 48)
-            | (static_cast<std::uint64_t>(src) << 40)
-            | (static_cast<std::uint64_t>(dst) << 32)
+        return (static_cast<std::uint64_t>(seq) << 32)
+            | (static_cast<std::uint64_t>(src) << 16)
+            | static_cast<std::uint64_t>(dst);
+    }
+
+    /** Pack type/entity into the second wire word. */
+    std::uint64_t
+    encodeWord1() const
+    {
+        return (static_cast<std::uint64_t>(type) << 56)
             | static_cast<std::uint64_t>(entity);
     }
 
-    /** Pack the value into the second wire word. */
+    /** Pack the value into the third wire word. */
     std::uint64_t
-    encodeWord1() const
+    encodeWord2() const
     {
         return std::bit_cast<std::uint64_t>(value);
     }
 
-    /** Rebuild a message from its two wire words. */
+    /** Rebuild a message from its three wire words. */
     static CoordMessage
-    decode(std::uint64_t word0, std::uint64_t word1)
+    decode(std::uint64_t word0, std::uint64_t word1,
+           std::uint64_t word2)
     {
         CoordMessage m;
-        m.seq = static_cast<std::uint8_t>((word0 >> 56) & 0xff);
-        m.type = static_cast<MsgType>((word0 >> 48) & 0xff);
-        m.src = static_cast<IslandId>((word0 >> 40) & 0xff);
-        m.dst = static_cast<IslandId>((word0 >> 32) & 0xff);
-        m.entity = static_cast<EntityId>(word0 & 0xffffffffu);
-        m.value = std::bit_cast<double>(word1);
+        m.seq = static_cast<SeqNum>((word0 >> 32) & 0xffffffffu);
+        m.src = static_cast<IslandId>((word0 >> 16) & 0xffff);
+        m.dst = static_cast<IslandId>(word0 & 0xffff);
+        m.type = static_cast<MsgType>((word1 >> 56) & 0xff);
+        m.entity = static_cast<EntityId>(word1 & 0xffffffffu);
+        m.value = std::bit_cast<double>(word2);
         return m;
     }
 };
+
+/**
+ * Modelled wire size of one coordination message: the three 64-bit
+ * payload words. Serialization-latency models (interconnect links,
+ * DESIGN.md §10) and docs quote this constant rather than a magic
+ * number, so the header size tracks the wire layout above.
+ */
+inline constexpr std::size_t coordWireBytes = 3 * sizeof(std::uint64_t);
 
 } // namespace corm::coord

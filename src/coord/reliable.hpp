@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <utility>
@@ -56,6 +57,13 @@ class ReliableSender
         corm::sim::Tick backoffCap = 40 * corm::sim::msec;
         /** Total attempts before giving up (>= 1). */
         int maxAttempts = 8;
+        /**
+         * Test hook: usable sequence values cycle in [1, seqSpace).
+         * 0 means the full 32-bit space. Shrinking it (>= 2) keeps
+         * the exhaustion-reclaim path reachable in tests now that
+         * the real space is practically inexhaustible.
+         */
+        SeqNum seqSpace = 0;
     };
 
     /** Final fate of one reliable send. */
@@ -102,15 +110,16 @@ class ReliableSender
      *
      * @return The sequence number assigned (usable with cancel()).
      */
-    std::uint8_t
+    SeqNum
     send(CoordMessage m, OutcomeFn done = {})
     {
-        const std::uint8_t seq = allocSeq();
+        const SeqNum seq = allocSeq();
         m.seq = seq;
         Pending &st = pending[seq];
         st.msg = m;
         st.attempts = 0;
         st.timeout = cfg.retryTimeout;
+        st.allocIndex = allocCounter++;
         st.done = std::move(done);
         transmit(seq);
         return seq;
@@ -121,7 +130,7 @@ class ReliableSender
      * to call with a seq that already completed.
      */
     void
-    cancel(std::uint8_t seq)
+    cancel(SeqNum seq)
     {
         auto it = pending.find(seq);
         if (it == pending.end())
@@ -173,37 +182,56 @@ class ReliableSender
         int attempts = 0;
         corm::sim::Tick timeout = 0;
         corm::sim::EventId retryEvent = corm::sim::invalidEventId;
+        /** Monotonic allocation order, for oldest-first reclaim. */
+        std::uint64_t allocIndex = 0;
         OutcomeFn done;
     };
 
-    std::uint8_t
+    SeqNum
     allocSeq()
     {
-        // Skip 0 (fire-and-forget marker) and seqs still in flight;
-        // with 255 usable values and coordination-message rates the
-        // scan terminates immediately in practice.
-        for (int guard = 0; guard < 256; ++guard) {
-            if (++nextSeq == 0)
-                ++nextSeq;
-            if (!pending.count(nextSeq))
-                return nextSeq;
+        // Usable values cycle in [1, space); 0 stays the
+        // fire-and-forget marker. The scan skips seqs still in
+        // flight and visits at most pending.size() + 1 values, so it
+        // terminates whenever at least one value is free.
+        const std::uint64_t space = cfg.seqSpace
+            ? static_cast<std::uint64_t>(cfg.seqSpace)
+            : (std::uint64_t{1} << 32);
+        if (static_cast<std::uint64_t>(pending.size()) + 1 < space) {
+            for (;;) {
+                nextSeq = static_cast<SeqNum>(
+                    (static_cast<std::uint64_t>(nextSeq) + 1) % space);
+                if (nextSeq == 0)
+                    continue;
+                if (!pending.count(nextSeq))
+                    return nextSeq;
+            }
         }
-        // All 255 seqs pending: reclaim the slot (oldest semantics
-        // are moot at this point — the channel is effectively dead).
+        // Every usable seq is in flight — only reachable with a
+        // shrunken test seq space or a catastrophically dead channel.
+        // Reclaim the OLDEST in-flight send as a proper Abandoned
+        // completion through finish(): its retry timer is cancelled,
+        // the abandon observer fires, and the accounting stays
+        // consistent (no silently orphaned Pending).
+        auto oldest = pending.begin();
+        for (auto it = std::next(pending.begin()); it != pending.end();
+             ++it)
+            if (it->second.allocIndex < oldest->second.allocIndex)
+                oldest = it;
+        const SeqNum seq = oldest->first;
         logger.warn("sequence space exhausted at endpoint %u; "
-                    "reclaiming seq %u",
+                    "abandoning oldest in-flight seq %u",
                     static_cast<unsigned>(selfId),
-                    static_cast<unsigned>(nextSeq));
-        auto it = pending.find(nextSeq);
+                    static_cast<unsigned>(seq));
         abandonedCount.add();
         if (onAbandon)
-            onAbandon(it->second.msg);
-        finish(it, Outcome::abandoned);
-        return nextSeq;
+            onAbandon(oldest->second.msg);
+        finish(oldest, Outcome::abandoned);
+        return seq;
     }
 
     void
-    finish(std::map<std::uint8_t, Pending>::iterator it, Outcome o)
+    finish(std::map<SeqNum, Pending>::iterator it, Outcome o)
     {
         sim.cancel(it->second.retryEvent);
         OutcomeFn done = std::move(it->second.done);
@@ -214,7 +242,7 @@ class ReliableSender
     }
 
     void
-    transmit(std::uint8_t seq)
+    transmit(SeqNum seq)
     {
         auto it = pending.find(seq);
         if (it == pending.end())
@@ -297,8 +325,9 @@ class ReliableSender
     AbandonFn onAbandon;
     int trk = -1;
     corm::sim::Logger logger{"coord.reliable"};
-    std::map<std::uint8_t, Pending> pending;
-    std::uint8_t nextSeq = 0;
+    std::map<SeqNum, Pending> pending;
+    SeqNum nextSeq = 0;
+    std::uint64_t allocCounter = 0;
     corm::sim::Counter ackedCount;
     corm::sim::Counter retryCount;
     corm::sim::Counter abandonedCount;
@@ -453,7 +482,7 @@ class ReliableAnnouncer
     ReliableSender::AbandonFn onAbandon;
     std::unique_ptr<ReliableSender> sender;
     /** Logical (island, entity) slot -> in-flight sequence number. */
-    std::map<std::uint64_t, std::uint8_t> slots;
+    std::map<std::uint64_t, SeqNum> slots;
 };
 
 } // namespace corm::coord

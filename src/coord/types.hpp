@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -19,7 +20,18 @@
 namespace corm::coord {
 
 /** Identifier of a scheduling island, unique platform-wide. */
-using IslandId = std::uint8_t;
+using IslandId = std::uint16_t;
+
+/** Maximum number of islands the 16-bit id space can address. */
+inline constexpr std::size_t maxIslands = 65536;
+
+/**
+ * Reliable-delivery sequence number (coord/reliable.hpp). 0 marks a
+ * fire-and-forget message; a dense sender would need 2^32 - 1
+ * unacknowledged in-flight sends to wrap the space, so wrap-induced
+ * dedup suppression is unreachable in practice.
+ */
+using SeqNum = std::uint32_t;
 
 /** Identifier of a managed entity, unique within its island. */
 using EntityId = std::uint32_t;

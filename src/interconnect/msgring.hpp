@@ -186,7 +186,7 @@ class DmaEngine
  *
  * Fault weather (loss, duplication, reordering, latency spikes,
  * outages) is injected here, below the message semantics, via an
- * optional FaultInjector — every word pair crossing the direction
+ * optional FaultInjector — every word group crossing the direction
  * experiences the same conditions regardless of which layer above
  * produced it.
  */
@@ -198,8 +198,8 @@ class Mailbox
      * cookies passed to send(); duplicated deliveries repeat both.
      */
     using DeliverFn = std::function<void(
-        std::uint64_t word0, std::uint64_t word1, std::uint64_t tag,
-        std::uint64_t flow)>;
+        std::uint64_t word0, std::uint64_t word1, std::uint64_t word2,
+        std::uint64_t tag, std::uint64_t flow)>;
     /** Observer of messages consumed by the fault injector. */
     using DropFn = std::function<void(std::uint64_t tag)>;
 
@@ -242,7 +242,7 @@ class Mailbox
     void setFaultInjector(FaultInjector *injector) { faults = injector; }
 
     /**
-     * Send a two-word message; delivered to the receiver after the
+     * Send a three-word message; delivered to the receiver after the
      * mailbox latency. Messages never reorder unless a fault
      * injector explicitly holds one back. @p tag and @p flow are
      * opaque sender-side cookies handed back on delivery (the
@@ -250,7 +250,7 @@ class Mailbox
      * causal trace-span propagation, respectively).
      */
     void
-    send(std::uint64_t word0, std::uint64_t word1,
+    send(std::uint64_t word0, std::uint64_t word1, std::uint64_t word2,
          std::uint64_t tag = 0, std::uint64_t flow = 0)
     {
         sent.add();
@@ -273,10 +273,10 @@ class Mailbox
             when = std::max(when, lastDelivery);
             lastDelivery = when;
         }
-        deliverAt(when, word0, word1, tag, flow);
+        deliverAt(when, word0, word1, word2, tag, flow);
         if (act.duplicate)
             deliverAt(when + (faults ? faults->params().dupOffset : 0),
-                      word0, word1, tag, flow);
+                      word0, word1, word2, tag, flow);
     }
 
     /** Adjust latency (ablation sweeps). */
@@ -306,18 +306,18 @@ class Mailbox
   private:
     void
     deliverAt(corm::sim::Tick when, std::uint64_t word0,
-              std::uint64_t word1, std::uint64_t tag,
-              std::uint64_t flow)
+              std::uint64_t word1, std::uint64_t word2,
+              std::uint64_t tag, std::uint64_t flow)
     {
         ++inFlight;
         inFlightHigh = std::max(inFlightHigh, inFlight);
-        sim.scheduleAt(when, [this, word0, word1, tag, flow] {
+        sim.scheduleAt(when, [this, word0, word1, word2, tag, flow] {
             --inFlight;
             delivered.add();
             if (onActivity)
                 onActivity(Activity::delivered);
             if (receiver)
-                receiver(word0, word1, tag, flow);
+                receiver(word0, word1, word2, tag, flow);
         });
     }
 

@@ -491,7 +491,10 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     FabricScenarioResult r;
     const int n = std::max(2, cfg.islands);
     r.islands = n;
-    assert(cfg.firstIslandId >= 0 && cfg.firstIslandId + n <= 256
+    assert(cfg.firstIslandId >= 0
+           && static_cast<std::size_t>(cfg.firstIslandId)
+                   + static_cast<std::size_t>(n)
+               <= coord::maxIslands
            && "island ids must fit IslandId");
     const auto rootId = static_cast<coord::IslandId>(cfg.firstIslandId);
     const coord::EntityId tierBase = 100;
@@ -615,9 +618,12 @@ runFabricScenario(const FabricScenarioConfig &cfg)
                 b.ref = coord::EntityRef{
                     rootId, tierBase + static_cast<coord::EntityId>(t)};
                 b.name = "tier" + std::to_string(t);
-                b.ip = corm::net::IpAddr(10, 0,
-                                         static_cast<std::uint8_t>(i),
-                                         static_cast<std::uint8_t>(t));
+                // Island index spread across two octets: ids past
+                // 255 must keep distinct network identities.
+                b.ip = corm::net::IpAddr(
+                    10, static_cast<std::uint8_t>((i >> 8) & 0xff),
+                    static_cast<std::uint8_t>(i & 0xff),
+                    static_cast<std::uint8_t>(t));
                 announcer.announce(
                     static_cast<coord::IslandId>(rootId + i), b);
                 ++r.bindingsAnnounced;

@@ -66,7 +66,7 @@ namespace corm::sim {
  * shuffle these by memcpy. The payload words are opaque to the
  * engine — the fabric packs its wire words plus side-band fields
  * (origin timestamp, trace flow, coalesced count) the same way the
- * interconnect mailboxes carry (w0, w1, tag, flow) quadruples.
+ * interconnect mailboxes carry (w0, w1, w2, tag, flow) tuples.
  */
 struct ShardMessage
 {
@@ -79,16 +79,18 @@ struct ShardMessage
      * Canonical tiebreak between lanes delivering at the same tick —
      * deliberately NOT the source shard index, which would change
      * with the partition and break cross-shard-count determinism.
+     * 64-bit: the fabric derives it from a 32-bit link key plus a
+     * direction bit, which no longer fits 32 bits.
      */
-    std::uint32_t lane = 0;
+    std::uint64_t lane = 0;
     /** Destination node, for the sink's routing context. */
-    std::uint8_t node = 0;
+    std::uint16_t node = 0;
     /** ShardMessage::flagDuplicate etc. */
     std::uint8_t flags = 0;
     /** Link hops completed before this one. */
     std::uint16_t hops = 0;
     /** Opaque payload words (the fabric's encoded wire message). */
-    std::uint64_t w0 = 0, w1 = 0;
+    std::uint64_t w0 = 0, w1 = 0, w2 = 0;
     /** Side-band: logical origin timestamp of the message. */
     Tick origin = 0;
     /** Side-band: trace flow id. */

@@ -67,12 +67,15 @@ TEST(CoordMessage, EncodeDecodeRoundTrip)
     m.src = 2;
     m.dst = 1;
     m.entity = 0xabcdef01u;
+    m.seq = 0x01020304u;
     m.value = -128.5;
-    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1());
+    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1(),
+                                        m.encodeWord2());
     EXPECT_EQ(d.type, m.type);
     EXPECT_EQ(d.src, m.src);
     EXPECT_EQ(d.dst, m.dst);
     EXPECT_EQ(d.entity, m.entity);
+    EXPECT_EQ(d.seq, m.seq);
     EXPECT_DOUBLE_EQ(d.value, m.value);
 }
 
@@ -94,15 +97,18 @@ TEST_P(MessageRoundTrip, AllFieldsSurvive)
     const auto [type_i, value] = GetParam();
     CoordMessage m;
     m.type = static_cast<MsgType>(type_i);
-    m.src = 255;
+    m.src = 0xffff; // the 16-bit extreme
     m.dst = 0;
     m.entity = invalidEntity;
+    m.seq = 0xffffffffu; // the 32-bit extreme
     m.value = value;
-    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1());
+    const auto d = CoordMessage::decode(m.encodeWord0(), m.encodeWord1(),
+                                        m.encodeWord2());
     EXPECT_EQ(d.type, m.type);
-    EXPECT_EQ(d.src, 255);
+    EXPECT_EQ(d.src, 0xffff);
     EXPECT_EQ(d.dst, 0);
     EXPECT_EQ(d.entity, invalidEntity);
+    EXPECT_EQ(d.seq, 0xffffffffu);
     EXPECT_DOUBLE_EQ(d.value, value);
 }
 

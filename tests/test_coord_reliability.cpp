@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "coord/channel.hpp"
+#include "coord/fabric.hpp"
 #include "coord/reliable.hpp"
 #include "interconnect/faults.hpp"
 #include "sim/simulator.hpp"
@@ -315,7 +316,7 @@ TEST(ReliableSender, CancelSupersedesWithoutAbandonCount)
     m.entity = 9;
     m.value = 1.0;
     std::vector<ReliableSender::Outcome> outcomes;
-    const std::uint8_t seq =
+    const SeqNum seq =
         snd.send(m, [&](ReliableSender::Outcome o, const CoordMessage &) {
             outcomes.push_back(o);
         });
@@ -328,6 +329,153 @@ TEST(ReliableSender, CancelSupersedesWithoutAbandonCount)
     EXPECT_EQ(outcomes[0], ReliableSender::Outcome::superseded);
     snd.cancel(seq); // idempotent
     EXPECT_EQ(outcomes.size(), 1u);
+}
+
+//
+// Sequence-space width: the regression behind the 32-bit seq
+//
+
+namespace {
+
+/** Three islands on a clean mesh: 1 sends densely to 2, rarely to 3. */
+struct WrapRig
+{
+    Simulator sim;
+    StubIsland a{1, "dense-src"};
+    StubIsland b{2, "dense-dst"};
+    StubIsland c{3, "rare-dst"};
+    CoordFabric fabric;
+
+    WrapRig() : fabric(sim, FabricTopology::mesh, 10 * usec)
+    {
+        fabric.attach(a);
+        fabric.attach(b);
+        fabric.attach(c);
+    }
+
+    /**
+     * The traffic pattern that exposed the old 8-bit wrap: one early
+     * trigger to the rarely-visited island 3 (seq 1 lands in its
+     * dedup window and is never evicted), a full old-seq-space cycle
+     * of 254 tunes to island 2, then the trigger to island 3 again.
+     * With an 8-bit space the second trigger re-used seq 1, matched
+     * the stale window entry, and was eaten as a replay — and
+     * re-acked, so the sender never noticed the loss.
+     */
+    void
+    driveWrapPattern(ReliableSender &snd)
+    {
+        CoordMessage trig;
+        trig.type = MsgType::trigger;
+        trig.src = 1;
+        trig.dst = 3;
+        trig.entity = 99;
+        snd.send(trig); // seq 1: the stale window entry
+        sim.runFor(1 * msec);
+
+        CoordMessage m;
+        m.type = MsgType::tune;
+        m.src = 1;
+        m.dst = 2;
+        m.value = 1.0;
+        for (int i = 0; i < 254; ++i) { // seqs 2..255: one old cycle
+            m.entity = static_cast<EntityId>(i);
+            snd.send(m);
+            sim.runFor(200 * usec);
+        }
+        snd.send(trig); // 8-bit space: seq 1 again; 32-bit: seq 256
+        sim.runFor(5 * msec);
+    }
+};
+
+} // namespace
+
+TEST(SeqWrapRegression, DenseSenderNeverSuppressesLegitDeliveries)
+{
+    WrapRig rig;
+    ReliableSender snd(rig.sim, rig.fabric, 1);
+    rig.driveWrapPattern(snd);
+
+    // Every legitimate delivery applied; nothing dedup-suppressed.
+    EXPECT_EQ(rig.c.triggers.size(), 2u);
+    EXPECT_EQ(rig.b.tunes.size(), 254u);
+    EXPECT_EQ(snd.acked(), 256u);
+    EXPECT_EQ(snd.pendingCount(), 0u);
+    EXPECT_EQ(snd.abandoned(), 0u);
+    EXPECT_EQ(rig.fabric.stats().duplicates.value(), 0u);
+}
+
+TEST(SeqWrapRegression, ShrunkenSpaceReproducesTheOldSuppression)
+{
+    // Sensitivity check for the test above: the same traffic in a
+    // seq space shrunk to the old 8-bit size exhibits the bug the
+    // wide space fixed. The wrapped trigger is suppressed at island
+    // 3 yet still acked — a silent loss the sender cannot see.
+    WrapRig rig;
+    ReliableSender::Params p;
+    p.seqSpace = 256; // emulate the old uint8_t space
+    ReliableSender snd(rig.sim, rig.fabric, 1, p);
+    rig.driveWrapPattern(snd);
+
+    EXPECT_EQ(rig.c.triggers.size(), 1u); // second trigger eaten
+    EXPECT_GE(rig.fabric.stats().duplicates.value(), 1u);
+    EXPECT_EQ(snd.acked(), 256u); // ...and the loss was silent
+    EXPECT_EQ(snd.pendingCount(), 0u);
+    EXPECT_EQ(snd.abandoned(), 0u);
+}
+
+TEST(ReliableSender, ExhaustedSeqSpaceReclaimsOldestAsAbandoned)
+{
+    // When every usable seq is in flight (only reachable with the
+    // shrunken test space or a totally dead channel), the allocator
+    // must reclaim the OLDEST in-flight send as a first-class
+    // Abandoned completion: observer notified, outcome callback
+    // fired, retry timer cancelled, accounting consistent.
+    Simulator sim;
+    StubIsland x86(1, "x86"), ixp(2, "ixp");
+    CoordChannel ch(sim, ixp, x86, 100 * usec);
+    ch.setLossProbability(1.0); // nothing ever acks
+    ReliableSender::Params params;
+    params.seqSpace = 8; // usable seqs cycle 1..7
+    params.retryTimeout = 1 * sec;
+    params.maxAttempts = 100;
+    ReliableSender snd(sim, ch, x86.id(), params);
+
+    std::vector<std::pair<ReliableSender::Outcome, EntityId>> outcomes;
+    std::vector<EntityId> observed;
+    snd.setAbandonObserver(
+        [&](const CoordMessage &m) { observed.push_back(m.entity); });
+    const auto record = [&](ReliableSender::Outcome o,
+                            const CoordMessage &m) {
+        outcomes.emplace_back(o, m.entity);
+    };
+
+    CoordMessage m;
+    m.type = MsgType::tune;
+    m.src = x86.id();
+    m.dst = ixp.id();
+    m.value = 1.0;
+    std::vector<SeqNum> seqs;
+    for (EntityId e = 1; e <= 7; ++e) {
+        m.entity = e;
+        seqs.push_back(snd.send(m, record));
+        sim.runFor(10 * usec);
+    }
+    EXPECT_EQ(snd.pendingCount(), 7u);
+    EXPECT_EQ(snd.abandoned(), 0u);
+    EXPECT_TRUE(outcomes.empty());
+
+    m.entity = 8;
+    const SeqNum reused = snd.send(m, record);
+
+    EXPECT_EQ(reused, seqs.front()); // oldest seq recycled
+    EXPECT_EQ(snd.abandoned(), 1u);
+    EXPECT_EQ(snd.pendingCount(), 7u); // one out, one in
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].first, ReliableSender::Outcome::abandoned);
+    EXPECT_EQ(outcomes[0].second, 1u); // the oldest send's message
+    ASSERT_EQ(observed.size(), 1u);
+    EXPECT_EQ(observed[0], 1u);
 }
 
 //

@@ -170,18 +170,21 @@ TEST(Mailbox, DeliversAfterLatency)
     Simulator sim;
     Mailbox mbox(sim, 120 * usec, "m");
     Tick delivered = 0;
-    std::uint64_t got0 = 0, got1 = 0;
+    std::uint64_t got0 = 0, got1 = 0, got2 = 0;
     mbox.setReceiver([&](std::uint64_t w0, std::uint64_t w1,
-                         std::uint64_t, std::uint64_t) {
+                         std::uint64_t w2, std::uint64_t,
+                         std::uint64_t) {
         delivered = sim.now();
         got0 = w0;
         got1 = w1;
+        got2 = w2;
     });
-    mbox.send(0xdead, 0xbeef);
+    mbox.send(0xdead, 0xbeef, 0xf00d);
     sim.runToCompletion();
     EXPECT_EQ(delivered, 120 * usec);
     EXPECT_EQ(got0, 0xdeadu);
     EXPECT_EQ(got1, 0xbeefu);
+    EXPECT_EQ(got2, 0xf00du);
     EXPECT_EQ(mbox.totalSent(), 1u);
     EXPECT_EQ(mbox.totalDelivered(), 1u);
 }
@@ -193,13 +196,13 @@ TEST(Mailbox, NeverReordersAcrossLatencyChange)
     std::vector<std::uint64_t> got;
     mbox.setReceiver(
         [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
-            std::uint64_t) {
+            std::uint64_t, std::uint64_t) {
             got.push_back(w0);
         });
-    mbox.send(1, 0);
+    mbox.send(1, 0, 0);
     // Lowering the latency mid-stream must not overtake message 1.
     mbox.setLatency(1 * usec);
-    mbox.send(2, 0);
+    mbox.send(2, 0, 0);
     sim.runToCompletion();
     EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2}));
 }
@@ -326,11 +329,11 @@ TEST(Mailbox, FaultLossDropsAndNotifiesObserver)
     std::uint64_t droppedTag = 0;
     mbox.setReceiver(
         [&](std::uint64_t, std::uint64_t, std::uint64_t,
-            std::uint64_t) {
+            std::uint64_t, std::uint64_t) {
             ++deliveries;
         });
     mbox.setDropObserver([&](std::uint64_t tag) { droppedTag = tag; });
-    mbox.send(1, 2, 77);
+    mbox.send(1, 2, 3, 77);
     sim.runToCompletion();
     EXPECT_EQ(deliveries, 0);
     EXPECT_EQ(droppedTag, 77u);
@@ -350,11 +353,11 @@ TEST(Mailbox, FaultDuplicateDeliversSameTagTwice)
     mbox.setFaultInjector(&inj);
     std::vector<std::pair<std::uint64_t, Tick>> got;
     mbox.setReceiver(
-        [&](std::uint64_t, std::uint64_t, std::uint64_t tag,
-            std::uint64_t) {
+        [&](std::uint64_t, std::uint64_t, std::uint64_t,
+            std::uint64_t tag, std::uint64_t) {
             got.emplace_back(tag, sim.now());
         });
-    mbox.send(1, 2, 9);
+    mbox.send(1, 2, 3, 9);
     sim.runToCompletion();
     ASSERT_EQ(got.size(), 2u);
     EXPECT_EQ(got[0].first, 9u);
@@ -375,14 +378,14 @@ TEST(Mailbox, ReorderedMessageIsOvertaken)
     std::vector<std::uint64_t> order;
     mbox.setReceiver(
         [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
-            std::uint64_t) {
+            std::uint64_t, std::uint64_t) {
             order.push_back(w0);
         });
     // First message is held back by up to the reorder window; the
     // second (sent without faults) must be allowed to overtake it.
-    mbox.send(1, 0, 1);
+    mbox.send(1, 0, 0, 1);
     mbox.setFaultInjector(nullptr);
-    mbox.send(2, 0, 2);
+    mbox.send(2, 0, 0, 2);
     sim.runToCompletion();
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 2u);
@@ -400,11 +403,11 @@ TEST(Mailbox, OutageWindowSilencesDirection)
     std::vector<std::uint64_t> got;
     mbox.setReceiver(
         [&](std::uint64_t w0, std::uint64_t, std::uint64_t,
-            std::uint64_t) {
+            std::uint64_t, std::uint64_t) {
             got.push_back(w0);
         });
-    mbox.send(1, 0, 1); // inside the outage: lost
-    sim.scheduleAt(60 * msec, [&] { mbox.send(2, 0, 2); });
+    mbox.send(1, 0, 0, 1); // inside the outage: lost
+    sim.scheduleAt(60 * msec, [&] { mbox.send(2, 0, 0, 2); });
     sim.runToCompletion();
     ASSERT_EQ(got.size(), 1u);
     EXPECT_EQ(got[0], 2u);

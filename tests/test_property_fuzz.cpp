@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -342,6 +344,72 @@ TEST(FabricFuzz, ShardCountNeverChangesTheDigest)
         EXPECT_TRUE(r.converged);
         EXPECT_TRUE(r.bindingsOk);
         EXPECT_TRUE(r.triggersAccounted);
+    }
+}
+
+TEST(CoordWireFuzz, PackUnpackRoundTripsFullWidthFields)
+{
+    // Field-width fidelity of the packed 3-word wire format at and
+    // beyond the old 8-bit boundaries: 16-bit island ids, 32-bit
+    // seqs past 2^16, full-range entities, and every double bit
+    // pattern (including NaN and -0.0, compared bit-for-bit).
+    using corm::coord::CoordMessage;
+    using corm::coord::EntityId;
+    using corm::coord::IslandId;
+    using corm::coord::MsgType;
+    using corm::coord::SeqNum;
+    const auto roundTrip = [](const CoordMessage &m) {
+        const auto d = CoordMessage::decode(
+            m.encodeWord0(), m.encodeWord1(), m.encodeWord2());
+        EXPECT_EQ(d.type, m.type);
+        EXPECT_EQ(d.src, m.src);
+        EXPECT_EQ(d.dst, m.dst);
+        EXPECT_EQ(d.seq, m.seq);
+        EXPECT_EQ(d.entity, m.entity);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(d.value),
+                  std::bit_cast<std::uint64_t>(m.value));
+    };
+
+    // The extremes the 1024-island sweep depends on, explicitly:
+    // island ids past the old 255 ceiling, seqs past 2^16, and the
+    // all-ones corners of every field.
+    CoordMessage m;
+    m.type = MsgType::trigger;
+    m.src = 1023;
+    m.dst = 1023;
+    m.seq = (SeqNum{1} << 16) + 1;
+    m.entity = 0xffffffffu;
+    m.value = -0.0;
+    roundTrip(m);
+    m.type = MsgType::ack;
+    m.src = 0xffff;
+    m.dst = 0;
+    m.seq = 0xffffffffu;
+    m.value = std::numeric_limits<double>::quiet_NaN();
+    roundTrip(m);
+
+    const double specials[] = {
+        0.0,
+        -0.0,
+        -1e308,
+        5e-324, // smallest denormal
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+    };
+    Rng rng(0x3141);
+    for (int i = 0; i < 4000; ++i) {
+        CoordMessage f;
+        f.type = static_cast<MsgType>(1 + rng.uniformInt(4));
+        f.src = static_cast<IslandId>(rng.uniformInt(65536));
+        f.dst = static_cast<IslandId>(rng.uniformInt(65536));
+        f.seq =
+            static_cast<SeqNum>(rng.uniformInt(std::uint64_t{1} << 32));
+        f.entity = static_cast<EntityId>(
+            rng.uniformInt(std::uint64_t{1} << 32));
+        f.value = rng.chance(0.2) ? specials[rng.uniformInt(7)]
+                                  : rng.uniform(-1e9, 1e9);
+        roundTrip(f);
     }
 }
 

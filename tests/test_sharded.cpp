@@ -97,7 +97,7 @@ TEST(ShardedEngine, BoundaryMessagesDeliverInCanonicalOrder)
     {
         Tick at;
         std::uint64_t seq;
-        std::uint32_t lane;
+        std::uint64_t lane;
     };
     std::vector<Seen> seen;
     engine.setSink(1, [&](const ShardMessage &m) {
@@ -105,7 +105,7 @@ TEST(ShardedEngine, BoundaryMessagesDeliverInCanonicalOrder)
     });
     // Post out of canonical order, from the coordinator between
     // runs; equal-when messages must sort by (lane, seq).
-    const auto post = [&](Tick when, std::uint32_t lane,
+    const auto post = [&](Tick when, std::uint64_t lane,
                           std::uint64_t seq) {
         ShardMessage m;
         m.when = when;
@@ -255,8 +255,9 @@ TEST(ShardDeterminism, DigestIdenticalAcrossShardCountsAllTopologies)
 
 TEST(ShardDeterminism, FullIdSpace256Islands)
 {
-    // 256 islands only fit IslandId when ids start at 0; a light
-    // workload keeps this a unit test, not a bench.
+    // 256 islands was the ceiling of the old 8-bit IslandId; the
+    // 16-bit id keeps this point as a fast dense-id sanity check. A
+    // light workload keeps this a unit test, not a bench.
     corm::platform::FabricScenarioConfig c;
     c.islands = 256;
     c.firstIslandId = 0;
