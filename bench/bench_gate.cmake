@@ -12,9 +12,32 @@ if(NOT SCALE_PATH)
     set(SCALE_PATH results.coord.mean_response_ms.mean)
 endif()
 
+# Optional extra bench flags (space-separated string) and environment
+# ("NAME=VALUE;NAME=VALUE") — the observability gates use these to run
+# the bench with capture enabled and the host-dependent speedup
+# self-check disarmed.
+if(BENCH_ARGS)
+    separate_arguments(bench_args UNIX_COMMAND "${BENCH_ARGS}")
+endif()
+if(BENCH_ENV)
+    foreach(kv IN LISTS BENCH_ENV)
+        string(FIND "${kv}" "=" eq)
+        string(SUBSTRING "${kv}" 0 ${eq} env_name)
+        math(EXPR eq "${eq} + 1")
+        string(SUBSTRING "${kv}" ${eq} -1 env_value)
+        set(ENV{${env_name}} "${env_value}")
+    endforeach()
+endif()
+
+# Distinct per-gate scratch name, so gates sharing WORK_DIR can run
+# under a parallel ctest without clobbering each other's report.
+if(NOT FRESH_NAME)
+    set(FRESH_NAME gate_fresh.json)
+endif()
+
 execute_process(
     COMMAND ${BENCH_BIN} --trials 1 --warmup-sec 0.5 --measure-sec 2
-        --json ${WORK_DIR}/gate_fresh.json
+        --json ${WORK_DIR}/${FRESH_NAME} ${bench_args}
     WORKING_DIRECTORY ${WORK_DIR}
     RESULT_VARIABLE rc OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
@@ -22,7 +45,7 @@ if(NOT rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/gate_fresh.json
+    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/${FRESH_NAME}
     RESULT_VARIABLE gate_rc)
 if(NOT gate_rc EQUAL 0)
     message(FATAL_ERROR
@@ -32,7 +55,7 @@ if(NOT gate_rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/gate_fresh.json
+    COMMAND ${GATE_BIN} ${BASELINE} ${WORK_DIR}/${FRESH_NAME}
         --scale ${SCALE_PATH}=2.0 --expect-fail
     RESULT_VARIABLE self_rc OUTPUT_QUIET)
 if(NOT self_rc EQUAL 0)

@@ -535,6 +535,19 @@ class BenchReport
             json.field("flight_reason", opts.obs->flightReason);
             json.endObject();
         }
+        // Round-trip the capture flags into the run metadata, so a
+        // report always records whether (and how) its run was
+        // observed — a traced run's numbers are not a baseline for
+        // an untraced one. Deterministic per invocation, so the
+        // jobs-determinism smoke diff is unaffected.
+        if (opts.obs) {
+            json.beginObject("capture");
+            json.field("trace", !opts.obs->tracePath.empty());
+            json.field("metrics", opts.obs->metrics);
+            json.field("monitor", opts.obs->monitor);
+            json.field("dashboard", !opts.obs->dashboardPath.empty());
+            json.endObject();
+        }
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - started)

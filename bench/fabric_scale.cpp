@@ -38,6 +38,7 @@
 
 #include "bench_util.hpp"
 #include "coord/fabric.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -185,11 +186,50 @@ main(int argc, char **argv)
                 cfg.fabric.faults.seed = opts.trial.seed ^ 0xfab;
                 cfg.monitorLanes = false;
 
+                // Capture (--trace/--monitor/--metrics) attaches to
+                // trial 0 of the first swept cell, same contract as
+                // shard_scale: the seed and schedule there are
+                // --jobs-independent, so captured artefacts are
+                // reproducible.
+                const corm::bench::ObsCapture &obs = *opts.obs;
+                const bool captureCell =
+                    (!obs.tracePath.empty() || obs.metrics
+                     || obs.monitor)
+                    && n == islandCounts.front()
+                    && topo == topologies.front() && w == 0;
+
                 auto results = corm::platform::runTrials(
-                    opts.trial, [&](int, std::uint64_t seed) {
+                    opts.trial, [&](int idx, std::uint64_t seed) {
                         corm::platform::FabricScenarioConfig c = cfg;
                         c.seed = seed;
-                        return corm::platform::runFabricScenario(c);
+                        corm::obs::TraceRecorder rec;
+                        const bool cap = captureCell && idx == 0;
+                        if (cap) {
+                            if (!obs.tracePath.empty()) {
+                                rec.setEnabled(true);
+                                c.trace = &rec;
+                            }
+                            if (obs.monitor)
+                                c.monitorLanes = true;
+                            c.captureMetrics = obs.metrics;
+                        }
+                        auto r = corm::platform::runFabricScenario(c);
+                        if (cap) {
+                            if (c.trace)
+                                opts.obs->traceJson = rec.json();
+                            if (obs.metrics) {
+                                opts.obs->metricsJson = r.metricsJson;
+                                opts.obs->metricsText =
+                                    r.metricsJson + "\n";
+                            }
+                            if (obs.monitor) {
+                                opts.obs->healthReport =
+                                    r.healthReport;
+                                opts.obs->healthBreaches =
+                                    r.healthBreaches;
+                            }
+                        }
+                        return r;
                     });
 
                 using R = corm::platform::FabricScenarioResult;

@@ -1,0 +1,132 @@
+# Sharded trace/monitor capture acceptance check, run as a ctest.
+#
+# Exercises the PR-8 tentpole claims end to end on a small tree
+# fabric (24 islands, cheap enough for every CI run; EXPERIMENTS.md
+# records the 256/1024-island numbers):
+#
+#  1. Cross-shard-count trace identity: the merged Chrome trace from
+#     a --shards 1 capture is byte-identical to a --shards 4 capture
+#     of the same seed (run A captures the 1-shard cell, run B the
+#     4-shard cell; the sweep order decides which cell capture
+#     attaches to).
+#  2. Schema + stitching: trace_check accepts the merged trace,
+#     finds a complete multi-hop causal span, and verifies every
+#     cross-track flow carries a stitching step (run B's trace).
+#  3. Jobs independence: trial-0 capture is byte-identical between
+#     --trials 1 and a --trials 2 --jobs 2 run (run J vs run B).
+#  4. Digest neutrality across processes: the scenario digest of a
+#     bare (capture-off) run equals the captured run's digest, via
+#     the JSON reports. (The binary also enforces this in-process at
+#     zero tolerance through its obs-overhead rerun; this check
+#     additionally proves it across separate invocations.)
+#
+# The 4-shard speedup self-check is disarmed: 24-island cells are
+# far too small to amortise barriers, and this test is about
+# capture correctness, not throughput.
+
+set(ENV{CORM_SHARD_SPEEDUP_MIN} 0)
+
+set(common --islands 24 --trials 1 --monitor --metrics)
+
+# Run A: capture rides the 1-shard cell (first in the sweep order).
+execute_process(
+    COMMAND ${BENCH_BIN} ${common} --shards 1,4
+        --trace ${WORK_DIR}/capture_s1.json
+        --json ${WORK_DIR}/capture_a.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "captured 1-shard run failed (rc=${rc})")
+endif()
+
+# Run B: same seed, capture rides the 4-shard cell.
+execute_process(
+    COMMAND ${BENCH_BIN} ${common} --shards 4,1
+        --trace ${WORK_DIR}/capture_s4.json
+        --json ${WORK_DIR}/capture_b.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "captured 4-shard run failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/capture_s1.json ${WORK_DIR}/capture_s4.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "merge violation: trace differs between --shards 1 and "
+        "--shards 4 (${WORK_DIR}/capture_s1.json vs capture_s4.json)")
+endif()
+
+# Schema, causal spans, and cross-shard stitching.
+execute_process(
+    COMMAND ${CHECK_BIN} ${WORK_DIR}/capture_s4.json
+        --require-flow --stitched-flows
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_check rejected the merged sharded trace (rc=${rc})")
+endif()
+
+# Run J: parallel trials must not perturb trial-0 capture.
+execute_process(
+    COMMAND ${BENCH_BIN} --islands 24 --monitor --metrics
+        --trials 2 --jobs 2 --shards 4,1
+        --trace ${WORK_DIR}/capture_j2.json
+        --json ${WORK_DIR}/capture_j.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "captured --jobs 2 run failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/capture_s4.json ${WORK_DIR}/capture_j2.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "determinism violation: trial-0 sharded trace differs "
+        "between --jobs 1 and --jobs 2")
+endif()
+
+# Run C: bare capture-off run; its digest must match the captured
+# run's, proving capture never schedules simulator events.
+execute_process(
+    COMMAND ${BENCH_BIN} --islands 24 --trials 1 --shards 4
+        --json ${WORK_DIR}/capture_c.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bare comparison run failed (rc=${rc})")
+endif()
+
+function(extract_digest file out)
+    file(READ ${file} content)
+    string(REGEX MATCH "\"tree_n24_s4\":[^}]*" cell "${content}")
+    if(NOT cell)
+        message(FATAL_ERROR "no tree_n24_s4 cell in ${file}")
+    endif()
+    string(REGEX MATCH "\"digest_hi\": *([0-9eE.+-]+)" m "${cell}")
+    set(hi "${CMAKE_MATCH_1}")
+    string(REGEX MATCH "\"digest_lo\": *([0-9eE.+-]+)" m "${cell}")
+    set(lo "${CMAKE_MATCH_1}")
+    if(NOT hi OR NOT lo)
+        message(FATAL_ERROR "no digest scalars in ${file}")
+    endif()
+    set(${out} "${hi}/${lo}" PARENT_SCOPE)
+endfunction()
+
+extract_digest(${WORK_DIR}/capture_b.json digest_captured)
+extract_digest(${WORK_DIR}/capture_c.json digest_bare)
+if(NOT digest_captured STREQUAL digest_bare)
+    message(FATAL_ERROR
+        "capture perturbed the digest: captured ${digest_captured} "
+        "vs bare ${digest_bare}")
+endif()
+
+message(STATUS "shard_capture_check: merged trace byte-identical "
+    "across shard counts and jobs, stitched flows present, digest "
+    "capture-neutral")

@@ -27,6 +27,16 @@
  *   --islands N[,N...]   island counts to sweep (default 64,256)
  *   --shards K[,K...]    shard counts to sweep (default 1,2,4)
  *
+ * The shared capture flags (--trace/--monitor/--metrics) attach to
+ * trial 0 of the first swept cell and flow through the sharded
+ * barrier-time merge (DESIGN.md §11). Any capture flag also arms
+ * the observability overhead pin: the first island count is re-run
+ * at the largest shard count fully captured, in flight mode
+ * (monitor only) and bare; the three digests must agree at zero
+ * tolerance (exit non-zero otherwise) and the wall ratios plus
+ * capture counts are reported under results.obs_overhead for the
+ * shard_obs_gate_check baseline.
+ *
  * The workload is deliberately dense (many tunes per epoch, a
  * 500 us hop latency) so each lookahead window carries enough
  * events to amortise the barrier. The workload window is fixed by
@@ -43,6 +53,7 @@
 
 #include "bench_util.hpp"
 #include "coord/fabric.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -102,6 +113,13 @@ main(int argc, char **argv)
     const auto opts = corm::bench::parseArgs(
         static_cast<int>(passthrough.size()), passthrough.data(),
         "shard_scale");
+    // Capture flags (--trace/--monitor/--metrics) attach to trial 0
+    // of the FIRST swept cell — the same seed and schedule regardless
+    // of --jobs or sweep order, so captured artefacts are comparable
+    // across invocations that put different shard counts first.
+    const corm::bench::ObsCapture &obs = *opts.obs;
+    const bool wantCapture =
+        !obs.tracePath.empty() || obs.metrics || obs.monitor;
 
     corm::bench::banner("Shard scale",
                         "one trial, K concurrent event-loop shards: "
@@ -118,6 +136,31 @@ main(int argc, char **argv)
     for (int n : islandCounts)
         largestN = std::max(largestN, n);
 
+    const auto makeCfg = [](int n, int k) {
+        corm::platform::FabricScenarioConfig cfg;
+        cfg.islands = n;
+        cfg.shards = k;
+        // Ids 0..n-1; the 16-bit IslandId holds 65536 of them.
+        cfg.firstIslandId = 0;
+        cfg.fabric.topology = corm::coord::FabricTopology::tree;
+        cfg.fabric.treeFanout = 4;
+        // A coarse hop gives the conservative lookahead fat
+        // windows; dense epochs fill them with parallel work.
+        cfg.fabric.hopLatency = 500 * corm::sim::usec;
+        cfg.fabric.aggWindow = 300 * corm::sim::usec;
+        cfg.tunesPerPair = 150;
+        // Triggers ride the reliable low-latency path. The old
+        // 8-bit seq space wrapped under this density (the
+        // endpoint dedup window ate re-used seqs as replays);
+        // the 32-bit space never wraps, so the dense sweep now
+        // exercises the full Tune + Trigger protocol.
+        cfg.triggerProb = 0.02;
+        cfg.settleLimit = 500 * corm::sim::msec;
+        cfg.convergencePoll = 2 * corm::sim::msec;
+        cfg.monitorLanes = false;
+        return cfg;
+    };
+
     bool invariantsHold = true;
     bool identityHolds = true;
     double wall1Largest = 0.0, wall4Largest = 0.0;
@@ -127,34 +170,47 @@ main(int argc, char **argv)
         int baselineShards = 0;
         double wallBase = 0.0;
         for (int k : shardCounts) {
-            corm::platform::FabricScenarioConfig cfg;
-            cfg.islands = n;
-            cfg.shards = k;
-            // Ids 0..n-1; the 16-bit IslandId holds 65536 of them.
-            cfg.firstIslandId = 0;
-            cfg.fabric.topology = corm::coord::FabricTopology::tree;
-            cfg.fabric.treeFanout = 4;
-            // A coarse hop gives the conservative lookahead fat
-            // windows; dense epochs fill them with parallel work.
-            cfg.fabric.hopLatency = 500 * corm::sim::usec;
-            cfg.fabric.aggWindow = 300 * corm::sim::usec;
-            cfg.tunesPerPair = 150;
-            // Triggers ride the reliable low-latency path. The old
-            // 8-bit seq space wrapped under this density (the
-            // endpoint dedup window ate re-used seqs as replays);
-            // the 32-bit space never wraps, so the dense sweep now
-            // exercises the full Tune + Trigger protocol.
-            cfg.triggerProb = 0.02;
-            cfg.settleLimit = 500 * corm::sim::msec;
-            cfg.convergencePoll = 2 * corm::sim::msec;
-            cfg.monitorLanes = false;
+            const corm::platform::FabricScenarioConfig cfg =
+                makeCfg(n, k);
+            // Capture attaches to trial 0 of the first swept cell;
+            // every other trial runs bare. The binary's own
+            // digest-identity check then doubles as the
+            // capture-neutrality proof: the captured cell must agree
+            // with every uncaptured shard count, bit for bit.
+            const bool captureCell = wantCapture
+                && n == islandCounts.front()
+                && k == shardCounts.front();
 
             const auto t0 = std::chrono::steady_clock::now();
             auto results = corm::platform::runTrials(
-                opts.trial, [&](int, std::uint64_t seed) {
+                opts.trial, [&](int idx, std::uint64_t seed) {
                     corm::platform::FabricScenarioConfig c = cfg;
                     c.seed = seed;
-                    return corm::platform::runFabricScenario(c);
+                    corm::obs::TraceRecorder rec;
+                    const bool cap = captureCell && idx == 0;
+                    if (cap) {
+                        if (!obs.tracePath.empty()) {
+                            rec.setEnabled(true);
+                            c.trace = &rec;
+                        }
+                        if (obs.monitor)
+                            c.monitorLanes = true;
+                        c.captureMetrics = obs.metrics;
+                    }
+                    auto r = corm::platform::runFabricScenario(c);
+                    if (cap) {
+                        if (c.trace)
+                            opts.obs->traceJson = rec.json();
+                        if (obs.metrics) {
+                            opts.obs->metricsJson = r.metricsJson;
+                            opts.obs->metricsText = r.metricsJson + "\n";
+                        }
+                        if (obs.monitor) {
+                            opts.obs->healthReport = r.healthReport;
+                            opts.obs->healthBreaches = r.healthBreaches;
+                        }
+                    }
+                    return r;
                 });
             const double wall =
                 std::chrono::duration<double>(
@@ -263,6 +319,90 @@ main(int argc, char **argv)
         }
     }
 
+    // Observability overhead pin: with any capture flag set, re-run
+    // the first-island cell at the largest swept shard count three
+    // ways — fully captured (trace + monitor + metrics), flight mode
+    // (monitor only: the bounded, detail-gated flight ring, no full
+    // trace), and bare — and report wall-time ratios plus the
+    // deterministic capture counts. The digest must not move under
+    // any capture mode (enforced here at zero tolerance); the gate
+    // baseline pins the ratios generously (wall time is
+    // machine-dependent) and the counts exactly.
+    bool captureNeutral = true;
+    if (wantCapture) {
+        const int n = islandCounts.front();
+        const int k = shardCounts.back();
+        const auto timeRun =
+            [](const corm::platform::FabricScenarioConfig &c,
+               corm::platform::FabricScenarioResult &out) {
+                const auto t0 = std::chrono::steady_clock::now();
+                out = corm::platform::runFabricScenario(c);
+                return std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                    .count();
+            };
+        corm::obs::TraceRecorder rec;
+        rec.setEnabled(true);
+        corm::platform::FabricScenarioConfig cap = makeCfg(n, k);
+        cap.seed = opts.trial.seed;
+        cap.trace = &rec;
+        cap.monitorLanes = true;
+        cap.captureMetrics = true;
+        corm::platform::FabricScenarioResult rCap, rFlight, rPlain;
+        const double wallCap = timeRun(cap, rCap);
+        corm::platform::FabricScenarioConfig flight = makeCfg(n, k);
+        flight.seed = opts.trial.seed;
+        flight.monitorLanes = true;
+        const double wallFlight = timeRun(flight, rFlight);
+        corm::platform::FabricScenarioConfig plain = makeCfg(n, k);
+        plain.seed = opts.trial.seed;
+        const double wallPlain = timeRun(plain, rPlain);
+
+        const double ratio =
+            wallPlain > 0.0 ? wallCap / wallPlain : 0.0;
+        const double flightRatio =
+            wallPlain > 0.0 ? wallFlight / wallPlain : 0.0;
+        const bool digestMatch = rCap.digest == rPlain.digest
+            && rFlight.digest == rPlain.digest;
+        if (!digestMatch) {
+            captureNeutral = false;
+            std::fprintf(stderr,
+                         "shard_scale: CAPTURE PERTURBED DIGEST "
+                         "n=%d shards=%d (captured %016llx flight "
+                         "%016llx plain %016llx)\n",
+                         n, k,
+                         static_cast<unsigned long long>(rCap.digest),
+                         static_cast<unsigned long long>(
+                             rFlight.digest),
+                         static_cast<unsigned long long>(
+                             rPlain.digest));
+        }
+        std::printf(
+            "[obs overhead @ n=%d s=%d] captured %.3fs flight %.3fs "
+            "plain %.3fs (ratio %.2f / %.2f), %llu trace events, "
+            "%llu breach(es), digest %s\n",
+            n, k, wallCap, wallFlight, wallPlain, ratio, flightRatio,
+            static_cast<unsigned long long>(rCap.traceEvents),
+            static_cast<unsigned long long>(rCap.healthBreaches),
+            digestMatch ? "unchanged" : "PERTURBED");
+        report.addScalars(
+            "obs_overhead",
+            {
+                {"islands", static_cast<double>(n)},
+                {"shards", static_cast<double>(k)},
+                {"trace_events",
+                 static_cast<double>(rCap.traceEvents)},
+                {"health_breaches",
+                 static_cast<double>(rCap.healthBreaches)},
+                {"digest_match", digestMatch ? 1.0 : 0.0},
+                {"wall_captured_seconds", wallCap},
+                {"wall_flight_seconds", wallFlight},
+                {"wall_plain_seconds", wallPlain},
+                {"wall_ratio", ratio},
+                {"flight_ratio", flightRatio},
+            });
+    }
+
     report.write();
 
     double speedupMin = 3.0;
@@ -297,6 +437,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "shard_scale: FAILED (4-shard speedup below "
                      "threshold)\n");
+        return 1;
+    }
+    if (!captureNeutral) {
+        std::fprintf(stderr,
+                     "shard_scale: FAILED (observability capture "
+                     "changed the digest)\n");
         return 1;
     }
     return 0;

@@ -1,10 +1,12 @@
 /**
  * @file
  * CLI wrapper around the shared trace schema checker
- * (obs/tracecheck.hpp). Used by the trace_smoke ctest to validate a
- * real bench-produced trace, and handy interactively:
+ * (obs/tracecheck.hpp). Used by the trace_smoke and
+ * shard_capture_check ctests to validate real bench-produced traces,
+ * and handy interactively:
  *
  *   trace_check FILE [--require-flow] [--min-steps N]
+ *               [--expect-tracks N] [--stitched-flows]
  *
  * --min-steps N demands at least one complete flow with >= N steps
  * (implies --require-flow's chain requirement only when that flag is
@@ -12,6 +14,15 @@
  * multi-hop fabric check: a span relayed across an N-link tree path
  * carries one step per relay, so fabric scenarios assert deeper
  * chains than the two-island channel produces.
+ *
+ * --expect-tracks N demands exactly N declared tracks (thread_name
+ * metadata entries) — the per-shard-track shape check.
+ *
+ * --stitched-flows enforces the cross-shard stitching rule: every
+ * flow that ends on a different track than it began must carry at
+ * least one step, and at least one such cross-track flow must exist.
+ * A sharded trace merge that dropped the lane flow-steps fails this
+ * with "teleporting" spans.
  *
  * Exit status: 0 on a valid trace, 1 on violations (each printed),
  * 2 on usage/IO errors.
@@ -26,15 +37,28 @@
 
 #include "obs/tracecheck.hpp"
 
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s FILE [--require-flow] [--min-steps N] "
+                 "[--expect-tracks N] [--stitched-flows]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const char *path = nullptr;
-    bool requireFlow = false;
-    std::size_t minSteps = 1;
+    corm::obs::TraceCheckParams params;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--require-flow")) {
-            requireFlow = true;
+            params.require_flow = true;
         } else if (!std::strcmp(argv[i], "--min-steps")
                    && i + 1 < argc) {
             const long n = std::strtol(argv[++i], nullptr, 10);
@@ -43,24 +67,28 @@ main(int argc, char **argv)
                              "trace_check: --min-steps wants >= 1\n");
                 return 2;
             }
-            minSteps = static_cast<std::size_t>(n);
-            requireFlow = true; // a depth bar implies the chain check
+            params.min_steps = static_cast<std::size_t>(n);
+            params.require_flow = true; // depth bar implies the chain
+        } else if (!std::strcmp(argv[i], "--expect-tracks")
+                   && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1) {
+                std::fprintf(
+                    stderr,
+                    "trace_check: --expect-tracks wants >= 1\n");
+                return 2;
+            }
+            params.expect_tracks = static_cast<std::size_t>(n);
+        } else if (!std::strcmp(argv[i], "--stitched-flows")) {
+            params.require_stitched = true;
         } else if (!path) {
             path = argv[i];
         } else {
-            std::fprintf(
-                stderr,
-                "usage: %s FILE [--require-flow] [--min-steps N]\n",
-                argv[0]);
-            return 2;
+            return usage(argv[0]);
         }
     }
-    if (!path) {
-        std::fprintf(stderr,
-                     "usage: %s FILE [--require-flow] [--min-steps N]\n",
-                     argv[0]);
-        return 2;
-    }
+    if (!path)
+        return usage(argv[0]);
 
     std::ifstream in(path);
     if (!in) {
@@ -71,15 +99,16 @@ main(int argc, char **argv)
     buf << in.rdbuf();
 
     const corm::obs::TraceCheckResult r =
-        corm::obs::checkTraceText(buf.str(), requireFlow, minSteps);
+        corm::obs::checkTraceText(buf.str(), params);
     for (const std::string &v : r.violations)
         std::fprintf(stderr, "trace_check: %s\n", v.c_str());
 
-    std::printf("trace_check: %s: %zu events (%zu timed), %zu flows "
-                "(%zu complete, %zu multi-hop, max %zu steps, "
-                "%zu dangling), %zu violation(s)\n",
-                path, r.events, r.timed, r.flows, r.complete,
-                r.multiHop, r.maxSteps, r.dangling,
+    std::printf("trace_check: %s: %zu events (%zu timed, %zu tracks), "
+                "%zu flows (%zu complete, %zu multi-hop, %zu "
+                "cross-track, max %zu steps, %zu dangling), "
+                "%zu violation(s)\n",
+                path, r.events, r.timed, r.tracks, r.flows, r.complete,
+                r.multiHop, r.crossTrack, r.maxSteps, r.dangling,
                 r.violations.size());
     return r.ok() ? 0 : 1;
 }

@@ -5,12 +5,13 @@
 #   scripts/check_bench.sh [BUILD_DIR] --update   refresh the baselines
 #
 # The gate reruns table2_rubis_throughput (1 trial, 0.5 s warm-up,
-# 2 s measure), fabric_scale (default sweep) and shard_scale
-# (default islands x shards sweep) with the committed fast
-# configurations — the same windows the bench_gate_check,
-# fabric_gate_check and shard_gate_check ctests use — and compares
-# the gated metrics in their JSON reports against
-# bench/baselines/*.json.
+# 2 s measure), fabric_scale (default sweep), shard_scale (default
+# islands x shards sweep) and a capture-enabled shard_scale run
+# (trace + monitor + metrics, pinning the observability overhead)
+# with the committed fast configurations — the same windows the
+# bench_gate_check, fabric_gate_check, shard_gate_check and
+# shard_obs_gate_check ctests use — and compares the gated metrics
+# in their JSON reports against bench/baselines/*.json.
 # --update recaptures the baseline from the fresh run, preserving the
 # per-metric tolerance list below; commit the result when a metric
 # shift is intentional.
@@ -31,6 +32,7 @@ gate=$build/bench/bench_gate
 baseline=$repo/bench/baselines/table2_rubis_throughput.json
 fabric_baseline=$repo/bench/baselines/fabric_scale.json
 shard_baseline=$repo/bench/baselines/shard_scale.json
+obs_baseline=$repo/bench/baselines/shard_scale_obs.json
 
 for bin in "$bench" "$fabric" "$shard" "$gate"; do
     if [ ! -x "$bin" ]; then
@@ -48,6 +50,12 @@ trap 'rm -rf "$tmp"' EXIT
     --json "$tmp/fabric_fresh.json" > /dev/null)
 (cd "$tmp" && "$shard" --trials 1 \
     --json "$tmp/shard_fresh.json" > /dev/null)
+# Observability gate run: capture enabled, 48-island sweep, speedup
+# self-check disarmed (tiny cells cannot amortise the barrier).
+(cd "$tmp" && CORM_SHARD_SPEEDUP_MIN=0 "$shard" --trials 1 \
+    --islands 48 --shards 1,4 --trace "$tmp/obs_trace.json" \
+    --monitor --metrics \
+    --json "$tmp/obs_fresh.json" > /dev/null)
 
 if [ -n "$update" ]; then
     # The gated metric list and its tolerances. Structural counters
@@ -97,9 +105,27 @@ if [ -n "$update" ]; then
         results.tree_n256_s4.convergence_ms=0 \
         results.tree_n256_s4.events_executed=0
     echo "check_bench: baseline refreshed -> $shard_baseline"
+    # Observability gate: the capture counts and digests are exact
+    # replays (zero tolerance); the captured/flight wall-time ratios
+    # are machine-dependent, so they only guard against runaway
+    # overhead, not small drift.
+    "$gate" --init "$tmp/obs_fresh.json" --out "$obs_baseline" \
+        results.obs_overhead.trace_events=0 \
+        results.obs_overhead.health_breaches=0 \
+        results.obs_overhead.digest_match=0 \
+        results.obs_overhead.wall_ratio=2.0 \
+        results.obs_overhead.flight_ratio=1.0 \
+        results.tree_n48_s1.digest_hi=0 \
+        results.tree_n48_s1.digest_lo=0 \
+        results.tree_n48_s4.digest_hi=0 \
+        results.tree_n48_s4.digest_lo=0 \
+        results.tree_n48_s4.shard_windows=0 \
+        results.tree_n48_s4.boundary_messages=0
+    echo "check_bench: baseline refreshed -> $obs_baseline"
 else
     "$gate" "$baseline" "$tmp/fresh.json"
     "$gate" "$fabric_baseline" "$tmp/fabric_fresh.json"
     "$gate" "$shard_baseline" "$tmp/shard_fresh.json"
+    "$gate" "$obs_baseline" "$tmp/obs_fresh.json"
     echo "check_bench: gate passed"
 fi

@@ -275,6 +275,89 @@ class CoordFabric : public CoordTransport
     void setTrace(corm::obs::TraceRecorder *recorder) { rec_ = recorder; }
 
     /**
+     * Sharded-mode tracing: one window-local recorder per shard
+     * (obs/shardcapture.hpp). During a window each shard's wire
+     * instrumentation writes only its own recorder; the capture
+     * merges them at barriers. Hop slices are emitted at transmit
+     * time (the sender knows the delivery tick) on *directional*
+     * lane tracks ("<name>.<from>-<to>"), so every track has exactly
+     * one writing shard and the merged trace is byte-identical for
+     * any shard count. Call after enableSharding().
+     */
+    void
+    setShardTrace(const std::vector<corm::obs::TraceRecorder *> &recs)
+    {
+        assert(sharded() && recs.size() == states.size());
+        for (std::size_t k = 0; k < states.size(); ++k)
+            states[k].rec = recs[k];
+    }
+
+    /** One lane send/delivery, replayed canonically at a barrier. */
+    struct LaneEvent
+    {
+        corm::sim::Tick when = 0;
+        std::uint64_t lane = 0; ///< directional lane id
+        std::uint64_t seq = 0;  ///< per-shard-state program order
+        bool delivered = false; ///< false = entered the lane (sent)
+    };
+
+    /**
+     * Record per-lane send/delivery activity shard-locally so the
+     * health monitor's stall watchdogs can run at barrier time (see
+     * drainLaneActivity). Off by default — recording costs a vector
+     * push per wire attempt/delivery.
+     */
+    void setLaneActivityRecording(bool on) { laneActivity_ = on; }
+
+    /**
+     * Hand the window's lane activity to @p fn in canonical
+     * (when, lane, delivered-before-sent, seq) order — placement
+     * independent because a lane's sends are logged only by its
+     * sender shard and its deliveries only by its receiver shard.
+     * Runs on the coordinator at a window barrier.
+     */
+    void
+    drainLaneActivity(const std::function<void(const LaneEvent &)> &fn)
+    {
+        laneScratch_.clear();
+        for (auto &st : states) {
+            laneScratch_.insert(laneScratch_.end(), st.laneLog.begin(),
+                                st.laneLog.end());
+            st.laneLog.clear();
+        }
+        std::sort(laneScratch_.begin(), laneScratch_.end(),
+                  [](const LaneEvent &a, const LaneEvent &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.lane != b.lane)
+                          return a.lane < b.lane;
+                      if (a.delivered != b.delivered)
+                          return a.delivered;
+                      return a.seq < b.seq;
+                  });
+        for (const LaneEvent &e : laneScratch_)
+            fn(e);
+    }
+
+    /**
+     * Visit every directional lane as (name, lane id), in the
+     * deterministic link-key order — the sharded counterpart of
+     * forEachLane for monitor lane registration, where lane ids are
+     * how drainLaneActivity identifies lanes.
+     */
+    void
+    forEachLaneId(
+        const std::function<void(const std::string &, std::uint64_t)>
+            &fn)
+    {
+        ensureBuilt();
+        for (auto &[key, link] : links) {
+            fn(link->loToHi.name(), link->laneLoHi.id);
+            fn(link->hiToLo.name(), link->laneHiLo.id);
+        }
+    }
+
+    /**
      * Switch the fabric into sharded-parallel mode: islands are
      * partitioned across the engine's shard simulators per
      * @p shardOfNode (indexed by island id), and every wire hop is
@@ -286,9 +369,10 @@ class CoordFabric : public CoordTransport
      *
      *  - the engine's lookahead must not exceed hopLatency (a hop is
      *    the minimum cross-shard interaction latency);
-     *  - trace recording and mailbox lane monitoring are
-     *    unsupported (no Mailboxes are exercised, and the recorder
-     *    is not thread-safe);
+     *  - tracing uses per-shard window recorders (setShardTrace), not
+     *    setTrace: a single recorder would race across workers. Lane
+     *    monitoring runs off drainLaneActivity at barriers, not
+     *    Mailbox observers (no Mailboxes are exercised);
      *  - send(msg) must execute on the shard owning msg.src, which
      *    falls out naturally when workload events are scheduled on
      *    the source island's shard simulator;
@@ -308,7 +392,8 @@ class CoordFabric : public CoordTransport
         // One hop is the minimum cross-shard latency; a larger
         // lookahead would let a shard run past an incoming message.
         assert(engine.lookahead() <= cfg.hopLatency);
-        assert(rec_ == nullptr && "trace unsupported in sharded mode");
+        assert(rec_ == nullptr
+               && "sharded mode traces via setShardTrace, not setTrace");
         for (int i = 0; i < engine.shardCount(); ++i) {
             engine.setSink(i, [this](const corm::sim::ShardMessage &m) {
                 onLaneDeliver(m);
@@ -321,20 +406,33 @@ class CoordFabric : public CoordTransport
 
     /**
      * Sharded mode: deliver queued abandon notifications to the
-     * abandon observer, in shard-index order (within a shard, in
-     * source program order). Runs on the coordinator thread at a
-     * window barrier; observers must be commutative across shards,
-     * which the convergence-intent adjustment is (a sum).
+     * abandon observer in canonical (when, lane, program-order)
+     * order — the same placement-independent sort the boundary drain
+     * uses, so observer-visible side effects (monitor abandon
+     * events, for one) are identical for any shard count. Runs on
+     * the coordinator thread at a window barrier.
      */
     void
     drainAbandoned()
     {
+        abandonScratch_.clear();
         for (auto &st : states) {
-            for (const CoordMessage &m : st.abandonedQueue) {
-                if (onAbandon)
-                    onAbandon(m);
-            }
+            abandonScratch_.insert(abandonScratch_.end(),
+                                   st.abandonedQueue.begin(),
+                                   st.abandonedQueue.end());
             st.abandonedQueue.clear();
+        }
+        std::sort(abandonScratch_.begin(), abandonScratch_.end(),
+                  [](const AbandonRecord &a, const AbandonRecord &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.lane != b.lane)
+                          return a.lane < b.lane;
+                      return a.seq < b.seq;
+                  });
+        for (const AbandonRecord &r : abandonScratch_) {
+            if (onAbandon)
+                onAbandon(r.msg);
         }
     }
 
@@ -547,6 +645,15 @@ class CoordFabric : public CoordTransport
      * owns, tags only need to be unique within a shard, and the
      * stats counters are folded at harvest (see stats()).
      */
+    /** One queued abandon with its canonical-ordering key. */
+    struct AbandonRecord
+    {
+        CoordMessage msg;
+        corm::sim::Tick when = 0; ///< abandon tick on the owner shard
+        std::uint64_t lane = 0;   ///< lane the flight died on
+        std::uint64_t seq = 0;    ///< per-shard-state program order
+    };
+
     struct ShardState
     {
         std::map<std::uint64_t, Flight> flights;
@@ -554,8 +661,17 @@ class CoordFabric : public CoordTransport
         std::uint64_t nextTag = 0;
         std::size_t aggHighWater = 0;
         /** Abandons awaiting drainAbandoned() (sharded mode only). */
-        std::vector<CoordMessage> abandonedQueue;
+        std::vector<AbandonRecord> abandonedQueue;
+        std::uint64_t abandonSeq = 0;
         FabricStats stats;
+        /** Window-local trace recorder (sharded capture only). */
+        corm::obs::TraceRecorder *rec = nullptr;
+        /** Lazy track ids on this shard's window recorder. */
+        std::map<std::uint64_t, int> laneTracks;
+        std::map<IslandId, int> nodeTracks;
+        /** Window-local lane activity log (see drainLaneActivity). */
+        std::vector<LaneEvent> laneLog;
+        std::uint64_t laneLogSeq = 0;
     };
 
     static FabricParams
@@ -801,12 +917,13 @@ class CoordFabric : public CoordTransport
             b.earliestOrigin = origin;
             const std::size_t depth = ++aggDepth[node];
             sst.aggHighWater = std::max(sst.aggHighWater, depth);
-            if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0) {
-                rec_->instant(nodeTrack(node), sim.now(), "agg:open",
-                              "coord",
-                              {{"entity",
-                                static_cast<std::uint64_t>(msg.entity)},
-                               {"dst", static_cast<int>(msg.dst)}});
+            corm::obs::TraceRecorder *const r = recFor(sst);
+            if (CORM_TRACE_ACTIVE(r) && msg.trace != 0) {
+                r->instant(nodeTrackOn(sst, node), simFor(node).now(),
+                           "agg:open", "coord",
+                           {{"entity",
+                             static_cast<std::uint64_t>(msg.entity)},
+                            {"dst", static_cast<int>(msg.dst)}});
             }
             simFor(node).schedule(cfg.aggWindow,
                                   [this, key] { flushBucket(key); });
@@ -817,16 +934,17 @@ class CoordFabric : public CoordTransport
         b.proto.value += msg.value;
         b.proto.coalesced += msg.coalesced;
         b.earliestOrigin = std::min(b.earliestOrigin, origin);
-        if (CORM_TRACE_ACTIVE(rec_) && msg.trace != 0
+        corm::obs::TraceRecorder *const r = recFor(sst);
+        if (CORM_TRACE_ACTIVE(r) && msg.trace != 0
             && msg.trace != b.proto.trace) {
             // The folded contributor's span ends here; the batch
             // carries the first contributor's span onward.
-            rec_->instant(nodeTrack(node), sim.now(), "agg:fold",
-                          "coord",
-                          {{"entity",
-                            static_cast<std::uint64_t>(msg.entity)}});
-            rec_->flowEnd(nodeTrack(node), sim.now(), msg.trace,
-                          "coord.span", "coord");
+            r->instant(nodeTrackOn(sst, node), simFor(node).now(),
+                       "agg:fold", "coord",
+                       {{"entity",
+                         static_cast<std::uint64_t>(msg.entity)}});
+            r->flowEnd(nodeTrackOn(sst, node), simFor(node).now(),
+                       msg.trace, "coord.span", "coord");
         }
     }
 
@@ -845,9 +963,11 @@ class CoordFabric : public CoordTransport
         if (aggDepth[b.node] > 0)
             --aggDepth[b.node];
         sst.stats.aggBatches.add();
-        if (CORM_TRACE_ACTIVE(rec_) && b.proto.trace != 0) {
-            rec_->instant(
-                nodeTrack(b.node), sim.now(), "agg:flush", "coord",
+        corm::obs::TraceRecorder *const r = recFor(sst);
+        if (CORM_TRACE_ACTIVE(r) && b.proto.trace != 0) {
+            r->instant(
+                nodeTrackOn(sst, b.node), simFor(b.node).now(),
+                "agg:flush", "coord",
                 {{"coalesced",
                   static_cast<std::uint64_t>(b.proto.coalesced)},
                  {"entity",
@@ -933,11 +1053,19 @@ class CoordFabric : public CoordTransport
         Flight &f = it->second;
         Lane &lane = link.laneFrom(f.from);
         corm::sim::Simulator &s = simFor(f.from);
+        // Mirror Mailbox's Activity::sent: logged before the fault
+        // roll, so the stall watchdog sees attempts the weather ate.
+        if (laneActivity_)
+            st.laneLog.push_back(
+                {s.now(), lane.id, ++st.laneLogSeq, false});
         corm::interconnect::FaultAction act;
         if (lane.faults)
             act = lane.faults->apply(s.now());
         if (act.drop) {
-            shardDrop(st, it);
+            if (CORM_TRACE_ACTIVE(st.rec))
+                st.rec->instant(laneTrackOn(st, lane), s.now(),
+                                "hop:drop", "coord");
+            shardDrop(st, it, lane.id);
             return;
         }
         // Mirror Mailbox::send: base latency plus weather delay,
@@ -947,6 +1075,23 @@ class CoordFabric : public CoordTransport
         if (!act.reorder) {
             when = std::max(when, lane.lastDelivery);
             lane.lastDelivery = when;
+        }
+        if (CORM_TRACE_ACTIVE(st.rec)) {
+            // Legacy emits the hop slice at delivery time; here the
+            // sender already knows the delivery tick, and emitting
+            // at transmit keeps the slice on the sender's shard
+            // (single-writer tracks). Same ts/dur either way. The
+            // flow step on the lane track is the stitch between the
+            // sender-side span and the receiver-side continuation.
+            st.rec->complete(
+                laneTrackOn(st, lane), s.now(), when - s.now(),
+                std::string("hop:") + msgTypeName(f.msg.type), "coord",
+                {{"entity", static_cast<std::uint64_t>(f.msg.entity)},
+                 {"seq", static_cast<int>(f.msg.seq)},
+                 {"hop", f.hopsSoFar + 1}});
+            if (f.msg.trace != 0)
+                st.rec->flowStep(laneTrackOn(st, lane), s.now(),
+                                 f.msg.trace, "coord.span", "coord");
         }
         corm::sim::ShardMessage e;
         e.when = when;
@@ -976,12 +1121,13 @@ class CoordFabric : public CoordTransport
     /** Weather ate a sharded wire attempt: back off or abandon. */
     void
     shardDrop(ShardState &st,
-              std::map<std::uint64_t, Flight>::iterator it)
+              std::map<std::uint64_t, Flight>::iterator it,
+              std::uint64_t laneId)
     {
         Flight &f = it->second;
         st.stats.linkDrops.add();
         if (f.attempts > cfg.replayAttempts) {
-            shardAbandon(st, it);
+            shardAbandon(st, it, laneId);
             return;
         }
         const corm::sim::Tick wait = f.timeout;
@@ -1005,7 +1151,7 @@ class CoordFabric : public CoordTransport
         Flight &f = it->second;
         auto lk = links.find(linkKey(f.from, f.to));
         if (lk == links.end()) {
-            shardAbandon(st, it);
+            shardAbandon(st, it, 0);
             return;
         }
         ++f.attempts;
@@ -1015,6 +1161,13 @@ class CoordFabric : public CoordTransport
         if (f.msg.type == MsgType::tune)
             st.stats.wireTunes.add();
         ++wireFrom[f.from];
+        if (CORM_TRACE_ACTIVE(st.rec)) {
+            Lane &lane = lk->second->laneFrom(f.from);
+            st.rec->instant(laneTrackOn(st, lane), simFor(from).now(),
+                            std::string("replay:")
+                                + msgTypeName(f.msg.type),
+                            "coord", {{"attempt", f.attempts}});
+        }
         shardTransmit(st, *lk->second, tag);
     }
 
@@ -1022,16 +1175,32 @@ class CoordFabric : public CoordTransport
      * Replay budget exhausted on a sharded flight. The notification
      * is queued, not delivered: abandon observers mutate scenario
      * state and must only run on the coordinator (drainAbandoned).
+     * @p laneId 0 means "derive from the flight's endpoints" (real
+     * lane ids are never 0: linkKey is at least 1).
      */
     void
     shardAbandon(ShardState &st,
-                 std::map<std::uint64_t, Flight>::iterator it)
+                 std::map<std::uint64_t, Flight>::iterator it,
+                 std::uint64_t laneId)
     {
         const CoordMessage msg = it->second.msg;
+        const IslandId from = it->second.from, to = it->second.to;
         st.flights.erase(it);
         st.stats.abandoned.add();
+        if (laneId == 0)
+            laneId = laneIdOf(from, to);
+        const corm::sim::Tick when = simFor(from).now();
+        if (CORM_TRACE_ACTIVE(st.rec)) {
+            // Deliberately no flowEnd, same as abandonFlight: an
+            // abandoned message's span dangles.
+            st.rec->instant(
+                laneTrackOn(st, laneId, from, to), when, "abandon",
+                "coord",
+                {{"entity", static_cast<std::uint64_t>(msg.entity)}});
+        }
         if (onAbandon)
-            st.abandonedQueue.push_back(msg);
+            st.abandonedQueue.push_back(
+                {msg, when, laneId, ++st.abandonSeq});
     }
 
     /**
@@ -1044,8 +1213,22 @@ class CoordFabric : public CoordTransport
     {
         const IslandId node = e.node;
         ShardState &st = stateFor(node);
+        // Mirror Mailbox's Activity::delivered: every arriving copy
+        // counts, duplicates included.
+        if (laneActivity_)
+            st.laneLog.push_back({simFor(node).now(), e.lane,
+                                  ++st.laneLogSeq, true});
         if (e.flags & corm::sim::ShardMessage::flagDuplicate) {
             st.stats.duplicates.add();
+            if (CORM_TRACE_ACTIVE(st.rec)) {
+                const CoordMessage m =
+                    CoordMessage::decode(e.w0, e.w1, e.w2);
+                st.rec->instant(nodeTrackOn(st, node),
+                                simFor(node).now(),
+                                std::string("hop:dup:")
+                                    + msgTypeName(m.type),
+                                "coord");
+            }
             return;
         }
         ++wireInto[node];
@@ -1055,8 +1238,23 @@ class CoordFabric : public CoordTransport
         const int hops = e.hops + 1;
         if (node != msg.dst) {
             st.stats.hubRelays.add();
+            if (CORM_TRACE_ACTIVE(st.rec) && msg.trace != 0)
+                st.rec->flowStep(nodeTrackOn(st, node),
+                                 simFor(node).now(), msg.trace,
+                                 "coord.span", "coord");
             forwardFrom(node, msg, e.origin, hops);
             return;
+        }
+        if (CORM_TRACE_ACTIVE(st.rec) && msg.trace != 0) {
+            // Final hop of the span (see onWireDeliver).
+            if (msg.type == MsgType::ack || msg.seq == 0)
+                st.rec->flowEnd(nodeTrackOn(st, node),
+                                simFor(node).now(), msg.trace,
+                                "coord.span", "coord");
+            else
+                st.rec->flowStep(nodeTrackOn(st, node),
+                                 simFor(node).now(), msg.trace,
+                                 "coord.span", "coord");
         }
         finalDeliver(msg, e.origin, hops);
     }
@@ -1223,7 +1421,8 @@ class CoordFabric : public CoordTransport
             sendAckFor(dst, msg);
             return;
         }
-        corm::obs::TraceScope span(rec_, msg.trace, msg.seq == 0);
+        corm::obs::TraceScope span(recFor(sst), msg.trace,
+                                   msg.seq == 0);
         switch (msg.type) {
           case MsgType::tune:
             sst.stats.appliedTunes.add(msg.coalesced);
@@ -1325,6 +1524,66 @@ class CoordFabric : public CoordTransport
         return trk;
     }
 
+    /**
+     * The recorder instrumentation on @p st's shard writes to:
+     * the legacy recorder when one is attached (legacy mode), else
+     * the shard's window recorder (sharded capture), else null.
+     */
+    corm::obs::TraceRecorder *
+    recFor(ShardState &st) const
+    {
+        return rec_ ? rec_ : st.rec;
+    }
+
+    /** nodeTrack on whichever recorder recFor resolves to. */
+    int
+    nodeTrackOn(ShardState &st, IslandId node)
+    {
+        if (!sharded())
+            return nodeTrack(node);
+        auto it = st.nodeTracks.find(node);
+        if (it != st.nodeTracks.end())
+            return it->second;
+        const int trk = st.rec->track(
+            "fabric", cfg.name + "@" + std::to_string(node));
+        st.nodeTracks[node] = trk;
+        return trk;
+    }
+
+    /**
+     * Directional lane track on @p st's window recorder (sharded
+     * capture only). Directional — unlike the legacy combined
+     * "lo-hi" link track — so each lane track is written only by
+     * its sender shard.
+     */
+    int
+    laneTrackOn(ShardState &st, std::uint64_t laneId, IslandId from,
+                IslandId to)
+    {
+        auto it = st.laneTracks.find(laneId);
+        if (it != st.laneTracks.end())
+            return it->second;
+        const int trk = st.rec->track(
+            "fabric", cfg.name + "." + std::to_string(from) + "-"
+                          + std::to_string(to));
+        st.laneTracks[laneId] = trk;
+        return trk;
+    }
+
+    int
+    laneTrackOn(ShardState &st, const Lane &lane)
+    {
+        return laneTrackOn(st, lane.id, lane.from, lane.to);
+    }
+
+    /** Directional lane id from the endpoint pair (see makeLink). */
+    static std::uint64_t
+    laneIdOf(IslandId from, IslandId to)
+    {
+        return (static_cast<std::uint64_t>(linkKey(from, to)) << 1)
+            | (from < to ? 0u : 1u);
+    }
+
     struct SeenWindow
     {
         std::array<std::uint64_t, 64> keys{};
@@ -1407,6 +1666,9 @@ class CoordFabric : public CoordTransport
     corm::obs::TraceRecorder *rec_ = nullptr;
     std::map<std::uint32_t, int> linkTracks;
     std::map<IslandId, int> nodeTracks;
+    bool laneActivity_ = false;
+    std::vector<LaneEvent> laneScratch_;     ///< drain scratch
+    std::vector<AbandonRecord> abandonScratch_;
     corm::sim::Logger logger{"coord.fabric"};
 };
 

@@ -288,18 +288,30 @@ HealthMonitor::lane(const std::string &name)
 void
 HealthMonitor::laneSent(int id)
 {
+    laneSentAt(id, sim.now());
+}
+
+void
+HealthMonitor::laneSentAt(int id, corm::sim::Tick when)
+{
     Lane &l = lanes_[static_cast<std::size_t>(id)];
     ++l.sends;
     if (l.oldestUnanswered == 0)
-        l.oldestUnanswered = sim.now();
+        l.oldestUnanswered = when;
 }
 
 void
 HealthMonitor::laneDelivered(int id)
 {
+    laneDeliveredAt(id, sim.now());
+}
+
+void
+HealthMonitor::laneDeliveredAt(int id, corm::sim::Tick when)
+{
     Lane &l = lanes_[static_cast<std::size_t>(id)];
     ++l.deliveries;
-    const corm::sim::Tick now = sim.now();
+    const corm::sim::Tick now = when;
     if (l.stalled) {
         // Ongoing stall (found by tick()) just healed.
         l.stalled = false;
@@ -334,18 +346,25 @@ HealthMonitor::laneDelivered(int id)
 void
 HealthMonitor::noteAbandon(const std::string &who)
 {
+    noteAbandonAt(who, sim.now());
+}
+
+void
+HealthMonitor::noteAbandonAt(const std::string &who,
+                             corm::sim::Tick when)
+{
     HealthEvent ev;
     ev.kind = HealthEvent::Kind::abandon;
-    ev.when = sim.now();
+    ev.when = when;
     ev.subject = who;
     emit(std::move(ev));
 }
 
 bool
-HealthMonitor::evaluate(RuleState &rs, double &observed)
+HealthMonitor::evaluate(RuleState &rs, corm::sim::Tick now,
+                        double &observed)
 {
     const SloRule &r = rs.rule;
-    const corm::sim::Tick now = sim.now();
     const Histogram *hist = reg.findHistogram(r.metric);
     const SeriesRing *ring = sampler_.series(r.metric);
 
@@ -392,13 +411,18 @@ HealthMonitor::evaluate(RuleState &rs, double &observed)
 void
 HealthMonitor::tick()
 {
-    const corm::sim::Tick now = sim.now();
+    poll(sim.now());
+}
+
+void
+HealthMonitor::poll(corm::sim::Tick now)
+{
     sampler_.sample(now);
 
     for (RuleState &rs : ruleStates_) {
         ++evaluations_;
         double observed = 0.0;
-        const bool ok = evaluate(rs, observed);
+        const bool ok = evaluate(rs, now, observed);
         if (!ok && !rs.breached) {
             rs.breached = true;
             HealthEvent ev;

@@ -171,6 +171,16 @@ class HealthMonitor
     /** Disarm the periodic sampler. */
     void stop();
 
+    /**
+     * One sample + rule-evaluation + stall-scan pass at @p now.
+     * start() drives this from a periodic simulator event; sharded
+     * runs call it directly from the engine's barrier probe instead
+     * (all workers parked, window end as the evaluation time), since
+     * a ticker event inside one shard would perturb that shard's
+     * window planning and break cross-shard-count digest identity.
+     */
+    void poll(corm::sim::Tick now);
+
     // Liveness lanes -----------------------------------------------
 
     /** Register (or fetch) the heartbeat lane named @p name. */
@@ -182,8 +192,20 @@ class HealthMonitor
     /** A message left lane @p id at the receiver. */
     void laneDelivered(int id);
 
+    /**
+     * Explicit-time variants for barrier-time replay: sharded runs
+     * log lane activity shard-locally during a window and feed it to
+     * the monitor at the barrier, in canonical order, stamped with
+     * the tick it actually happened at.
+     */
+    void laneSentAt(int id, corm::sim::Tick when);
+    void laneDeliveredAt(int id, corm::sim::Tick when);
+
     /** The reliable layer gave up on a message. */
     void noteAbandon(const std::string &who);
+
+    /** Explicit-time variant of noteAbandon (see laneSentAt). */
+    void noteAbandonAt(const std::string &who, corm::sim::Tick when);
 
     // Outputs --------------------------------------------------------
 
@@ -254,7 +276,8 @@ class HealthMonitor
     };
 
     void tick();
-    bool evaluate(RuleState &rs, double &observed);
+    bool evaluate(RuleState &rs, corm::sim::Tick now,
+                  double &observed);
     void emit(HealthEvent ev);
     int monitorTrack();
 

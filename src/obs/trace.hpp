@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <ostream>
 #include <set>
 #include <string>
@@ -99,6 +100,18 @@ struct TraceEvent
     std::string name;
     std::string category;
     std::vector<TraceArg> args;
+
+    /**
+     * Merge key, filled only when a merge clock is installed (see
+     * TraceRecorder::setMergeClock): the emitting shard's simulated
+     * time at emission plus a per-recorder monotone sequence. The
+     * barrier-time merge sorts window buffers by
+     * (emitTick, track name, emitSeq) — a placement-independent
+     * total order, because every track is written by exactly one
+     * shard (DESIGN.md §11).
+     */
+    corm::sim::Tick emitTick = 0;
+    std::uint64_t emitSeq = 0;
 };
 
 /**
@@ -190,6 +203,52 @@ class TraceRecorder
 
     /** Allocate a fresh causal span id (never 0). */
     TraceId newFlow() { return ++lastFlow; }
+
+    /** Process name of a registered track. */
+    const std::string &trackProcess(int trk) const
+    {
+        return tracks[static_cast<std::size_t>(trk)].process;
+    }
+
+    /** Thread name of a registered track. */
+    const std::string &trackThread(int trk) const
+    {
+        return tracks[static_cast<std::size_t>(trk)].thread;
+    }
+
+    /**
+     * Install the shard-local merge clock: every subsequent event is
+     * stamped with (clock(), monotone seq) — see TraceEvent's merge
+     * key. Window-local recorders under the sharded engine install
+     * the owning shard simulator's now(); standalone recorders leave
+     * it unset and pay nothing.
+     */
+    void setMergeClock(std::function<corm::sim::Tick()> clock)
+    {
+        mergeClock_ = std::move(clock);
+    }
+
+    /**
+     * Re-emit @p e (recorded by a window-local recorder) into this
+     * recorder under the (process, thread) track names, re-applying
+     * the ends-exactly-once flow rule globally: window recorders can
+     * only dedup flow ends within their own window, so the merged
+     * recorder is the source of truth for which 'f' wins.
+     */
+    void absorb(const TraceEvent &e, const std::string &process,
+                const std::string &thread)
+    {
+        if (!enabled_)
+            return;
+        TraceEvent copy = e;
+        copy.track = track(process, thread);
+        copy.emitTick = 0;
+        copy.emitSeq = 0;
+        if (copy.phase == 'f'
+            && !endedFlows.insert(copy.flow).second)
+            copy.phase = 't';
+        push(std::move(copy));
+    }
 
     /** Flow context of the in-progress dispatch (id 0 = none). */
     const FlowContext &currentFlow() const { return flowCtx; }
@@ -360,6 +419,10 @@ class TraceRecorder
     void
     push(TraceEvent &&e)
     {
+        if (mergeClock_) {
+            e.emitTick = mergeClock_();
+            e.emitSeq = ++emitSeq_;
+        }
         events_.push_back(std::move(e));
         if (capacity_ != 0 && events_.size() >= capacity_ * 2) {
             dropped_ += events_.size() - capacity_;
@@ -405,6 +468,8 @@ class TraceRecorder
     TraceId lastFlow = 0;
     FlowContext flowCtx;
     int nextPid = 0;
+    std::function<corm::sim::Tick()> mergeClock_;
+    std::uint64_t emitSeq_ = 0;
 };
 
 /**

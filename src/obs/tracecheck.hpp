@@ -14,7 +14,11 @@
  * events; per-flow exactly one begin, at most one end, events in
  * non-decreasing timestamp order — and, when @p require_flow is set,
  * at least one complete begin → step → end chain (the causal
- * coordination span the tracing tentpole exists to show).
+ * coordination span the tracing tentpole exists to show). Optional
+ * extras (TraceCheckParams): an exact declared-track count, and the
+ * cross-shard stitching rule — a flow ending on a different track
+ * than it began must carry a step tying the two together, the
+ * invariant the sharded barrier-time trace merge must preserve.
  */
 
 #pragma once
@@ -36,14 +40,41 @@ struct TraceCheckResult
 {
     std::size_t events = 0;        ///< entries in traceEvents
     std::size_t timed = 0;         ///< non-metadata events
+    std::size_t tracks = 0;        ///< thread_name metadata tracks
     std::size_t flows = 0;         ///< distinct flow ids
     std::size_t complete = 0;      ///< flows with begin and end
     std::size_t multiHop = 0;      ///< complete flows with >= 1 step
     std::size_t maxSteps = 0;      ///< most steps in any complete flow
     std::size_t dangling = 0;      ///< begun flows that never ended
+    /** Complete flows ending on a different track than they began —
+     *  the cross-shard spans the sharded capture merge stitches. */
+    std::size_t crossTrack = 0;
     std::vector<std::string> violations;
 
     bool ok() const { return violations.empty(); }
+};
+
+/** Knobs of one trace validation (all checks off by default). */
+struct TraceCheckParams
+{
+    /** Demand one complete begin -> step -> end causal chain. */
+    bool require_flow = false;
+    /** With require_flow: deepest complete chain must have >= this
+     *  many steps (the multi-hop relay check). */
+    std::size_t min_steps = 1;
+    /** Nonzero: the trace must declare exactly this many tracks
+     *  (thread_name metadata entries). */
+    std::size_t expect_tracks = 0;
+    /**
+     * Cross-shard stitching check: every flow that begins ('s') on
+     * one track and ends ('f') on a different track must carry at
+     * least one step ('t') — the hop that ties the sender-side span
+     * to the receiver-side continuation. A merge that lost the lane
+     * flow-steps produces exactly this signature: teleporting spans.
+     * Also demands at least one such cross-track flow, so an empty
+     * or single-track trace cannot vacuously pass.
+     */
+    bool require_stitched = false;
 };
 
 /**
@@ -56,8 +87,7 @@ struct TraceCheckResult
  * the two-island channel's begin -> step -> end.
  */
 inline TraceCheckResult
-checkTrace(const JsonValue &doc, bool require_flow,
-           std::size_t min_steps = 1)
+checkTrace(const JsonValue &doc, const TraceCheckParams &params)
 {
     TraceCheckResult r;
     auto violation = [&r](const std::string &what) {
@@ -85,6 +115,10 @@ checkTrace(const JsonValue &doc, bool require_flow,
         int ends = 0;
         double lastTs = 0.0;
         bool ordered = true; ///< events appeared in non-decreasing ts
+        // Track identity of the begin and end legs, for the
+        // cross-shard stitching check.
+        double beginPid = 0.0, beginTid = 0.0;
+        double endPid = 0.0, endTid = 0.0;
     };
     std::map<double, FlowChain> chains;
 
@@ -108,8 +142,12 @@ checkTrace(const JsonValue &doc, bool require_flow,
         if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
             eventViolation("missing pid/tid", i);
 
-        if (p == 'M') // metadata carries no timestamp
+        if (p == 'M') { // metadata carries no timestamp
+            if (name && name->isString()
+                && name->str == "thread_name")
+                ++r.tracks;
             continue;
+        }
         ++r.timed;
         const JsonValue *ts = e.get("ts");
         if (!ts || !ts->isNumber()) {
@@ -131,12 +169,21 @@ checkTrace(const JsonValue &doc, bool require_flow,
             if (!first && ts->num < c.lastTs)
                 c.ordered = false;
             c.lastTs = ts->num;
-            if (p == 's')
+            if (p == 's') {
                 ++c.begins;
-            else if (p == 't')
+                if (pid && pid->isNumber() && tid && tid->isNumber()) {
+                    c.beginPid = pid->num;
+                    c.beginTid = tid->num;
+                }
+            } else if (p == 't') {
                 ++c.steps;
-            else
+            } else {
                 ++c.ends;
+                if (pid && pid->isNumber() && tid && tid->isNumber()) {
+                    c.endPid = pid->num;
+                    c.endTid = tid->num;
+                }
+            }
         } else if (p != 'i' && p != 'C') {
             eventViolation("unknown phase", i);
         }
@@ -161,6 +208,15 @@ checkTrace(const JsonValue &doc, bool require_flow,
                 ++r.multiHop;
             r.maxSteps = std::max(
                 r.maxSteps, static_cast<std::size_t>(c.steps));
+            const bool moved = c.beginPid != c.endPid
+                || c.beginTid != c.endTid;
+            if (moved) {
+                ++r.crossTrack;
+                if (params.require_stitched && c.steps == 0)
+                    violation("flow " + std::string(idbuf)
+                              + " ends on a different track with no "
+                                "stitching step");
+            }
         } else if (c.begins >= 1 && c.ends == 0) {
             // Begun but never ended: not a violation (a message
             // abandoned at a hub legitimately leaves its span
@@ -169,21 +225,38 @@ checkTrace(const JsonValue &doc, bool require_flow,
         }
     }
 
-    if (require_flow && r.multiHop == 0)
+    if (params.require_flow && r.multiHop == 0)
         violation("no complete multi-hop flow "
                   "(begin -> step -> end) found");
-    if (require_flow && min_steps > 1 && r.maxSteps < min_steps)
+    if (params.require_flow && params.min_steps > 1
+        && r.maxSteps < params.min_steps)
         violation("deepest complete flow has "
                   + std::to_string(r.maxSteps) + " steps, need >= "
-                  + std::to_string(min_steps)
+                  + std::to_string(params.min_steps)
                   + " (multi-hop relay chain missing)");
+    if (params.expect_tracks != 0 && r.tracks != params.expect_tracks)
+        violation("expected " + std::to_string(params.expect_tracks)
+                  + " tracks, found " + std::to_string(r.tracks));
+    if (params.require_stitched && r.crossTrack == 0)
+        violation("no cross-track flow found "
+                  "(nothing to stitch)");
     return r;
+}
+
+/** Compatibility overload (require_flow / min_steps only). */
+inline TraceCheckResult
+checkTrace(const JsonValue &doc, bool require_flow,
+           std::size_t min_steps = 1)
+{
+    TraceCheckParams p;
+    p.require_flow = require_flow;
+    p.min_steps = min_steps;
+    return checkTrace(doc, p);
 }
 
 /** Parse @p text and validate; malformed JSON is a violation. */
 inline TraceCheckResult
-checkTraceText(std::string_view text, bool require_flow,
-               std::size_t min_steps = 1)
+checkTraceText(std::string_view text, const TraceCheckParams &params)
 {
     JsonValue doc;
     std::string err;
@@ -192,7 +265,18 @@ checkTraceText(std::string_view text, bool require_flow,
         r.violations.push_back("malformed JSON: " + err);
         return r;
     }
-    return checkTrace(doc, require_flow, min_steps);
+    return checkTrace(doc, params);
+}
+
+/** Compatibility overload (require_flow / min_steps only). */
+inline TraceCheckResult
+checkTraceText(std::string_view text, bool require_flow,
+               std::size_t min_steps = 1)
+{
+    TraceCheckParams p;
+    p.require_flow = require_flow;
+    p.min_steps = min_steps;
+    return checkTraceText(text, p);
 }
 
 } // namespace corm::obs

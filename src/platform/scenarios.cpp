@@ -13,6 +13,7 @@
 #include <set>
 
 #include "obs/monitor.hpp"
+#include "obs/shardcapture.hpp"
 #include "sim/sharded.hpp"
 
 namespace corm::platform {
@@ -525,11 +526,24 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         soloSim = std::make_unique<corm::sim::Simulator>();
     }
     corm::sim::Simulator &sim = engine ? engine->sim(0) : *soloSim;
-    // Trace recording and mailbox lane monitoring are legacy-only
-    // (see CoordFabric::enableSharding constraints).
-    corm::obs::TraceRecorder *const trace = engine ? nullptr : cfg.trace;
+    // Trace capture: legacy mode records straight into cfg.trace;
+    // sharded mode gives every shard a window-local recorder and
+    // merges them at barriers in canonical order, so the merged
+    // JSON is byte-identical for every shard count >= 1 and the
+    // digest matches a capture-off run (capture schedules nothing).
+    corm::obs::TraceRecorder *const trace = cfg.trace;
+    std::unique_ptr<corm::obs::ShardCapture> capture;
+    if (engine && trace)
+        capture = std::make_unique<corm::obs::ShardCapture>(
+            trace, K,
+            [eng = engine.get()](int k) { return eng->sim(k).now(); });
+    // The recorder everything running on shard 0 — the scenario's
+    // policy stand-in, the announcer, the trigger sender — writes to.
+    corm::obs::TraceRecorder *const rootRec =
+        capture ? capture->shardRecorder(0) : trace;
     coord::CoordFabric fabric(sim, fp);
-    fabric.setTrace(trace);
+    if (!engine)
+        fabric.setTrace(trace);
 
     std::vector<std::unique_ptr<ShardIsland>> islands;
     for (int i = 0; i < n; ++i) {
@@ -542,31 +556,109 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     ShardIsland &root = *islands.front();
 
     // Per-lane stall watchdogs: one heartbeat lane per mailbox
-    // direction, fed from the mailboxes' activity observers.
+    // direction. Legacy mode feeds the monitor live from the
+    // mailboxes' activity observers; sharded mode has no mailboxes,
+    // so the fabric logs lane activity shard-locally and the barrier
+    // probe replays it into the monitor in canonical order with
+    // explicit timestamps — watchdog state is then a pure function
+    // of the global event set, identical for every shard count.
     corm::obs::MetricRegistry registry;
     std::unique_ptr<corm::obs::HealthMonitor> monitor;
-    if (cfg.monitorLanes && !engine) {
+    corm::obs::HealthMonitor::Params monitorParams;
+    std::map<std::uint64_t, int> laneMon; // directional lane id -> monitor lane
+    if (cfg.monitorLanes) {
         monitor = std::make_unique<corm::obs::HealthMonitor>(
-            sim, registry);
-        fabric.forEachLane([&](const std::string &lane_name,
-                               corm::interconnect::Mailbox &mb) {
-            const int lane = monitor->lane(lane_name);
-            mb.setActivityObserver(
-                [mon = monitor.get(),
-                 lane](corm::interconnect::Mailbox::Activity a) {
-                    using A = corm::interconnect::Mailbox::Activity;
-                    if (a == A::sent)
-                        mon->laneSent(lane);
-                    else if (a == A::delivered)
-                        mon->laneDelivered(lane);
+            sim, registry, monitorParams);
+        monitor->setMirrorTrace(trace);
+        if (!engine) {
+            fabric.forEachLane([&](const std::string &lane_name,
+                                   corm::interconnect::Mailbox &mb) {
+                const int lane = monitor->lane(lane_name);
+                mb.setActivityObserver(
+                    [mon = monitor.get(),
+                     lane](corm::interconnect::Mailbox::Activity a) {
+                        using A = corm::interconnect::Mailbox::Activity;
+                        if (a == A::sent)
+                            mon->laneSent(lane);
+                        else if (a == A::delivered)
+                            mon->laneDelivered(lane);
+                    });
+            });
+            monitor->start();
+        } else {
+            fabric.forEachLaneId(
+                [&](const std::string &lane_name, std::uint64_t id) {
+                    laneMon[id] = monitor->lane(lane_name);
                 });
-        });
-        monitor->start();
+            fabric.setLaneActivityRecording(true);
+        }
     }
     if (cfg.wire)
         cfg.wire(fabric);
-    if (engine)
+    if (engine) {
         fabric.enableSharding(*engine, shardOf);
+        if (capture) {
+            std::vector<corm::obs::TraceRecorder *> recs;
+            for (int k = 0; k < K; ++k)
+                recs.push_back(capture->shardRecorder(k));
+            fabric.setShardTrace(recs);
+        }
+    }
+
+    // Self-observability: fabric counters plus, under sharding, the
+    // engine's per-window accounting as shard{k}-labelled metrics.
+    // Everything is read through callbacks at snapshot/sample time;
+    // nothing here schedules events, so capture cannot perturb the
+    // digest. Host-time costs (barrier waits) stay out of the
+    // registry — they are nondeterministic and would poison replay
+    // comparisons.
+    {
+        const coord::FabricStats &fs = fabric.stats();
+        const auto cnt = [&](const char *metric_name,
+                             const corm::sim::Counter &c) {
+            registry.counterFn(metric_name, {},
+                               [&c] { return c.value(); });
+        };
+        cnt("fabric.wire.messages", fs.wireMessages);
+        cnt("fabric.wire.tunes", fs.wireTunes);
+        cnt("fabric.tunes.applied", fs.appliedTunes);
+        cnt("fabric.agg.batches", fs.aggBatches);
+        cnt("fabric.agg.folded", fs.aggFolded);
+        cnt("fabric.link.drops", fs.linkDrops);
+        cnt("fabric.link.replays", fs.linkReplays);
+        cnt("fabric.abandoned", fs.abandoned);
+        cnt("fabric.duplicates", fs.duplicates);
+        if (engine) {
+            auto *eng = engine.get();
+            registry.counterFn("shard.windows", {}, [eng] {
+                return eng->stats().windows;
+            });
+            registry.counterFn("shard.boundary.messages", {}, [eng] {
+                return eng->stats().messages;
+            });
+            registry.counterFn("shard.boundary.batches", {}, [eng] {
+                return eng->stats().batches;
+            });
+            registry.gaugeFn("shard.boundary.depth_high_water", {},
+                             [eng] {
+                                 return static_cast<double>(
+                                     eng->stats().maxBoundaryDepth);
+                             });
+            for (int k = 0; k < K; ++k) {
+                const corm::obs::Labels lbl = {
+                    {"shard", std::to_string(k)}};
+                registry.counterFn("shard.posted", lbl, [eng, k] {
+                    return eng->postedBy(k);
+                });
+                registry.counterFn("shard.received", lbl, [eng, k] {
+                    return eng->receivedBy(k);
+                });
+                registry.counterFn("shard.events", lbl, [eng, k] {
+                    return eng->sim(k).executedEvents();
+                });
+            }
+        }
+    }
 
     // Event-scheduling seams: in sharded mode an island's events must
     // land on its own shard's simulator, and runs go through the
@@ -611,7 +703,7 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         ap.retryTimeout = 2 * msec;
         ap.maxAttempts = 6;
         coord::ReliableAnnouncer announcer(sim, fabric, ap);
-        announcer.setTrace(trace);
+        announcer.setTrace(rootRec);
         for (int i = 1; i < n; ++i) {
             for (int t = 0; t < cfg.tiers; ++t) {
                 coord::EntityBinding b;
@@ -641,8 +733,36 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     corm::sim::Rng rng(cfg.seed);
     coord::ReliableSender triggerSender(sim, fabric, rootId,
                                         cfg.reliable);
-    triggerSender.setTrace(trace);
+    triggerSender.setTrace(rootRec);
     std::uint64_t triggersSent = 0;
+
+    // Causal spans for root-originated messages, following the
+    // policy-layer idiom (decide instant + flow begin). Flows are
+    // allocated ONLY on shard 0 — the root's shard — so flow ids and
+    // their allocation order are placement-independent; the fabric
+    // and the reliable layer step/end any message whose trace id is
+    // set, stitching the flow across lane and island tracks (and so
+    // across shards). Shard-originated load reports stay unflowed.
+    const int policyTrk = CORM_TRACE_ACTIVE(rootRec)
+        ? rootRec->track("coord",
+                         "policy@" + std::to_string(
+                             static_cast<int>(rootId)))
+        : -1;
+    const auto beginSpan = [rootRec, policyTrk,
+                            &sim](coord::CoordMessage &m) {
+        if (policyTrk < 0 || !CORM_TRACE_ACTIVE(rootRec))
+            return;
+        m.trace = rootRec->newFlow();
+        const Tick now = sim.now();
+        rootRec->complete(
+            policyTrk, now, 0,
+            std::string("decide:") + coord::msgTypeName(m.type),
+            "coord",
+            {{"entity", static_cast<std::uint64_t>(m.entity)},
+             {"dst", static_cast<std::uint64_t>(m.dst)}});
+        rootRec->flowBegin(policyTrk, now, m.trace, "coord.span",
+                           "coord");
+    };
 
     // Pre-size the event queues for the up-front scheduled workload,
     // so heap growth never lands mid-run (Simulator::reserve).
@@ -688,8 +808,9 @@ runFabricScenario(const FabricScenarioConfig &cfg)
                     m.value = d;
                     intent[intentKey(shard, tier)] += d;
                     ++r.logicalTunes;
-                    sim.scheduleAt(at, [&fabric, m] {
+                    sim.scheduleAt(at, [&fabric, beginSpan, m] {
                         auto msg = m;
+                        beginSpan(msg);
                         fabric.send(msg);
                     });
                 }
@@ -728,8 +849,10 @@ runFabricScenario(const FabricScenarioConfig &cfg)
                     m.dst = shard;
                     m.entity = tier;
                     ++triggersSent;
-                    sim.scheduleAt(at, [&triggerSender, m] {
-                        triggerSender.send(m);
+                    sim.scheduleAt(at, [&triggerSender, beginSpan, m] {
+                        auto msg = m;
+                        beginSpan(msg);
+                        triggerSender.send(msg);
                     });
                 }
             }
@@ -780,8 +903,36 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         poll = std::make_unique<corm::sim::PeriodicEvent>(
             sim, pollPeriod, [] {});
         Tick nextPollAt = sim.now() + pollPeriod;
-        engine->setProbe([&, nextPollAt](Tick windowEnd) mutable {
+        Tick nextMonAt = sim.now() + monitorParams.samplePeriod;
+        // Barrier-time capture sequence (all workers parked):
+        //  1. merge the shards' window trace buffers (canonical
+        //     order), so everything below lands after window events;
+        //  2. drain abandons (observer feeds intent + monitor);
+        //  3. replay the window's lane activity into the watchdogs;
+        //  4. monitor sample/rule/stall pass at its own cadence;
+        //  5. the convergence check.
+        // Every step is a pure function of the global event set, so
+        // the whole sequence replays identically for any shard count.
+        engine->setProbe([&, nextPollAt, nextMonAt](
+                             Tick windowEnd) mutable {
+            if (capture)
+                capture->mergeWindow();
             fabric.drainAbandoned();
+            if (monitor) {
+                fabric.drainLaneActivity(
+                    [&](const coord::CoordFabric::LaneEvent &e) {
+                        const int lane = laneMon.at(e.lane);
+                        if (e.delivered)
+                            monitor->laneDeliveredAt(lane, e.when);
+                        else
+                            monitor->laneSentAt(lane, e.when);
+                    });
+                if (windowEnd >= nextMonAt) {
+                    monitor->poll(windowEnd);
+                    nextMonAt =
+                        windowEnd + monitorParams.samplePeriod;
+                }
+            }
             if (windowEnd >= nextPollAt) {
                 pollCheck(windowEnd);
                 nextPollAt = windowEnd + pollPeriod;
@@ -796,7 +947,21 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     poll->stop();
     if (engine) {
         engine->setProbe({});
-        fabric.drainAbandoned(); // abandons queued after the last window
+        // Final pass over anything queued after the last window.
+        if (capture)
+            capture->mergeWindow();
+        fabric.drainAbandoned();
+        if (monitor) {
+            fabric.drainLaneActivity(
+                [&](const coord::CoordFabric::LaneEvent &e) {
+                    const int lane = laneMon.at(e.lane);
+                    if (e.delivered)
+                        monitor->laneDeliveredAt(lane, e.when);
+                    else
+                        monitor->laneSentAt(lane, e.when);
+                });
+            monitor->poll(sim.now());
+        }
     }
 
     // Harvest.
@@ -851,6 +1016,12 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     r.aggOpenHighWater = fabric.aggPendingHighWater();
     r.maxIslandWireSends = fabric.maxWireSends();
     r.healthBreaches = monitor ? monitor->breaches() : 0;
+    if (monitor)
+        r.healthReport = monitor->healthReport();
+    if (cfg.captureMetrics)
+        r.metricsJson = registry.jsonSnapshot();
+    if (trace)
+        r.traceEvents = trace->events().size();
 
     r.converged = haveConverged;
     r.convergenceMs = haveConverged
@@ -889,6 +1060,7 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         r.boundaryMessages = es.messages;
         r.boundaryBatches = es.batches;
         r.boundaryDepthHighWater = es.maxBoundaryDepth;
+        r.barrierWaitNs = es.barrierWaitNs;
     } else {
         r.eventsExecuted = sim.executedEvents();
     }

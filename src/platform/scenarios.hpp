@@ -292,8 +292,12 @@ struct FabricScenarioConfig
      * (clamped to the island count); every wire hop then crosses a
      * window barrier, so results are digest-identical for ANY shard
      * count >= 1 (but intentionally distinct from the legacy loop,
-     * whose same-tick interleavings differ). Sharded runs ignore
-     * monitorLanes and require trace == nullptr.
+     * whose same-tick interleavings differ). Capture rides along:
+     * trace and monitorLanes work under sharding via window-local
+     * per-shard recorders and lane logs merged at barriers
+     * (obs/shardcapture.hpp), with the merged trace byte-identical
+     * for every shard count >= 1 and the digest identical to a
+     * capture-off run.
      */
     int shards = 0;
 
@@ -339,11 +343,26 @@ struct FabricScenarioConfig
     /** Reliable-delivery knobs of the Trigger path. */
     coord::ReliableSender::Params reliable;
 
-    /** Register per-lane stall watchdogs with a health monitor. */
+    /**
+     * Register per-lane stall watchdogs with a health monitor. Legacy
+     * runs feed it live from Mailbox activity observers; sharded runs
+     * replay the fabric's shard-local lane logs into it at barriers.
+     */
     bool monitorLanes = true;
 
-    /** Optional trace recorder (multi-hop coordination spans). */
+    /**
+     * Optional trace recorder (multi-hop coordination spans). Works
+     * in both legacy and sharded mode; sharded capture never touches
+     * the digest, and the merged JSON is shard-count independent.
+     */
     corm::obs::TraceRecorder *trace = nullptr;
+
+    /**
+     * Fill FabricScenarioResult::metricsJson with a registry snapshot
+     * (fabric counters plus, under sharding, the engine's per-shard
+     * self-metrics) taken after the run.
+     */
+    bool captureMetrics = false;
 
     /** Invoked after islands attach, before the workload starts. */
     std::function<void(coord::CoordFabric &)> wire;
@@ -410,6 +429,12 @@ struct FabricScenarioResult
     bool triggersAccounted = false; ///< acked+abandoned == sent
 
     std::uint64_t healthBreaches = 0; ///< lane stalls + abandons seen
+    /** Monitor event log + summary (empty without monitorLanes). */
+    std::string healthReport;
+    /** Registry snapshot (empty unless cfg.captureMetrics). */
+    std::string metricsJson;
+    /** Events in the trace recorder after the run (0 untraced). */
+    std::uint64_t traceEvents = 0;
     double meanDeliveryUs = 0.0;
     double meanHops = 0.0;
 
@@ -425,6 +450,12 @@ struct FabricScenarioResult
     std::uint64_t boundaryMessages = 0;
     std::uint64_t boundaryBatches = 0;
     std::size_t boundaryDepthHighWater = 0;
+    /**
+     * Host nanoseconds the coordinator spent parked at barriers.
+     * Wall-clock, nondeterministic — keep it out of digests, replay
+     * comparisons and bench baselines.
+     */
+    std::uint64_t barrierWaitNs = 0;
 };
 
 /** Run one scale-out fabric experiment end to end. */

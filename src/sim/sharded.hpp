@@ -47,6 +47,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -109,6 +110,13 @@ struct ShardEngineStats
     std::uint64_t messages = 0; ///< boundary messages carried
     std::uint64_t batches = 0;  ///< injection batch events scheduled
     std::size_t maxBoundaryDepth = 0; ///< deepest (src,dst) queue
+    /**
+     * Host nanoseconds the coordinator spent parked at barriers
+     * waiting for the slowest worker — the load-imbalance signal
+     * behind the shard_scale speedup numbers. Host time, hence
+     * nondeterministic: report it, never digest or baseline it.
+     */
+    std::uint64_t barrierWaitNs = 0;
 };
 
 /**
@@ -156,6 +164,8 @@ class ShardedEngine
                 seed, static_cast<std::uint64_t>(i)));
         }
         sinks_.resize(static_cast<std::size_t>(nShards_));
+        postedBy_.assign(static_cast<std::size_t>(nShards_), 0);
+        receivedBy_.assign(static_cast<std::size_t>(nShards_), 0);
         outbox_.resize(static_cast<std::size_t>(nShards_));
         for (auto &row : outbox_)
             row.resize(static_cast<std::size_t>(nShards_));
@@ -235,6 +245,9 @@ class ShardedEngine
         outbox_[static_cast<std::size_t>(src)]
                [static_cast<std::size_t>(dst)]
                    .push_back(m);
+        // Single-writer like the outbox row itself; read only at
+        // barriers under the generation barrier's happens-before.
+        ++postedBy_[static_cast<std::size_t>(src)];
     }
 
     /** Pre-size every shard simulator (Simulator::reserve). */
@@ -303,6 +316,25 @@ class ShardedEngine
     /** Engine-level counters. */
     const ShardEngineStats &stats() const { return stats_; }
 
+    // Per-shard self-observability. Deterministic for a fixed shard
+    // count (they describe the partition, so they differ across
+    // shard counts — report them per `shard{k}`, never digest them
+    // across K). Read at barriers or between runs only.
+
+    /** Boundary messages posted by @p shard so far. */
+    std::uint64_t
+    postedBy(int shard) const
+    {
+        return postedBy_[static_cast<std::size_t>(shard)];
+    }
+
+    /** Boundary messages injected into @p shard so far. */
+    std::uint64_t
+    receivedBy(int shard) const
+    {
+        return receivedBy_[static_cast<std::size_t>(shard)];
+    }
+
   private:
     /** Canonical boundary order: (when, lane, seq). */
     static bool
@@ -355,8 +387,13 @@ class ShardedEngine
         }
         cvWork_.notify_all();
         sims_[0]->runUntil(wEnd); // shard 0 rides the caller's thread
+        const auto parkedAt = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lk(m_);
         cvDone_.wait(lk, [&] { return running_ == 0; });
+        stats_.barrierWaitNs += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - parkedAt)
+                .count());
     }
 
     /**
@@ -393,6 +430,7 @@ class ShardedEngine
             arena.insert(arena.end(), scratch_.begin(),
                          scratch_.end());
             stats_.messages += scratch_.size();
+            receivedBy_[dd] += scratch_.size();
             std::size_t i = 0;
             while (i < scratch_.size()) {
                 std::size_t j = i + 1;
@@ -438,6 +476,10 @@ class ShardedEngine
     /** Arena entries already delivered (written by the owner shard). */
     std::vector<std::size_t> consumed_;
     std::vector<ShardMessage> scratch_; ///< coordinator sort buffer
+    /** postedBy_[src]: written by src's thread (like its outbox row);
+     *  receivedBy_[dst]: written by the coordinator at barriers. */
+    std::vector<std::uint64_t> postedBy_;
+    std::vector<std::uint64_t> receivedBy_;
 
     Tick clock_ = 0;
     Tick windowEnd_ = 0;

@@ -616,6 +616,81 @@ TEST(TraceCheck, DoubleBeginAndDisorderAreViolations)
               std::string::npos);
 }
 
+TEST(TraceCheck, ExpectTracksCountsDeclaredTracks)
+{
+    // An empty trace declares no tracks: --expect-tracks must flag
+    // it rather than vacuously pass (the sharded merge regression
+    // this guards is "every per-shard track silently dropped").
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    TraceCheckParams p;
+    p.expect_tracks = 3;
+    const TraceCheckResult empty = checkTraceText(rec.json(), p);
+    EXPECT_FALSE(empty.ok());
+    ASSERT_EQ(empty.violations.size(), 1u);
+    EXPECT_NE(empty.violations[0].find("expected 3 tracks, found 0"),
+              std::string::npos);
+
+    rec.track("fabric", "fabric@1");
+    rec.track("fabric", "fabric@2");
+    const TraceCheckResult two = checkTraceText(rec.json(), p);
+    EXPECT_FALSE(two.ok());
+    EXPECT_EQ(two.tracks, 2u);
+
+    rec.track("fabric", "fabric.1-2");
+    const TraceCheckResult three = checkTraceText(rec.json(), p);
+    EXPECT_TRUE(three.ok()) << (three.violations.empty()
+                                    ? ""
+                                    : three.violations.front());
+    EXPECT_EQ(three.tracks, 3u);
+}
+
+TEST(TraceCheck, StitchedFlowsRejectTeleportingSpans)
+{
+    // A flow that begins on one track and ends on another with no
+    // step in between is exactly what a sharded merge that lost the
+    // lane flow-steps produces: the span "teleports" across shards.
+    const std::string teleport = R"({"traceEvents":[
+        {"ph":"s","name":"x","pid":1,"tid":1,"ts":100,"id":7},
+        {"ph":"f","name":"x","pid":2,"tid":5,"ts":200,"id":7}
+    ]})";
+    TraceCheckParams p;
+    p.require_stitched = true;
+    const TraceCheckResult bad = checkTraceText(teleport, p);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.crossTrack, 1u);
+    ASSERT_EQ(bad.violations.size(), 1u);
+    EXPECT_NE(bad.violations[0].find(
+                  "different track with no stitching step"),
+              std::string::npos);
+
+    // Same shape with the lane hop present: stitched, accepted.
+    const std::string stitched = R"({"traceEvents":[
+        {"ph":"s","name":"x","pid":1,"tid":1,"ts":100,"id":7},
+        {"ph":"t","name":"x","pid":1,"tid":2,"ts":150,"id":7},
+        {"ph":"f","name":"x","pid":2,"tid":5,"ts":200,"id":7}
+    ]})";
+    const TraceCheckResult good = checkTraceText(stitched, p);
+    EXPECT_TRUE(good.ok()) << (good.violations.empty()
+                                   ? ""
+                                   : good.violations.front());
+    EXPECT_EQ(good.crossTrack, 1u);
+
+    // A trace whose flows all stay on one track has nothing to
+    // stitch — the option demands at least one cross-track span so
+    // the check cannot pass vacuously.
+    const std::string local = R"({"traceEvents":[
+        {"ph":"s","name":"x","pid":1,"tid":1,"ts":100,"id":7},
+        {"ph":"t","name":"x","pid":1,"tid":1,"ts":150,"id":7},
+        {"ph":"f","name":"x","pid":1,"tid":1,"ts":200,"id":7}
+    ]})";
+    const TraceCheckResult none = checkTraceText(local, p);
+    EXPECT_FALSE(none.ok());
+    ASSERT_EQ(none.violations.size(), 1u);
+    EXPECT_NE(none.violations[0].find("no cross-track flow found"),
+              std::string::npos);
+}
+
 //
 // SLO rule grammar (PR 4 satellite): parse(str()) round-trips.
 //
