@@ -24,11 +24,13 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/flowprofile.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -149,7 +151,8 @@ decompose(const std::vector<TraceEvent> &events)
 
 Breakdown
 runMode(const corm::bench::BenchOptions &opts, bool reliable,
-        bool faulty, std::uint64_t &events_executed)
+        bool faulty, std::uint64_t &events_executed,
+        corm::obs::FlowProfiler &prof)
 {
     corm::platform::RubisScenarioConfig cfg;
     cfg.coordination = true;
@@ -167,7 +170,47 @@ runMode(const corm::bench::BenchOptions &opts, bool reliable,
     cfg.testbed.trace = &rec;
     const auto r = corm::platform::runRubisScenario(cfg);
     events_executed += r.eventsExecuted;
+    prof.ingest(rec);
     return decompose(rec.events());
+}
+
+/**
+ * The FlowProfiler's view of the same spans: per-leg aggregate
+ * attribution with tail percentiles, and the single slowest flow
+ * with its blame — the EXPERIMENTS.md attribution table.
+ */
+void
+printAttribution(const char *label,
+                 const corm::obs::FlowProfiler &prof)
+{
+    using corm::obs::FlowLeg;
+    using corm::obs::flowLegCount;
+    using corm::obs::flowLegName;
+    std::printf("\n%s — flow attribution:\n", label);
+    std::printf("  %-8s %8s %12s %10s %10s %10s\n", "leg", "flows",
+                "sum ms", "p50 us", "p99 us", "p999 us");
+    for (std::size_t i = 0; i < flowLegCount; ++i) {
+        const auto &d = prof.leg(static_cast<FlowLeg>(i));
+        if (d.count == 0)
+            continue;
+        std::printf("  %-8s %8llu %12.2f %10.1f %10.1f %10.1f\n",
+                    flowLegName(static_cast<FlowLeg>(i)),
+                    static_cast<unsigned long long>(d.count),
+                    static_cast<double>(d.sumNs) / 1e6,
+                    d.hist.quantile(0.50), d.hist.quantile(0.99),
+                    d.hist.quantile(0.999));
+    }
+    const auto top = prof.slowest(1);
+    if (!top.empty()) {
+        std::printf("  slowest flow: %.2f ms, blamed %s "
+                    "(%llu retries, %llu hops)\n",
+                    static_cast<double>(top.front().totalNs()) / 1e6,
+                    top.front().blame(),
+                    static_cast<unsigned long long>(
+                        top.front().retries),
+                    static_cast<unsigned long long>(
+                        top.front().hops));
+    }
 }
 
 void
@@ -235,13 +278,18 @@ main(int argc, char **argv)
 
     corm::bench::BenchReport report(opts);
     std::uint64_t events = 0;
-    const Breakdown ff = runMode(opts, false, false, events);
-    const Breakdown rel = runMode(opts, true, false, events);
-    const Breakdown relFaulty = runMode(opts, true, true, events);
+    corm::obs::FlowProfiler profFf, profRel, profFaulty;
+    const Breakdown ff = runMode(opts, false, false, events, profFf);
+    const Breakdown rel = runMode(opts, true, false, events, profRel);
+    const Breakdown relFaulty =
+        runMode(opts, true, true, events, profFaulty);
 
     printMode("fire-and-forget (paper baseline)", ff);
     printMode("reliable (ack + retry), clean channel", rel);
     printMode("reliable, 10% loss + 5% duplication", relFaulty);
+    printAttribution("fire-and-forget", profFf);
+    printAttribution("reliable, clean", profRel);
+    printAttribution("reliable, 10% loss + 5% dup", profFaulty);
 
     std::printf(
         "\nReading: the mailbox transit dominates the decide-to-"
@@ -251,13 +299,76 @@ main(int argc, char **argv)
         "wire) sets the tail — the coordination channel stays "
         "usable exactly because Tunes tolerate loss.\n");
 
+    // Machine-check of that reading (the EXPERIMENTS.md attribution
+    // claim): under loss the slowest flow must be retry-timeout
+    // bound — blamed on the retry leg, or abandoned outright after
+    // the retry budget. A clean reliable channel must have no flow
+    // blamed on retries at all.
+    using corm::obs::FlowLeg;
+    bool attributionHolds = true;
+    const auto topFaulty = profFaulty.slowest(1);
+    if (topFaulty.empty()
+        || (std::strcmp(topFaulty.front().blame(), "retry") != 0
+            && std::strcmp(topFaulty.front().blame(), "abandoned")
+                != 0)) {
+        attributionHolds = false;
+        std::fprintf(stderr,
+                     "breakdown_coord_latency: ATTRIBUTION CLAIM "
+                     "BROKEN: faulty-cell slowest flow blamed %s, "
+                     "expected retry/abandoned\n",
+                     topFaulty.empty() ? "(none)"
+                                       : topFaulty.front().blame());
+    }
+    if (profFaulty.blameCount("retry")
+            + profFaulty.blameCount("abandoned")
+        == 0) {
+        attributionHolds = false;
+        std::fprintf(stderr,
+                     "breakdown_coord_latency: ATTRIBUTION CLAIM "
+                     "BROKEN: 10%% loss left no retry-blamed "
+                     "flows\n");
+    }
+    if (profRel.blameCount("retry") != 0
+        || profFf.blameCount("retry") != 0) {
+        attributionHolds = false;
+        std::fprintf(stderr,
+                     "breakdown_coord_latency: ATTRIBUTION CLAIM "
+                     "BROKEN: clean channel has retry-blamed "
+                     "flows\n");
+    }
+
     reportMode(report, "fire_and_forget", ff);
     reportMode(report, "reliable", rel);
     reportMode(report, "reliable_faulty", relFaulty);
+    report.addScalars(
+        "reliable_faulty_attribution",
+        {{"flows", static_cast<double>(profFaulty.flows().size())},
+         {"blame_retry",
+          static_cast<double>(profFaulty.blameCount("retry"))},
+         {"blame_abandoned",
+          static_cast<double>(profFaulty.blameCount("abandoned"))},
+         {"retry_sum_ms",
+          static_cast<double>(
+              profFaulty.leg(FlowLeg::retry).sumNs)
+              / 1e6},
+         {"retry_p999_us",
+          profFaulty.leg(FlowLeg::retry).hist.quantile(0.999)},
+         {"slowest_total_ms",
+          topFaulty.empty()
+              ? 0.0
+              : static_cast<double>(topFaulty.front().totalNs())
+                  / 1e6},
+         {"slowest_blamed_retry",
+          attributionHolds ? 1.0 : 0.0}});
     report.addScalars("run",
                       {{"events_executed_total",
                         static_cast<double>(events)}},
                       events);
     report.write();
+    if (!attributionHolds) {
+        std::fprintf(stderr, "breakdown_coord_latency: FAILED "
+                             "(attribution claim)\n");
+        return 1;
+    }
     return 0;
 }

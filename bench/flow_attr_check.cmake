@@ -1,0 +1,62 @@
+# Flow-attribution acceptance check, run as a ctest.
+#
+# Closes the in-process / offline loop across process boundaries:
+#
+#  1. flow_attr runs the faulty tree cell with the in-process
+#     FlowProfiler armed and exports the merged trace plus the
+#     attribution report it computed from the live recorder (the
+#     binary already self-checks shard invariance and digest
+#     neutrality; a non-zero exit fails this test immediately).
+#  2. trace_analyze independently re-derives the report from the
+#     trace file alone; cmake -E compare_files requires the two
+#     reports to be byte-identical.
+#  3. trace_check validates the exported trace's schema, demands a
+#     complete multi-hop causal span with stitched cross-track
+#     flows, and — with --monotone-flows — that no flow's chain
+#     ever steps backwards in time (the misordered-merge guard the
+#     profiler's leg arithmetic depends on).
+
+set(ENV{CORM_SHARD_SPEEDUP_MIN} 0)
+
+execute_process(
+    COMMAND ${BENCH_BIN} --islands 12 --shards 1,4 --trials 1
+        --trace ${WORK_DIR}/flow_attr_trace.json
+        --profile ${WORK_DIR}/flow_attr_inproc.json
+        --json ${WORK_DIR}/flow_attr_report.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "flow_attr self-checks failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${ANALYZE_BIN} ${WORK_DIR}/flow_attr_trace.json
+        --json ${WORK_DIR}/flow_attr_offline.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_analyze failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/flow_attr_inproc.json
+        ${WORK_DIR}/flow_attr_offline.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "attribution disagreement: offline trace_analyze report "
+        "differs from the in-process profiler report "
+        "(${WORK_DIR}/flow_attr_inproc.json vs flow_attr_offline.json)")
+endif()
+
+execute_process(
+    COMMAND ${CHECK_BIN} ${WORK_DIR}/flow_attr_trace.json
+        --require-flow --stitched-flows --monotone-flows
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace_check rejected the attribution trace (rc=${rc})")
+endif()
+
+message(STATUS "flow_attr_check: in-process and offline attribution "
+    "byte-identical; trace schema-clean with monotone stitched flows")

@@ -7,6 +7,7 @@
  *
  *   trace_check FILE [--require-flow] [--min-steps N]
  *               [--expect-tracks N] [--stitched-flows]
+ *               [--monotone-flows]
  *
  * --min-steps N demands at least one complete flow with >= N steps
  * (implies --require-flow's chain requirement only when that flag is
@@ -23,6 +24,12 @@
  * least one step, and at least one such cross-track flow must exist.
  * A sharded trace merge that dropped the lane flow-steps fails this
  * with "teleporting" spans.
+ *
+ * --monotone-flows reports every individual backwards timestamp step
+ * along any flow's chain as its own violation (event index + the
+ * two timestamps), instead of the default one-line-per-flow
+ * summary — the misordered-window forensics mode for the sharded
+ * barrier-time merge.
  *
  * Exit status: 0 on a valid trace, 1 on violations (each printed),
  * 2 on usage/IO errors.
@@ -44,7 +51,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s FILE [--require-flow] [--min-steps N] "
-                 "[--expect-tracks N] [--stitched-flows]\n",
+                 "[--expect-tracks N] [--stitched-flows] "
+                 "[--monotone-flows]\n",
                  argv0);
     return 2;
 }
@@ -81,6 +89,8 @@ main(int argc, char **argv)
             params.expect_tracks = static_cast<std::size_t>(n);
         } else if (!std::strcmp(argv[i], "--stitched-flows")) {
             params.require_stitched = true;
+        } else if (!std::strcmp(argv[i], "--monotone-flows")) {
+            params.monotone_flows = true;
         } else if (!path) {
             path = argv[i];
         } else {

@@ -6,12 +6,14 @@
 #
 # The gate reruns table2_rubis_throughput (1 trial, 0.5 s warm-up,
 # 2 s measure), fabric_scale (default sweep), shard_scale (default
-# islands x shards sweep) and a capture-enabled shard_scale run
+# islands x shards sweep), a capture-enabled shard_scale run
 # (trace + monitor + metrics, pinning the observability overhead)
+# and flow_attr (flow-latency attribution counts and retry blame)
 # with the committed fast configurations — the same windows the
-# bench_gate_check, fabric_gate_check, shard_gate_check and
-# shard_obs_gate_check ctests use — and compares the gated metrics
-# in their JSON reports against bench/baselines/*.json.
+# bench_gate_check, fabric_gate_check, shard_gate_check,
+# shard_obs_gate_check and flow_attr_gate_check ctests use — and
+# compares the gated metrics in their JSON reports against
+# bench/baselines/*.json.
 # --update recaptures the baseline from the fresh run, preserving the
 # per-metric tolerance list below; commit the result when a metric
 # shift is intentional.
@@ -28,13 +30,15 @@ esac
 bench=$build/bench/table2_rubis_throughput
 fabric=$build/bench/fabric_scale
 shard=$build/bench/shard_scale
+flow=$build/bench/flow_attr
 gate=$build/bench/bench_gate
 baseline=$repo/bench/baselines/table2_rubis_throughput.json
 fabric_baseline=$repo/bench/baselines/fabric_scale.json
 shard_baseline=$repo/bench/baselines/shard_scale.json
 obs_baseline=$repo/bench/baselines/shard_scale_obs.json
+flow_baseline=$repo/bench/baselines/flow_attr.json
 
-for bin in "$bench" "$fabric" "$shard" "$gate"; do
+for bin in "$bench" "$fabric" "$shard" "$flow" "$gate"; do
     if [ ! -x "$bin" ]; then
         echo "check_bench: missing $bin (build first: cmake --build $build)" >&2
         exit 2
@@ -56,6 +60,11 @@ trap 'rm -rf "$tmp"' EXIT
     --islands 48 --shards 1,4 --trace "$tmp/obs_trace.json" \
     --monitor --metrics \
     --json "$tmp/obs_fresh.json" > /dev/null)
+# Flow-attribution run: the binary self-checks shard invariance,
+# digest neutrality and in-process/offline agreement on every run.
+(cd "$tmp" && CORM_SHARD_SPEEDUP_MIN=0 "$flow" --trials 1 \
+    --islands 12 --shards 1,4 \
+    --json "$tmp/flow_fresh.json" > /dev/null)
 
 if [ -n "$update" ]; then
     # The gated metric list and its tolerances. Structural counters
@@ -122,10 +131,33 @@ if [ -n "$update" ]; then
         results.tree_n48_s4.shard_windows=0 \
         results.tree_n48_s4.boundary_messages=0
     echo "check_bench: baseline refreshed -> $obs_baseline"
+    # Flow-attribution gate: flow counts, leg blame tallies and the
+    # retry signature are exact replays of the seeded schedule, so
+    # every structural metric is pinned at zero tolerance.
+    "$gate" --init "$tmp/flow_fresh.json" --out "$flow_baseline" \
+        results.tree_clean.digest_hi=0 \
+        results.tree_clean.digest_lo=0 \
+        results.tree_clean.flows=0 \
+        results.tree_clean.completed=0 \
+        results.tree_clean.coalesced=0 \
+        results.tree_clean.abandoned=0 \
+        results.tree_clean.blame_retry=0 \
+        results.tree_clean.trace_events=0 \
+        results.tree_faulty.digest_hi=0 \
+        results.tree_faulty.digest_lo=0 \
+        results.tree_faulty.flows=0 \
+        results.tree_faulty.completed=0 \
+        results.tree_faulty.abandoned=0 \
+        results.tree_faulty.blame_retry=0 \
+        results.tree_faulty.blame_abandoned=0 \
+        results.tree_faulty.retry_sum_ns=0 \
+        results.tree_faulty.trace_events=0
+    echo "check_bench: baseline refreshed -> $flow_baseline"
 else
     "$gate" "$baseline" "$tmp/fresh.json"
     "$gate" "$fabric_baseline" "$tmp/fabric_fresh.json"
     "$gate" "$shard_baseline" "$tmp/shard_fresh.json"
     "$gate" "$obs_baseline" "$tmp/obs_fresh.json"
+    "$gate" "$flow_baseline" "$tmp/flow_fresh.json"
     echo "check_bench: gate passed"
 fi

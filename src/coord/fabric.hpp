@@ -1379,6 +1379,14 @@ class CoordFabric : public CoordTransport
                 {{"entity", static_cast<std::uint64_t>(msg.entity)},
                  {"seq", static_cast<int>(msg.seq)},
                  {"hop", hops}});
+            // Stitch the hop onto its span (the channel convention:
+            // flow ts = slice end). The sharded path emits this on
+            // the lane track at transmit; without it here, legacy
+            // fabric hops are invisible to per-link flow attribution
+            // (obs/flowprofile.hpp).
+            if (msg.trace != 0)
+                rec_->flowStep(linkTrack(f.from, f.to), sim.now(),
+                               msg.trace, "coord.span", "coord");
         }
         if (node != msg.dst) {
             st.stats.hubRelays.add();

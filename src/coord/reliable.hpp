@@ -224,6 +224,13 @@ class ReliableSender
                     static_cast<unsigned>(selfId),
                     static_cast<unsigned>(seq));
         abandonedCount.add();
+        if (CORM_TRACE_ACTIVE(rec_) && oldest->second.msg.trace != 0) {
+            rec_->instant(myTrack(), sim.now(), "abandon", "coord",
+                          {{"seq", static_cast<int>(seq)},
+                           {"exhausted", 1}});
+            rec_->flowEnd(myTrack(), sim.now(), oldest->second.msg.trace,
+                          "coord.span", "coord");
+        }
         if (onAbandon)
             onAbandon(oldest->second.msg);
         finish(oldest, Outcome::abandoned);

@@ -26,6 +26,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flowprofile.hpp"
 #include "obs/trace.hpp"
 #include "sim/types.hpp"
 
@@ -56,6 +57,13 @@ class FlightRecorder
      * Only the first snapshot sticks (the incident that tripped the
      * watchdog); later calls are counted but ignored, so a breach
      * storm costs one serialization.
+     *
+     * The snapshot carries a built-in "why": a flow-attribution
+     * report (obs/flowprofile.hpp) over the incident window is
+     * spliced in as a `flowProfile` top-level member — outcome and
+     * blame tables plus the top-k slowest flows with per-leg
+     * breakdowns. Perfetto ignores the extra member, so the snapshot
+     * stays a loadable trace.
      */
     void
     snapshot(const std::string &reason, corm::sim::Tick now)
@@ -65,7 +73,10 @@ class FlightRecorder
             return;
         snapshotReason_ = reason;
         snapshotAt_ = now;
-        snapshotJson_ = rec_.json();
+        FlowProfiler prof;
+        prof.ingest(rec_);
+        snapshotJson_ =
+            rec_.json("flowProfile", prof.reportJson(topK_));
     }
 
     bool hasSnapshot() const { return !snapshotJson_.empty(); }
@@ -82,8 +93,13 @@ class FlightRecorder
     /** Events that scrolled out of the window. */
     std::uint64_t dropped() const { return rec_.droppedEvents(); }
 
+    /** Slowest-flow count embedded in snapshots (default 5). */
+    std::size_t topK() const { return topK_; }
+    void setTopK(std::size_t k) { topK_ = k; }
+
   private:
     TraceRecorder rec_;
+    std::size_t topK_ = 5;
     std::string snapshotJson_;
     std::string snapshotReason_;
     corm::sim::Tick snapshotAt_ = 0;

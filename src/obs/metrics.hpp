@@ -399,13 +399,15 @@ class MetricRegistry
                 // log2 buckets stay available in the JSON snapshot,
                 // but a human reading the text report wants the tail.
                 const Histogram &h = *e.ownedHistogram;
-                char buf[192];
+                char buf[224];
                 std::snprintf(buf, sizeof(buf),
                               " count=%llu mean=%.10g min=%.10g "
-                              "max=%.10g p50=%.10g p99=%.10g\n",
+                              "max=%.10g p50=%.10g p99=%.10g "
+                              "p999=%.10g\n",
                               static_cast<unsigned long long>(h.count()),
                               h.mean(), h.min(), h.max(),
-                              h.quantile(0.50), h.quantile(0.99));
+                              h.quantile(0.50), h.quantile(0.99),
+                              h.quantile(0.999));
                 out << name << buf;
                 break;
               }
@@ -438,6 +440,7 @@ class MetricRegistry
                 j.field("max", h.max());
                 j.field("p50", h.quantile(0.50));
                 j.field("p99", h.quantile(0.99));
+                j.field("p999", h.quantile(0.999));
                 j.beginArray("buckets");
                 for (std::size_t i = 0; i < h.usedBuckets(); ++i) {
                     if (h.bucket(i) == 0)

@@ -336,9 +336,17 @@ class TraceRecorder
      * Serialize as Chrome trace-event JSON: process/thread metadata
      * first, then every event in emission order. ts/dur are
      * microseconds (fractional; Ticks are nanoseconds).
+     *
+     * @p extra_key / @p extra_raw optionally splice one additional
+     * top-level member (pre-serialized JSON) after the traceEvents
+     * array — Perfetto and the schema checker ignore unknown
+     * top-level members, so enriched snapshots (the flight recorder's
+     * flow-attribution report) stay loadable traces. Empty key: the
+     * historical byte-exact output.
      */
     void
-    writeJson(std::ostream &out) const
+    writeJson(std::ostream &out, const std::string &extra_key = {},
+              const std::string &extra_raw = {}) const
     {
         JsonWriter j;
         j.beginObject();
@@ -378,16 +386,19 @@ class TraceRecorder
             j.endObject();
         }
         j.endArray();
+        if (!extra_key.empty())
+            j.fieldRaw(extra_key.c_str(), extra_raw);
         j.endObject();
         out << j.str() << "\n";
     }
 
     /** JSON trace as a string (see writeJson). */
     std::string
-    json() const
+    json(const std::string &extra_key = {},
+         const std::string &extra_raw = {}) const
     {
         std::ostringstream out;
-        writeJson(out);
+        writeJson(out, extra_key, extra_raw);
         return out.str();
     }
 

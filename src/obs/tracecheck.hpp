@@ -49,6 +49,9 @@ struct TraceCheckResult
     /** Complete flows ending on a different track than they began —
      *  the cross-shard spans the sharded capture merge stitches. */
     std::size_t crossTrack = 0;
+    /** Individual backwards steps along flow chains (counted always;
+     *  each becomes its own violation under monotone_flows). */
+    std::size_t monotoneViolations = 0;
     std::vector<std::string> violations;
 
     bool ok() const { return violations.empty(); }
@@ -75,6 +78,16 @@ struct TraceCheckParams
      * or single-track trace cannot vacuously pass.
      */
     bool require_stitched = false;
+    /**
+     * Monotone-flows validation: timestamps must be non-decreasing
+     * along every flow's step chain — dangling and abandoned chains
+     * included, which the coarse per-flow ordering check also covers
+     * but reports once per flow. Under this knob every individual
+     * backwards step is its own violation, naming the event index
+     * and the timestamps involved, so a sharded merge that
+     * misordered one window is pinpointed rather than summarized.
+     */
+    bool monotone_flows = false;
 };
 
 /**
@@ -166,8 +179,18 @@ checkTrace(const JsonValue &doc, const TraceCheckParams &params)
             }
             FlowChain &c = chains[id->num];
             const bool first = c.begins + c.steps + c.ends == 0;
-            if (!first && ts->num < c.lastTs)
+            if (!first && ts->num < c.lastTs) {
                 c.ordered = false;
+                ++r.monotoneViolations;
+                if (params.monotone_flows) {
+                    char buf[160];
+                    std::snprintf(buf, sizeof(buf),
+                                  "event %zu: flow %.0f steps "
+                                  "backwards in ts (%.3f -> %.3f us)",
+                                  i, id->num, c.lastTs, ts->num);
+                    violation(buf);
+                }
+            }
             c.lastTs = ts->num;
             if (p == 's') {
                 ++c.begins;

@@ -139,25 +139,26 @@ statusReport(Testbed &tb)
     // Coordination channel. The delivery-latency histogram lives in
     // the registry; quote its percentiles rather than bucket dumps.
     const auto &cs = tb.channel().stats();
-    double latP50 = 0.0, latP99 = 0.0;
+    double latP50 = 0.0, latP99 = 0.0, latP999 = 0.0;
     if (const corm::obs::Histogram *h = tb.metrics().findHistogram(
             "coord.channel.delivery_latency_us{channel="
             + tb.channel().name() + "}")) {
         latP50 = h->quantile(0.50);
         latP99 = h->quantile(0.99);
+        latP999 = h->quantile(0.999);
     }
     std::snprintf(
         line, sizeof(line),
         "[coord channel] sent %llu, delivered %llu, dropped %llu "
         "(tunes %llu, triggers %llu, regs %llu); latency mean %.0f "
-        "p50 %.0f p99 %.0f us\n",
+        "p50 %.0f p99 %.0f p999 %.0f us\n",
         static_cast<unsigned long long>(cs.sent.value()),
         static_cast<unsigned long long>(cs.delivered.value()),
         static_cast<unsigned long long>(cs.dropped.value()),
         static_cast<unsigned long long>(cs.tunes.value()),
         static_cast<unsigned long long>(cs.triggers.value()),
         static_cast<unsigned long long>(cs.registrations.value()),
-        cs.deliveryLatencyUs.mean(), latP50, latP99);
+        cs.deliveryLatencyUs.mean(), latP50, latP99, latP999);
     emit();
     const auto health = tb.channel().health();
     std::snprintf(

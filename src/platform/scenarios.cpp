@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "obs/flowprofile.hpp"
 #include "obs/monitor.hpp"
 #include "obs/shardcapture.hpp"
 #include "sim/sharded.hpp"
@@ -1022,6 +1023,15 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         r.metricsJson = registry.jsonSnapshot();
     if (trace)
         r.traceEvents = trace->events().size();
+    if (cfg.profileFlows && trace) {
+        // Post-run, read-only over the merged trace: digest-neutral,
+        // and byte-identical across shard counts because the merged
+        // trace is (DESIGN.md §11/§12).
+        corm::obs::FlowProfiler prof;
+        prof.ingest(*trace);
+        r.flowProfileJson = prof.reportJson(cfg.profileTopK);
+        r.profiledFlows = prof.flows().size();
+    }
 
     r.converged = haveConverged;
     r.convergenceMs = haveConverged

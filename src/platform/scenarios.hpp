@@ -364,6 +364,18 @@ struct FabricScenarioConfig
      */
     bool captureMetrics = false;
 
+    /**
+     * Post-run flow-latency attribution (obs/flowprofile.hpp): with a
+     * trace recorder attached, fill FabricScenarioResult::
+     * flowProfileJson with the per-leg/per-link attribution report.
+     * Runs strictly after the simulation over the merged trace, so it
+     * is digest-neutral and shard-count independent by construction
+     * (a byte-identical trace yields a byte-identical report).
+     */
+    bool profileFlows = false;
+    /** Slowest-flow entries in the report (see FlowProfiler). */
+    std::size_t profileTopK = 5;
+
     /** Invoked after islands attach, before the workload starts. */
     std::function<void(coord::CoordFabric &)> wire;
 };
@@ -435,6 +447,10 @@ struct FabricScenarioResult
     std::string metricsJson;
     /** Events in the trace recorder after the run (0 untraced). */
     std::uint64_t traceEvents = 0;
+    /** Attribution report (empty unless cfg.profileFlows + trace). */
+    std::string flowProfileJson;
+    /** Flows the profiler reassembled (0 unless profiled). */
+    std::uint64_t profiledFlows = 0;
     double meanDeliveryUs = 0.0;
     double meanHops = 0.0;
 
