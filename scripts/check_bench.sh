@@ -7,13 +7,15 @@
 # The gate reruns table2_rubis_throughput (1 trial, 0.5 s warm-up,
 # 2 s measure), fabric_scale (default sweep), shard_scale (default
 # islands x shards sweep), a capture-enabled shard_scale run
-# (trace + monitor + metrics, pinning the observability overhead)
-# and flow_attr (flow-latency attribution counts and retry blame)
+# (trace + monitor + metrics, pinning the observability overhead),
+# flow_attr (flow-latency attribution counts and retry blame) and
+# churn_scale (membership churn: exactly-once tune conservation and
+# shard-count digest identity under join/leave/crash/migrate)
 # with the committed fast configurations — the same windows the
 # bench_gate_check, fabric_gate_check, shard_gate_check,
-# shard_obs_gate_check and flow_attr_gate_check ctests use — and
-# compares the gated metrics in their JSON reports against
-# bench/baselines/*.json.
+# shard_obs_gate_check, flow_attr_gate_check and churn_gate_check
+# ctests use — and compares the gated metrics in their JSON reports
+# against bench/baselines/*.json.
 # --update recaptures the baseline from the fresh run, preserving the
 # per-metric tolerance list below; commit the result when a metric
 # shift is intentional.
@@ -31,14 +33,16 @@ bench=$build/bench/table2_rubis_throughput
 fabric=$build/bench/fabric_scale
 shard=$build/bench/shard_scale
 flow=$build/bench/flow_attr
+churn=$build/bench/churn_scale
 gate=$build/bench/bench_gate
 baseline=$repo/bench/baselines/table2_rubis_throughput.json
 fabric_baseline=$repo/bench/baselines/fabric_scale.json
 shard_baseline=$repo/bench/baselines/shard_scale.json
 obs_baseline=$repo/bench/baselines/shard_scale_obs.json
 flow_baseline=$repo/bench/baselines/flow_attr.json
+churn_baseline=$repo/bench/baselines/churn_scale.json
 
-for bin in "$bench" "$fabric" "$shard" "$flow" "$gate"; do
+for bin in "$bench" "$fabric" "$shard" "$flow" "$churn" "$gate"; do
     if [ ! -x "$bin" ]; then
         echo "check_bench: missing $bin (build first: cmake --build $build)" >&2
         exit 2
@@ -65,6 +69,10 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && CORM_SHARD_SPEEDUP_MIN=0 "$flow" --trials 1 \
     --islands 12 --shards 1,4 \
     --json "$tmp/flow_fresh.json" > /dev/null)
+# Churn run: the binary self-checks tunes_lost == 0 and digest
+# identity across shard counts on every cell before reporting.
+(cd "$tmp" && "$churn" --trials 1 \
+    --json "$tmp/churn_fresh.json" > /dev/null)
 
 if [ -n "$update" ]; then
     # The gated metric list and its tolerances. Structural counters
@@ -153,11 +161,41 @@ if [ -n "$update" ]; then
         results.tree_faulty.retry_sum_ns=0 \
         results.tree_faulty.trace_events=0
     echo "check_bench: baseline refreshed -> $flow_baseline"
+    # Churn gate: the applied/abandoned ledger, re-parent and
+    # migration-forward counts and the digests are exact replays of
+    # the seeded schedule, so every metric is pinned at zero
+    # tolerance; tunes_lost is pinned at its only legal value, zero.
+    "$gate" --init "$tmp/churn_fresh.json" --out "$churn_baseline" \
+        results.tree_n16_c8_s1.digest_hi=0 \
+        results.tree_n16_c8_s1.digest_lo=0 \
+        results.tree_n16_c8_s1.applied_tunes=0 \
+        results.tree_n16_c8_s1.abandoned_tunes=0 \
+        results.tree_n16_c8_s1.tunes_lost=0 \
+        results.tree_n16_c8_s1.churn_reparents=0 \
+        results.tree_n16_c8_s1.mig_forwards=0 \
+        results.tree_n64_c32_s1.digest_hi=0 \
+        results.tree_n64_c32_s1.digest_lo=0 \
+        results.tree_n64_c32_s1.applied_tunes=0 \
+        results.tree_n64_c32_s1.abandoned_tunes=0 \
+        results.tree_n64_c32_s1.tunes_lost=0 \
+        results.tree_n64_c32_s1.events_executed=0 \
+        results.tree_n64_c32_s4.digest_hi=0 \
+        results.tree_n64_c32_s4.digest_lo=0 \
+        results.tree_n64_c32_s4.applied_tunes=0 \
+        results.tree_n64_c32_s4.abandoned_tunes=0 \
+        results.tree_n64_c32_s4.tunes_lost=0 \
+        results.tree_n64_c32_s4.churn_reparents=0 \
+        results.tree_n64_c32_s4.mig_forwards=0 \
+        results.tree_n64_c32_s4.churn_skipped=0 \
+        results.tree_n64_c32_s4.route_epochs=0 \
+        results.tree_n64_c32_s4.events_executed=0
+    echo "check_bench: baseline refreshed -> $churn_baseline"
 else
     "$gate" "$baseline" "$tmp/fresh.json"
     "$gate" "$fabric_baseline" "$tmp/fabric_fresh.json"
     "$gate" "$shard_baseline" "$tmp/shard_fresh.json"
     "$gate" "$obs_baseline" "$tmp/obs_fresh.json"
     "$gate" "$flow_baseline" "$tmp/flow_fresh.json"
+    "$gate" "$churn_baseline" "$tmp/churn_fresh.json"
     echo "check_bench: gate passed"
 fi

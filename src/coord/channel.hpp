@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -236,6 +237,36 @@ class CoordChannel : public CoordTransport
         ackObservers[endpoint] = std::move(fn);
     }
 
+    /**
+     * Token-based multi-observer registration (CoordTransport):
+     * several reliable senders can share one endpoint without
+     * clobbering each other's single setAckObserver slot.
+     */
+    std::uint64_t
+    addAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn) override
+    {
+        const std::uint64_t token = ++ackToken_;
+        ackMulti_[endpoint].push_back({token, std::move(fn)});
+        return token;
+    }
+
+    void
+    removeAckObserver(IslandId endpoint, std::uint64_t token) override
+    {
+        auto it = ackMulti_.find(endpoint);
+        if (it == ackMulti_.end())
+            return;
+        auto &v = it->second;
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [token](const AckEntry &e) {
+                                   return e.token == token;
+                               }),
+                v.end());
+        if (v.empty())
+            ackMulti_.erase(it);
+    }
+
     /** Record a retransmission performed by the reliable layer. */
     void noteRetransmit() override { stats_.retries.add(); }
 
@@ -447,8 +478,38 @@ class CoordChannel : public CoordTransport
             auto it = ackObservers.find(msg.dst);
             if (it != ackObservers.end() && it->second)
                 it->second(msg);
+            dispatchAckMulti(msg);
             break;
           }
+        }
+    }
+
+    /**
+     * Dispatch an ack to the token observers at its endpoint. A
+     * callback may register or unregister observers (even destroy
+     * its own sender), so iterate a snapshot and re-check each
+     * token's liveness before calling.
+     */
+    void
+    dispatchAckMulti(const CoordMessage &msg)
+    {
+        auto mit = ackMulti_.find(msg.dst);
+        if (mit == ackMulti_.end())
+            return;
+        const std::vector<AckEntry> snap = mit->second;
+        for (const AckEntry &e : snap) {
+            auto again = ackMulti_.find(msg.dst);
+            if (again == ackMulti_.end())
+                break;
+            bool alive = false;
+            for (const AckEntry &cur : again->second) {
+                if (cur.token == e.token) {
+                    alive = true;
+                    break;
+                }
+            }
+            if (alive && e.fn)
+                e.fn(msg);
         }
     }
 
@@ -461,6 +522,14 @@ class CoordChannel : public CoordTransport
     std::unique_ptr<corm::interconnect::FaultPlan> faults;
     std::map<IslandId, std::function<void(const CoordMessage &)>>
         ackObservers;
+    /** One token-registered ack observer (see addAckObserver). */
+    struct AckEntry
+    {
+        std::uint64_t token = 0;
+        std::function<void(const CoordMessage &)> fn;
+    };
+    std::map<IslandId, std::vector<AckEntry>> ackMulti_;
+    std::uint64_t ackToken_ = 0;
     ChannelStats stats_;
     corm::obs::TraceRecorder *rec_ = nullptr;
     corm::obs::Histogram *deliveryHist = nullptr;

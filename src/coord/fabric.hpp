@@ -34,6 +34,19 @@
  * CoordChannel: Tune/Trigger dispatch to the destination island,
  * sequenced messages are acknowledged and deduplicated at the
  * endpoint, registrations install bindings and are always acked.
+ *
+ * Membership is dynamic (DESIGN.md §13): islands join() and leave()
+ * at runtime, tree hubs crash() with their orphans re-parented to a
+ * fallback after a detection window (or immediately via the
+ * watchdog-driven reparentNow()), and entities migrate between
+ * islands with migrateEntity() installing forwarding pointers so
+ * in-flight tunes chase the entity to its new home. Every delta a
+ * churn event strands — an unroutable send, a dead-route hop, a
+ * delivery to a departed endpoint, a crashed hub's open aggregation
+ * bucket — is attributed through the abandon observer, never
+ * silently lost, and the route-independent endpoint dedup keys make
+ * re-driven tunes apply exactly once across any re-parent or
+ * migration.
  */
 
 #pragma once
@@ -125,6 +138,20 @@ struct FabricParams
     corm::sim::Tick replayTimeout = 500 * corm::sim::usec;
     double replayBackoff = 2.0;
     corm::sim::Tick replayCap = 8 * corm::sim::msec;
+    /**
+     * Delay between a hub crash and its orphaned children re-binding
+     * to the fallback parent — the detection window in which the
+     * lane-stall watchdog fires. Due re-parents complete at
+     * churnTick(); a monitor policy hook may call reparentNow()
+     * earlier (watchdog-driven re-parenting).
+     */
+    corm::sim::Tick reparentDelay = 2 * corm::sim::msec;
+    /**
+     * Configured fallback parent for re-parenting after a hub
+     * crash. 0 (or a departed id) falls back to the crashed hub's
+     * own parent, then to the tree root.
+     */
+    IslandId fallbackParent = 0;
     /** Name prefix of the per-link mailboxes (stats, logs, lanes). */
     std::string name = "fabric";
 };
@@ -156,6 +183,8 @@ struct FabricStats
     corm::sim::Counter aggBatches;
     /** Triggers relayed past an aggregating hub un-delayed. */
     corm::sim::Counter triggerBypass;
+    /** Deliveries re-forwarded to a migrated entity's new home. */
+    corm::sim::Counter migForwards;
     /** Retransmissions performed by the reliable layer above. */
     corm::sim::Counter retries;
     /** Send-to-apply latency (microseconds), end to end. */
@@ -215,12 +244,15 @@ class CoordFabric : public CoordTransport
         ShardState &st = stateFor(msg.src);
         st.stats.sent.add();
         if (!islands.count(msg.dst) || !islands.count(msg.src)) {
-            st.stats.dropped.add();
-            logger.warn("unroutable %s %u -> %u (%zu islands attached)",
-                        msgTypeName(msg.type),
-                        static_cast<unsigned>(msg.src),
-                        static_cast<unsigned>(msg.dst),
-                        islands.size());
+            // Routine under churn (a peer keeps sending to a
+            // departed island for a beat), so debug, not warn. The
+            // lost delta is attributed, not silently dropped.
+            dropAttributed(msg.src, msg, msg.src, msg.dst);
+            logger.debug("unroutable %s %u -> %u (%zu islands attached)",
+                         msgTypeName(msg.type),
+                         static_cast<unsigned>(msg.src),
+                         static_cast<unsigned>(msg.dst),
+                         islands.size());
             return;
         }
         if (msg.dst == msg.src) {
@@ -249,6 +281,37 @@ class CoordFabric : public CoordTransport
     setAckObserver(std::function<void(const CoordMessage &)> fn)
     {
         catchAllAckObserver = std::move(fn);
+    }
+
+    /**
+     * Token-based multi-observer registration: several reliable
+     * senders (an announcer that lives the whole run plus a trigger
+     * sender, say) can share one endpoint without clobbering each
+     * other. Tokens are unique per fabric.
+     */
+    std::uint64_t
+    addAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn) override
+    {
+        const std::uint64_t token = ++ackToken_;
+        ackMulti_[endpoint].push_back({token, std::move(fn)});
+        return token;
+    }
+
+    void
+    removeAckObserver(IslandId endpoint, std::uint64_t token) override
+    {
+        auto it = ackMulti_.find(endpoint);
+        if (it == ackMulti_.end())
+            return;
+        auto &v = it->second;
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [token](const AckEntry &e) {
+                                   return e.token == token;
+                               }),
+                v.end());
+        if (v.empty())
+            ackMulti_.erase(it);
     }
 
     /**
@@ -566,6 +629,219 @@ class CoordFabric : public CoordTransport
         return hops;
     }
 
+    // ------------------------------------------------------------------
+    // Dynamic membership (churn). All of these run on the coordinator:
+    // at a window barrier in sharded mode (pass the barrier tick as
+    // `now`), or from an ordinary simulator event in legacy mode.
+    // ------------------------------------------------------------------
+
+    /** True while @p id is an attached (live) member. */
+    bool attached(IslandId id) const { return islands.count(id) != 0; }
+
+    /**
+     * Route epoch: bumps on every membership or route change
+     * (build, join, leave, crash, completed re-parent) — the epoch
+     * announcements advertise so peers can supersede stale routes.
+     */
+    std::uint64_t routeEpoch() const { return routeEpoch_; }
+
+    /** Lifetime churn tallies. */
+    struct ChurnCounters
+    {
+        std::uint64_t joins = 0;
+        std::uint64_t leaves = 0;
+        std::uint64_t crashes = 0;
+        std::uint64_t migrations = 0;
+        std::uint64_t reparents = 0;
+    };
+    const ChurnCounters &churnCounters() const { return churn_; }
+
+    /** Orphaned children still awaiting re-parenting. */
+    std::size_t
+    pendingReparentCount() const
+    {
+        return pendingReparents_.size();
+    }
+
+    /**
+     * Runtime join: attach @p island to a live fabric and wire it in
+     * incrementally (mesh: links to every member; star: a link to
+     * the hub; tree: under the first BFS-order node with spare
+     * fanout). Routes rebuild and the route epoch bumps — the
+     * scenario layer re-announces bindings to the joiner through
+     * ReliableAnnouncer supersede slots. Before the first build this
+     * degenerates to attach().
+     */
+    void
+    join(ResourceIsland &island, corm::sim::Tick now = 0)
+    {
+        if (dirty || islands.empty()) {
+            attach(island);
+            return;
+        }
+        const IslandId id = island.id();
+        if (islands.count(id))
+            return;
+        ChurnScope scope(*this, now);
+        islands[id] = &island;
+        growNodeTables(static_cast<std::size_t>(id) + 1);
+        switch (cfg.topology) {
+          case FabricTopology::mesh:
+            for (const auto &[other, isl] : islands)
+                if (other != id)
+                    ensureLink(other, id);
+            break;
+          case FabricTopology::star:
+            if (id != hubId)
+                ensureLink(hubId, id);
+            break;
+          case FabricTopology::tree:
+            if (id != hubId) {
+                const IslandId p = pickTreeParent();
+                parent[id] = p;
+                children[p].push_back(id);
+                ensureLink(p, id);
+            }
+            break;
+        }
+        rebuildLiveRoutes();
+        ++churn_.joins;
+        ++routeEpoch_;
+    }
+
+    /**
+     * Graceful leave: the island flushes its own open aggregation
+     * buckets, peers' buckets destined to it flush immediately, its
+     * links retire, and (tree) its children re-bind to the fallback
+     * parent at once — a cooperative departure needs no detection
+     * window. In-flight messages toward the departed island are
+     * attributed as abandoned when they hit the dead route or the
+     * missing endpoint, never silently lost.
+     */
+    void
+    leave(IslandId id, corm::sim::Tick now = 0)
+    {
+        ensureBuilt();
+        if (!islands.count(id))
+            return;
+        if (id == hubId) {
+            logger.warn("leave(%u) ignored: the hub cannot depart",
+                        static_cast<unsigned>(id));
+            return;
+        }
+        ChurnScope scope(*this, now);
+        flushBucketsWhere(id, /*includeDest=*/true);
+        const IslandId fb = fallbackFor(id);
+        const std::vector<IslandId> orphans = detachNode(id);
+        for (IslandId c : orphans)
+            applyReparent(c, fb);
+        rebuildLiveRoutes();
+        ++churn_.leaves;
+        ++routeEpoch_;
+    }
+
+    /**
+     * Crash failure: no flushes, no goodbyes. Open aggregation
+     * buckets at the dead node are attributed as abandoned (a batch
+     * proto carries the exact folded sum and coalesced count, so the
+     * conservation ledger balances), its links retire, and (tree)
+     * orphaned children queue for re-parenting after reparentDelay —
+     * the window in which the lane-stall watchdog detects the dead
+     * hub. churnTick() / reparentNow() complete the re-bind.
+     */
+    void
+    crash(IslandId id, corm::sim::Tick now = 0)
+    {
+        ensureBuilt();
+        if (!islands.count(id))
+            return;
+        if (id == hubId) {
+            logger.warn("crash(%u) ignored: the hub cannot depart",
+                        static_cast<unsigned>(id));
+            return;
+        }
+        ChurnScope scope(*this, now);
+        abandonOwnBuckets(id);
+        const IslandId fb = fallbackFor(id);
+        const std::vector<IslandId> orphans = detachNode(id);
+        const corm::sim::Tick at = nowFor(id);
+        for (IslandId c : orphans)
+            pendingReparents_.push_back({c, fb, at + cfg.reparentDelay});
+        rebuildLiveRoutes();
+        ++churn_.crashes;
+        ++routeEpoch_;
+    }
+
+    /**
+     * Live entity migration: future deliveries addressed to
+     * (src, entity) re-forward to @p dst. Dedup keys are checked at
+     * the old home FIRST (lookup-only), so a retransmission whose
+     * original applied pre-migration is re-acked, never re-applied —
+     * and a miss forwards without claiming the key, leaving the new
+     * home's dedup window authoritative. Open aggregation buckets
+     * destined to the old home flush immediately so no delta lingers
+     * under a stale address. The caller hands over coordination
+     * state (weights, convergence intent) and re-announces bindings;
+     * the fabric handles addressing.
+     *
+     * Precondition: @p dst must currently home its own (dst, entity)
+     * address — or forward it to @p src, the "migrate back home"
+     * case, where the state coming in IS the state that left. If
+     * dst's address forwards anywhere else, the call is refused: two
+     * distinct logical entity states would collide at one address,
+     * and the forwarded state's deliveries would silently re-home.
+     * Migrate the forwarded state back (or pick another destination)
+     * first.
+     */
+    bool
+    migrateEntity(IslandId src, IslandId dst, EntityId entity,
+                  corm::sim::Tick now = 0)
+    {
+        ensureBuilt();
+        if (src == dst || !islands.count(src) || !islands.count(dst))
+            return false;
+        const IslandId dstHome = resolveEntity(dst, entity);
+        if (resolveEntity(src, entity) != src
+            || (dstHome != dst && dstHome != src))
+            return false;
+        ChurnScope scope(*this, now);
+        flushBucketsDestined(src, entity);
+        // Path-compress: every chain ending at src re-points to dst,
+        // so resolution is single-hop. A chain that re-points onto
+        // its own origin (migrating merged state back home) becomes
+        // a self-loop, which erases — the address is home again.
+        for (auto &[key, to] : migrated_)
+            if (to == src
+                && static_cast<EntityId>(key & 0xffffffffu) == entity)
+                to = dst;
+        migrated_[migKey(src, entity)] = dst;
+        migrated_.erase(migKey(dst, entity));
+        ++churn_.migrations;
+        return true;
+    }
+
+    /** Present home of @p entity declared at @p home (identity when
+     *  never migrated). */
+    IslandId
+    currentHome(IslandId home, EntityId entity) const
+    {
+        return resolveEntity(home, entity);
+    }
+
+    /**
+     * Complete re-parents whose delay has elapsed (dueAt <= now).
+     * Call periodically — at window barriers in sharded mode, from a
+     * scheduled event in legacy mode.
+     */
+    void churnTick(corm::sim::Tick now) { processReparents(now, false); }
+
+    /**
+     * Complete every pending re-parent immediately — the watchdog
+     * path: a lane-stall breach told the policy layer the hub is
+     * dead, so there is no need to wait out reparentDelay.
+     */
+    void reparentNow(corm::sim::Tick now) { processReparents(now, true); }
+
   private:
     /**
      * One link direction in sharded mode: the Mailbox's wire
@@ -692,6 +968,310 @@ class CoordFabric : public CoordTransport
         return (static_cast<std::uint32_t>(lo) << 16) | hi;
     }
 
+    /** One orphaned child queued for re-binding after a hub crash. */
+    struct PendingReparent
+    {
+        IslandId child = 0;
+        IslandId fallback = 0;
+        corm::sim::Tick dueAt = 0;
+    };
+
+    /**
+     * Scoped barrier-time override: while a churn action runs at a
+     * window barrier the shard sims are parked at placement-dependent
+     * ticks, so nowFor() must serve the barrier tick instead — the
+     * only placement-independent clock available there.
+     */
+    struct ChurnScope
+    {
+        CoordFabric &f;
+        corm::sim::Tick saved;
+        ChurnScope(CoordFabric &fab, corm::sim::Tick now)
+            : f(fab), saved(fab.churnNow_)
+        {
+            if (fab.sharded() && now != 0)
+                fab.churnNow_ = now;
+        }
+        ~ChurnScope() { f.churnNow_ = saved; }
+    };
+
+    /** Current tick for @p node's actions; the barrier tick during a
+     *  sharded-mode churn action (see ChurnScope). */
+    corm::sim::Tick
+    nowFor(IslandId node)
+    {
+        return churnNow_ != 0 ? churnNow_ : simFor(node).now();
+    }
+
+    /** Grow the node-indexed tables to cover ids below @p span. */
+    void
+    growNodeTables(std::size_t span)
+    {
+        if (wireFrom.size() < span) {
+            wireFrom.resize(span, 0);
+            wireInto.resize(span, 0);
+            aggDepth.resize(span, 0);
+            seen.resize(span);
+        }
+    }
+
+    /** makeLink unless the endpoint pair is already live (a re-join
+     *  may reuse a pair whose old link was retired). */
+    void
+    ensureLink(IslandId a, IslandId b)
+    {
+        if (!links.count(linkKey(a, b)))
+            makeLink(a, b);
+    }
+
+    /** Rebuild routes over the live membership, dropping stale
+     *  entries that routed to or through departed nodes. */
+    void
+    rebuildLiveRoutes()
+    {
+        nextHop.clear();
+        std::vector<IslandId> ids;
+        for (const auto &[id, isl] : islands)
+            ids.push_back(id);
+        buildRoutes(ids);
+    }
+
+    /** First BFS-order tree node with spare fanout (join placement —
+     *  deterministic for a given call sequence). */
+    IslandId
+    pickTreeParent() const
+    {
+        const std::size_t k =
+            static_cast<std::size_t>(std::max(1, cfg.treeFanout));
+        std::vector<IslandId> q{hubId};
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            auto it = children.find(q[i]);
+            if (it == children.end() || it->second.size() < k)
+                return q[i];
+            for (IslandId c : it->second)
+                q.push_back(c);
+        }
+        return hubId;
+    }
+
+    /** Fallback parent for @p id's orphans: the configured fallback,
+     *  else @p id's own parent, else the root. */
+    IslandId
+    fallbackFor(IslandId id) const
+    {
+        if (cfg.fallbackParent != 0 && cfg.fallbackParent != id
+            && islands.count(cfg.fallbackParent))
+            return cfg.fallbackParent;
+        auto it = parent.find(id);
+        if (it != parent.end() && islands.count(it->second))
+            return it->second;
+        return hubId;
+    }
+
+    /** True if climbing the parent chain from @p node reaches
+     *  @p root (cycle-guarded; broken chains answer false). */
+    bool
+    inSubtree(IslandId node, IslandId root) const
+    {
+        std::size_t guard = 0;
+        IslandId at = node;
+        while (at != hubId && ++guard <= parent.size() + 1) {
+            if (at == root)
+                return true;
+            auto it = parent.find(at);
+            if (it == parent.end())
+                return false;
+            at = it->second;
+        }
+        return at == root;
+    }
+
+    /**
+     * Remove @p id from membership, retire its links, unhook it from
+     * its parent; returns its (tree) children, now orphaned. The
+     * orphans keep their dangling parent entry until re-bound:
+     * treeNextHop sees the broken chain and routes to the unroutable
+     * sentinel, which attributes the message instead of throwing.
+     */
+    std::vector<IslandId>
+    detachNode(IslandId id)
+    {
+        islands.erase(id);
+        for (auto it = links.begin(); it != links.end();) {
+            if (it->second->lo == id || it->second->hi == id) {
+                retired.push_back(std::move(it->second));
+                it = links.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        std::vector<IslandId> orphans;
+        auto cit = children.find(id);
+        if (cit != children.end()) {
+            orphans = cit->second;
+            children.erase(cit);
+        }
+        auto pit = parent.find(id);
+        if (pit != parent.end()) {
+            auto up = children.find(pit->second);
+            if (up != children.end()) {
+                auto &v = up->second;
+                v.erase(std::remove(v.begin(), v.end(), id), v.end());
+                if (v.empty())
+                    children.erase(up);
+            }
+            parent.erase(pit);
+        }
+        return orphans;
+    }
+
+    /** Re-bind @p child under @p fallback (or the root when the
+     *  fallback is gone or would create a cycle). */
+    void
+    applyReparent(IslandId child, IslandId fallback)
+    {
+        if (!islands.count(child))
+            return; // departed while orphaned
+        if (!islands.count(fallback))
+            fallback = islands.count(cfg.fallbackParent)
+                           ? cfg.fallbackParent
+                           : hubId;
+        if (fallback == child || inSubtree(fallback, child))
+            fallback = hubId;
+        parent[child] = fallback;
+        children[fallback].push_back(child);
+        ensureLink(fallback, child);
+        ++churn_.reparents;
+    }
+
+    /** Complete pending re-parents (all of them when @p force). */
+    void
+    processReparents(corm::sim::Tick now, bool force)
+    {
+        if (pendingReparents_.empty())
+            return;
+        ChurnScope scope(*this, now);
+        bool changed = false;
+        auto it = pendingReparents_.begin();
+        while (it != pendingReparents_.end()) {
+            if (!force && it->dueAt > now) {
+                ++it;
+                continue;
+            }
+            applyReparent(it->child, it->fallback);
+            it = pendingReparents_.erase(it);
+            changed = true;
+        }
+        if (changed) {
+            rebuildLiveRoutes();
+            ++routeEpoch_;
+        }
+    }
+
+    /**
+     * Flush open buckets owned by @p id and (optionally) buckets at
+     * other hubs destined to @p id, in deterministic key order. The
+     * bucket keys embed the owning node, so keys are unique across
+     * shard states.
+     */
+    void
+    flushBucketsWhere(IslandId id, bool includeDest)
+    {
+        std::vector<std::uint64_t> keys;
+        for (ShardState &st : states)
+            for (const auto &[key, b] : st.aggBuckets)
+                if (b.node == id || (includeDest && b.proto.dst == id))
+                    keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys)
+            flushBucket(key);
+    }
+
+    /** Flush open buckets anywhere destined to (@p dst, @p entity) —
+     *  the migration path: no delta may linger under a stale
+     *  address. */
+    void
+    flushBucketsDestined(IslandId dst, EntityId entity)
+    {
+        std::vector<std::uint64_t> keys;
+        for (ShardState &st : states)
+            for (const auto &[key, b] : st.aggBuckets)
+                if (b.proto.dst == dst && b.proto.entity == entity)
+                    keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys)
+            flushBucket(key);
+    }
+
+    /** Attribute and discard every open bucket at a crashed node;
+     *  the already-scheduled flush timers then find nothing. */
+    void
+    abandonOwnBuckets(IslandId id)
+    {
+        ShardState &st = stateFor(id);
+        std::vector<std::uint64_t> keys;
+        for (const auto &[key, b] : st.aggBuckets)
+            if (b.node == id)
+                keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys) {
+            auto it = st.aggBuckets.find(key);
+            AggBucket b = std::move(it->second);
+            st.aggBuckets.erase(it);
+            if (aggDepth[b.node] > 0)
+                --aggDepth[b.node];
+            st.stats.abandoned.add();
+            if (!onAbandon)
+                continue;
+            if (sharded())
+                st.abandonedQueue.push_back({b.proto, nowFor(id),
+                                             laneIdOf(b.node, b.next),
+                                             ++st.abandonSeq});
+            else
+                onAbandon(b.proto);
+        }
+    }
+
+    /** (old home:16 << 32 | entity:32) forwarding-map key. */
+    static std::uint64_t
+    migKey(IslandId home, EntityId entity)
+    {
+        return (static_cast<std::uint64_t>(home) << 32) | entity;
+    }
+
+    /** Resolve (declared home, entity) through the forwarding map —
+     *  single-hop thanks to path compression at migrateEntity(). */
+    IslandId
+    resolveEntity(IslandId home, EntityId entity) const
+    {
+        auto it = migrated_.find(migKey(home, entity));
+        return it == migrated_.end() ? home : it->second;
+    }
+
+    /**
+     * Count an unroutable / dead-route / departed-endpoint drop and,
+     * for fire-and-forget tunes, hand the message to the abandon
+     * observer so the lost delta is attributed in the conservation
+     * ledger instead of silently vanishing. Sequenced messages are
+     * not attributed here: their reliable sender owns the retry loop
+     * and the terminal abandon.
+     */
+    void
+    dropAttributed(IslandId owner, const CoordMessage &msg,
+                   IslandId from, IslandId to)
+    {
+        ShardState &st = stateFor(owner);
+        st.stats.dropped.add();
+        if (msg.type != MsgType::tune || msg.seq != 0 || !onAbandon)
+            return;
+        if (sharded())
+            st.abandonedQueue.push_back({msg, nowFor(from),
+                                         laneIdOf(from, to),
+                                         ++st.abandonSeq});
+        else
+            onAbandon(msg);
+    }
+
     void
     ensureBuilt()
     {
@@ -718,14 +1298,7 @@ class CoordFabric : public CoordTransport
         // an ordered map, so ids.back() is the highest attached id).
         // Grow-only: re-attachment rebuilds must not discard the
         // accumulated per-node tallies or dedup windows.
-        const std::size_t nodeSpan =
-            static_cast<std::size_t>(ids.back()) + 1;
-        if (wireFrom.size() < nodeSpan) {
-            wireFrom.resize(nodeSpan, 0);
-            wireInto.resize(nodeSpan, 0);
-            aggDepth.resize(nodeSpan, 0);
-            seen.resize(nodeSpan);
-        }
+        growNodeTables(static_cast<std::size_t>(ids.back()) + 1);
 
         switch (cfg.topology) {
           case FabricTopology::mesh:
@@ -757,6 +1330,7 @@ class CoordFabric : public CoordTransport
           }
         }
         buildRoutes(ids);
+        ++routeEpoch_;
     }
 
     void
@@ -849,7 +1423,13 @@ class CoordFabric : public CoordTransport
         return it == nextHop.end() ? to : it->second;
     }
 
-    /** Next hop from @p from toward @p to along the tree path. */
+    /**
+     * Next hop from @p from toward @p to along the tree path. While
+     * a crashed hub's orphans await re-parenting their chains dangle;
+     * a broken (or cyclic) chain answers @p from itself — the
+     * unroutable sentinel, which no link ever matches, so wireSend
+     * attributes the message instead of throwing here.
+     */
     IslandId
     treeNextHop(IslandId from, IslandId to)
     {
@@ -858,8 +1438,12 @@ class CoordFabric : public CoordTransport
         // not in from's subtree and the next hop is from's parent.
         IslandId at = to;
         IslandId below = to;
+        std::size_t guard = 0;
         while (at != hubId) {
-            const IslandId p = parent.at(at);
+            auto it = parent.find(at);
+            if (it == parent.end() || ++guard > parent.size())
+                return from;
+            const IslandId p = it->second;
             if (p == from)
                 return at;
             below = at;
@@ -867,7 +1451,8 @@ class CoordFabric : public CoordTransport
         }
         if (from == hubId)
             return below;
-        return parent.at(from);
+        auto it = parent.find(from);
+        return it == parent.end() ? from : it->second;
     }
 
     bool isTreeHub(IslandId node) const { return children.count(node); }
@@ -966,7 +1551,7 @@ class CoordFabric : public CoordTransport
         corm::obs::TraceRecorder *const r = recFor(sst);
         if (CORM_TRACE_ACTIVE(r) && b.proto.trace != 0) {
             r->instant(
-                nodeTrackOn(sst, b.node), simFor(b.node).now(),
+                nodeTrackOn(sst, b.node), nowFor(b.node),
                 "agg:flush", "coord",
                 {{"coalesced",
                   static_cast<std::uint64_t>(b.proto.coalesced)},
@@ -987,8 +1572,10 @@ class CoordFabric : public CoordTransport
         auto lk = links.find(linkKey(from, to));
         ShardState &st = states[0];
         if (lk == links.end()) {
-            // Topology was rebuilt under an in-flight message.
-            st.stats.dropped.add();
+            // Topology changed under an in-flight message: the next
+            // hop is gone (or routing answered the unroutable
+            // sentinel). Attribute rather than lose the delta.
+            dropAttributed(from, msg, from, to);
             return;
         }
         const std::uint64_t tag = ++st.nextTag;
@@ -1025,14 +1612,14 @@ class CoordFabric : public CoordTransport
         ShardState &st = stateFor(from);
         auto lk = links.find(linkKey(from, to));
         if (lk == links.end()) {
-            st.stats.dropped.add();
+            dropAttributed(from, msg, from, to);
             return;
         }
         const std::uint64_t tag = ++st.nextTag;
         Flight &f = st.flights[tag];
         f.msg = msg;
         f.originSentAt = origin;
-        f.hopSentAt = simFor(from).now();
+        f.hopSentAt = nowFor(from);
         f.from = from;
         f.to = to;
         f.hopsSoFar = hopsSoFar;
@@ -1052,18 +1639,22 @@ class CoordFabric : public CoordTransport
         auto it = st.flights.find(tag);
         Flight &f = it->second;
         Lane &lane = link.laneFrom(f.from);
-        corm::sim::Simulator &s = simFor(f.from);
+        // Barrier-time churn actions (a leave's bucket flush, say)
+        // transmit while the shard sims are parked at placement-
+        // dependent ticks: nowFor serves the barrier tick there and
+        // the owning sim's clock during a window.
+        const corm::sim::Tick tnow = nowFor(f.from);
         // Mirror Mailbox's Activity::sent: logged before the fault
         // roll, so the stall watchdog sees attempts the weather ate.
         if (laneActivity_)
             st.laneLog.push_back(
-                {s.now(), lane.id, ++st.laneLogSeq, false});
+                {tnow, lane.id, ++st.laneLogSeq, false});
         corm::interconnect::FaultAction act;
         if (lane.faults)
-            act = lane.faults->apply(s.now());
+            act = lane.faults->apply(tnow);
         if (act.drop) {
             if (CORM_TRACE_ACTIVE(st.rec))
-                st.rec->instant(laneTrackOn(st, lane), s.now(),
+                st.rec->instant(laneTrackOn(st, lane), tnow,
                                 "hop:drop", "coord");
             shardDrop(st, it, lane.id);
             return;
@@ -1071,7 +1662,7 @@ class CoordFabric : public CoordTransport
         // Mirror Mailbox::send: base latency plus weather delay,
         // clamped to in-order delivery unless reordering was drawn.
         corm::sim::Tick when =
-            s.now() + cfg.hopLatency + act.extraDelay;
+            tnow + cfg.hopLatency + act.extraDelay;
         if (!act.reorder) {
             when = std::max(when, lane.lastDelivery);
             lane.lastDelivery = when;
@@ -1084,13 +1675,13 @@ class CoordFabric : public CoordTransport
             // flow step on the lane track is the stitch between the
             // sender-side span and the receiver-side continuation.
             st.rec->complete(
-                laneTrackOn(st, lane), s.now(), when - s.now(),
+                laneTrackOn(st, lane), tnow, when - tnow,
                 std::string("hop:") + msgTypeName(f.msg.type), "coord",
                 {{"entity", static_cast<std::uint64_t>(f.msg.entity)},
                  {"seq", static_cast<int>(f.msg.seq)},
                  {"hop", f.hopsSoFar + 1}});
             if (f.msg.trace != 0)
-                st.rec->flowStep(laneTrackOn(st, lane), s.now(),
+                st.rec->flowStep(laneTrackOn(st, lane), tnow,
                                  f.msg.trace, "coord.span", "coord");
         }
         corm::sim::ShardMessage e;
@@ -1414,8 +2005,38 @@ class CoordFabric : public CoordTransport
     finalDeliver(const CoordMessage &msg, corm::sim::Tick origin,
                  int hops)
     {
-        ResourceIsland &dst = *islands.at(msg.dst);
         ShardState &sst = stateFor(msg.dst);
+        auto dit = islands.find(msg.dst);
+        if (dit == islands.end()) {
+            // Destination departed while the message was in flight.
+            dropAttributed(msg.dst, msg, msg.src, msg.dst);
+            return;
+        }
+        ResourceIsland &dst = *dit->second;
+        if (!migrated_.empty()
+            && (msg.type == MsgType::tune
+                || msg.type == MsgType::trigger)) {
+            const IslandId home = resolveEntity(msg.dst, msg.entity);
+            if (home != msg.dst) {
+                // Live-migration forwarding. Dedup is consulted at
+                // the old home FIRST (lookup-only): a retry whose
+                // original applied here pre-migration is re-acked,
+                // never forwarded — the exactly-once half the new
+                // home cannot see. A miss forwards without claiming
+                // the key, so the new home's window stays
+                // authoritative for the forwarded copy.
+                if (msg.seq != 0 && seenContains(msg.dst, msg)) {
+                    sst.stats.duplicates.add();
+                    sendAckFor(dst, msg);
+                    return;
+                }
+                sst.stats.migForwards.add();
+                CoordMessage onward = msg;
+                onward.dst = home;
+                forwardFrom(msg.dst, onward, origin, hops);
+                return;
+            }
+        }
         sst.stats.delivered.add();
         sst.stats.deliveryLatencyUs.record(
             corm::sim::toMicros(simFor(msg.dst).now() - origin));
@@ -1459,10 +2080,41 @@ class CoordFabric : public CoordTransport
             auto it = ackObservers.find(msg.dst);
             if (it != ackObservers.end() && it->second)
                 it->second(msg);
+            dispatchAckMulti(msg);
             if (catchAllAckObserver)
                 catchAllAckObserver(msg);
             break;
           }
+        }
+    }
+
+    /**
+     * Dispatch an ack to the token observers at its endpoint. A
+     * callback may register or unregister observers (even destroy
+     * its own sender), so iterate a snapshot and re-check each
+     * token's liveness before calling — a callback belonging to a
+     * sender an earlier callback destroyed must not run.
+     */
+    void
+    dispatchAckMulti(const CoordMessage &msg)
+    {
+        auto mit = ackMulti_.find(msg.dst);
+        if (mit == ackMulti_.end())
+            return;
+        const std::vector<AckEntry> snap = mit->second;
+        for (const AckEntry &e : snap) {
+            auto again = ackMulti_.find(msg.dst);
+            if (again == ackMulti_.end())
+                break;
+            bool alive = false;
+            for (const AckEntry &cur : again->second) {
+                if (cur.token == e.token) {
+                    alive = true;
+                    break;
+                }
+            }
+            if (alive && e.fn)
+                e.fn(msg);
         }
     }
 
@@ -1479,27 +2131,52 @@ class CoordFabric : public CoordTransport
         send(ack);
     }
 
-    /** True if (type, src, seq) was recently applied at @p endpoint. */
+    /**
+     * Endpoint dedup key. The type is part of the key: two reliable
+     * senders sharing a source endpoint (an announcer and a trigger
+     * sender, say) each start their sequence space at 1, and a
+     * window keyed on (src, seq) alone would eat the second sender's
+     * first messages as replays of the first's. The packed lanes are
+     * (type:8 << 48) | (src:16 << 32) | seq:32 — full-width, so no
+     * two distinct (type, src, seq) triples ever alias. The key is
+     * independent of the route taken, which is what makes dedup
+     * stable across a re-parent: a tune re-driven under a new route
+     * still matches the copy that slipped through the old one.
+     */
+    static std::uint64_t
+    seenKey(const CoordMessage &msg)
+    {
+        return (static_cast<std::uint64_t>(msg.type) << 48)
+            | (static_cast<std::uint64_t>(msg.src) << 32)
+            | static_cast<std::uint64_t>(msg.seq);
+    }
+
+    /** True if (type, src, seq) was recently applied at @p endpoint;
+     *  records the key on a miss. */
     bool
     seenRecently(IslandId endpoint, const CoordMessage &msg)
     {
-        // The type is part of the key: two reliable senders sharing
-        // a source endpoint (an announcer and a trigger sender, say)
-        // each start their sequence space at 1, and a window keyed on
-        // (src, seq) alone would eat the second sender's first
-        // messages as replays of the first's. The packed lanes are
-        // (type:8 << 48) | (src:16 << 32) | seq:32 — full-width, so
-        // no two distinct (type, src, seq) triples ever alias.
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(msg.type) << 48)
-            | (static_cast<std::uint64_t>(msg.src) << 32)
-            | static_cast<std::uint64_t>(msg.seq);
+        const std::uint64_t key = seenKey(msg);
         SeenWindow &w = seen[endpoint];
         for (std::uint64_t k : w.keys) {
             if (k == key)
                 return true;
         }
         w.keys[w.head++ % w.keys.size()] = key;
+        return false;
+    }
+
+    /** Lookup-only probe of the dedup window (no recording): the
+     *  forwarding path, where the old home must not claim keys it
+     *  never applied. */
+    bool
+    seenContains(IslandId endpoint, const CoordMessage &msg) const
+    {
+        const std::uint64_t key = seenKey(msg);
+        const SeenWindow &w = seen[endpoint];
+        for (std::uint64_t k : w.keys)
+            if (k == key)
+                return true;
         return false;
     }
 
@@ -1638,6 +2315,7 @@ class CoordFabric : public CoordTransport
         into.aggFolded.add(s.aggFolded.value());
         into.aggBatches.add(s.aggBatches.value());
         into.triggerBypass.add(s.triggerBypass.value());
+        into.migForwards.add(s.migForwards.value());
         into.retries.add(s.retries.value());
         into.deliveryLatencyUs.merge(s.deliveryLatencyUs);
         into.hopsPerDelivery.merge(s.hopsPerDelivery);
@@ -1669,7 +2347,22 @@ class CoordFabric : public CoordTransport
     std::vector<SeenWindow> seen;
     std::map<IslandId, std::function<void(const CoordMessage &)>>
         ackObservers;
+    /** One token-registered ack observer (see addAckObserver). */
+    struct AckEntry
+    {
+        std::uint64_t token = 0;
+        std::function<void(const CoordMessage &)> fn;
+    };
+    std::map<IslandId, std::vector<AckEntry>> ackMulti_;
+    std::uint64_t ackToken_ = 0;
     std::function<void(const CoordMessage &)> catchAllAckObserver;
+    std::uint64_t routeEpoch_ = 0;
+    ChurnCounters churn_;
+    /** Barrier tick override while a churn action runs (ChurnScope). */
+    corm::sim::Tick churnNow_ = 0;
+    std::vector<PendingReparent> pendingReparents_;
+    /** (old home, entity) -> new home forwarding pointers. */
+    std::map<std::uint64_t, IslandId> migrated_;
     AbandonFn onAbandon;
     corm::obs::TraceRecorder *rec_ = nullptr;
     std::map<std::uint32_t, int> linkTracks;

@@ -89,7 +89,10 @@ class ReliableSender
                    CoordTransport &channel, IslandId self, Params params)
         : sim(simulator), chan(channel), selfId(self), cfg(params)
     {
-        chan.setAckObserver(
+        // Token registration: several senders (and an announcer) can
+        // share one endpoint. Transports without the token API fall
+        // back to the single setAckObserver slot (see transport.hpp).
+        ackToken = chan.addAckObserver(
             selfId, [this](const CoordMessage &m) { onAck(m); });
     }
 
@@ -97,7 +100,7 @@ class ReliableSender
     {
         for (auto &[seq, st] : pending)
             sim.cancel(st.retryEvent);
-        chan.setAckObserver(selfId, nullptr);
+        chan.removeAckObserver(selfId, ackToken);
     }
 
     ReliableSender(const ReliableSender &) = delete;
@@ -136,6 +139,49 @@ class ReliableSender
         if (it == pending.end())
             return;
         finish(it, Outcome::superseded);
+    }
+
+    /**
+     * Abandon every pending send addressed to @p dst — the departed-
+     * destination path: when an island leaves or crashes the retry
+     * timers toward it must be cancelled through finish() with a
+     * proper abandon note, not left firing into an unroutable lane
+     * inflating the transport's drop counters. Returns how many
+     * sends were abandoned.
+     */
+    std::size_t
+    abandonDestination(IslandId dst)
+    {
+        std::size_t n = 0;
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->second.msg.dst != dst) {
+                ++it;
+                continue;
+            }
+            abandonedCount.add();
+            logger.debug("abandoning %s seq %u: island %u departed",
+                         msgTypeName(it->second.msg.type),
+                         static_cast<unsigned>(it->first),
+                         static_cast<unsigned>(dst));
+            if (CORM_TRACE_ACTIVE(rec_)
+                && it->second.msg.trace != 0) {
+                rec_->instant(myTrack(), sim.now(), "abandon", "coord",
+                              {{"seq", static_cast<int>(it->first)},
+                               {"departed", 1}});
+                rec_->flowEnd(myTrack(), sim.now(),
+                              it->second.msg.trace, "coord.span",
+                              "coord");
+            }
+            if (onAbandon)
+                onAbandon(it->second.msg);
+            // finish() erases the entry; restart after the mutation
+            // (done callbacks may themselves touch `pending`).
+            const SeqNum seq = it->first;
+            finish(it, Outcome::abandoned);
+            it = pending.upper_bound(seq);
+            ++n;
+        }
+        return n;
     }
 
     /** Sends not yet acked, abandoned, or cancelled. */
@@ -327,6 +373,7 @@ class ReliableSender
     corm::sim::Simulator &sim;
     CoordTransport &chan;
     IslandId selfId;
+    std::uint64_t ackToken = 0;
     Params cfg;
     corm::obs::TraceRecorder *rec_ = nullptr;
     AbandonFn onAbandon;
@@ -424,6 +471,17 @@ class ReliableAnnouncer
                     return; // announce() is installing the new seq
                 slots.erase(key(msg.dst, msg.entity));
             });
+    }
+
+    /**
+     * Abandon pending announcements to a departed island; their
+     * slots clear through the completion callback, so a later
+     * re-join announces fresh. Returns how many were abandoned.
+     */
+    std::size_t
+    abandonDestination(IslandId to)
+    {
+        return sender ? sender->abandonDestination(to) : 0;
     }
 
     /** Announcements not yet acknowledged. */

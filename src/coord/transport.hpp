@@ -41,6 +41,34 @@ class CoordTransport
     setAckObserver(IslandId endpoint,
                    std::function<void(const CoordMessage &)> fn) = 0;
 
+    /**
+     * Token-based multi-observer registration: unlike
+     * setAckObserver's single slot, several observers can share one
+     * endpoint (an announcer that lives the whole run plus a trigger
+     * sender, say — both homed at the root). The returned token
+     * unregisters exactly this observer via removeAckObserver.
+     *
+     * The default maps onto the single setAckObserver slot, so
+     * transports (and test fakes) that predate the token API keep
+     * working as long as only one observer per endpoint is live —
+     * the pre-churn status quo. CoordFabric and CoordChannel
+     * override with real multi-observer registries.
+     */
+    virtual std::uint64_t
+    addAckObserver(IslandId endpoint,
+                   std::function<void(const CoordMessage &)> fn)
+    {
+        setAckObserver(endpoint, std::move(fn));
+        return 0;
+    }
+
+    /** Unregister the observer @p token named at @p endpoint. */
+    virtual void
+    removeAckObserver(IslandId endpoint, std::uint64_t /*token*/)
+    {
+        setAckObserver(endpoint, nullptr);
+    }
+
     /** Record a retransmission performed by the reliable layer. */
     virtual void noteRetransmit() = 0;
 };

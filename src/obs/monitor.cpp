@@ -295,6 +295,7 @@ void
 HealthMonitor::laneSentAt(int id, corm::sim::Tick when)
 {
     Lane &l = lanes_[static_cast<std::size_t>(id)];
+    l.retired = false; // fresh traffic revives a retired lane
     ++l.sends;
     if (l.oldestUnanswered == 0)
         l.oldestUnanswered = when;
@@ -310,6 +311,7 @@ void
 HealthMonitor::laneDeliveredAt(int id, corm::sim::Tick when)
 {
     Lane &l = lanes_[static_cast<std::size_t>(id)];
+    l.retired = false;
     ++l.deliveries;
     const corm::sim::Tick now = when;
     if (l.stalled) {
@@ -341,6 +343,52 @@ HealthMonitor::laneDeliveredAt(int id, corm::sim::Tick when)
         emit(std::move(ev));
     }
     l.oldestUnanswered = 0;
+}
+
+void
+HealthMonitor::retireLane(int id)
+{
+    Lane &l = lanes_[static_cast<std::size_t>(id)];
+    if (l.retired)
+        return;
+    if (l.stalled) {
+        // The lane died mid-stall (hub crash): balance the event
+        // stream with the recover its deliveries can no longer emit.
+        l.stalled = false;
+        HealthEvent ev;
+        ev.kind = HealthEvent::Kind::stallRecover;
+        ev.when = sim.now();
+        ev.subject = "lane " + l.name;
+        ev.observed = l.oldestUnanswered != 0
+            ? corm::sim::toMicros(sim.now() - l.oldestUnanswered)
+                / 1000.0
+            : 0.0;
+        ev.threshold = corm::sim::toMicros(cfg.stallTimeout) / 1000.0;
+        emit(std::move(ev));
+    }
+    // A clean departure drops any outstanding send silently: the
+    // in-flight messages are attributed by the transport, and a
+    // stall breach for traffic that can never resume is noise.
+    l.oldestUnanswered = 0;
+    l.retired = true;
+}
+
+void
+HealthMonitor::retireLanesExcept(const std::vector<std::string> &live)
+{
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (lanes_[i].retired)
+            continue;
+        bool found = false;
+        for (const std::string &name : live) {
+            if (lanes_[i].name == name) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            retireLane(static_cast<int>(i));
+    }
 }
 
 void
@@ -445,7 +493,7 @@ HealthMonitor::poll(corm::sim::Tick now)
     }
 
     for (Lane &l : lanes_) {
-        if (!l.stalled && l.oldestUnanswered != 0
+        if (!l.retired && !l.stalled && l.oldestUnanswered != 0
             && now - l.oldestUnanswered > cfg.stallTimeout) {
             l.stalled = true;
             HealthEvent ev;

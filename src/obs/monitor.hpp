@@ -201,6 +201,21 @@ class HealthMonitor
     void laneSentAt(int id, corm::sim::Tick when);
     void laneDeliveredAt(int id, corm::sim::Tick when);
 
+    /**
+     * Retire lane @p id — a link departed with its island (churn).
+     * A cleanly-departed lane deactivates silently (no spurious
+     * stall breach for traffic that will never resume); a lane that
+     * was already stalled emits its stallRecover first so the event
+     * stream stays balanced. The stall scan skips retired lanes;
+     * fresh traffic on the lane (an island re-joining over the same
+     * endpoint pair) revives it automatically.
+     */
+    void retireLane(int id);
+
+    /** Retire every lane whose name is absent from @p live — sugar
+     *  for the churn path (names as registered via lane()). */
+    void retireLanesExcept(const std::vector<std::string> &live);
+
     /** The reliable layer gave up on a message. */
     void noteAbandon(const std::string &who);
 
@@ -271,6 +286,9 @@ class HealthMonitor
          *  outstanding (tick 0 never carries coordination traffic). */
         corm::sim::Tick oldestUnanswered = 0;
         bool stalled = false;
+        /** Deactivated by retireLane(); skipped by the stall scan
+         *  until traffic revives it. */
+        bool retired = false;
         std::uint64_t sends = 0;
         std::uint64_t deliveries = 0;
     };

@@ -7,6 +7,7 @@
 
 #include "platform/scenarios.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -684,9 +685,15 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     };
     std::uint64_t abandonedLogicalTunes = 0;
     fabric.setAbandonObserver([&](const coord::CoordMessage &m) {
-        if (m.type == coord::MsgType::tune) {
+        // Only fire-and-forget tunes carry conservation-ledger deltas
+        // (sequenced messages belong to a ReliableSender, which owns
+        // their terminal abandon). A tune bound for a migrated entity
+        // is attributed against the entity's *current* home — its
+        // intent entry moved there with the migration handoff.
+        if (m.type == coord::MsgType::tune && m.seq == 0) {
             abandonedLogicalTunes += m.coalesced;
-            intent[intentKey(m.dst, m.entity)] -= m.value;
+            intent[intentKey(fabric.currentHome(m.dst, m.entity),
+                             m.entity)] -= m.value;
         }
         if (monitor)
             monitor->noteAbandon(
@@ -860,6 +867,135 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         }
     }
 
+    // Churn schedule: membership and placement changes mid-workload.
+    // Legacy mode applies each event from a simulator event at its
+    // tick; sharded mode applies due events at the first window
+    // barrier at-or-after the tick (below, in the probe), passing the
+    // barrier tick so re-driven flushes land placement-independently.
+    // Either way events apply in schedule order, so a seed replays
+    // exactly.
+    using ChurnEvent = FabricScenarioConfig::ChurnEvent;
+    std::vector<ChurnEvent> churnPlan = cfg.churn;
+    std::stable_sort(churnPlan.begin(), churnPlan.end(),
+                     [](const ChurnEvent &a, const ChurnEvent &b) {
+                         return a.at < b.at;
+                     });
+    const Tick workloadStart = sim.now();
+    std::uint64_t churnSkipped = 0;
+
+    // Re-wire watchdog lanes after a membership change: links born
+    // from a join or re-parent get lanes registered, links that
+    // departed with an island retire (no spurious stall breach for
+    // traffic that will never resume). Lane ids and names are pure
+    // functions of the endpoint ids, so a re-joined pair revives its
+    // old lane rather than growing a new one.
+    const auto resyncLanes = [&] {
+        if (!monitor)
+            return;
+        std::vector<std::string> live;
+        if (engine) {
+            fabric.forEachLaneId(
+                [&](const std::string &lane_name, std::uint64_t id) {
+                    if (!laneMon.count(id))
+                        laneMon[id] = monitor->lane(lane_name);
+                    live.push_back(lane_name);
+                });
+        } else {
+            fabric.forEachLane([&](const std::string &lane_name,
+                                   corm::interconnect::Mailbox &mb) {
+                const int lane = monitor->lane(lane_name);
+                mb.setActivityObserver(
+                    [mon = monitor.get(),
+                     lane](corm::interconnect::Mailbox::Activity a) {
+                        using A = corm::interconnect::Mailbox::Activity;
+                        if (a == A::sent)
+                            mon->laneSent(lane);
+                        else if (a == A::delivered)
+                            mon->laneDelivered(lane);
+                    });
+                live.push_back(lane_name);
+            });
+        }
+        monitor->retireLanesExcept(live);
+    };
+
+    const auto applyChurn = [&](const ChurnEvent &ev, Tick now) {
+        using Kind = ChurnEvent::Kind;
+        if (ev.island <= 0 || ev.island >= n) {
+            ++churnSkipped;
+            return;
+        }
+        const auto id =
+            static_cast<coord::IslandId>(rootId + ev.island);
+        switch (ev.kind) {
+          case Kind::join:
+            if (fabric.attached(id)) {
+                ++churnSkipped;
+                return;
+            }
+            fabric.join(*islands[static_cast<std::size_t>(ev.island)],
+                        now);
+            break;
+          case Kind::leave:
+          case Kind::crash:
+            if (!fabric.attached(id)) {
+                ++churnSkipped;
+                return;
+            }
+            if (ev.kind == Kind::leave)
+                fabric.leave(id, now);
+            else
+                fabric.crash(id, now);
+            // Cancel the trigger retry timers still aimed at the
+            // departed island through finish(): each pending counts
+            // as abandoned, so the trigger ledger stays balanced
+            // without waiting out the full retry budget.
+            triggerSender.abandonDestination(id);
+            break;
+          case Kind::migrate: {
+            if (ev.dstIsland <= 0 || ev.dstIsland >= n
+                || ev.tier < 0 || ev.tier >= std::max(cfg.tiers, 1)) {
+                ++churnSkipped;
+                return;
+            }
+            const auto tier =
+                tierBase + static_cast<coord::EntityId>(ev.tier);
+            const auto dst =
+                static_cast<coord::IslandId>(rootId + ev.dstIsland);
+            // The handoff moves coordination state from the entity's
+            // *current* home — it may have migrated before.
+            const coord::IslandId from = fabric.currentHome(id, tier);
+            if (!fabric.migrateEntity(from, dst, tier, now)) {
+                ++churnSkipped;
+                return;
+            }
+            ShardIsland &fromIsl =
+                *islands[static_cast<std::size_t>(from - rootId)];
+            ShardIsland &dstIsl =
+                *islands[static_cast<std::size_t>(ev.dstIsland)];
+            auto wit = fromIsl.weights.find(tier);
+            if (wit != fromIsl.weights.end()) {
+                dstIsl.weights[tier] += wit->second;
+                fromIsl.weights.erase(wit);
+            }
+            auto iit = intent.find(intentKey(from, tier));
+            if (iit != intent.end()) {
+                intent[intentKey(dst, tier)] += iit->second;
+                intent.erase(iit);
+            }
+            break;
+          }
+        }
+    };
+    if (!churnPlan.empty() && !engine) {
+        for (const ChurnEvent &ev : churnPlan) {
+            sim.scheduleAt(workloadStart + ev.at, [&, ev] {
+                applyChurn(ev, 0);
+                resyncLanes();
+            });
+        }
+    }
+
     // Convergence probe: the first poll tick (after which no later
     // poll disagrees) where every island's applied weights equal the
     // policy intent, exactly.
@@ -906,6 +1042,8 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         Tick nextPollAt = sim.now() + pollPeriod;
         Tick nextMonAt = sim.now() + monitorParams.samplePeriod;
         // Barrier-time capture sequence (all workers parked):
+        //  0. apply churn events due by this window's end (and any
+        //     re-parents whose delay elapsed) at the barrier tick;
         //  1. merge the shards' window trace buffers (canonical
         //     order), so everything below lands after window events;
         //  2. drain abandons (observer feeds intent + monitor);
@@ -913,9 +1051,25 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         //  4. monitor sample/rule/stall pass at its own cadence;
         //  5. the convergence check.
         // Every step is a pure function of the global event set, so
-        // the whole sequence replays identically for any shard count.
-        engine->setProbe([&, nextPollAt, nextMonAt](
+        // the whole sequence replays identically for any shard count
+        // — churn included: the window sequence is shard-count
+        // invariant, so each event lands at the same barrier tick.
+        std::size_t nextChurnIdx = 0;
+        engine->setProbe([&, nextPollAt, nextMonAt, nextChurnIdx](
                              Tick windowEnd) mutable {
+            if (nextChurnIdx < churnPlan.size()
+                || fabric.pendingReparentCount() != 0) {
+                const std::uint64_t epoch = fabric.routeEpoch();
+                while (nextChurnIdx < churnPlan.size()
+                       && workloadStart + churnPlan[nextChurnIdx].at
+                           <= windowEnd) {
+                    applyChurn(churnPlan[nextChurnIdx], windowEnd);
+                    ++nextChurnIdx;
+                }
+                fabric.churnTick(windowEnd);
+                if (fabric.routeEpoch() != epoch)
+                    resyncLanes();
+            }
             if (capture)
                 capture->mergeWindow();
             fabric.drainAbandoned();
@@ -942,7 +1096,17 @@ runFabricScenario(const FabricScenarioConfig &cfg)
         });
     } else {
         poll = std::make_unique<corm::sim::PeriodicEvent>(
-            sim, pollPeriod, [&] { pollCheck(sim.now()); });
+            sim, pollPeriod, [&] {
+                // Complete crash re-parents whose delay elapsed
+                // (no-op — and digest-neutral — without churn).
+                if (fabric.pendingReparentCount() != 0) {
+                    const std::uint64_t epoch = fabric.routeEpoch();
+                    fabric.churnTick(sim.now());
+                    if (fabric.routeEpoch() != epoch)
+                        resyncLanes();
+                }
+                pollCheck(sim.now());
+            });
     }
     runFor(span + cfg.settleLimit);
     poll->stop();
@@ -991,6 +1155,21 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     r.fabricDropped = fs.dropped.value();
     r.meanDeliveryUs = fs.deliveryLatencyUs.mean();
     r.meanHops = fs.hopsPerDelivery.mean();
+    r.migForwards = fs.migForwards.value();
+    {
+        const coord::CoordFabric::ChurnCounters &cc =
+            fabric.churnCounters();
+        r.churnJoins = cc.joins;
+        r.churnLeaves = cc.leaves;
+        r.churnCrashes = cc.crashes;
+        r.churnMigrations = cc.migrations;
+        r.churnReparents = cc.reparents;
+    }
+    r.churnSkipped = churnSkipped;
+    r.routeEpochs = fabric.routeEpoch();
+    r.tunesLost = static_cast<std::int64_t>(r.logicalTunes)
+        - static_cast<std::int64_t>(r.appliedTunes)
+        - static_cast<std::int64_t>(r.abandonedTunes);
 
     r.triggersSent = triggersSent;
     r.triggersAcked = triggerSender.acked();
@@ -1043,6 +1222,25 @@ runFabricScenario(const FabricScenarioConfig &cfg)
     // tune count balances applied + abandoned.
     r.deltaSumsExact = converged()
         && r.appliedTunes + r.abandonedTunes == r.logicalTunes;
+    if (!converged()) {
+        int rows = 0;
+        for (const auto &[key, want] : intent) {
+            const auto island = static_cast<std::size_t>(key >> 32);
+            const auto entity =
+                static_cast<coord::EntityId>(key & 0xffffffffu);
+            const double got =
+                islands[island - rootId]->weight(entity);
+            if (got == want)
+                continue;
+            char line[96];
+            std::snprintf(line, sizeof(line),
+                          "island %zu entity %u want %g got %g\n",
+                          island, entity, want, got);
+            r.convergenceMismatch += line;
+            if (++rows >= 8)
+                break;
+        }
+    }
 
     // Replay-identity digest over final weights and counters.
     std::uint64_t h = 1469598103934665603ULL;

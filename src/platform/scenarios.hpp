@@ -376,6 +376,38 @@ struct FabricScenarioConfig
     /** Slowest-flow entries in the report (see FlowProfiler). */
     std::size_t profileTopK = 5;
 
+    /**
+     * One scheduled membership/placement change. Times are offsets
+     * from the start of the workload phase (after binding bring-up);
+     * islands are named by index in [0, islands), and index 0 — the
+     * root/hub — is never churned. An event that does not apply to
+     * the live membership at its tick (leaving an island that already
+     * left, joining one still attached, migrating to the entity's own
+     * home) is skipped and tallied in churnSkipped, so randomly
+     * generated schedules need no pre-validation.
+     */
+    struct ChurnEvent
+    {
+        enum class Kind : std::uint8_t { join, leave, crash, migrate };
+        Kind kind = Kind::leave;
+        corm::sim::Tick at = 0;
+        int island = 0;    ///< target island index (1 .. islands-1)
+        int dstIsland = 0; ///< migrate: new home island index
+        int tier = 0;      ///< migrate: tier index in [0, tiers)
+    };
+
+    /**
+     * Churn schedule applied during the workload. Legacy runs apply
+     * each event from a simulator event at its tick; sharded runs
+     * apply due events at the first window barrier at-or-after the
+     * tick — the only placement-independent point, with every worker
+     * parked — so results stay digest-identical for every shard
+     * count >= 1. Deltas stranded by churn are attributed through
+     * the abandon observer (against the entity's current home), so
+     * the exact-sum conservation invariant holds under any schedule.
+     */
+    std::vector<ChurnEvent> churn;
+
     /** Invoked after islands attach, before the workload starts. */
     std::function<void(coord::CoordFabric &)> wire;
 };
@@ -413,6 +445,23 @@ struct FabricScenarioResult
     std::uint64_t duplicates = 0;
     std::uint64_t fabricDropped = 0; ///< unroutable destinations
 
+    // Churn accounting (all zero without a churn schedule).
+    std::uint64_t churnJoins = 0;
+    std::uint64_t churnLeaves = 0;
+    std::uint64_t churnCrashes = 0;
+    std::uint64_t churnMigrations = 0;
+    std::uint64_t churnReparents = 0;
+    std::uint64_t churnSkipped = 0; ///< events invalid at their tick
+    std::uint64_t migForwards = 0;  ///< deliveries re-routed to a new home
+    std::uint64_t routeEpochs = 0;  ///< route-table rebuild epochs
+    /**
+     * logicalTunes - appliedTunes - abandonedTunes: zero iff every
+     * root-issued tune was applied exactly once or attributed as
+     * abandoned, across any migration or re-parent (the churn
+     * bench's machine-checked conservation gate).
+     */
+    std::int64_t tunesLost = 0;
+
     // Trigger delivered-or-abandoned accounting.
     std::uint64_t triggersSent = 0;
     std::uint64_t triggersAcked = 0;
@@ -434,6 +483,13 @@ struct FabricScenarioResult
     /** Sim-time until every island's weights match policy intent. */
     double convergenceMs = 0.0;
     bool converged = false;
+    /**
+     * When not converged: up to the first few (island, entity,
+     * want, got) rows where applied weight disagrees with intent,
+     * one per line. Empty on convergence. Diagnostic only — never
+     * part of the digest.
+     */
+    std::string convergenceMismatch;
 
     // Invariant verdicts (the fuzz harness asserts these).
     bool deltaSumsExact = false; ///< Σ applied == intent, exactly

@@ -347,6 +347,168 @@ TEST(FabricFuzz, ShardCountNeverChangesTheDigest)
     }
 }
 
+namespace {
+
+/**
+ * Random churn schedule over the workload span: joins, leaves,
+ * crashes and live entity migrations against the seed's 2–32 island
+ * fabric, under the same fault weather. The root (index 0) is never
+ * churned; events that do not apply at their tick (the scenario
+ * tallies them in churnSkipped) are part of the fuzz surface — a
+ * schedule needs no pre-validation. Pure function of the seed.
+ */
+std::vector<corm::platform::FabricScenarioConfig::ChurnEvent>
+churnScheduleFromSeed(std::uint64_t seed,
+                      const corm::platform::FabricScenarioConfig &cfg)
+{
+    using ChurnEvent =
+        corm::platform::FabricScenarioConfig::ChurnEvent;
+    Rng r(SplitMix64(seed ^ 0xc08a71ULL).next());
+    std::vector<ChurnEvent> plan;
+    const int events = 2 + static_cast<int>(r.uniformInt(7)); // 2..8
+    for (int i = 0; i < events; ++i) {
+        ChurnEvent ev;
+        switch (r.uniformInt(4)) {
+          case 0: ev.kind = ChurnEvent::Kind::join; break;
+          case 1: ev.kind = ChurnEvent::Kind::leave; break;
+          case 2: ev.kind = ChurnEvent::Kind::crash; break;
+          default: ev.kind = ChurnEvent::Kind::migrate; break;
+        }
+        ev.at = r.uniformInt(cfg.workloadSpan);
+        ev.island =
+            1 + static_cast<int>(r.uniformInt(cfg.islands - 1));
+        ev.dstIsland =
+            1 + static_cast<int>(r.uniformInt(cfg.islands - 1));
+        ev.tier = static_cast<int>(r.uniformInt(cfg.tiers));
+        plan.push_back(ev);
+    }
+    return plan;
+}
+
+/** Conservation invariants that must hold under ANY churn schedule:
+ *  every root-issued tune applied exactly once or attributed as
+ *  abandoned, every trigger and binding delivered-or-abandoned. */
+void
+expectChurnInvariants(const corm::platform::FabricScenarioResult &r)
+{
+    EXPECT_EQ(r.tunesLost, 0)
+        << "applied=" << r.appliedTunes
+        << " abandoned=" << r.abandonedTunes
+        << " logical=" << r.logicalTunes;
+    EXPECT_TRUE(r.deltaSumsExact)
+        << "applied=" << r.appliedTunes
+        << " abandoned=" << r.abandonedTunes
+        << " logical=" << r.logicalTunes;
+    EXPECT_TRUE(r.converged)
+        << "not converged after " << r.convergenceMs << " ms";
+    EXPECT_TRUE(r.bindingsOk)
+        << "announced=" << r.bindingsAnnounced
+        << " learned=" << r.bindingsLearned
+        << " abandoned=" << r.bindingsAbandoned;
+    EXPECT_TRUE(r.triggersAccounted)
+        << "sent=" << r.triggersSent << " acked=" << r.triggersAcked
+        << " abandoned=" << r.triggersAbandoned;
+    // NOTE: fabricDropped is NOT asserted zero here — under churn,
+    // attributed drops (unroutable sends toward departed islands,
+    // dead-route hops) are expected and already balanced into the
+    // tune ledger above.
+}
+
+} // namespace
+
+TEST(FabricFuzz, ChurnSchedulesHoldConservationInvariants)
+{
+    // The headline churn invariant, fuzzed: random island fabrics
+    // under random join/leave/crash/migrate schedules and fault
+    // weather never lose or double-apply a tune.
+    const int seeds = fuzzSeedCount();
+    for (int i = 1; i <= seeds; ++i) {
+        const std::uint64_t seed = 0xc09b1du + 104729ull * i;
+        SCOPED_TRACE("failing seed: " + std::to_string(seed));
+        auto cfg = fabricConfigFromSeed(seed);
+        cfg.churn = churnScheduleFromSeed(seed, cfg);
+        const auto r = corm::platform::runFabricScenario(cfg);
+        expectChurnInvariants(r);
+        // The schedule actually exercised the machinery: at least
+        // one event applied or was (deliberately) skipped.
+        EXPECT_EQ(r.churnJoins + r.churnLeaves + r.churnCrashes
+                      + r.churnMigrations + r.churnSkipped,
+                  cfg.churn.size());
+    }
+}
+
+TEST(FabricFuzz, ChurnReplaysIdenticalAcrossJobsFanOut)
+{
+    // Same churn schedules replayed under --jobs 1 and --jobs 4:
+    // bit-identical digests — churn application is part of the
+    // deterministic event program, not a side effect of timing.
+    corm::platform::TrialOptions j1;
+    j1.trials = 4;
+    j1.jobs = 1;
+    j1.seed = 0xc08a5eedULL;
+    corm::platform::TrialOptions j4 = j1;
+    j4.jobs = 4;
+
+    const auto run = [](int, std::uint64_t seed) {
+        auto cfg = fabricConfigFromSeed(seed);
+        cfg.churn = churnScheduleFromSeed(seed, cfg);
+        return corm::platform::runFabricScenario(cfg);
+    };
+    const auto a = corm::platform::runTrials(j1, run);
+    const auto b = corm::platform::runTrials(j4, run);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("trial " + std::to_string(i));
+        EXPECT_EQ(a[i].digest, b[i].digest);
+        EXPECT_EQ(a[i].appliedTunes, b[i].appliedTunes);
+        EXPECT_EQ(a[i].abandonedTunes, b[i].abandonedTunes);
+        EXPECT_EQ(a[i].wireMessages, b[i].wireMessages);
+        EXPECT_EQ(a[i].churnReparents, b[i].churnReparents);
+        EXPECT_EQ(a[i].migForwards, b[i].migForwards);
+        EXPECT_EQ(a[i].eventsExecuted, b[i].eventsExecuted);
+    }
+}
+
+TEST(FabricFuzz, ChurnShardCountNeverChangesTheDigest)
+{
+    // The determinism contract under churn: membership changes apply
+    // at window barriers, and the window sequence is a pure function
+    // of the global event set — so the same churn schedule produces
+    // the same digest whether islands run on 1 shard or 2..4.
+    const int seeds = fuzzSeedCount();
+    for (int i = 1; i <= seeds; ++i) {
+        const std::uint64_t seed = 0xc0ffee5u + 7823ull * i;
+        SCOPED_TRACE("failing seed: " + std::to_string(seed));
+        auto cfg = fabricConfigFromSeed(seed);
+        cfg.churn = churnScheduleFromSeed(seed, cfg);
+        cfg.shards = 1;
+        const auto base = corm::platform::runFabricScenario(cfg);
+        expectChurnInvariants(base);
+
+        for (int shards = 2; shards <= 4; ++shards) {
+            SCOPED_TRACE("shards=" + std::to_string(shards));
+            cfg.shards = shards;
+            const auto r = corm::platform::runFabricScenario(cfg);
+            EXPECT_EQ(r.digest, base.digest);
+            EXPECT_EQ(r.appliedTunes, base.appliedTunes);
+            EXPECT_EQ(r.abandonedTunes, base.abandonedTunes);
+            EXPECT_EQ(r.wireMessages, base.wireMessages);
+            EXPECT_EQ(r.duplicates, base.duplicates);
+            EXPECT_EQ(r.fabricDropped, base.fabricDropped);
+            EXPECT_EQ(r.migForwards, base.migForwards);
+            EXPECT_EQ(r.churnJoins, base.churnJoins);
+            EXPECT_EQ(r.churnLeaves, base.churnLeaves);
+            EXPECT_EQ(r.churnCrashes, base.churnCrashes);
+            EXPECT_EQ(r.churnMigrations, base.churnMigrations);
+            EXPECT_EQ(r.churnReparents, base.churnReparents);
+            EXPECT_EQ(r.churnSkipped, base.churnSkipped);
+            EXPECT_EQ(r.convergenceMs, base.convergenceMs);
+            EXPECT_EQ(r.shardWindows, base.shardWindows);
+            expectChurnInvariants(r);
+        }
+    }
+}
+
 TEST(CoordWireFuzz, PackUnpackRoundTripsFullWidthFields)
 {
     // Field-width fidelity of the packed 3-word wire format at and
